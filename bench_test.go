@@ -1,0 +1,335 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per experiment; see DESIGN.md's per-experiment index).
+// Sizes here are scaled down so `go test -bench=.` completes quickly;
+// cmd/benchfig runs the full-scale experiments and prints the tables.
+//
+// Size results are reported as custom metrics (bytes and ratios); timing
+// measures the end-to-end cost of building archives and baselines.
+package xarch
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xarch/internal/annotate"
+	"xarch/internal/bench"
+	"xarch/internal/core"
+	"xarch/internal/datagen"
+	"xarch/internal/repo"
+	"xarch/internal/xmltree"
+)
+
+// reportRatio attaches a size ratio metric to a benchmark.
+func reportRatio(b *testing.B, name string, num, den int) {
+	if den > 0 {
+		b.ReportMetric(float64(num)/float64(den), name)
+	}
+}
+
+// BenchmarkFig07Stats regenerates the dataset-statistics table (Fig 7).
+func BenchmarkFig07Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats := bench.Fig7(0.1, 3, 2)
+		if len(stats) != 3 {
+			b.Fatal("missing datasets")
+		}
+		if i == 0 {
+			for _, s := range stats {
+				b.ReportMetric(float64(s.Nodes), "nodes_"+strings.ReplaceAll(s.Name, "-", ""))
+			}
+		}
+	}
+}
+
+// benchFigure runs one storage experiment and reports the headline ratios.
+func benchFigure(b *testing.B, gen func() (*bench.Lines, error)) {
+	b.Helper()
+	var lines *bench.Lines
+	for i := 0; i < b.N; i++ {
+		var err error
+		lines, err = gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRatio(b, "arch/inc", bench.Last(lines.Archive), bench.Last(lines.IncDiffs))
+	reportRatio(b, "cumu/inc", bench.Last(lines.CumuDiffs), bench.Last(lines.IncDiffs))
+	if gz := bench.Last(lines.GzipInc); gz > 0 {
+		reportRatio(b, "xmarch/gzinc", bench.Last(lines.XMillArchive), gz)
+	}
+}
+
+// BenchmarkFig11OMIM: OMIM-like accretive versions; archive vs inc vs cumu
+// (Fig 11a).
+func BenchmarkFig11OMIM(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.OMIMSequence(0.1, 10)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+// BenchmarkFig11SwissProt: fast-growing releases (Fig 11b).
+func BenchmarkFig11SwissProt(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.SwissProtSequence(0.1, 6)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+// BenchmarkFig12OMIM adds the compression lines (Fig 12a).
+func BenchmarkFig12OMIM(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.OMIMSequence(0.1, 8)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 4, KeepConcat: true})
+	})
+}
+
+// BenchmarkFig12SwissProt adds the compression lines (Fig 12b).
+func BenchmarkFig12SwissProt(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.SwissProtSequence(0.08, 5)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 5, KeepConcat: true})
+	})
+}
+
+// BenchmarkFig13XMark166 and ...XMark10: random changes at 1.66% and 10%
+// (Fig 13a/b).
+func BenchmarkFig13XMark166(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0166, false)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 6})
+	})
+}
+
+func BenchmarkFig13XMark10(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.10, false)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 6})
+	})
+}
+
+// BenchmarkFig14XMark166 and ...XMark10: the key-modification worst case
+// (Fig 14a/b).
+func BenchmarkFig14XMark166(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0166, true)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 6})
+	})
+}
+
+func BenchmarkFig14XMark10(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.10, true)
+		return bench.Run(spec, docs, bench.Config{CompressEvery: 6})
+	})
+}
+
+// BenchmarkAppC1XMark333/666: Appendix C.1 intermediate change ratios.
+func BenchmarkAppC1XMark333(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0333, false)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+func BenchmarkAppC1XMark666(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0666, false)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+// BenchmarkAppC2XMark333/666: Appendix C.2 key-modification ratios.
+func BenchmarkAppC2XMark333(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0333, true)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+func BenchmarkAppC2XMark666(b *testing.B) {
+	benchFigure(b, func() (*bench.Lines, error) {
+		spec, docs := bench.XMarkSequence(0.25, 6, 0.0666, true)
+		return bench.Run(spec, docs, bench.Config{})
+	})
+}
+
+// BenchmarkAnnotateScaling measures Annotate Keys (§4.1 analysis: time
+// dominated by document size for a fixed key specification).
+func BenchmarkAnnotateScaling(b *testing.B) {
+	for _, records := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 61, Records: records})
+			doc := g.Next()
+			b.SetBytes(int64(len(doc.IndentedXML())))
+			ann := annotate.New(datagen.OMIMSpec(), nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ann.Version(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNestedMergeScaling measures one Nested Merge of a new version
+// into an existing archive (§4.2 analysis: O(αN log N)).
+func BenchmarkNestedMergeScaling(b *testing.B) {
+	for _, records := range []int{50, 200, 800} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			cfg := datagen.OMIMConfig{Seed: 62, Records: records,
+				DeleteFrac: 0.002, InsertFrac: 0.02, ModifyFrac: 0.003}
+			g := datagen.NewOMIM(cfg)
+			v1 := g.Next()
+			v2 := g.Next()
+			b.SetBytes(int64(len(v2.IndentedXML())))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true})
+				if err := a.Add(v1.Clone()); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := a.Add(v2.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// buildBenchArchive archives an OMIM history once for the retrieval and
+// history benchmarks (§7).
+func buildBenchArchive(b *testing.B, versions int) (*Archive, []*xmltree.Node) {
+	b.Helper()
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 63, Records: 300,
+		DeleteFrac: 0.01, InsertFrac: 0.02, ModifyFrac: 0.02})
+	a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true})
+	var docs []*xmltree.Node
+	for i := 0; i < versions; i++ {
+		d := g.Next()
+		docs = append(docs, d)
+		if err := a.Add(d.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return a, docs
+}
+
+// BenchmarkRetrievalScan: version retrieval by archive scan (§7.1).
+func BenchmarkRetrievalScan(b *testing.B) {
+	a, _ := buildBenchArchive(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Version(1 + i%10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrievalTimestampTree: the same retrievals through timestamp
+// trees (§7.1).
+func BenchmarkRetrievalTimestampTree(b *testing.B) {
+	a, _ := buildBenchArchive(b, 10)
+	ix := NewTimestampIndex(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Version(1 + i%10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRetrievalIncDiffs: reconstructing version i from the
+// incremental diff repository — the §5 baseline that must replay deltas.
+func BenchmarkRetrievalIncDiffs(b *testing.B) {
+	_, docs := buildBenchArchive(b, 10)
+	r := repo.NewIncremental()
+	for _, d := range docs {
+		r.Add(d.IndentedXML())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Retrieve(1 + i%10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistoryScan and BenchmarkHistoryIndex: temporal history by
+// archive walk versus the §7.2 sorted-list index.
+func BenchmarkHistoryScan(b *testing.B) {
+	a, docs := buildBenchArchive(b, 10)
+	num := docs[0].Child("Record").ChildText("Num")
+	sel := "/ROOT/Record[Num=" + num + "]"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.History(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistoryIndex(b *testing.B) {
+	a, docs := buildBenchArchive(b, 10)
+	ix := NewHistoryIndex(a)
+	num := docs[0].Child("Record").ChildText("Num")
+	sel := "/ROOT/Record[Num=" + num + "]"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.History(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprintMerge compares merge cost with FNV fingerprints
+// against MD5 (§4.3: fingerprint choice affects speed only).
+func BenchmarkFingerprintMerge(b *testing.B) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 64, Records: 200, InsertFrac: 0.02})
+	v1 := g.Next()
+	v2 := g.Next()
+	for _, f := range []struct {
+		name string
+		fn   FingerprintFunc
+	}{{"fnv", FNV}, {"md5", MD5}} {
+		b.Run(f.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true, Fingerprint: f.fn})
+				if err := a.Add(v1.Clone()); err != nil {
+					b.Fatal(err)
+				}
+				if err := a.Add(v2.Clone()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWeaveAblation measures the further-compaction design choice
+// (§4.2): plain whole-content alternatives versus the SCCS weave under a
+// content-churn workload.
+func BenchmarkWeaveAblation(b *testing.B) {
+	for _, weave := range []bool{false, true} {
+		name := "plain"
+		if weave {
+			name = "weave"
+		}
+		b.Run(name, func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				spec, docs := bench.XMarkSequence(0.15, 6, 0.10, false)
+				lines, err := bench.Run(spec, docs, bench.Config{Weave: weave})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = bench.Last(lines.Archive)
+			}
+			b.ReportMetric(float64(size), "archive_bytes")
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Command benchfig regenerates the tables and figures of the paper's
+// evaluation (§5, Appendix C) and prints them as text tables.
+//
+// Usage:
+//
+//	benchfig [-fig 7|11|12|13|14|C1|C2|claims|all] [-scale 1.0] [-versions N]
+//
+// Scale 1.0 uses megabyte-class documents (minutes for -fig all); smaller
+// scales run in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xarch/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 7, 11, 12, 13, 14, C1, C2, claims, all")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = megabyte-class documents)")
+	versions := flag.Int("versions", 0, "override the number of versions (0 = per-figure default)")
+	weave := flag.Bool("weave", false, "archive with further compaction (§4.2)")
+	flag.Parse()
+
+	s := bench.Scale(*scale)
+	pick := func(def int) int {
+		if *versions > 0 {
+			return *versions
+		}
+		return def
+	}
+	run := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
+	cfgRaw := bench.Config{Weave: *weave}
+	cfgZip := func(n int) bench.Config {
+		every := n / 5
+		if every < 1 {
+			every = 1
+		}
+		return bench.Config{Weave: *weave, CompressEvery: every, KeepConcat: true}
+	}
+
+	did := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+
+	if run("7") {
+		did = true
+		fmt.Println(bench.Fig7Table(bench.Fig7(s, pick(10), pick(8))))
+	}
+	if run("11") || run("claims") {
+		did = true
+		n := pick(40)
+		spec, docs := bench.OMIMSequence(s, n)
+		lines, err := bench.Run(spec, docs, cfgRaw)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(lines.Table("Figure 11(a): OMIM-like, archive vs diff repositories"))
+		fmt.Println(lines.Summary())
+
+		n2 := pick(12)
+		spec2, docs2 := bench.SwissProtSequence(s, n2)
+		lines2, err := bench.Run(spec2, docs2, cfgRaw)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(lines2.Table("Figure 11(b): Swiss-Prot-like, archive vs diff repositories"))
+		fmt.Println(lines2.Summary())
+	}
+	if run("12") || run("claims") {
+		did = true
+		n := pick(30)
+		spec, docs := bench.OMIMSequence(s, n)
+		lines, err := bench.Run(spec, docs, cfgZip(n))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(lines.Table("Figure 12(a): OMIM-like, with compression"))
+		fmt.Println(lines.Summary())
+
+		n2 := pick(10)
+		spec2, docs2 := bench.SwissProtSequence(s, n2)
+		lines2, err := bench.Run(spec2, docs2, cfgZip(n2))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(lines2.Table("Figure 12(b): Swiss-Prot-like, with compression"))
+		fmt.Println(lines2.Summary())
+	}
+	if run("13") {
+		did = true
+		for _, frac := range []float64{0.0166, 0.10} {
+			n := pick(12)
+			spec, docs := bench.XMarkSequence(s, n, frac, false)
+			lines, err := bench.Run(spec, docs, cfgZip(n))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(lines.Table(fmt.Sprintf("Figure 13: XMark random changes, n = %.2f%%", frac*100)))
+			fmt.Println(lines.Summary())
+		}
+	}
+	if run("14") {
+		did = true
+		for _, frac := range []float64{0.0166, 0.10} {
+			n := pick(12)
+			spec, docs := bench.XMarkSequence(s, n, frac, true)
+			lines, err := bench.Run(spec, docs, cfgZip(n))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(lines.Table(fmt.Sprintf("Figure 14: XMark key modification (worst case), n = %.2f%%", frac*100)))
+			fmt.Println(lines.Summary())
+		}
+	}
+	if run("C1") {
+		did = true
+		for _, frac := range []float64{0.0333, 0.0666} {
+			n := pick(12)
+			spec, docs := bench.XMarkSequence(s, n, frac, false)
+			lines, err := bench.Run(spec, docs, cfgZip(n))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(lines.Table(fmt.Sprintf("Appendix C.1: XMark random changes, n = %.2f%%", frac*100)))
+			fmt.Println(lines.Summary())
+		}
+	}
+	if run("C2") {
+		did = true
+		for _, frac := range []float64{0.0333, 0.0666} {
+			n := pick(12)
+			spec, docs := bench.XMarkSequence(s, n, frac, true)
+			lines, err := bench.Run(spec, docs, cfgZip(n))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(lines.Table(fmt.Sprintf("Appendix C.2: XMark key modification, n = %.2f%%", frac*100)))
+			fmt.Println(lines.Summary())
+		}
+	}
+	if !did {
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,270 @@
+// Command xarch archives versions of a keyed XML database and queries the
+// archive (the archiver of Buneman et al., "Archiving Scientific Data").
+//
+// Usage:
+//
+//	xarch add      -spec keys.txt -archive archive.xml [-compact] version.xml
+//	xarch get      -spec keys.txt -archive archive.xml -version N
+//	xarch history  -spec keys.txt -archive archive.xml -selector /db/dept[name=finance]
+//	xarch validate -spec keys.txt version.xml
+//	xarch stats    -spec keys.txt -archive archive.xml
+//	xarch extadd   -spec keys.txt -dir archdir [-budget N] version.xml
+//	xarch extxml   -spec keys.txt -dir archdir
+//
+// "add" with a missing archive file creates a fresh archive. Selectors
+// name elements by key, e.g. /db/dept[name=finance]/emp[fn=John,ln=Doe].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xarch"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "add":
+		err = cmdAdd(args)
+	case "get":
+		err = cmdGet(args)
+	case "history":
+		err = cmdHistory(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "stats":
+		err = cmdStats(args)
+	case "extadd":
+		err = cmdExtAdd(args)
+	case "extxml":
+		err = cmdExtXML(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xarch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|extadd|extxml} [flags]")
+	os.Exit(2)
+}
+
+func loadSpec(path string) (*xarch.KeySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xarch.ReadKeySpec(f)
+}
+
+func loadArchive(specPath, archivePath string, opts xarch.Options) (*xarch.Archive, *xarch.KeySpec, error) {
+	spec, err := loadSpec(specPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(archivePath)
+	if os.IsNotExist(err) {
+		return xarch.NewArchive(spec, opts), spec, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	a, err := xarch.LoadArchive(f, spec, opts)
+	return a, spec, err
+}
+
+func loadDoc(path string) (*xarch.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return xarch.ParseXML(f)
+}
+
+func cmdAdd(args []string) error {
+	fs := flag.NewFlagSet("add", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	archivePath := fs.String("archive", "", "archive XML file (created if missing)")
+	compact := fs.Bool("compact", false, "further compaction below frontier nodes")
+	fs.Parse(args)
+	if *specPath == "" || *archivePath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("add needs -spec, -archive and one version file")
+	}
+	opts := xarch.Options{FurtherCompaction: *compact}
+	a, _, err := loadArchive(*specPath, *archivePath, opts)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if err := a.Add(doc); err != nil {
+		return err
+	}
+	tmp := *archivePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteXML(f, true); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, *archivePath); err != nil {
+		return err
+	}
+	fmt.Printf("archived version %d (%d versions total)\n", a.Versions(), a.Versions())
+	return nil
+}
+
+func cmdGet(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	archivePath := fs.String("archive", "", "archive XML file")
+	version := fs.Int("version", 0, "version number to retrieve")
+	fs.Parse(args)
+	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	if err != nil {
+		return err
+	}
+	doc, err := a.Version(*version)
+	if err != nil {
+		return err
+	}
+	if doc == nil {
+		fmt.Fprintf(os.Stderr, "version %d is an empty database\n", *version)
+		return nil
+	}
+	_, err = os.Stdout.WriteString(doc.IndentedXML())
+	return err
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	archivePath := fs.String("archive", "", "archive XML file")
+	selector := fs.String("selector", "", "element selector, e.g. /db/dept[name=finance]")
+	changes := fs.Bool("changes", false, "also list content-change versions")
+	fs.Parse(args)
+	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	if err != nil {
+		return err
+	}
+	h, err := a.History(*selector)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exists at versions: %s\n", h)
+	if *changes {
+		ch, err := a.ContentHistory(*selector)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("content changed at: %v\n", ch)
+	}
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	fs.Parse(args)
+	if *specPath == "" || fs.NArg() != 1 {
+		return fmt.Errorf("validate needs -spec and one document")
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	doc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if report := xarch.ValidateDocument(spec, doc); report != "" {
+		fmt.Print(report)
+		os.Exit(1)
+	}
+	fmt.Println("document satisfies the key specification")
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	archivePath := fs.String("archive", "", "archive XML file")
+	fs.Parse(args)
+	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	if err != nil {
+		return err
+	}
+	s := a.Stats()
+	fmt.Printf("versions              %d\n", s.Versions)
+	fmt.Printf("elements              %d\n", s.Elements)
+	fmt.Printf("text nodes            %d\n", s.TextNodes)
+	fmt.Printf("attributes            %d\n", s.Attributes)
+	fmt.Printf("keyed nodes           %d\n", s.KeyedNodes)
+	fmt.Printf("frontier nodes        %d\n", s.FrontierNodes)
+	fmt.Printf("explicit timestamps   %d\n", s.ExplicitTimestamps)
+	fmt.Printf("inherited timestamps  %d\n", s.InheritedTimestamps)
+	fmt.Printf("timestamp intervals   %d\n", s.TimestampRuns)
+	fmt.Printf("content groups        %d\n", s.Groups)
+	fmt.Printf("archive XML bytes     %d\n", s.XMLBytes)
+	fmt.Printf("xmill-compressed      %d\n", xarch.CompressedArchiveSize(a))
+	return nil
+}
+
+func cmdExtAdd(args []string) error {
+	fs := flag.NewFlagSet("extadd", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	dir := fs.String("dir", "", "external archive directory")
+	budget := fs.Int("budget", 1<<20, "external-sort memory budget in tokens")
+	fs.Parse(args)
+	if *specPath == "" || *dir == "" || fs.NArg() != 1 {
+		return fmt.Errorf("extadd needs -spec, -dir and one version file")
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	ar, err := xarch.OpenExternalArchiver(*dir, spec, *budget)
+	if err != nil {
+		return err
+	}
+	if err := ar.AddVersionFile(fs.Arg(0)); err != nil {
+		return err
+	}
+	fmt.Printf("archived version %d (external sort: %d runs)\n", ar.Versions(), ar.LastSort.Runs)
+	return nil
+}
+
+func cmdExtXML(args []string) error {
+	fs := flag.NewFlagSet("extxml", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	dir := fs.String("dir", "", "external archive directory")
+	fs.Parse(args)
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	ar, err := xarch.OpenExternalArchiver(*dir, spec, 1<<20)
+	if err != nil {
+		return err
+	}
+	return ar.WriteArchiveXML(os.Stdout)
+}

@@ -1,0 +1,120 @@
+// Command xarchgen generates the experiment datasets of Appendix B —
+// OMIM-like, Swiss-Prot-like and XMark-like version sequences — as XML
+// files plus the matching key specification.
+//
+// Usage:
+//
+//	xarchgen -dataset omim|swissprot|xmark|xmark-keymod -versions N \
+//	         [-scale 1.0] [-frac 0.0166] [-seed 1] -out DIR
+//
+// DIR receives keys.txt and v0001.xml ... vNNNN.xml.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xarch/internal/datagen"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+func main() {
+	dataset := flag.String("dataset", "omim", "omim, swissprot, xmark or xmark-keymod")
+	versions := flag.Int("versions", 5, "number of versions to generate")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	frac := flag.Float64("frac", 0.0166, "xmark change ratio per version")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "xarchgen: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*dataset, *versions, *scale, *frac, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "xarchgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, versions int, scale, frac float64, seed int64, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	apply := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+
+	var spec *keys.Spec
+	var next func() *xmltree.Node
+	switch dataset {
+	case "omim":
+		cfg := datagen.DefaultOMIM()
+		cfg.Seed = seed
+		cfg.Records = apply(cfg.Records)
+		g := datagen.NewOMIM(cfg)
+		spec, next = g.Spec(), g.Next
+	case "swissprot":
+		cfg := datagen.DefaultSwissProt()
+		cfg.Seed = seed
+		cfg.Records = apply(cfg.Records)
+		g := datagen.NewSwissProt(cfg)
+		spec, next = g.Spec(), g.Next
+	case "xmark", "xmark-keymod":
+		cfg := datagen.DefaultXMark()
+		cfg.Seed = seed
+		cfg.Items = apply(cfg.Items)
+		cfg.People = apply(cfg.People)
+		cfg.OpenAucts = apply(cfg.OpenAucts)
+		cfg.ClosedAucts = apply(cfg.ClosedAucts)
+		g := datagen.NewXMark(cfg)
+		spec = g.Spec()
+		cur := g.Document()
+		first := true
+		keyMod := dataset == "xmark-keymod"
+		next = func() *xmltree.Node {
+			if first {
+				first = false
+				return cur
+			}
+			if keyMod {
+				cur = g.KeyModChanges(cur, frac)
+			} else {
+				cur = g.RandomChanges(cur, frac)
+			}
+			return cur
+		}
+	default:
+		return fmt.Errorf("unknown dataset %q", dataset)
+	}
+
+	specPath := filepath.Join(out, "keys.txt")
+	if err := os.WriteFile(specPath, []byte(spec.String()), 0o644); err != nil {
+		return err
+	}
+	for v := 1; v <= versions; v++ {
+		doc := next()
+		path := filepath.Join(out, fmt.Sprintf("v%04d.xml", v))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := doc.Write(f, xmltree.WriteOptions{Indent: true}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d nodes)\n", path, doc.CountNodes())
+	}
+	fmt.Printf("wrote %s\n", specPath)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Quickstart: the paper's running example (§2, Figures 2-5).
+//
+// Archives the four versions of the company database, prints the archive
+// XML (compare with Figure 5), retrieves past versions, and answers the
+// temporal-history queries of Figure 4.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"xarch"
+)
+
+const spec = `
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+`
+
+// The four versions of Figure 2.
+var versions = []string{
+	`<db><dept><name>finance</name></dept></db>`,
+
+	`<db><dept><name>finance</name>
+	   <emp><fn>Jane</fn><ln>Smith</ln></emp>
+	 </dept></db>`,
+
+	`<db>
+	   <dept><name>finance</name>
+	     <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal><tel>123-4567</tel></emp>
+	   </dept>
+	   <dept><name>marketing</name>
+	     <emp><fn>John</fn><ln>Doe</ln></emp>
+	   </dept>
+	 </db>`,
+
+	`<db><dept><name>finance</name>
+	   <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>
+	   <emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal><tel>123-6789</tel><tel>112-3456</tel></emp>
+	 </dept></db>`,
+}
+
+func main() {
+	keySpec, err := xarch.ParseKeySpec(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := xarch.NewArchive(keySpec, xarch.Options{})
+
+	fmt.Println("== Archiving the four versions of Figure 2 ==")
+	for i, src := range versions {
+		doc, err := xarch.ParseXMLString(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Add(doc); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("archived version %d\n", i+1)
+	}
+
+	fmt.Println("\n== The archive as XML (compare Figure 5) ==")
+	if err := a.WriteXML(os.Stdout, true); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Element histories (compare Figure 4) ==")
+	for _, sel := range []string{
+		"/db/dept[name=finance]",
+		"/db/dept[name=marketing]",
+		"/db/dept[name=finance]/emp[fn=John,ln=Doe]",
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]",
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/tel[.=112-3456]",
+	} {
+		h, err := a.History(sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-60s t=[%s]\n", sel, h)
+	}
+
+	fmt.Println("\n== John Doe's salary: content history ==")
+	sel := "/db/dept[name=finance]/emp[fn=John,ln=Doe]/sal"
+	changes, err := a.ContentHistory(sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("salary content changed at versions %v (90K at 3, 95K at 4)\n", changes)
+
+	fmt.Println("\n== Retrieving version 2 from the archive ==")
+	v2, err := a.Version(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(v2.IndentedXML())
+
+	fmt.Println("\n== Round trip: save and reload the archive ==")
+	var buf strings.Builder
+	if err := a.WriteXML(&buf, true); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := xarch.LoadArchive(strings.NewReader(buf.String()), keySpec, xarch.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := reloaded.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after reload, Jane Smith still exists at t=[%s]\n", h)
+}

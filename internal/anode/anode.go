@@ -1,0 +1,319 @@
+// Package anode defines the annotated node model shared by the archiver's
+// modules: XML nodes annotated with key values (§4.1), timestamps (§2) and
+// frontier-content groups (§4.2) of Buneman et al., "Archiving Scientific
+// Data".
+//
+// The same type represents both an annotated incoming version (key values
+// but no timestamps) and an archive (key values and timestamps). A node's
+// timestamp is explicit only when it differs from its parent's; a nil Time
+// means the timestamp is inherited (§1, "inheritance of timestamps").
+package anode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xarch/internal/intervals"
+	"xarch/internal/xmltree"
+)
+
+// KeyValue is the key annotation of a keyed node: the values of its key
+// paths, lexicographically ordered by key-path name (§4.2). Values are
+// kept in canonical form together with their fingerprints; comparisons use
+// the fingerprint first and fall back to the canonical form, so fingerprint
+// collisions never cause incorrect merges (§4.3).
+type KeyValue struct {
+	Paths []string // key-path names, sorted
+	Canon []string // canonical form of each key-path value
+	Disp  []string // human-readable value (text/attr content) for display and selectors
+	FP    []uint64 // fingerprint of each canonical value
+}
+
+// Len returns the number of key paths (k in the paper).
+func (kv *KeyValue) Len() int {
+	if kv == nil {
+		return 0
+	}
+	return len(kv.Paths)
+}
+
+// Compare orders two key values of nodes with the same tag, implementing
+// the key-value part of <=lab (§4.2): fewer key paths first, then pairwise
+// by (path name, value).
+func (kv *KeyValue) Compare(other *KeyValue) int {
+	if kv.Len() != other.Len() {
+		if kv.Len() < other.Len() {
+			return -1
+		}
+		return 1
+	}
+	for i := 0; i < kv.Len(); i++ {
+		if c := strings.Compare(kv.Paths[i], other.Paths[i]); c != 0 {
+			return c
+		}
+		// Fingerprint first; canonical form on ties (collision safety).
+		if kv.FP[i] != other.FP[i] {
+			if kv.FP[i] < other.FP[i] {
+				return -1
+			}
+			return 1
+		}
+		if c := strings.Compare(kv.Canon[i], other.Canon[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Equal reports whether the key values are identical.
+func (kv *KeyValue) Equal(other *KeyValue) bool { return kv.Compare(other) == 0 }
+
+// String renders the annotation in the figures' style:
+// "{fn=John,ln=Doe}".
+func (kv *KeyValue) String() string {
+	if kv == nil || len(kv.Paths) == 0 {
+		return ""
+	}
+	parts := make([]string, len(kv.Paths))
+	for i := range kv.Paths {
+		parts[i] = kv.Paths[i] + "=" + kv.Disp[i]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Group is one timestamped alternative (or weave segment) of the content
+// below a frontier node. In the plain archiver, groups are whole-content
+// alternatives with disjoint timestamps; with further compaction (§4.2,
+// Fig 10) they form an SCCS-style weave. In both cases the content of
+// version i is the concatenation of the groups whose timestamp contains i.
+type Group struct {
+	// Time is the group's timestamp; nil means inherited from the frontier
+	// node (the content exists whenever the node does).
+	Time *intervals.Set
+	// Content holds the items: attribute nodes first (sorted by name),
+	// then E/T children in document order. Content is immutable once the
+	// group has been compared (see Canon).
+	Content []*Node
+
+	canon string // lazily cached canonical form of Content
+}
+
+// Canon returns the canonical form of the group's content, cached after
+// the first call. Merging compares group contents repeatedly, so caching
+// keeps Nested Merge within the paper's O(αN log N) bound.
+func (g *Group) Canon() string {
+	if g.canon == "" {
+		g.canon = CanonicalItems(g.Content)
+	}
+	return g.canon
+}
+
+// Node is an annotated XML node.
+type Node struct {
+	Kind xmltree.Kind
+	Name string // tag (element) or attribute name
+	Data string // text or attribute value
+
+	// Key is the key-value annotation; non-nil exactly for keyed nodes.
+	Key *KeyValue
+	// Frontier marks frontier nodes (deepest keyed nodes, §3).
+	Frontier bool
+	// Time is the node's explicit timestamp; nil means inherited.
+	Time *intervals.Set
+
+	// Attrs holds attribute children of a non-frontier element (all of
+	// which are key-covered, hence identical across merged nodes), or of
+	// a frontier element whose content is shared across all its versions.
+	Attrs []*Node
+	// Children holds element/text children: keyed children for
+	// non-frontier elements, shared content for frontier elements.
+	Children []*Node
+	// Groups, when non-nil, holds the timestamped content alternatives of
+	// a frontier node; Children and Attrs are then empty.
+	Groups []*Group
+}
+
+// Label renders the node's full label, e.g. "emp{fn=John,ln=Doe}" (§4.2).
+func (n *Node) Label() string {
+	switch n.Kind {
+	case xmltree.Text:
+		return fmt.Sprintf("text(%q)", n.Data)
+	case xmltree.Attr:
+		return "@" + n.Name + "=" + n.Data
+	}
+	return n.Name + n.Key.String()
+}
+
+// CompareLabel implements <=lab (§4.2) between two nodes: by tag name,
+// then by key value. It must only be called on keyed element nodes.
+func (n *Node) CompareLabel(other *Node) int {
+	if c := strings.Compare(n.Name, other.Name); c != 0 {
+		return c
+	}
+	return n.Key.Compare(other.Key)
+}
+
+// SortChildrenByLabel sorts the element children by label; Nested Merge
+// requires both archive and version children sorted (§4.2, analysis).
+// The sort is stable so unkeyed content (below frontier) keeps document
+// order, but it must only be applied at non-frontier levels.
+func (n *Node) SortChildrenByLabel() {
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return n.Children[i].CompareLabel(n.Children[j]) < 0
+	})
+}
+
+// ContentItems returns the frontier node's content as a single item list:
+// attributes (sorted by name) followed by E/T children. This is the unit
+// of value comparison and weaving below the frontier.
+func (n *Node) ContentItems() []*Node {
+	items := make([]*Node, 0, len(n.Attrs)+len(n.Children))
+	attrs := make([]*Node, len(n.Attrs))
+	copy(attrs, n.Attrs)
+	sort.SliceStable(attrs, func(i, j int) bool {
+		if attrs[i].Name != attrs[j].Name {
+			return attrs[i].Name < attrs[j].Name
+		}
+		return attrs[i].Data < attrs[j].Data
+	})
+	items = append(items, attrs...)
+	items = append(items, n.Children...)
+	return items
+}
+
+// SetContentItems splits items back into Attrs and Children.
+func (n *Node) SetContentItems(items []*Node) {
+	n.Attrs, n.Children = nil, nil
+	for _, it := range items {
+		if it.Kind == xmltree.Attr {
+			n.Attrs = append(n.Attrs, it)
+		} else {
+			n.Children = append(n.Children, it)
+		}
+	}
+}
+
+// Canonical returns the canonical form of the node's value (ignoring key
+// and timestamp annotations). It must only be used below the frontier or
+// on frontier content, where nodes carry no groups.
+func Canonical(n *Node) string {
+	var b strings.Builder
+	writeCanon(&b, n)
+	return b.String()
+}
+
+// CanonicalItems returns the canonical form of an item list.
+func CanonicalItems(items []*Node) string {
+	var b strings.Builder
+	for _, it := range items {
+		writeCanon(&b, it)
+	}
+	return b.String()
+}
+
+func writeCanon(b *strings.Builder, n *Node) {
+	// Convert through xmltree to reuse its canonical form, guaranteeing
+	// the same bytes as fingerprinting the original document.
+	b.WriteString(xmltree.Canonical(n.ToXML()))
+}
+
+// ToXML converts the subtree to a plain xmltree.Node, dropping key
+// annotations. It must not be called on nodes with groups (use the
+// archiver's version retrieval for that).
+func (n *Node) ToXML() *xmltree.Node {
+	if len(n.Groups) > 0 {
+		panic("anode: ToXML on a node with timestamp groups")
+	}
+	switch n.Kind {
+	case xmltree.Text:
+		return xmltree.TextNode(n.Data)
+	case xmltree.Attr:
+		return xmltree.AttrNode(n.Name, n.Data)
+	}
+	e := xmltree.Elem(n.Name)
+	for _, a := range n.Attrs {
+		e.Append(a.ToXML())
+	}
+	for _, c := range n.Children {
+		e.Append(c.ToXML())
+	}
+	return e
+}
+
+// FromXML converts a plain xmltree.Node (a subtree below the frontier)
+// into an unannotated anode tree.
+func FromXML(x *xmltree.Node) *Node {
+	n := &Node{Kind: x.Kind, Name: x.Name, Data: x.Data}
+	for _, a := range x.Attrs {
+		n.Attrs = append(n.Attrs, FromXML(a))
+	}
+	for _, c := range x.Children {
+		n.Children = append(n.Children, FromXML(c))
+	}
+	return n
+}
+
+// Clone returns a deep copy of the subtree.
+func (n *Node) Clone() *Node {
+	c := &Node{
+		Kind:     n.Kind,
+		Name:     n.Name,
+		Data:     n.Data,
+		Key:      n.Key, // immutable once computed
+		Frontier: n.Frontier,
+	}
+	if n.Time != nil {
+		c.Time = n.Time.Clone()
+	}
+	for _, a := range n.Attrs {
+		c.Attrs = append(c.Attrs, a.Clone())
+	}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.Clone())
+	}
+	for _, g := range n.Groups {
+		ng := &Group{}
+		if g.Time != nil {
+			ng.Time = g.Time.Clone()
+		}
+		for _, it := range g.Content {
+			ng.Content = append(ng.Content, it.Clone())
+		}
+		c.Groups = append(c.Groups, ng)
+	}
+	return c
+}
+
+// CountNodes counts nodes in the subtree, including group content.
+func (n *Node) CountNodes() int {
+	total := 1 + len(n.Attrs)
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	for _, g := range n.Groups {
+		for _, it := range g.Content {
+			total += it.CountNodes()
+		}
+	}
+	return total
+}
+
+// EqualValue reports =v between two annotation-free views of the nodes
+// (groups are not allowed).
+func EqualValue(a, b *Node) bool {
+	return Canonical(a) == Canonical(b)
+}
+
+// EqualItems reports list value equality of two item lists.
+func EqualItems(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !EqualValue(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,176 @@
+package anode
+
+import (
+	"testing"
+
+	"xarch/internal/intervals"
+	"xarch/internal/xmltree"
+)
+
+func kv(pairs ...string) *KeyValue {
+	k := &KeyValue{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		k.Paths = append(k.Paths, pairs[i])
+		k.Canon = append(k.Canon, pairs[i+1])
+		k.Disp = append(k.Disp, pairs[i+1])
+		k.FP = append(k.FP, uint64(len(pairs[i+1]))) // weak on purpose
+	}
+	return k
+}
+
+func TestKeyValueCompare(t *testing.T) {
+	a := kv("fn", "Jane", "ln", "Smith")
+	b := kv("fn", "John", "ln", "Doe")
+	if a.Compare(a) != 0 || !a.Equal(a) {
+		t.Error("self-compare failed")
+	}
+	if a.Compare(b) == 0 {
+		t.Error("distinct key values compared equal")
+	}
+	if a.Compare(b) != -b.Compare(a) {
+		t.Error("Compare not antisymmetric")
+	}
+	// Fewer key paths sort first.
+	c := kv("fn", "John")
+	if c.Compare(a) >= 0 {
+		t.Error("shorter key should sort first")
+	}
+	// Fingerprint collision (same length strings) falls back to canonical.
+	d := kv("fn", "abcd")
+	e := kv("fn", "abce")
+	if d.FP[0] != e.FP[0] {
+		t.Fatal("test setup: fingerprints should collide")
+	}
+	if d.Compare(e) == 0 {
+		t.Error("collision fallback failed: different canon compared equal")
+	}
+}
+
+func TestKeyValueString(t *testing.T) {
+	k := kv("fn", "John", "ln", "Doe")
+	if got := k.String(); got != "{fn=John,ln=Doe}" {
+		t.Errorf("String = %q", got)
+	}
+	var empty *KeyValue
+	if empty.String() != "" {
+		t.Error("nil KeyValue should render empty")
+	}
+}
+
+func TestLabelAndCompareLabel(t *testing.T) {
+	john := &Node{Kind: xmltree.Element, Name: "emp", Key: kv("fn", "John")}
+	jane := &Node{Kind: xmltree.Element, Name: "emp", Key: kv("fn", "Jane")}
+	dept := &Node{Kind: xmltree.Element, Name: "dept", Key: kv("name", "x")}
+	if john.Label() != "emp{fn=John}" {
+		t.Errorf("Label = %q", john.Label())
+	}
+	if dept.CompareLabel(john) >= 0 {
+		t.Error("dept should sort before emp (tag order)")
+	}
+	if john.CompareLabel(jane) == 0 {
+		t.Error("different keys compared equal")
+	}
+}
+
+func TestSortChildrenByLabel(t *testing.T) {
+	p := &Node{Kind: xmltree.Element, Name: "dept"}
+	for _, fn := range []string{"Zoe", "Amy", "Mia"} {
+		p.Children = append(p.Children, &Node{Kind: xmltree.Element, Name: "emp", Key: kv("fn", fn)})
+	}
+	p.SortChildrenByLabel()
+	got := []string{}
+	for _, c := range p.Children {
+		got = append(got, c.Key.Disp[0])
+	}
+	// Order is by fingerprint first (here: string length, all equal = 3),
+	// then canonical: Amy, Mia, Zoe.
+	if got[0] != "Amy" || got[1] != "Mia" || got[2] != "Zoe" {
+		t.Errorf("sorted order = %v", got)
+	}
+}
+
+func TestContentItemsRoundTrip(t *testing.T) {
+	n := &Node{Kind: xmltree.Element, Name: "mail"}
+	n.Attrs = []*Node{{Kind: xmltree.Attr, Name: "z", Data: "2"}, {Kind: xmltree.Attr, Name: "a", Data: "1"}}
+	n.Children = []*Node{
+		{Kind: xmltree.Element, Name: "from"},
+		{Kind: xmltree.Text, Data: "body"},
+	}
+	items := n.ContentItems()
+	if len(items) != 4 {
+		t.Fatalf("items = %d", len(items))
+	}
+	// Attrs sorted first.
+	if items[0].Name != "a" || items[1].Name != "z" {
+		t.Errorf("attrs not sorted: %s, %s", items[0].Name, items[1].Name)
+	}
+	m := &Node{Kind: xmltree.Element, Name: "mail"}
+	m.SetContentItems(items)
+	if len(m.Attrs) != 2 || len(m.Children) != 2 {
+		t.Errorf("SetContentItems split wrong: %d attrs, %d children", len(m.Attrs), len(m.Children))
+	}
+}
+
+func TestToFromXML(t *testing.T) {
+	x := xmltree.MustParseString(`<tel area="215">123-4567</tel>`)
+	n := FromXML(x)
+	back := n.ToXML()
+	if !xmltree.Equal(x, back) {
+		t.Errorf("FromXML/ToXML round trip changed value: %s", back.XML())
+	}
+	if Canonical(n) != xmltree.Canonical(x) {
+		t.Error("anode canonical differs from xmltree canonical")
+	}
+}
+
+func TestGroupCanonCached(t *testing.T) {
+	g := &Group{Content: []*Node{{Kind: xmltree.Text, Data: "x"}}}
+	c1 := g.Canon()
+	c2 := g.Canon()
+	if c1 != c2 || c1 == "" {
+		t.Error("Canon not stable")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := &Node{
+		Kind: xmltree.Element, Name: "a",
+		Time:   intervals.MustParse("1-3"),
+		Groups: []*Group{{Time: intervals.MustParse("2"), Content: []*Node{{Kind: xmltree.Text, Data: "x"}}}},
+	}
+	c := n.Clone()
+	c.Time.Add(9)
+	c.Groups[0].Time.Add(9)
+	c.Groups[0].Content[0].Data = "changed"
+	if n.Time.Contains(9) || n.Groups[0].Time.Contains(9) || n.Groups[0].Content[0].Data != "x" {
+		t.Error("Clone shares mutable state")
+	}
+}
+
+func TestCountNodesIncludesGroups(t *testing.T) {
+	n := &Node{
+		Kind: xmltree.Element, Name: "sal",
+		Groups: []*Group{
+			{Content: []*Node{{Kind: xmltree.Text, Data: "90K"}}},
+			{Content: []*Node{{Kind: xmltree.Text, Data: "95K"}}},
+		},
+	}
+	if got := n.CountNodes(); got != 3 {
+		t.Errorf("CountNodes = %d, want 3", got)
+	}
+}
+
+func TestEqualItems(t *testing.T) {
+	a := []*Node{{Kind: xmltree.Text, Data: "x"}, {Kind: xmltree.Element, Name: "e"}}
+	b := []*Node{{Kind: xmltree.Text, Data: "x"}, {Kind: xmltree.Element, Name: "e"}}
+	if !EqualItems(a, b) {
+		t.Error("equal items reported unequal")
+	}
+	b[1] = &Node{Kind: xmltree.Element, Name: "f"}
+	if EqualItems(a, b) {
+		t.Error("unequal items reported equal")
+	}
+	if EqualItems(a, a[:1]) {
+		t.Error("different lengths reported equal")
+	}
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"xarch/internal/datagen"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// Scale multiplies dataset sizes; 1.0 is the laptop-scale default
+// (megabyte-class documents), larger values approach the paper's sizes.
+type Scale float64
+
+func (s Scale) apply(n int) int {
+	v := int(float64(n) * float64(s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// OMIMSequence generates nVersions of the OMIM-like database (Fig 11a/12a
+// workload: ~daily, heavily accretive versions).
+func OMIMSequence(scale Scale, nVersions int) (*keys.Spec, []*xmltree.Node) {
+	cfg := datagen.DefaultOMIM()
+	cfg.Records = scale.apply(cfg.Records)
+	g := datagen.NewOMIM(cfg)
+	docs := make([]*xmltree.Node, nVersions)
+	for i := range docs {
+		docs[i] = g.Next()
+	}
+	return datagen.OMIMSpec(), docs
+}
+
+// SwissProtSequence generates nVersions of the Swiss-Prot-like database
+// (Fig 11b/12b workload: fast-growing releases with heavy churn).
+func SwissProtSequence(scale Scale, nVersions int) (*keys.Spec, []*xmltree.Node) {
+	cfg := datagen.DefaultSwissProt()
+	cfg.Records = scale.apply(cfg.Records)
+	g := datagen.NewSwissProt(cfg)
+	docs := make([]*xmltree.Node, nVersions)
+	for i := range docs {
+		docs[i] = g.Next()
+	}
+	return datagen.SwissProtSpec(), docs
+}
+
+// XMarkSequence generates nVersions of the XMark auction data under the
+// §5.3 change simulators: RandomChanges for Fig 13/App C.1, KeyModChanges
+// for Fig 14/App C.2. frac is the per-class change ratio (0.0166 = 1.66%).
+func XMarkSequence(scale Scale, nVersions int, frac float64, keyMod bool) (*keys.Spec, []*xmltree.Node) {
+	cfg := datagen.DefaultXMark()
+	cfg.Items = scale.apply(cfg.Items)
+	cfg.People = scale.apply(cfg.People)
+	cfg.OpenAucts = scale.apply(cfg.OpenAucts)
+	cfg.ClosedAucts = scale.apply(cfg.ClosedAucts)
+	g := datagen.NewXMark(cfg)
+	docs := make([]*xmltree.Node, 0, nVersions)
+	cur := g.Document()
+	docs = append(docs, cur)
+	for len(docs) < nVersions {
+		if keyMod {
+			cur = g.KeyModChanges(cur, frac)
+		} else {
+			cur = g.RandomChanges(cur, frac)
+		}
+		docs = append(docs, cur)
+	}
+	return datagen.XMarkSpec(), docs
+}
+
+// DatasetStats is one row of Figure 7.
+type DatasetStats struct {
+	Name   string
+	Bytes  int
+	Nodes  int
+	Height int
+}
+
+// Fig7 computes the dataset-statistics table of Figure 7 for the largest
+// version of each generated dataset.
+func Fig7(scale Scale, omimVersions, spVersions int) []DatasetStats {
+	var out []DatasetStats
+	measure := func(name string, docs []*xmltree.Node) {
+		// "Statistics pertain to the largest version of each dataset."
+		var best *xmltree.Node
+		bestSize := -1
+		for _, d := range docs {
+			if s := len(d.IndentedXML()); s > bestSize {
+				best, bestSize = d, s
+			}
+		}
+		out = append(out, DatasetStats{
+			Name:   name,
+			Bytes:  bestSize,
+			Nodes:  best.CountNodes(),
+			Height: best.Height(),
+		})
+	}
+	_, omim := OMIMSequence(scale, omimVersions)
+	measure("OMIM", omim)
+	_, sp := SwissProtSequence(scale, spVersions)
+	measure("Swiss-Prot", sp)
+	_, xm := XMarkSequence(scale, 1, 0, false)
+	measure("XMark", xm)
+	return out
+}
+
+// Fig7Table renders the Figure 7 table.
+func Fig7Table(stats []DatasetStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: dataset statistics (largest version)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %8s\n", "Data", "Size", "Nodes(N)", "Height(h)")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-12s %12d %12d %8d\n", s.Name, s.Bytes, s.Nodes, s.Height)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package compressutil
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGzipRoundTrip(t *testing.T) {
+	data := []byte(strings.Repeat("archive content line\n", 100))
+	comp := Gzip(data)
+	if len(comp) >= len(data) {
+		t.Errorf("gzip did not compress repetitive data: %d -> %d", len(data), len(comp))
+	}
+	back, err := Gunzip(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Error("gzip round trip corrupted data")
+	}
+	if GzipSize(data) != len(comp) {
+		t.Error("GzipSize disagrees with Gzip")
+	}
+}
+
+func TestGunzipErrors(t *testing.T) {
+	if _, err := Gunzip([]byte("not gzip")); err == nil {
+		t.Error("bogus gzip accepted")
+	}
+	if _, err := Gunzip(nil); err == nil {
+		t.Error("empty gzip accepted")
+	}
+}
+
+func TestGzipSizeStringsMatchesConcat(t *testing.T) {
+	pieces := []string{"first version\n", "2c\nreplacement\n.\n", "3a\nadded\n.\n"}
+	joined := strings.Join(pieces, "")
+	if GzipSizeStrings(pieces) != GzipSize([]byte(joined)) {
+		t.Error("piecewise gzip size differs from concatenated")
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		back, err := Unflate(Flate(data))
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnflateErrors(t *testing.T) {
+	if _, err := Unflate([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("bogus flate accepted")
+	}
+}

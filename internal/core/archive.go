@@ -1,0 +1,117 @@
+// Package core implements the archiver of Buneman, Khanna, Tajima and Tan,
+// "Archiving Scientific Data": an archive that merges every version of a
+// keyed hierarchical database into a single tree, identifying elements
+// across versions by key (§4.2, Nested Merge), recording each element's
+// lifetime as a compact timestamp, and supporting retrieval of any version
+// and of the temporal history of any keyed element (§7).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"xarch/internal/annotate"
+	"xarch/internal/anode"
+	"xarch/internal/fingerprint"
+	"xarch/internal/intervals"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// Options configures an archive.
+type Options struct {
+	// Fingerprint selects the fingerprint function for key values (§4.3);
+	// nil means FNV-1a. Collisions are always resolved by comparing
+	// canonical forms, so the choice affects speed only.
+	Fingerprint fingerprint.Func
+	// FurtherCompaction enables the SCCS-style weave below frontier nodes
+	// (§4.2, "Further Compaction", Fig 10): content that persists across
+	// versions is stored once and only differences are timestamped.
+	FurtherCompaction bool
+	// SkipValidation skips the CheckDocument pass on Add. Annotation still
+	// catches most key violations; skipping is for trusted generators and
+	// benchmarks.
+	SkipValidation bool
+}
+
+// Archive is a merged store of all versions of one keyed database.
+type Archive struct {
+	spec     *keys.Spec
+	opts     Options
+	ann      *annotate.Annotator
+	root     *anode.Node
+	versions int
+}
+
+// New returns an empty archive for documents satisfying spec.
+func New(spec *keys.Spec, opts Options) *Archive {
+	return &Archive{
+		spec: spec,
+		opts: opts,
+		ann:  annotate.New(spec, opts.Fingerprint),
+		root: &anode.Node{Kind: xmltree.Element, Name: "root", Time: intervals.New()},
+	}
+}
+
+// Spec returns the archive's key specification.
+func (a *Archive) Spec() *keys.Spec { return a.spec }
+
+// Versions returns the number of archived versions; versions are numbered
+// 1..Versions().
+func (a *Archive) Versions() int { return a.versions }
+
+// Root exposes the archive's root node for indexes and inspection.
+// Callers must not mutate the tree.
+func (a *Archive) Root() *anode.Node { return a.root }
+
+// Add archives doc as the next version. A nil doc archives an empty
+// version (§2: "the root node keeps track of the possibility that an
+// archived version is empty"). On error the archive is unchanged.
+func (a *Archive) Add(doc *xmltree.Node) error {
+	i := a.versions + 1
+	vroot := &anode.Node{Kind: xmltree.Element, Name: "root"}
+	if doc != nil {
+		if !a.opts.SkipValidation {
+			if err := a.spec.CheckDocumentErr(doc); err != nil {
+				return fmt.Errorf("core: version %d: %w", i, err)
+			}
+		}
+		n, err := a.ann.Version(doc)
+		if err != nil {
+			return fmt.Errorf("core: version %d: %w", i, err)
+		}
+		vroot.Children = append(vroot.Children, n)
+	}
+	if err := a.merge(a.root, vroot, nil, i); err != nil {
+		// merge mutates in place; a failed merge only happens on archives
+		// whose options mismatch their structure, before any timestamps
+		// for version i became visible through the public API.
+		return fmt.Errorf("core: version %d: %w", i, err)
+	}
+	a.versions = i
+	return nil
+}
+
+// Load reconstructs an archive from its XML form. The number of versions
+// is the maximum of the root timestamp.
+func Load(doc *xmltree.Node, spec *keys.Spec, opts Options) (*Archive, error) {
+	a := New(spec, opts)
+	root, err := a.ann.Archive(doc)
+	if err != nil {
+		return nil, fmt.Errorf("core: load archive: %w", err)
+	}
+	a.root = root
+	if !root.Time.Empty() {
+		a.versions = root.Time.Max()
+	}
+	return a, nil
+}
+
+// LoadReader is Load over an unparsed XML stream.
+func LoadReader(r io.Reader, spec *keys.Spec, opts Options) (*Archive, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load archive: %w", err)
+	}
+	return Load(doc, spec, opts)
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+const companySpec = `
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+`
+
+// companyVersions are versions 1-4 of Figure 2.
+var companyVersions = []string{
+	`<db><dept><name>finance</name></dept></db>`,
+
+	`<db><dept><name>finance</name>
+	   <emp><fn>Jane</fn><ln>Smith</ln></emp>
+	 </dept></db>`,
+
+	`<db>
+	   <dept><name>finance</name>
+	     <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal><tel>123-4567</tel></emp>
+	   </dept>
+	   <dept><name>marketing</name>
+	     <emp><fn>John</fn><ln>Doe</ln></emp>
+	   </dept>
+	 </db>`,
+
+	`<db><dept><name>finance</name>
+	   <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>
+	   <emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal><tel>123-6789</tel><tel>112-3456</tel></emp>
+	 </dept></db>`,
+}
+
+func buildCompany(t *testing.T, opts Options) *Archive {
+	t.Helper()
+	a := New(keys.MustParseSpec(companySpec), opts)
+	for i, v := range companyVersions {
+		if err := a.Add(xmltree.MustParseString(v)); err != nil {
+			t.Fatalf("Add version %d: %v", i+1, err)
+		}
+	}
+	return a
+}
+
+// TestFig4Archive reproduces the archive of Figure 4: element lifetimes
+// after merging versions 1-4.
+func TestFig4Archive(t *testing.T) {
+	a := buildCompany(t, Options{})
+	if a.Versions() != 4 {
+		t.Fatalf("Versions = %d", a.Versions())
+	}
+	if got := a.Root().Time.String(); got != "1-4" {
+		t.Fatalf("root timestamp = %q, want 1-4", got)
+	}
+	cases := []struct {
+		selector string
+		want     string
+	}{
+		{"/db", "1-4"},
+		{"/db/dept[name=finance]", "1-4"},
+		{"/db/dept[name=marketing]", "3"},
+		{"/db/dept[name=finance]/emp[fn=John,ln=Doe]", "3-4"},
+		{"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]", "2,4"},
+		{"/db/dept[name=marketing]/emp[fn=John,ln=Doe]", "3"},
+		{"/db/dept[name=finance]/emp[fn=John,ln=Doe]/sal", "3-4"},
+		{"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/sal", "4"},
+		{"/db/dept[name=finance]/emp[fn=John,ln=Doe]/tel[.=123-4567]", "3-4"},
+		{"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/tel[.=112-3456]", "4"},
+	}
+	for _, c := range cases {
+		got, err := a.History(c.selector)
+		if err != nil {
+			t.Errorf("History(%s): %v", c.selector, err)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("History(%s) = %q, want %q", c.selector, got, c.want)
+		}
+	}
+	// John's salary changed at version 4: two content alternatives.
+	ch, err := a.ContentHistory("/db/dept[name=finance]/emp[fn=John,ln=Doe]/sal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 2 || ch[0] != 3 || ch[1] != 4 {
+		t.Errorf("ContentHistory(sal) = %v, want [3 4]", ch)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig9Evolution replays the archive states of Figure 9.
+func TestFig9Evolution(t *testing.T) {
+	a := New(keys.MustParseSpec(companySpec), Options{})
+	wantRoot := []string{"1", "1-2", "1-3", "1-4"}
+	for i, v := range companyVersions {
+		if err := a.Add(xmltree.MustParseString(v)); err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Root().Time.String(); got != wantRoot[i] {
+			t.Fatalf("after v%d root = %q, want %q", i+1, got, wantRoot[i])
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Fatalf("after v%d: %v", i+1, err)
+		}
+	}
+	// After version 2 (replayed): Jane exists at exactly [2].
+	b := New(keys.MustParseSpec(companySpec), Options{})
+	for _, v := range companyVersions[:2] {
+		if err := b.Add(xmltree.MustParseString(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := b.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "2" {
+		t.Errorf("Jane after v2 = %q, want 2", h)
+	}
+}
+
+// TestVersionRoundTrip: every archived version is retrievable and
+// archive-equivalent to the original (§2: order among keyed siblings is
+// not preserved).
+func TestVersionRoundTrip(t *testing.T) {
+	for _, opts := range []Options{{}, {FurtherCompaction: true}} {
+		a := buildCompany(t, opts)
+		for i, src := range companyVersions {
+			orig := xmltree.MustParseString(src)
+			got, err := a.Version(i + 1)
+			if err != nil {
+				t.Fatalf("Version(%d): %v", i+1, err)
+			}
+			same, err := a.SameVersion(orig, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !same {
+				t.Errorf("opts=%+v version %d round trip mismatch:\ngot:  %s\nwant: %s",
+					opts, i+1, got.XML(), orig.XML())
+			}
+		}
+	}
+}
+
+func TestVersionOutOfRange(t *testing.T) {
+	a := buildCompany(t, Options{})
+	for _, i := range []int{0, -1, 5} {
+		if _, err := a.Version(i); err == nil {
+			t.Errorf("Version(%d): expected error", i)
+		}
+	}
+}
+
+// TestEmptyVersion archives an empty database (§2's version-5 example):
+// the root timestamp grows but the db element's does not.
+func TestEmptyVersion(t *testing.T) {
+	a := buildCompany(t, Options{})
+	if err := a.Add(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Root().Time.String(); got != "1-5" {
+		t.Fatalf("root = %q, want 1-5", got)
+	}
+	h, err := a.History("/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "1-4" {
+		t.Errorf("db history = %q, want 1-4", h)
+	}
+	v5, err := a.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v5 != nil {
+		t.Errorf("version 5 should be empty, got %s", v5.XML())
+	}
+	// And the database can come back.
+	if err := a.Add(xmltree.MustParseString(companyVersions[0])); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = a.History("/db")
+	if h.String() != "1-4,6" {
+		t.Errorf("db history after return = %q, want 1-4,6", h)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig1GeneExample demonstrates the paper's motivating example: after
+// the gene mix-up correction, the key-based archive reports that each
+// gene's sequence and position changed — not that the genes swapped names.
+func TestFig1GeneExample(t *testing.T) {
+	spec := keys.MustParseSpec(`
+(/, (genes, {}))
+(/genes, (gene, {id}))
+(/genes/gene, (name, {}))
+(/genes/gene, (seq, {}))
+(/genes/gene, (pos, {}))
+`)
+	v1 := xmltree.MustParseString(`<genes>
+	  <gene><id>6230</id><name>GRTM</name><seq>GTCG...</seq><pos>11A52</pos></gene>
+	  <gene><id>2953</id><name>ACV2</name><seq>AGTT...</seq><pos>08A96</pos></gene>
+	</genes>`)
+	v2 := xmltree.MustParseString(`<genes>
+	  <gene><id>2953</id><name>ACV2</name><seq>GTCG...</seq><pos>11A52</pos></gene>
+	  <gene><id>6230</id><name>GRTM</name><seq>AGTT...</seq><pos>08A96</pos></gene>
+	</genes>`)
+	a := New(spec, Options{})
+	if err := a.Add(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(v2); err != nil {
+		t.Fatal(err)
+	}
+	// Both genes persist across both versions: semantic continuity.
+	for _, id := range []string{"6230", "2953"} {
+		h, err := a.History("/genes/gene[id=" + id + "]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.String() != "1-2" {
+			t.Errorf("gene %s history = %q, want 1-2", id, h)
+		}
+		// The name never changed...
+		ch, err := a.ContentHistory("/genes/gene[id=" + id + "]/name")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ch) != 1 {
+			t.Errorf("gene %s name changed %d times, want stable", id, len(ch))
+		}
+		// ...but the sequence was corrected at version 2.
+		ch, err = a.ContentHistory("/genes/gene[id=" + id + "]/seq")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ch) != 2 || ch[1] != 2 {
+			t.Errorf("gene %s seq content history = %v, want change at 2", id, ch)
+		}
+	}
+}
+
+func TestHistoryErrors(t *testing.T) {
+	a := buildCompany(t, Options{})
+	if _, err := a.History("/db/dept[name=nosuch]"); err == nil || !strings.Contains(err.Error(), "no element") {
+		t.Errorf("missing element: got %v", err)
+	}
+	if _, err := a.History("/db/dept"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous selector: got %v", err)
+	}
+	if _, err := a.History("db/dept"); err == nil {
+		t.Error("selector without leading / accepted")
+	}
+}
+
+func TestAddInvalidDocument(t *testing.T) {
+	a := buildCompany(t, Options{})
+	bad := xmltree.MustParseString(`<db><dept><name>x</name><name>y</name></dept></db>`)
+	if err := a.Add(bad); err == nil {
+		t.Fatal("invalid document accepted")
+	}
+	// The archive is unchanged.
+	if a.Versions() != 4 {
+		t.Fatalf("failed Add changed version count: %d", a.Versions())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservedElementNameRejected(t *testing.T) {
+	spec := keys.MustParseSpec("(/, (db, {}))\n(/db, (x, {\\e}))")
+	a := New(spec, Options{})
+	doc := xmltree.MustParseString(`<db><x><T t="1">boom</T></x></db>`)
+	if err := a.Add(doc); err == nil {
+		t.Fatal("document with reserved <T> element accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := buildCompany(t, Options{})
+	s := a.Stats()
+	if s.Versions != 4 {
+		t.Errorf("Stats.Versions = %d", s.Versions)
+	}
+	if s.KeyedNodes == 0 || s.ExplicitTimestamps == 0 || s.InheritedTimestamps == 0 {
+		t.Errorf("degenerate stats: %+v", s)
+	}
+	// Inheritance must dominate: most nodes share their parent's lifetime.
+	if s.InheritedTimestamps <= s.ExplicitTimestamps {
+		t.Errorf("inheritance not paying off: %+v", s)
+	}
+	if s.XMLBytes == 0 {
+		t.Error("XMLBytes = 0")
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"xarch/internal/anode"
+	"xarch/internal/intervals"
+	"xarch/internal/xmltree"
+)
+
+// CheckInvariants verifies the structural invariants of the archive (§2):
+//
+//   - a node's explicit timestamp is a subset of its parent's effective
+//     timestamp ("the timestamp of a node is always a superset of
+//     timestamps of any descendant node");
+//   - no node or group has an empty timestamp (dead wood);
+//   - keyed children are strictly sorted by label;
+//   - content groups appear only below frontier nodes, and without
+//     further compaction their timestamps are pairwise disjoint.
+//
+// It returns nil when the archive is well-formed.
+func (a *Archive) CheckInvariants() error {
+	if a.root.Time == nil {
+		return fmt.Errorf("invariant: root has no timestamp")
+	}
+	if a.versions > 0 && (a.root.Time.Empty() || a.root.Time.Max() != a.versions) {
+		return fmt.Errorf("invariant: root timestamp %q inconsistent with %d versions", a.root.Time, a.versions)
+	}
+	return a.checkNode(a.root, a.root.Time, "/root")
+}
+
+func (a *Archive) checkNode(n *anode.Node, eff *intervals.Set, path string) error {
+	if n.Groups != nil {
+		if !n.Frontier && n != a.root {
+			return fmt.Errorf("invariant: %s: groups on a non-frontier node", path)
+		}
+		if len(n.Attrs) != 0 || len(n.Children) != 0 {
+			return fmt.Errorf("invariant: %s: node mixes groups with plain content", path)
+		}
+		var union *intervals.Set = intervals.New()
+		for gi, g := range n.Groups {
+			if g.Time == nil {
+				continue
+			}
+			if g.Time.Empty() {
+				return fmt.Errorf("invariant: %s: group %d has empty timestamp", path, gi)
+			}
+			if !eff.SupersetOf(g.Time) {
+				return fmt.Errorf("invariant: %s: group %d timestamp %q exceeds node's %q", path, gi, g.Time, eff)
+			}
+			if !a.opts.FurtherCompaction {
+				if !union.Intersect(g.Time).Empty() {
+					return fmt.Errorf("invariant: %s: overlapping plain groups", path)
+				}
+			}
+			union = union.Union(g.Time)
+		}
+		return nil
+	}
+	for ci, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			if !n.Frontier {
+				return fmt.Errorf("invariant: %s: non-element child above the frontier", path)
+			}
+			continue
+		}
+		childEff := eff
+		if c.Time != nil {
+			if c.Time.Empty() {
+				return fmt.Errorf("invariant: %s/%s: empty timestamp", path, c.Name)
+			}
+			if !eff.SupersetOf(c.Time) {
+				return fmt.Errorf("invariant: %s/%s: timestamp %q exceeds parent's %q", path, c.Name, c.Time, eff)
+			}
+			childEff = c.Time
+		}
+		if !n.Frontier {
+			if c.Key == nil {
+				return fmt.Errorf("invariant: %s/%s: unkeyed child above the frontier", path, c.Name)
+			}
+			if ci > 0 && n.Children[ci-1].Key != nil && n.Children[ci-1].CompareLabel(c) >= 0 {
+				return fmt.Errorf("invariant: %s: children not strictly sorted at %s", path, c.Label())
+			}
+			if err := a.checkNode(c, childEff, path+"/"+c.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SameVersion reports whether doc is archive-equivalent to other under the
+// archive's key specification: keyed elements are matched by key rather
+// than by position (retrieval reorders keyed siblings, §2), and content
+// below the frontier must be exactly value-equal.
+func (a *Archive) SameVersion(doc, other *xmltree.Node) (bool, error) {
+	if doc == nil || other == nil {
+		return doc == nil && other == nil, nil
+	}
+	x, err := a.ann.Version(doc)
+	if err != nil {
+		return false, err
+	}
+	y, err := a.ann.Version(other)
+	if err != nil {
+		return false, err
+	}
+	return sameAnnotated(x, y), nil
+}
+
+func sameAnnotated(x, y *anode.Node) bool {
+	if x.Name != y.Name || x.CompareLabel(y) != 0 {
+		return false
+	}
+	if x.Frontier || y.Frontier {
+		if x.Frontier != y.Frontier {
+			return false
+		}
+		return anode.EqualItems(x.ContentItems(), y.ContentItems())
+	}
+	if len(x.Children) != len(y.Children) {
+		return false
+	}
+	for i := range x.Children {
+		if !sameAnnotated(x.Children[i], y.Children[i]) {
+			return false
+		}
+	}
+	return attrItemsEqual(x.Attrs, y.Attrs)
+}

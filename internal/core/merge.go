@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+
+	"xarch/internal/anode"
+	"xarch/internal/diff"
+	"xarch/internal/intervals"
+)
+
+// merge implements Nested Merge (§4.2): it merges version node y (version
+// number i) into archive node x. inherited is the parent's current
+// timestamp (T in the paper); it always contains i when merge is called.
+// Precondition: label(x) == label(y).
+func (a *Archive) merge(x, y *anode.Node, inherited *intervals.Set, i int) error {
+	T := inherited
+	if x.Time != nil {
+		x.Time.Add(i)
+		// Timestamp inheritance (§1): a node whose lifetime has caught up
+		// with its parent's inherits instead of storing its own copy.
+		if inherited != nil && x.Time.Equal(inherited) {
+			x.Time = nil
+		} else {
+			T = x.Time
+		}
+	}
+
+	if x.Frontier {
+		if a.opts.FurtherCompaction {
+			return a.mergeWeave(x, y, T, i)
+		}
+		return a.mergePlainFrontier(x, y, T, i)
+	}
+
+	// Above the frontier, attributes are key-covered and therefore
+	// identical across merged nodes; anything else means the key
+	// specification does not capture the data's variability.
+	if !attrItemsEqual(x.Attrs, y.Attrs) {
+		return fmt.Errorf("attributes of %s differ between archive and version %d; the key specification does not cover them", x.Label(), i)
+	}
+
+	// Children of both nodes are sorted by label; a single merge pass
+	// partitions them into XY (merge recursively), X' (not in version i)
+	// and Y' (new in version i) — §4.2.
+	xc, yc := x.Children, y.Children
+	out := make([]*anode.Node, 0, max(len(xc), len(yc)))
+	xi, yi := 0, 0
+	for xi < len(xc) && yi < len(yc) {
+		switch c := xc[xi].CompareLabel(yc[yi]); {
+		case c == 0:
+			if err := a.merge(xc[xi], yc[yi], T, i); err != nil {
+				return err
+			}
+			out = append(out, xc[xi])
+			xi++
+			yi++
+		case c < 0:
+			terminate(xc[xi], T, i)
+			out = append(out, xc[xi])
+			xi++
+		default:
+			yc[yi].Time = intervals.New(i)
+			out = append(out, yc[yi])
+			yi++
+		}
+	}
+	for ; xi < len(xc); xi++ {
+		terminate(xc[xi], T, i)
+		out = append(out, xc[xi])
+	}
+	for ; yi < len(yc); yi++ {
+		yc[yi].Time = intervals.New(i)
+		out = append(out, yc[yi])
+	}
+	x.Children = out
+	return nil
+}
+
+// terminate marks an archive child that does not exist in version i: a
+// node with an inherited timestamp receives the explicit timestamp T−{i}
+// (§4.2, step (b)); a node with an explicit timestamp already excludes i.
+func terminate(c *anode.Node, T *intervals.Set, i int) {
+	if c.Time == nil {
+		c.Time = T.Without(i)
+	}
+}
+
+// mergePlainFrontier merges frontier content without further compaction:
+// content alternatives are stored whole, each under its own timestamp
+// (§4.2 and Fig 8).
+func (a *Archive) mergePlainFrontier(x, y *anode.Node, T *intervals.Set, i int) error {
+	yItems := y.ContentItems()
+	yCanon := anode.CanonicalItems(yItems)
+
+	if x.Groups == nil {
+		xItems := x.ContentItems()
+		if anode.CanonicalItems(xItems) == yCanon {
+			// Content unchanged: it keeps inheriting x's timestamp, which
+			// now includes i.
+			return nil
+		}
+		// First divergence: the old content existed at T−{i}, the new at i.
+		x.Groups = []*anode.Group{
+			{Time: T.Without(i), Content: xItems},
+			{Time: intervals.New(i), Content: yItems},
+		}
+		x.Attrs, x.Children = nil, nil
+		return nil
+	}
+
+	for _, g := range x.Groups {
+		if g.Canon() == yCanon {
+			if g.Time == nil {
+				// Inherited-time group: alive whenever x is, including i.
+				return nil
+			}
+			g.Time.Add(i)
+			return nil
+		}
+	}
+	// No alternative matches. A weave archive (overlapping groups) cannot
+	// be extended by the plain strategy.
+	for _, g := range x.Groups {
+		if g.Time == nil {
+			if len(x.Groups) > 1 {
+				return fmt.Errorf("frontier node %s holds a compacted weave; open the archive with FurtherCompaction", x.Label())
+			}
+			g.Time = T.Without(i)
+		}
+	}
+	x.Groups = append(x.Groups, &anode.Group{Time: intervals.New(i), Content: yItems})
+	return nil
+}
+
+// mergeWeave merges frontier content with further compaction (§4.2,
+// Fig 10): the archive keeps an SCCS-style weave of content items; items
+// common to the weave and the new content are matched by a minimal diff
+// and stay stored once, gaining version i in their timestamps.
+func (a *Archive) mergeWeave(x, y *anode.Node, T *intervals.Set, i int) error {
+	type witem struct {
+		n *anode.Node
+		t *intervals.Set // nil = inherited from x
+	}
+	var weave []witem
+	if x.Groups == nil {
+		for _, it := range x.ContentItems() {
+			weave = append(weave, witem{it, nil})
+		}
+	} else {
+		for _, g := range x.Groups {
+			for _, it := range g.Content {
+				var t *intervals.Set
+				if g.Time != nil {
+					t = g.Time.Clone() // per-item: matched/unmatched items of one group may diverge
+				}
+				weave = append(weave, witem{it, t})
+			}
+		}
+	}
+	yItems := y.ContentItems()
+
+	aCanon := make([]string, len(weave))
+	for idx, w := range weave {
+		aCanon[idx] = anode.Canonical(w.n)
+	}
+	bCanon := make([]string, len(yItems))
+	for idx, it := range yItems {
+		bCanon[idx] = anode.Canonical(it)
+	}
+	matches := diff.Matches(aCanon, bCanon)
+
+	var out []witem
+	ai, bi := 0, 0
+	take := func(m diff.Match) {
+		for ; ai < m.AIndex; ai++ { // weave items absent from version i
+			w := weave[ai]
+			if w.t == nil {
+				w.t = T.Without(i)
+			}
+			out = append(out, w)
+		}
+		for ; bi < m.BIndex; bi++ { // items new in version i
+			out = append(out, witem{yItems[bi], intervals.New(i)})
+		}
+	}
+	for _, m := range matches {
+		take(m)
+		w := weave[ai]
+		if w.t != nil {
+			w.t.Add(i)
+		}
+		out = append(out, w)
+		ai++
+		bi++
+	}
+	take(diff.Match{AIndex: len(weave), BIndex: len(yItems)})
+
+	// Coalesce adjacent items with identical timestamps into groups; a
+	// weave that is entirely inherited collapses back to shared content.
+	allInherited := true
+	for _, w := range out {
+		if w.t != nil {
+			allInherited = false
+			break
+		}
+	}
+	if allInherited {
+		items := make([]*anode.Node, len(out))
+		for idx, w := range out {
+			items[idx] = w.n
+		}
+		x.Groups = nil
+		x.SetContentItems(items)
+		return nil
+	}
+	var groups []*anode.Group
+	for _, w := range out {
+		if len(groups) > 0 && sameTime(groups[len(groups)-1].Time, w.t) {
+			g := groups[len(groups)-1]
+			g.Content = append(g.Content, w.n)
+			continue
+		}
+		groups = append(groups, &anode.Group{Time: w.t, Content: []*anode.Node{w.n}})
+	}
+	x.Groups = groups
+	x.Attrs, x.Children = nil, nil
+	return nil
+}
+
+func sameTime(a, b *intervals.Set) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+func attrItemsEqual(a, b []*anode.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	// Attribute sets are small; compare as sorted pairs.
+	find := func(list []*anode.Node, name string) (string, bool) {
+		for _, n := range list {
+			if n.Name == name {
+				return n.Data, true
+			}
+		}
+		return "", false
+	}
+	for _, n := range a {
+		v, ok := find(b, n.Name)
+		if !ok || v != n.Data {
+			return false
+		}
+	}
+	return true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// fig8Spec keys a tiny database where a, b, c are frontier nodes.
+const fig8Spec = `
+(/, (db, {}))
+(/db, (a, {}))
+(/db, (b, {}))
+(/db, (c, {}))
+`
+
+// buildFig8 archives the eleven versions preceding Figure 8's merge:
+// element a is missing in version 2 (timestamp 1,3-11), b exists in all
+// eleven, and a's content is <d/><e/><f/> throughout.
+func buildFig8(t *testing.T, opts Options) *Archive {
+	t.Helper()
+	a := New(keys.MustParseSpec(fig8Spec), opts)
+	withA := `<db><a><d/><e/><f/></a><b/></db>`
+	withoutA := `<db><b/></db>`
+	for i := 1; i <= 11; i++ {
+		src := withA
+		if i == 2 {
+			src = withoutA
+		}
+		if err := a.Add(xmltree.MustParseString(src)); err != nil {
+			t.Fatalf("v%d: %v", i, err)
+		}
+	}
+	return a
+}
+
+// TestFig8NestedMerge merges version 12 (<a> now holds d,e,g; b gone;
+// c new) and checks the resulting lifetimes and content alternatives.
+func TestFig8NestedMerge(t *testing.T) {
+	a := buildFig8(t, Options{})
+	if err := a.Add(xmltree.MustParseString(`<db><a><d/><e/><g/></a><c/></db>`)); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"/db":   "1-12",
+		"/db/a": "1,3-12",
+		"/db/b": "1-11",
+		"/db/c": "12",
+	}
+	for sel, want := range cases {
+		h, err := a.History(sel)
+		if err != nil {
+			t.Fatalf("History(%s): %v", sel, err)
+		}
+		if h.String() != want {
+			t.Errorf("History(%s) = %q, want %q", sel, h, want)
+		}
+	}
+	// Plain mode: a has two whole-content alternatives (Fig 8's t1, t2).
+	node, _, err := a.resolveSteps(mustSelector(t, "/db/a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Groups) != 2 {
+		t.Fatalf("a has %d groups, want 2", len(node.Groups))
+	}
+	if got := node.Groups[0].Time.String(); got != "1,3-11" {
+		t.Errorf("t1 = %q, want 1,3-11", got)
+	}
+	if got := node.Groups[1].Time.String(); got != "12" {
+		t.Errorf("t2 = %q, want 12", got)
+	}
+	if len(node.Groups[0].Content) != 3 || len(node.Groups[1].Content) != 3 {
+		t.Errorf("group contents %d/%d items, want 3/3",
+			len(node.Groups[0].Content), len(node.Groups[1].Content))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFig10FurtherCompaction repeats Figure 8's merge with the SCCS-style
+// weave: d and e are stored once (inheriting a's timestamp), f keeps
+// 1,3-11, g gets 12.
+func TestFig10FurtherCompaction(t *testing.T) {
+	a := buildFig8(t, Options{FurtherCompaction: true})
+	if err := a.Add(xmltree.MustParseString(`<db><a><d/><e/><g/></a><c/></db>`)); err != nil {
+		t.Fatal(err)
+	}
+	node, _, err := a.resolveSteps(mustSelector(t, "/db/a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected weave: [d e](inherited) [f](1,3-11) [g](12).
+	if len(node.Groups) != 3 {
+		t.Fatalf("weave has %d groups, want 3: %+v", len(node.Groups), node.Groups)
+	}
+	g := node.Groups
+	if g[0].Time != nil || len(g[0].Content) != 2 {
+		t.Errorf("shared segment wrong: time=%v items=%d", g[0].Time, len(g[0].Content))
+	}
+	if g[0].Content[0].Name != "d" || g[0].Content[1].Name != "e" {
+		t.Errorf("shared segment = %s,%s want d,e", g[0].Content[0].Name, g[0].Content[1].Name)
+	}
+	if g[1].Time.String() != "1,3-11" || len(g[1].Content) != 1 || g[1].Content[0].Name != "f" {
+		t.Errorf("f segment wrong: %v", g[1])
+	}
+	if g[2].Time.String() != "12" || g[2].Content[0].Name != "g" {
+		t.Errorf("g segment wrong: %v", g[2])
+	}
+	// Retrieval still reproduces both contents exactly.
+	v11, err := a.Version(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v11.Child("a").XML(); got != "<a><d/><e/><f/></a>" {
+		t.Errorf("v11 a = %s", got)
+	}
+	v12, _ := a.Version(12)
+	if got := v12.Child("a").XML(); got != "<a><d/><e/><g/></a>" {
+		t.Errorf("v12 a = %s", got)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeaveResurrection: with further compaction, content that reverts to
+// an old value is stored once with a split timestamp — the advantage the
+// paper measures on high-modification synthetic data (§5.3).
+func TestWeaveResurrection(t *testing.T) {
+	spec := keys.MustParseSpec("(/, (db, {}))\n(/db, (v, {}))")
+	a := New(spec, Options{FurtherCompaction: true})
+	contents := []string{"old", "new", "old", "new", "old"}
+	for _, c := range contents {
+		doc := xmltree.MustParseString(fmt.Sprintf(`<db><v>%s</v></db>`, c))
+		if err := a.Add(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _, err := a.resolveSteps(mustSelector(t, "/db/v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Groups) != 2 {
+		t.Fatalf("weave stores %d segments, want 2 (old, new): %+v", len(node.Groups), node.Groups)
+	}
+	times := map[string]bool{}
+	for _, g := range node.Groups {
+		times[g.Time.String()] = true
+	}
+	if !times["1,3,5"] || !times["2,4"] {
+		t.Errorf("weave timestamps wrong: %v", times)
+	}
+	for i, c := range contents {
+		v, err := a.Version(i + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.Child("v").Text(); got != c {
+			t.Errorf("version %d content = %q, want %q", i+1, got, c)
+		}
+	}
+}
+
+// TestPlainModeStoresAlternativesWhole: without compaction the same
+// workload stores whole alternatives with disjoint timestamps.
+func TestPlainModeStoresAlternativesWhole(t *testing.T) {
+	spec := keys.MustParseSpec("(/, (db, {}))\n(/db, (v, {}))")
+	a := New(spec, Options{})
+	for _, c := range []string{"old", "new", "old"} {
+		if err := a.Add(xmltree.MustParseString(fmt.Sprintf(`<db><v>%s</v></db>`, c))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _, err := a.resolveSteps(mustSelector(t, "/db/v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(node.Groups) != 2 {
+		t.Fatalf("%d groups, want 2", len(node.Groups))
+	}
+	if node.Groups[0].Time.String() != "1,3" || node.Groups[1].Time.String() != "2" {
+		t.Errorf("group times %q/%q, want 1,3 / 2", node.Groups[0].Time, node.Groups[1].Time)
+	}
+}
+
+// TestDeepInsertionInheritsTimestamp: a subtree added whole in version i
+// carries one explicit timestamp at its top; everything below inherits
+// (§1, inheritance of timestamps).
+func TestDeepInsertionInheritsTimestamp(t *testing.T) {
+	a := New(keys.MustParseSpec(companySpec), Options{})
+	if err := a.Add(xmltree.MustParseString(companyVersions[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(xmltree.MustParseString(companyVersions[3])); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	// Explicit stamps: exactly the two newly inserted emps. db's lifetime
+	// caught up with the root's, so it inherits again; everything inside
+	// each new emp inherits from the emp.
+	if s.ExplicitTimestamps != 2 {
+		t.Errorf("explicit timestamps = %d, want 2 (the new emps): %+v", s.ExplicitTimestamps, s)
+	}
+}
+
+// TestMergeIdempotentContent: re-adding an identical version only extends
+// timestamps; the node structure is unchanged.
+func TestMergeIdempotentContent(t *testing.T) {
+	a := New(keys.MustParseSpec(companySpec), Options{})
+	doc := xmltree.MustParseString(companyVersions[3])
+	if err := a.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	nodes1 := a.Root().CountNodes()
+	for i := 0; i < 5; i++ {
+		if err := a.Add(xmltree.MustParseString(companyVersions[3])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nodes2 := a.Root().CountNodes(); nodes2 != nodes1 {
+		t.Errorf("identical versions grew the archive: %d -> %d nodes", nodes1, nodes2)
+	}
+	if got := a.Root().Time.String(); got != "1-6" {
+		t.Errorf("root = %q", got)
+	}
+}
+
+func mustSelector(t *testing.T, s string) []SelectorStep {
+	t.Helper()
+	steps, err := ParseSelector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return steps
+}

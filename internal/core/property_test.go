@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xarch/internal/fingerprint"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// evolver generates a random company database and mutates it version by
+// version, exercising insertions, deletions, content modification,
+// telephone churn and occasional empty versions.
+type evolver struct {
+	rng  *rand.Rand
+	next int // fresh-name counter
+}
+
+func (e *evolver) name() string {
+	e.next++
+	return fmt.Sprintf("n%d", e.next)
+}
+
+func (e *evolver) newEmp() *xmltree.Node {
+	emp := xmltree.Elem("emp",
+		xmltree.ElemText("fn", e.name()),
+		xmltree.ElemText("ln", e.name()),
+	)
+	if e.rng.Intn(2) == 0 {
+		emp.Append(xmltree.ElemText("sal", fmt.Sprintf("%dK", 50+e.rng.Intn(100))))
+	}
+	for i := e.rng.Intn(3); i > 0; i-- {
+		emp.Append(xmltree.ElemText("tel", e.name()))
+	}
+	return emp
+}
+
+func (e *evolver) newDept() *xmltree.Node {
+	d := xmltree.Elem("dept", xmltree.ElemText("name", e.name()))
+	for i := 1 + e.rng.Intn(3); i > 0; i-- {
+		d.Append(e.newEmp())
+	}
+	return d
+}
+
+func (e *evolver) initial() *xmltree.Node {
+	db := xmltree.Elem("db")
+	for i := 1 + e.rng.Intn(3); i > 0; i-- {
+		db.Append(e.newDept())
+	}
+	return db
+}
+
+// mutate returns a new version derived from doc.
+func (e *evolver) mutate(doc *xmltree.Node) *xmltree.Node {
+	if doc == nil || e.rng.Intn(12) == 0 {
+		if e.rng.Intn(2) == 0 {
+			return nil // empty version
+		}
+		return e.initial()
+	}
+	out := doc.Clone()
+	depts := out.ChildrenNamed("dept")
+	for _, d := range depts {
+		switch e.rng.Intn(6) {
+		case 0: // add an employee
+			d.Append(e.newEmp())
+		case 1: // remove an employee
+			emps := d.ChildrenNamed("emp")
+			if len(emps) > 0 {
+				removeChild(d, emps[e.rng.Intn(len(emps))])
+			}
+		case 2: // change a salary
+			emps := d.ChildrenNamed("emp")
+			if len(emps) > 0 {
+				emp := emps[e.rng.Intn(len(emps))]
+				if sal := emp.Child("sal"); sal != nil {
+					sal.Children = []*xmltree.Node{xmltree.TextNode(fmt.Sprintf("%dK", 50+e.rng.Intn(100)))}
+				} else {
+					emp.Append(xmltree.ElemText("sal", "60K"))
+				}
+			}
+		case 3: // churn telephones
+			emps := d.ChildrenNamed("emp")
+			if len(emps) > 0 {
+				emp := emps[e.rng.Intn(len(emps))]
+				tels := emp.ChildrenNamed("tel")
+				if len(tels) > 0 && e.rng.Intn(2) == 0 {
+					removeChild(emp, tels[e.rng.Intn(len(tels))])
+				} else {
+					emp.Append(xmltree.ElemText("tel", e.name()))
+				}
+			}
+		}
+	}
+	switch e.rng.Intn(8) {
+	case 0:
+		out.Append(e.newDept())
+	case 1:
+		if len(depts) > 1 {
+			removeChild(out, depts[e.rng.Intn(len(depts))])
+		}
+	}
+	return out
+}
+
+func removeChild(parent, child *xmltree.Node) {
+	for i, c := range parent.Children {
+		if c == child {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			return
+		}
+	}
+}
+
+// runEvolution archives nVersions random versions and verifies every
+// archive guarantee: invariants, per-version round trip, history
+// consistency, and XML reload equivalence.
+func runEvolution(t *testing.T, seed int64, nVersions int, opts Options) {
+	t.Helper()
+	e := &evolver{rng: rand.New(rand.NewSource(seed))}
+	spec := keys.MustParseSpec(companySpec)
+	a := New(spec, opts)
+	var versions []*xmltree.Node
+	var doc *xmltree.Node
+	for i := 0; i < nVersions; i++ {
+		doc = e.mutate(doc)
+		var toAdd *xmltree.Node
+		if doc != nil {
+			toAdd = doc.Clone()
+		}
+		if err := a.Add(toAdd); err != nil {
+			t.Fatalf("seed %d: Add v%d: %v", seed, i+1, err)
+		}
+		versions = append(versions, doc.Clone())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	for i, want := range versions {
+		got, err := a.Version(i + 1)
+		if err != nil {
+			t.Fatalf("seed %d: Version(%d): %v", seed, i+1, err)
+		}
+		same, err := a.SameVersion(want, got)
+		if err != nil {
+			t.Fatalf("seed %d v%d compare: %v", seed, i+1, err)
+		}
+		if !same {
+			t.Fatalf("seed %d: version %d mismatch\nwant: %s\ngot:  %s",
+				seed, i+1, xmlOrEmpty(want), xmlOrEmpty(got))
+		}
+	}
+	// Reload from XML and re-verify a sample of versions.
+	reparsed, err := xmltree.ParseString(a.XML())
+	if err != nil {
+		t.Fatalf("seed %d: reparse: %v", seed, err)
+	}
+	b, err := Load(reparsed, spec, opts)
+	if err != nil {
+		t.Fatalf("seed %d: reload: %v", seed, err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d reloaded: %v", seed, err)
+	}
+	for i := 0; i < len(versions); i += 1 + len(versions)/4 {
+		got, err := b.Version(i + 1)
+		if err != nil {
+			t.Fatalf("seed %d: reloaded Version(%d): %v", seed, i+1, err)
+		}
+		same, err := a.SameVersion(versions[i], got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Fatalf("seed %d: reloaded version %d mismatch", seed, i+1)
+		}
+	}
+}
+
+func xmlOrEmpty(n *xmltree.Node) string {
+	if n == nil {
+		return "(empty)"
+	}
+	return n.XML()
+}
+
+func TestQuickEvolutionPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		runEvolution(t, seed, 12, Options{})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEvolutionWeave(t *testing.T) {
+	f := func(seed int64) bool {
+		runEvolution(t, seed, 12, Options{FurtherCompaction: true})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvolutionWeakFingerprints forces fingerprint collisions with an
+// 8-bit hash: merges must still be correct because canonical forms break
+// ties (§4.3).
+func TestQuickEvolutionWeakFingerprints(t *testing.T) {
+	f := func(seed int64) bool {
+		runEvolution(t, seed, 10, Options{Fingerprint: fingerprint.Weak8})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLongEvolution runs one deep evolution to accumulate fragmented
+// timestamps, resurrected elements and repeated divergence.
+func TestLongEvolution(t *testing.T) {
+	runEvolution(t, 424242, 60, Options{})
+	runEvolution(t, 424242, 60, Options{FurtherCompaction: true})
+}

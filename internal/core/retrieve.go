@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"xarch/internal/annotate"
+	"xarch/internal/anode"
+	"xarch/internal/intervals"
+	"xarch/internal/xmltree"
+)
+
+// Version reconstructs version i (1-based) from the archive with a single
+// scan (§7.1). It returns nil (and no error) if version i was archived as
+// an empty database. Keyed siblings come back in key order, not their
+// original document order — the archive deliberately ignores order among
+// keyed elements (§2).
+func (a *Archive) Version(i int) (*xmltree.Node, error) {
+	if i < 1 || i > a.versions {
+		return nil, fmt.Errorf("core: version %d out of range 1..%d", i, a.versions)
+	}
+	var result *xmltree.Node
+	for _, c := range a.root.Children {
+		eff := c.Time
+		if eff == nil {
+			eff = a.root.Time
+		}
+		if !eff.Contains(i) {
+			continue
+		}
+		if result != nil {
+			return nil, fmt.Errorf("core: archive corrupt: multiple roots at version %d", i)
+		}
+		result = annotate.ProjectAt(c, i)
+	}
+	return result, nil
+}
+
+// History returns the set of versions in which the element denoted by
+// selector exists (§7.2), e.g.
+//
+//	/db/dept[name=finance]/emp[fn=John,ln=Doe]
+//
+// Predicates name key paths and their display values; the empty key path
+// is written "." ( tel[.=123-4567] ). Omitted predicates are allowed as
+// long as the selection stays unambiguous.
+func (a *Archive) History(selector string) (*intervals.Set, error) {
+	steps, err := ParseSelector(selector)
+	if err != nil {
+		return nil, err
+	}
+	n, eff, err := a.resolveSteps(steps)
+	if err != nil {
+		return nil, err
+	}
+	_ = n
+	return eff.Clone(), nil
+}
+
+// ContentHistory returns, for a frontier element, the versions at which
+// its content changed: the earliest version of each distinct content
+// alternative. For elements whose content never diverged it returns just
+// the element's first version.
+func (a *Archive) ContentHistory(selector string) ([]int, error) {
+	steps, err := ParseSelector(selector)
+	if err != nil {
+		return nil, err
+	}
+	n, eff, err := a.resolveSteps(steps)
+	if err != nil {
+		return nil, err
+	}
+	if n.Groups == nil {
+		if eff.Empty() {
+			return nil, nil
+		}
+		return []int{eff.Min()}, nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, g := range n.Groups {
+		t := g.Time
+		if t == nil {
+			t = eff
+		}
+		if t.Empty() {
+			continue
+		}
+		if v := t.Min(); !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// resolveSteps walks the archive by selector steps, returning the node and
+// its effective timestamp.
+func (a *Archive) resolveSteps(steps []SelectorStep) (*anode.Node, *intervals.Set, error) {
+	cur := a.root
+	eff := a.root.Time
+	path := ""
+	for _, step := range steps {
+		path += "/" + step.Tag
+		var found *anode.Node
+		for _, c := range cur.Children {
+			if c.Name != step.Tag || !step.matches(c.Key) {
+				continue
+			}
+			if found != nil {
+				return nil, nil, fmt.Errorf("core: selector is ambiguous at %s: matches %s and %s",
+					path, found.Label(), c.Label())
+			}
+			found = c
+		}
+		if found == nil {
+			return nil, nil, fmt.Errorf("core: no element matches %s", path)
+		}
+		cur = found
+		if cur.Time != nil {
+			eff = cur.Time
+		}
+	}
+	return cur, eff, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xarch/internal/anode"
+)
+
+// SelectorStep is one step of a history selector: a tag name plus key-path
+// predicates, e.g. emp[fn=John,ln=Doe].
+type SelectorStep struct {
+	Tag   string
+	Preds []Predicate
+}
+
+// Predicate constrains one key path to a display value.
+type Predicate struct {
+	Path  string // key-path name; `\e` for the empty path (also written ".")
+	Value string
+}
+
+// matches reports whether a node's key value satisfies all predicates.
+func (s *SelectorStep) matches(kv *anode.KeyValue) bool {
+	for _, p := range s.Preds {
+		ok := false
+		for i := 0; i < kv.Len(); i++ {
+			if kv.Paths[i] == p.Path {
+				ok = kv.Disp[i] == p.Value
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSelector parses "/db/dept[name=finance]/emp[fn=John,ln=Doe]".
+// Values may be quoted with double quotes to include ']', '/', ',' or '='.
+func ParseSelector(s string) ([]SelectorStep, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("core: selector %q must start with /", s)
+	}
+	var steps []SelectorStep
+	i := 1
+	for i < len(s) {
+		// Tag name up to '[' or '/'.
+		start := i
+		for i < len(s) && s[i] != '[' && s[i] != '/' {
+			i++
+		}
+		tag := s[start:i]
+		if tag == "" {
+			return nil, fmt.Errorf("core: empty step in selector %q", s)
+		}
+		step := SelectorStep{Tag: tag}
+		if i < len(s) && s[i] == '[' {
+			i++ // consume '['
+			for {
+				pred, next, err := parsePredicate(s, i)
+				if err != nil {
+					return nil, err
+				}
+				step.Preds = append(step.Preds, pred)
+				i = next
+				if i >= len(s) {
+					return nil, fmt.Errorf("core: unterminated predicate in %q", s)
+				}
+				if s[i] == ',' {
+					i++
+					continue
+				}
+				if s[i] == ']' {
+					i++
+					break
+				}
+				return nil, fmt.Errorf("core: bad predicate separator at %d in %q", i, s)
+			}
+		}
+		steps = append(steps, step)
+		if i < len(s) {
+			if s[i] != '/' {
+				return nil, fmt.Errorf("core: expected / at %d in %q", i, s)
+			}
+			i++
+		}
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("core: empty selector %q", s)
+	}
+	return steps, nil
+}
+
+func parsePredicate(s string, i int) (Predicate, int, error) {
+	start := i
+	for i < len(s) && s[i] != '=' {
+		if s[i] == ']' || s[i] == ',' {
+			return Predicate{}, 0, fmt.Errorf("core: predicate missing '=' near %q", s[start:i])
+		}
+		i++
+	}
+	if i >= len(s) {
+		return Predicate{}, 0, fmt.Errorf("core: predicate missing '=' in %q", s)
+	}
+	path := strings.TrimSpace(s[start:i])
+	if path == "." {
+		path = `\e` // normalize to the paper's empty-path notation
+	}
+	i++ // consume '='
+	var value string
+	if i < len(s) && s[i] == '"' {
+		i++
+		vstart := i
+		for i < len(s) && s[i] != '"' {
+			i++
+		}
+		if i >= len(s) {
+			return Predicate{}, 0, fmt.Errorf("core: unterminated quoted value in %q", s)
+		}
+		value = s[vstart:i]
+		i++ // consume closing quote
+	} else {
+		vstart := i
+		for i < len(s) && s[i] != ',' && s[i] != ']' {
+			i++
+		}
+		value = s[vstart:i]
+	}
+	return Predicate{Path: path, Value: value}, i, nil
+}

@@ -1,0 +1,200 @@
+package datagen
+
+import (
+	"xarch/internal/xmltree"
+)
+
+// The §5.3 change simulators. RandomChanges implements the workload of
+// Figure 13 and Appendix C.1: "deleting n% of elements, inserting the same
+// number of elements with random string values, and modifying string
+// values of n% of elements to random strings". KeyModChanges implements
+// the worst-case workload of Figure 14 and Appendix C.2: instead of
+// deleting and inserting, it "modifies part of key values for n% of
+// elements", i.e. deletion and insertion of highly similar data at the
+// same location.
+
+// classSite locates one element of a repeated keyed class.
+type classSite struct {
+	parent *xmltree.Node
+	node   *xmltree.Node
+	class  string
+}
+
+// collectSites gathers the elements the simulators operate on: items,
+// persons, open and closed auctions.
+func collectSites(doc *xmltree.Node) []classSite {
+	var sites []classSite
+	if regions := doc.Child("regions"); regions != nil {
+		for _, region := range regions.Children {
+			if region.Kind != xmltree.Element {
+				continue
+			}
+			for _, it := range region.ChildrenNamed("item") {
+				sites = append(sites, classSite{region, it, "item"})
+			}
+		}
+	}
+	if people := doc.Child("people"); people != nil {
+		for _, p := range people.ChildrenNamed("person") {
+			sites = append(sites, classSite{people, p, "person"})
+		}
+	}
+	if open := doc.Child("open_auctions"); open != nil {
+		for _, a := range open.ChildrenNamed("open_auction") {
+			sites = append(sites, classSite{open, a, "open_auction"})
+		}
+	}
+	if closed := doc.Child("closed_auctions"); closed != nil {
+		for _, a := range closed.ChildrenNamed("closed_auction") {
+			sites = append(sites, classSite{closed, a, "closed_auction"})
+		}
+	}
+	return sites
+}
+
+// RandomChanges returns a new version of doc with frac (e.g. 0.0166 for
+// 1.66%) of its elements deleted, the same number of fresh elements
+// inserted, and the string values of frac of its elements modified to
+// random strings. doc itself is not modified.
+func (g *XMark) RandomChanges(doc *xmltree.Node, frac float64) *xmltree.Node {
+	out := doc.Clone()
+	sites := collectSites(out)
+	n := len(sites)
+	count := fracCount(g.rng, n, frac)
+
+	// Delete count elements.
+	perm := g.rng.Perm(n)
+	deleted := map[*xmltree.Node]bool{}
+	for i := 0; i < count && i < n; i++ {
+		s := sites[perm[i]]
+		removeNode(s.parent, s.node)
+		deleted[s.node] = true
+	}
+	// Insert the same number of fresh elements, preserving the class mix.
+	for i := 0; i < count && i < n; i++ {
+		s := sites[perm[i]]
+		switch s.class {
+		case "item":
+			s.parent.Append(g.item())
+		case "person":
+			s.parent.Append(g.person())
+		case "open_auction":
+			s.parent.Append(g.openAuction())
+		case "closed_auction":
+			s.parent.Append(g.closedAuction())
+		}
+	}
+	// Modify string values of count surviving elements.
+	survivors := sites[:0:0]
+	for _, s := range sites {
+		if !deleted[s.node] {
+			survivors = append(survivors, s)
+		}
+	}
+	mod := fracCount(g.rng, n, frac)
+	for i := 0; i < mod && len(survivors) > 0; i++ {
+		g.modifyText(survivors[g.rng.Intn(len(survivors))].node)
+	}
+	return out
+}
+
+// modPool is the pool of replacement strings used by modifyText. §5.3:
+// "our change simulator modifies string values to random strings, and
+// when the ratio of the modification is high, a text sometimes happens to
+// be modified to some of its old values" — the archive then stores the
+// value once with a split timestamp while each diff delta re-stores it.
+// A bounded pool reproduces that recurrence.
+var modPool = func() []string {
+	r := newRNG(99)
+	out := make([]string, 48)
+	for i := range out {
+		out[i] = r.words(2 + r.Intn(5))
+	}
+	return out
+}()
+
+// modifyText replaces one non-key string value of the element with a
+// random string drawn from modPool.
+func (g *XMark) modifyText(n *xmltree.Node) {
+	var candidates []*xmltree.Node
+	switch n.Name {
+	case "item":
+		if d := n.Child("description"); d != nil {
+			if t := d.Child("text"); t != nil {
+				candidates = append(candidates, t)
+			}
+		}
+		if nm := n.Child("name"); nm != nil {
+			candidates = append(candidates, nm)
+		}
+	case "person":
+		if nm := n.Child("name"); nm != nil {
+			candidates = append(candidates, nm)
+		}
+		if ph := n.Child("phone"); ph != nil {
+			candidates = append(candidates, ph)
+		}
+	case "open_auction":
+		if c := n.Child("current"); c != nil {
+			candidates = append(candidates, c)
+		}
+		if a := n.Child("annotation"); a != nil {
+			if d := a.Child("description"); d != nil {
+				if t := d.Child("text"); t != nil {
+					candidates = append(candidates, t)
+				}
+			}
+		}
+	case "closed_auction":
+		if p := n.Child("price"); p != nil {
+			candidates = append(candidates, p)
+		}
+		if a := n.Child("annotation"); a != nil {
+			if d := a.Child("description"); d != nil {
+				if t := d.Child("text"); t != nil {
+					candidates = append(candidates, t)
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	target := candidates[g.rng.Intn(len(candidates))]
+	target.Children = []*xmltree.Node{xmltree.TextNode(modPool[g.rng.Intn(len(modPool))])}
+}
+
+// KeyModChanges returns a new version of doc where frac of the elements
+// have part of their key value replaced (everything else identical) and
+// the string values of frac of the elements are modified — the worst case
+// for key-based archiving (Fig 14): the archive must store nearly
+// identical elements twice, while a line diff stores just the changed key
+// line.
+func (g *XMark) KeyModChanges(doc *xmltree.Node, frac float64) *xmltree.Node {
+	out := doc.Clone()
+	sites := collectSites(out)
+	n := len(sites)
+	count := fracCount(g.rng, n, frac)
+	perm := g.rng.Perm(n)
+	for i := 0; i < count && i < n; i++ {
+		s := sites[perm[i]]
+		switch s.class {
+		case "item", "person", "open_auction":
+			// Fresh id: same element, new identity.
+			s.node.SetAttr("id", g.id(s.class))
+		case "closed_auction":
+			// date is part of the composite key.
+			if d := s.node.Child("date"); d != nil {
+				g.next["closeddate"]++
+				serial := g.next["closeddate"]
+				d.Children = []*xmltree.Node{xmltree.TextNode(
+					formatClosedDate(serial))}
+			}
+		}
+	}
+	mod := fracCount(g.rng, n, frac)
+	for i := 0; i < mod && n > 0; i++ {
+		g.modifyText(sites[perm[(count+i)%n]].node)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package datagen
+
+import (
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// The company database of the paper's running example (Figure 2) and its
+// key specification (§3), used by the quickstart example and as a known
+// small workload in tests.
+
+const companySpecText = `
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+`
+
+// CompanySpec returns the §3 company key specification.
+func CompanySpec() *keys.Spec { return keys.MustParseSpec(companySpecText) }
+
+// CompanyVersions returns versions 1-4 of Figure 2.
+func CompanyVersions() []*xmltree.Node {
+	srcs := []string{
+		`<db><dept><name>finance</name></dept></db>`,
+
+		`<db><dept><name>finance</name>
+		   <emp><fn>Jane</fn><ln>Smith</ln></emp>
+		 </dept></db>`,
+
+		`<db>
+		   <dept><name>finance</name>
+		     <emp><fn>John</fn><ln>Doe</ln><sal>90K</sal><tel>123-4567</tel></emp>
+		   </dept>
+		   <dept><name>marketing</name>
+		     <emp><fn>John</fn><ln>Doe</ln></emp>
+		   </dept>
+		 </db>`,
+
+		`<db><dept><name>finance</name>
+		   <emp><fn>John</fn><ln>Doe</ln><sal>95K</sal><tel>123-4567</tel></emp>
+		   <emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal><tel>123-6789</tel><tel>112-3456</tel></emp>
+		 </dept></db>`,
+	}
+	out := make([]*xmltree.Node, len(srcs))
+	for i, s := range srcs {
+		out[i] = xmltree.MustParseString(s)
+	}
+	return out
+}
+
+// GeneVersions returns the two versions of the Figure 1 gene example and
+// its key specification: version 2 corrects a mix-up where one gene's data
+// had been confused with another's.
+func GeneVersions() (*keys.Spec, []*xmltree.Node) {
+	spec := keys.MustParseSpec(`
+(/, (genes, {}))
+(/genes, (gene, {id}))
+(/genes/gene, (name, {}))
+(/genes/gene, (seq, {}))
+(/genes/gene, (pos, {}))
+`)
+	v1 := xmltree.MustParseString(`<genes>
+	  <gene><id>6230</id><name>GRTM</name><seq>GTCG...</seq><pos>11A52</pos></gene>
+	  <gene><id>2953</id><name>ACV2</name><seq>AGTT...</seq><pos>08A96</pos></gene>
+	</genes>`)
+	v2 := xmltree.MustParseString(`<genes>
+	  <gene><id>2953</id><name>ACV2</name><seq>GTCG...</seq><pos>11A52</pos></gene>
+	  <gene><id>6230</id><name>GRTM</name><seq>AGTT...</seq><pos>08A96</pos></gene>
+	</genes>`)
+	return spec, []*xmltree.Node{v1, v2}
+}

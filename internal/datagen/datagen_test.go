@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"testing"
+
+	"xarch/internal/core"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+func TestOMIMValidAndDeterministic(t *testing.T) {
+	cfg := DefaultOMIM()
+	cfg.Records = 60
+	g1 := NewOMIM(cfg)
+	g2 := NewOMIM(cfg)
+	spec := OMIMSpec()
+	var prevSize int
+	for v := 0; v < 5; v++ {
+		d1 := g1.Next()
+		d2 := g2.Next()
+		if xmltree.Canonical(d1) != xmltree.Canonical(d2) {
+			t.Fatalf("version %d not deterministic", v+1)
+		}
+		if errs := spec.CheckDocument(d1); len(errs) != 0 {
+			t.Fatalf("version %d violates OMIM keys: %v", v+1, errs[0])
+		}
+		size := len(d1.IndentedXML())
+		if size <= prevSize && v > 0 {
+			// Accretive data: OMIM grows (statistically certain with
+			// 0.2% insertions on 60 records over a step... not quite; so
+			// only require non-collapse).
+			if size < prevSize/2 {
+				t.Fatalf("version %d shrank dramatically: %d -> %d", v+1, prevSize, size)
+			}
+		}
+		prevSize = size
+	}
+}
+
+func TestOMIMAccretiveGrowth(t *testing.T) {
+	cfg := DefaultOMIM()
+	cfg.Records = 200
+	g := NewOMIM(cfg)
+	first := g.Next()
+	var last *xmltree.Node
+	for v := 0; v < 30; v++ {
+		last = g.Next()
+	}
+	if last.CountNodes() <= first.CountNodes() {
+		t.Errorf("OMIM should accrete: %d -> %d nodes", first.CountNodes(), last.CountNodes())
+	}
+}
+
+func TestSwissProtValidAndGrowing(t *testing.T) {
+	cfg := DefaultSwissProt()
+	cfg.Records = 50
+	g := NewSwissProt(cfg)
+	spec := SwissProtSpec()
+	first := g.Next()
+	if errs := spec.CheckDocument(first); len(errs) != 0 {
+		t.Fatalf("swiss-prot v1 invalid: %v", errs[0])
+	}
+	var last *xmltree.Node
+	for v := 0; v < 6; v++ {
+		last = g.Next()
+		if errs := spec.CheckDocument(last); len(errs) != 0 {
+			t.Fatalf("swiss-prot v%d invalid: %v", v+2, errs[0])
+		}
+	}
+	// 26% insertion vs 14% deletion per release: the database grows fast.
+	if last.CountNodes() <= first.CountNodes() {
+		t.Errorf("swiss-prot should grow: %d -> %d nodes", first.CountNodes(), last.CountNodes())
+	}
+}
+
+func TestXMarkValid(t *testing.T) {
+	cfg := DefaultXMark()
+	cfg.Items, cfg.People, cfg.OpenAucts, cfg.ClosedAucts = 60, 40, 25, 15
+	g := NewXMark(cfg)
+	doc := g.Document()
+	if errs := XMarkSpec().CheckDocument(doc); len(errs) != 0 {
+		t.Fatalf("xmark invalid: %v", errs[0])
+	}
+	// All six regions exist and items are distributed.
+	regions := doc.Child("regions")
+	if len(regions.Children) != 6 {
+		t.Fatalf("regions = %d", len(regions.Children))
+	}
+	total := 0
+	for _, r := range regions.Children {
+		total += len(r.ChildrenNamed("item"))
+	}
+	if total != 60 {
+		t.Errorf("items = %d, want 60", total)
+	}
+}
+
+func TestXMarkRandomChanges(t *testing.T) {
+	cfg := DefaultXMark()
+	cfg.Items, cfg.People, cfg.OpenAucts, cfg.ClosedAucts = 80, 50, 30, 20
+	g := NewXMark(cfg)
+	doc := g.Document()
+	spec := XMarkSpec()
+	cur := doc
+	for v := 0; v < 5; v++ {
+		next := g.RandomChanges(cur, 0.10)
+		if errs := spec.CheckDocument(next); len(errs) != 0 {
+			t.Fatalf("random-changes v%d invalid: %v", v+1, errs[0])
+		}
+		// The original must be untouched.
+		if v == 0 && xmltree.Canonical(cur) == xmltree.Canonical(next) {
+			t.Fatal("10%% changes produced an identical document")
+		}
+		// Element count stays roughly stable (delete n% + insert n%).
+		before, after := len(collectSites(cur)), len(collectSites(next))
+		if after < before*8/10 || after > before*12/10 {
+			t.Errorf("v%d: element count drifted %d -> %d", v+1, before, after)
+		}
+		cur = next
+	}
+}
+
+func TestXMarkKeyModChanges(t *testing.T) {
+	cfg := DefaultXMark()
+	cfg.Items, cfg.People, cfg.OpenAucts, cfg.ClosedAucts = 80, 50, 30, 20
+	g := NewXMark(cfg)
+	doc := g.Document()
+	spec := XMarkSpec()
+	next := g.KeyModChanges(doc, 0.10)
+	if errs := spec.CheckDocument(next); len(errs) != 0 {
+		t.Fatalf("keymod invalid: %v", errs[0])
+	}
+	// Structure size unchanged: no elements added or removed.
+	if b, a := len(collectSites(doc)), len(collectSites(next)); a != b {
+		t.Errorf("keymod changed element count %d -> %d", b, a)
+	}
+	// But some identities changed.
+	ids := func(d *xmltree.Node) map[string]bool {
+		out := map[string]bool{}
+		d.Walk(func(n *xmltree.Node) bool {
+			if n.Kind == xmltree.Element && n.Name == "item" {
+				id, _ := n.Attr("id")
+				out[id] = true
+			}
+			return true
+		})
+		return out
+	}
+	before, after := ids(doc), ids(next)
+	changed := 0
+	for id := range after {
+		if !before[id] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("keymod changed no item identities")
+	}
+}
+
+// TestArchiveIntegration: every generator's version sequence archives and
+// round-trips through the core archiver.
+func TestArchiveIntegration(t *testing.T) {
+	type seq struct {
+		name string
+		spec *keys.Spec
+		docs []*xmltree.Node
+	}
+	var seqs []seq
+
+	og := NewOMIM(OMIMConfig{Seed: 7, Records: 40, DeleteFrac: 0.01, InsertFrac: 0.05, ModifyFrac: 0.05})
+	var odocs []*xmltree.Node
+	for i := 0; i < 4; i++ {
+		odocs = append(odocs, og.Next())
+	}
+	seqs = append(seqs, seq{"omim", OMIMSpec(), odocs})
+
+	sg := NewSwissProt(SwissProtConfig{Seed: 7, Records: 20, DeleteFrac: 0.1, InsertFrac: 0.2, ModifyFrac: 0.05})
+	var sdocs []*xmltree.Node
+	for i := 0; i < 3; i++ {
+		sdocs = append(sdocs, sg.Next())
+	}
+	seqs = append(seqs, seq{"swissprot", SwissProtSpec(), sdocs})
+
+	xg := NewXMark(XMarkConfig{Seed: 7, Items: 30, People: 20, Categories: 10, OpenAucts: 10, ClosedAucts: 8})
+	xdoc := xg.Document()
+	xdocs := []*xmltree.Node{xdoc}
+	for i := 0; i < 2; i++ {
+		xdocs = append(xdocs, xg.RandomChanges(xdocs[len(xdocs)-1], 0.05))
+	}
+	xdocs = append(xdocs, xg.KeyModChanges(xdocs[len(xdocs)-1], 0.05))
+	seqs = append(seqs, seq{"xmark", XMarkSpec(), xdocs})
+
+	seqs = append(seqs, seq{"company", CompanySpec(), CompanyVersions()})
+
+	for _, s := range seqs {
+		for _, opts := range []core.Options{{}, {FurtherCompaction: true}} {
+			a := core.New(s.spec, opts)
+			for i, d := range s.docs {
+				if err := a.Add(d.Clone()); err != nil {
+					t.Fatalf("%s opts=%+v add v%d: %v", s.name, opts, i+1, err)
+				}
+			}
+			if err := a.CheckInvariants(); err != nil {
+				t.Fatalf("%s opts=%+v: %v", s.name, opts, err)
+			}
+			for i, want := range s.docs {
+				got, err := a.Version(i + 1)
+				if err != nil {
+					t.Fatalf("%s Version(%d): %v", s.name, i+1, err)
+				}
+				same, err := a.SameVersion(want, got)
+				if err != nil {
+					t.Fatalf("%s v%d compare: %v", s.name, i+1, err)
+				}
+				if !same {
+					t.Fatalf("%s opts=%+v version %d round trip failed", s.name, opts, i+1)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneVersionsValid(t *testing.T) {
+	spec, docs := GeneVersions()
+	for i, d := range docs {
+		if errs := spec.CheckDocument(d); len(errs) != 0 {
+			t.Fatalf("gene v%d invalid: %v", i+1, errs[0])
+		}
+	}
+}
+
+func TestCompanyVersionsValid(t *testing.T) {
+	spec := CompanySpec()
+	for i, d := range CompanyVersions() {
+		if errs := spec.CheckDocument(d); len(errs) != 0 {
+			t.Fatalf("company v%d invalid: %v", i+1, errs[0])
+		}
+	}
+}

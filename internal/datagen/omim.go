@@ -1,0 +1,226 @@
+package datagen
+
+import (
+	"fmt"
+
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// omimSpecText is the OMIM key specification of Appendix B.1 (fields that
+// this generator emits; the full appendix list parses too — see tests).
+const omimSpecText = `
+(/, (ROOT, {}))
+(/ROOT, (Record, {Num}))
+(/ROOT/Record, (Title, {}))
+(/ROOT/Record, (AlternativeTitle, {\e}))
+(/ROOT/Record, (Text, {}))
+(/ROOT/Record, (Ref, {\e}))
+(/ROOT/Record, (Contributors, {Name, CNtype, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Contributors, (Date, {}))
+(/ROOT/Record, (Creation_Date, {Name, Date/Month, Date/Day, Date/Year}))
+(/ROOT/Record/Creation_Date, (Date, {}))
+(/ROOT/Record, (Clinical_Synop, {Part, Synop}))
+(/ROOT/Record, (See_Also, {Authors, Year}))
+(/ROOT/Record, (Allelic_Variants, {Id}))
+(/ROOT/Record/Allelic_Variants, (Name, {}))
+(/ROOT/Record/Allelic_Variants, (Text, {}))
+(/ROOT/Record/Allelic_Variants, (Mutation, {\e}))
+(/ROOT/Record, (Mini_Mim, {\e}))
+`
+
+// OMIMSpec returns the Appendix B.1 key specification.
+func OMIMSpec() *keys.Spec { return keys.MustParseSpec(omimSpecText) }
+
+// OMIMConfig sizes an OMIM-like database and its evolution. The default
+// change ratios are the ones the paper reports for OMIM between daily
+// versions: ~0.02% deletions, ~0.2% insertions, ~0.03% modifications —
+// heavily accretive data (§5.3).
+type OMIMConfig struct {
+	Seed       int64
+	Records    int     // initial record count
+	DeleteFrac float64 // per-version fraction of records deleted
+	InsertFrac float64 // per-version fraction of records inserted
+	ModifyFrac float64 // per-version fraction of records modified
+}
+
+// DefaultOMIM is a laptop-scale configuration (~1.5 MB per version).
+func DefaultOMIM() OMIMConfig {
+	return OMIMConfig{
+		Seed:       1,
+		Records:    900,
+		DeleteFrac: 0.0002,
+		InsertFrac: 0.002,
+		ModifyFrac: 0.0003,
+	}
+}
+
+// OMIM is a generator of successive OMIM-like versions.
+type OMIM struct {
+	cfg     OMIMConfig
+	rng     *rng
+	nextNum int
+	nextVar int
+	doc     *xmltree.Node
+}
+
+// NewOMIM builds the initial database (version 1 is returned by the first
+// call to Next).
+func NewOMIM(cfg OMIMConfig) *OMIM {
+	g := &OMIM{cfg: cfg, rng: newRNG(cfg.Seed), nextNum: 100000}
+	root := xmltree.Elem("ROOT")
+	for i := 0; i < cfg.Records; i++ {
+		root.Append(g.record())
+	}
+	g.doc = root
+	return g
+}
+
+// Spec returns the generator's key specification.
+func (g *OMIM) Spec() *keys.Spec { return OMIMSpec() }
+
+// Next evolves the database by one version and returns a deep copy.
+func (g *OMIM) Next() *xmltree.Node {
+	if g.doc == nil {
+		panic("datagen: generator exhausted")
+	}
+	out := g.doc.Clone()
+	g.evolve()
+	return out
+}
+
+func (g *OMIM) record() *xmltree.Node {
+	g.nextNum++
+	num := fmt.Sprint(g.nextNum)
+	rec := xmltree.Elem("Record",
+		xmltree.ElemText("Num", num),
+		xmltree.ElemText("Title", fmt.Sprintf("*%s %s; %s", num, g.rng.words(3), g.rng.word())),
+	)
+	for i := g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(rec, "AlternativeTitle", func() *xmltree.Node {
+			return xmltree.ElemText("AlternativeTitle", g.rng.words(2+g.rng.Intn(3)))
+		})
+	}
+	rec.Append(xmltree.ElemText("Text", g.rng.text(6+g.rng.Intn(10))))
+	for i := 1 + g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(rec, "Contributors", func() *xmltree.Node { return g.contributor("Contributors") })
+	}
+	rec.Append(g.contributor("Creation_Date"))
+	for i := g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(rec, "Clinical_Synop", func() *xmltree.Node {
+			return xmltree.Elem("Clinical_Synop",
+				xmltree.ElemText("Part", g.rng.word()),
+				xmltree.ElemText("Synop", g.rng.words(3)),
+			)
+		})
+	}
+	for i := g.rng.Intn(2); i > 0; i-- {
+		rec.Append(g.allelicVariant())
+	}
+	return rec
+}
+
+// appendDistinct appends gen()'s node unless a value-equal sibling of the
+// same tag exists (the tags involved are keyed by their whole value, so
+// value equality is exactly key collision). It gives up silently after a
+// few attempts.
+func appendDistinct(parent *xmltree.Node, tag string, gen func() *xmltree.Node) {
+	for try := 0; try < 8; try++ {
+		c := gen()
+		dup := false
+		for _, sib := range parent.ChildrenNamed(tag) {
+			if xmltree.Equal(sib, c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			parent.Append(c)
+			return
+		}
+	}
+}
+
+func (g *OMIM) contributor(tag string) *xmltree.Node {
+	m, d, y := g.rng.date()
+	n := xmltree.Elem(tag,
+		xmltree.ElemText("Name", g.rng.personName()),
+	)
+	if tag == "Contributors" {
+		n.Append(xmltree.ElemText("CNtype", []string{"updated", "edited", "created"}[g.rng.Intn(3)]))
+	}
+	n.Append(xmltree.Elem("Date",
+		xmltree.ElemText("Month", m),
+		xmltree.ElemText("Day", d),
+		xmltree.ElemText("Year", y),
+	))
+	return n
+}
+
+func (g *OMIM) allelicVariant() *xmltree.Node {
+	g.nextVar++
+	return xmltree.Elem("Allelic_Variants",
+		xmltree.ElemText("Id", fmt.Sprintf(".%04d", g.nextVar)),
+		xmltree.ElemText("Name", g.rng.words(2)),
+		xmltree.ElemText("Text", g.rng.text(2)),
+		xmltree.ElemText("Mutation", g.rng.word()+" "+g.rng.hexID(3)),
+	)
+}
+
+// evolve applies one version's worth of change in place.
+func (g *OMIM) evolve() {
+	records := g.doc.ChildrenNamed("Record")
+	n := len(records)
+	del := fracCount(g.rng, n, g.cfg.DeleteFrac)
+	ins := fracCount(g.rng, n, g.cfg.InsertFrac)
+	mod := fracCount(g.rng, n, g.cfg.ModifyFrac)
+
+	for i := 0; i < del && len(records) > 1; i++ {
+		victim := records[g.rng.Intn(len(records))]
+		removeNode(g.doc, victim)
+		records = g.doc.ChildrenNamed("Record")
+	}
+	for i := 0; i < ins; i++ {
+		g.doc.Append(g.record())
+	}
+	records = g.doc.ChildrenNamed("Record")
+	for i := 0; i < mod && len(records) > 0; i++ {
+		g.modifyRecord(records[g.rng.Intn(len(records))])
+	}
+}
+
+// modifyRecord applies a curation-style edit: extend the free text, add a
+// contributor, or add an allelic variant. OMIM edits are mostly additive.
+func (g *OMIM) modifyRecord(rec *xmltree.Node) {
+	switch g.rng.Intn(4) {
+	case 0, 1: // extend the Text field
+		if txt := rec.Child("Text"); txt != nil && len(txt.Children) > 0 {
+			txt.Children[0].Data += " " + g.rng.sentence()
+		}
+	case 2:
+		appendDistinct(rec, "Contributors", func() *xmltree.Node { return g.contributor("Contributors") })
+	case 3:
+		rec.Append(g.allelicVariant())
+	}
+}
+
+// fracCount converts a fraction of n into a count, randomizing the
+// fractional remainder so small ratios still fire occasionally.
+func fracCount(r *rng, n int, frac float64) int {
+	exact := float64(n) * frac
+	count := int(exact)
+	if r.Float64() < exact-float64(count) {
+		count++
+	}
+	return count
+}
+
+func removeNode(parent, child *xmltree.Node) bool {
+	for i, c := range parent.Children {
+		if c == child {
+			parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

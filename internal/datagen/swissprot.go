@@ -1,0 +1,253 @@
+package datagen
+
+import (
+	"fmt"
+
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// swissProtSpecText is the Swiss-Prot key specification of Appendix B.2
+// (the fields this generator emits).
+const swissProtSpecText = `
+(/, (ROOT, {}))
+(/ROOT, (Record, {pac}))
+(/ROOT/Record, (sac, {\e}))
+(/ROOT/Record, (id, {}))
+(/ROOT/Record, (class, {}))
+(/ROOT/Record, (type, {}))
+(/ROOT/Record, (slen, {}))
+(/ROOT/Record, (mod, {date, rel, comment}))
+(/ROOT/Record, (protein, {name}))
+(/ROOT/Record/protein, (from, {\e}))
+(/ROOT/Record/protein, (taxo, {\e}))
+(/ROOT/Record, (References, {}))
+(/ROOT/Record/References, (Ref, {num}))
+(/ROOT/Record/References/Ref, (pos, {}))
+(/ROOT/Record/References/Ref, (comment, {\e}))
+(/ROOT/Record/References/Ref, (xref, {bib_name, id}))
+(/ROOT/Record/References/Ref, (author, {\e}))
+(/ROOT/Record/References/Ref, (title, {}))
+(/ROOT/Record/References/Ref, (in, {}))
+(/ROOT/Record, (comment, {\e}))
+(/ROOT/Record, (copyright, {}))
+(/ROOT/Record, (CrossRefs, {}))
+(/ROOT/Record/CrossRefs, (ref, {dbid, primaryid}))
+(/ROOT/Record/CrossRefs/ref, (secid, {}))
+(/ROOT/Record, (keywords, {}))
+(/ROOT/Record/keywords, (word, {\e}))
+(/ROOT/Record, (feature, {name, from, to}))
+(/ROOT/Record/feature, (desc, {}))
+(/ROOT/Record, (sequence, {}))
+(/ROOT/Record/sequence, (aacid, {}))
+(/ROOT/Record/sequence, (mweight, {}))
+(/ROOT/Record/sequence, (crc, {}))
+(/ROOT/Record/sequence/crc, (bits, {}))
+(/ROOT/Record/sequence/crc, (checksum, {}))
+(/ROOT/Record/sequence, (seq, {}))
+`
+
+// SwissProtSpec returns the Appendix B.2 key specification.
+func SwissProtSpec() *keys.Spec { return keys.MustParseSpec(swissProtSpecText) }
+
+// SwissProtConfig sizes a Swiss-Prot-like database. The paper reports
+// roughly 14% deletions / 26% insertions / 1.2% modifications between
+// releases, with the database growing quickly (§5.3).
+type SwissProtConfig struct {
+	Seed       int64
+	Records    int
+	DeleteFrac float64
+	InsertFrac float64
+	ModifyFrac float64
+}
+
+// DefaultSwissProt is a laptop-scale configuration (~1 MB per version,
+// growing release over release).
+func DefaultSwissProt() SwissProtConfig {
+	return SwissProtConfig{
+		Seed:       2,
+		Records:    350,
+		DeleteFrac: 0.14,
+		InsertFrac: 0.26,
+		ModifyFrac: 0.012,
+	}
+}
+
+// SwissProt generates successive Swiss-Prot-like releases.
+type SwissProt struct {
+	cfg     SwissProtConfig
+	rng     *rng
+	nextPac int
+	nextRef int
+	release int
+	doc     *xmltree.Node
+}
+
+// NewSwissProt builds the initial release.
+func NewSwissProt(cfg SwissProtConfig) *SwissProt {
+	g := &SwissProt{cfg: cfg, rng: newRNG(cfg.Seed), nextPac: 10000, release: 34}
+	root := xmltree.Elem("ROOT")
+	for i := 0; i < cfg.Records; i++ {
+		root.Append(g.record())
+	}
+	g.doc = root
+	return g
+}
+
+// Spec returns the generator's key specification.
+func (g *SwissProt) Spec() *keys.Spec { return SwissProtSpec() }
+
+// Next evolves the database by one release and returns a deep copy.
+func (g *SwissProt) Next() *xmltree.Node {
+	out := g.doc.Clone()
+	g.evolve()
+	return out
+}
+
+func (g *SwissProt) record() *xmltree.Node {
+	g.nextPac++
+	pac := fmt.Sprintf("Q%05d", g.nextPac)
+	blocks := 4 + g.rng.Intn(16)
+	rec := xmltree.Elem("Record",
+		xmltree.ElemText("pac", pac),
+		xmltree.ElemText("id", fmt.Sprintf("%s_%s", g.rng.hexID(4), []string{"RAT", "HUMAN", "MOUSE", "YEAST", "ECOLI"}[g.rng.Intn(5)])),
+		xmltree.ElemText("class", "STANDARD"),
+		xmltree.ElemText("type", "PRT"),
+		xmltree.ElemText("slen", fmt.Sprint(blocks*10)),
+	)
+	for i := 1 + g.rng.Intn(2); i > 0; i-- {
+		appendDistinct(rec, "mod", func() *xmltree.Node { return g.mod() })
+	}
+	rec.Append(xmltree.Elem("protein",
+		xmltree.ElemText("name", fmt.Sprintf("%d KDA PROTEIN %s (EC 6.3.2.%d).", 50+g.rng.Intn(200), pac, g.rng.Intn(20))),
+		xmltree.ElemText("from", g.rng.words(2)+" ("+g.rng.word()+")."),
+		xmltree.ElemText("taxo", "Eukaryota"),
+	))
+	refs := xmltree.Elem("References")
+	for i := 1 + g.rng.Intn(3); i > 0; i-- {
+		refs.Append(g.reference(i))
+	}
+	rec.Append(refs)
+	for i := g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(rec, "comment", func() *xmltree.Node {
+			return xmltree.Elem("comment",
+				xmltree.ElemText("topic", []string{"FUNCTION", "SUBUNIT", "SIMILARITY", "SUBCELLULAR LOCATION"}[g.rng.Intn(4)]),
+				xmltree.ElemText("text", g.rng.text(2)),
+			)
+		})
+	}
+	rec.Append(xmltree.ElemText("copyright", "This entry is copyright."))
+	crossRefs := xmltree.Elem("CrossRefs")
+	for i := 1 + g.rng.Intn(4); i > 0; i-- {
+		g.nextRef++
+		crossRefs.Append(xmltree.Elem("ref",
+			xmltree.ElemText("dbid", []string{"EMBL", "PIR", "PROSITE", "PFAM"}[g.rng.Intn(4)]),
+			xmltree.ElemText("primaryid", fmt.Sprintf("X%06d", g.nextRef)),
+			xmltree.ElemText("secid", fmt.Sprintf("CAA%05d.1", g.rng.Intn(99999))),
+		))
+	}
+	rec.Append(crossRefs)
+	kw := xmltree.Elem("keywords")
+	for i := 1 + g.rng.Intn(4); i > 0; i-- {
+		appendDistinct(kw, "word", func() *xmltree.Node { return xmltree.ElemText("word", g.rng.words(1)) })
+	}
+	rec.Append(kw)
+	base := 1 + g.rng.Intn(50)
+	for i := 0; i < g.rng.Intn(3); i++ {
+		from := base + i*30
+		rec.Append(xmltree.Elem("feature",
+			xmltree.ElemText("name", []string{"DOMAIN", "CHAIN", "REPEAT", "SITE"}[g.rng.Intn(4)]),
+			xmltree.ElemText("from", fmt.Sprint(from)),
+			xmltree.ElemText("to", fmt.Sprint(from+5+g.rng.Intn(40))),
+			xmltree.ElemText("desc", g.rng.words(3)+"."),
+		))
+	}
+	seq := g.rng.aminoSeq(blocks)
+	rec.Append(xmltree.Elem("sequence",
+		xmltree.ElemText("aacid", fmt.Sprint(blocks*10)),
+		xmltree.ElemText("mweight", fmt.Sprint(10000+g.rng.Intn(150000))),
+		xmltree.Elem("crc",
+			xmltree.ElemText("bits", "64"),
+			xmltree.ElemText("checksum", g.rng.hexID(16)),
+		),
+		xmltree.ElemText("seq", seq),
+	))
+	return rec
+}
+
+func (g *SwissProt) mod() *xmltree.Node {
+	m, d, y := g.rng.date()
+	return xmltree.Elem("mod",
+		xmltree.ElemText("date", fmt.Sprintf("%s-%s-%s", d, m, y)),
+		xmltree.ElemText("rel", fmt.Sprint(g.release)),
+		xmltree.ElemText("comment", []string{"Created", "Last sequence update", "Last annotation update"}[g.rng.Intn(3)]),
+	)
+}
+
+func (g *SwissProt) reference(num int) *xmltree.Node {
+	ref := xmltree.Elem("Ref",
+		xmltree.ElemText("num", fmt.Sprint(num)),
+		xmltree.ElemText("pos", "SEQUENCE FROM N.A."),
+	)
+	for i := g.rng.Intn(2); i > 0; i-- {
+		appendDistinct(ref, "comment", func() *xmltree.Node {
+			return xmltree.ElemText("comment", "STRAIN="+g.rng.word())
+		})
+	}
+	g.nextRef++
+	ref.Append(xmltree.Elem("xref",
+		xmltree.ElemText("bib_name", "MEDLINE"),
+		xmltree.ElemText("id", fmt.Sprintf("%08d", g.nextRef)),
+	))
+	for i := 1 + g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(ref, "author", func() *xmltree.Node {
+			return xmltree.ElemText("author", g.rng.personName()+".")
+		})
+	}
+	ref.Append(xmltree.ElemText("title", `"`+g.rng.words(5)+`"`))
+	ref.Append(xmltree.ElemText("in", fmt.Sprintf("Nucleic Acids Res. %d:%d-%d(%d)",
+		10+g.rng.Intn(30), 1000+g.rng.Intn(500), 1500+g.rng.Intn(500), 1990+g.rng.Intn(12))))
+	return ref
+}
+
+// evolve applies one release's worth of change: substantial insertion and
+// deletion (the database grows), light modification.
+func (g *SwissProt) evolve() {
+	g.release++
+	records := g.doc.ChildrenNamed("Record")
+	n := len(records)
+	del := fracCount(g.rng, n, g.cfg.DeleteFrac)
+	ins := fracCount(g.rng, n, g.cfg.InsertFrac)
+	mod := fracCount(g.rng, n, g.cfg.ModifyFrac)
+
+	for i := 0; i < del && len(records) > 1; i++ {
+		removeNode(g.doc, records[g.rng.Intn(len(records))])
+		records = g.doc.ChildrenNamed("Record")
+	}
+	for i := 0; i < ins; i++ {
+		g.doc.Append(g.record())
+	}
+	records = g.doc.ChildrenNamed("Record")
+	for i := 0; i < mod && len(records) > 0; i++ {
+		rec := records[g.rng.Intn(len(records))]
+		switch g.rng.Intn(3) {
+		case 0: // annotation update: new mod line + keyword
+			appendDistinct(rec, "mod", func() *xmltree.Node { return g.mod() })
+		case 1: // new cross reference
+			if cr := rec.Child("CrossRefs"); cr != nil {
+				g.nextRef++
+				cr.Append(xmltree.Elem("ref",
+					xmltree.ElemText("dbid", "EMBL"),
+					xmltree.ElemText("primaryid", fmt.Sprintf("X%06d", g.nextRef)),
+					xmltree.ElemText("secid", fmt.Sprintf("CAA%05d.1", g.rng.Intn(99999))),
+				))
+			}
+		case 2: // comment text revised
+			if c := rec.Child("comment"); c != nil {
+				if txt := c.Child("text"); txt != nil && len(txt.Children) > 0 {
+					txt.Children[0].Data = g.rng.text(2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package datagen generates the experiment datasets of Buneman et al.,
+// "Archiving Scientific Data" (§5, Appendix B): OMIM-like and
+// Swiss-Prot-like curated scientific databases and XMark-like auction
+// documents, each with the appendix's exact key specification, plus the
+// §5.3 change simulators (random changes and the key-modification worst
+// case).
+//
+// The real OMIM and Swiss-Prot snapshots are proprietary; these generators
+// reproduce their schema, key structure and measured change ratios, which
+// is what the storage experiments depend on (see DESIGN.md,
+// "Substitutions").
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vocabulary is the word pool for generated text. A finite pool matters:
+// at high modification ratios a text value sometimes reverts to an old
+// value, which is exactly the effect §5.3 observes ("a text sometimes
+// happens to be modified to some of its old values").
+var vocabulary = strings.Fields(`
+gold promotions despair flow tempest wart varlet metal dark modesties marg
+camp rags back greg flay across sickness protein sequence factor subunit
+replication binding domain kinase receptor transcription expression cell
+membrane nuclear mitochondrial enzyme ligase ubiquitin conjugation residue
+acidic variant mutation disorder syndrome inheritance dominant recessive
+linkage marker chromosome locus allele phenotype clinical synopsis liver
+muscle cardiac neural observed reported described identified characterized
+analysis patients families studies evidence function structure activity
+condemn auction bidder seller increase initial current reserve privacy
+shipping payment creditcard money order cash country buyer quantity
+featured location category description annotation happiness interval
+tempest honour severity mercury shallow drink ghost serpent dream anchor
+`)
+
+// rng wraps math/rand with the helpers the generators share.
+type rng struct {
+	*rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{rand.New(rand.NewSource(seed))}
+}
+
+// word returns one random vocabulary word.
+func (r *rng) word() string {
+	return vocabulary[r.Intn(len(vocabulary))]
+}
+
+// words returns n space-separated vocabulary words.
+func (r *rng) words(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = r.word()
+	}
+	return strings.Join(parts, " ")
+}
+
+// sentence returns a short pseudo-sentence.
+func (r *rng) sentence() string {
+	return r.words(4+r.Intn(8)) + "."
+}
+
+// text returns n pseudo-sentences.
+func (r *rng) text(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = r.sentence()
+	}
+	return strings.Join(parts, " ")
+}
+
+// personName returns a plausible name.
+func (r *rng) personName() string {
+	first := []string{"Paul", "Jennifer", "Victor", "Ada", "Keishi", "Wang", "Sanjeev", "Peter", "Maria", "Janet", "Rahul", "Mei"}
+	last := []string{"Converse", "Macke", "McKusick", "Byron", "Tajima", "Tan", "Khanna", "Buneman", "Silva", "Okafor", "Iyer", "Chen"}
+	return first[r.Intn(len(first))] + " " + last[r.Intn(len(last))]
+}
+
+// date returns month, day, year strings.
+func (r *rng) date() (string, string, string) {
+	return fmt.Sprint(1 + r.Intn(12)), fmt.Sprint(1 + r.Intn(28)), fmt.Sprint(1985 + r.Intn(20))
+}
+
+// aminoSeq returns a protein-like residue string of n blocks of 10.
+func (r *rng) aminoSeq(blocks int) string {
+	const residues = "ACDEFGHIKLMNPQRSTVWY"
+	var b strings.Builder
+	for i := 0; i < blocks; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		for j := 0; j < 10; j++ {
+			b.WriteByte(residues[r.Intn(len(residues))])
+		}
+	}
+	return b.String()
+}
+
+// hexID returns an n-digit uppercase hex identifier.
+func (r *rng) hexID(n int) string {
+	const digits = "0123456789ABCDEF"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = digits[r.Intn(len(digits))]
+	}
+	return string(b)
+}

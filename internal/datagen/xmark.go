@@ -1,0 +1,305 @@
+package datagen
+
+import (
+	"fmt"
+
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// xmarkSpecText is the XMark auction key specification of Appendix B.3
+// (the subset of fields this generator emits; "_" matches any region).
+const xmarkSpecText = `
+(/, (site, {}))
+(/site, (regions, {}))
+(/site, (categories, {}))
+(/site, (catgraph, {}))
+(/site, (people, {}))
+(/site, (open_auctions, {}))
+(/site, (closed_auctions, {}))
+(/site/regions, (africa, {}))
+(/site/regions, (asia, {}))
+(/site/regions, (australia, {}))
+(/site/regions, (europe, {}))
+(/site/regions, (namerica, {}))
+(/site/regions, (samerica, {}))
+(/site/regions/_, (item, {id}))
+(/site/regions/_/item, (location, {}))
+(/site/regions/_/item, (quantity, {}))
+(/site/regions/_/item, (name, {}))
+(/site/regions/_/item, (payment, {}))
+(/site/regions/_/item, (description, {}))
+(/site/regions/_/item, (shipping, {}))
+(/site/regions/_/item, (incategory, {category}))
+(/site/regions/_/item, (mailbox, {}))
+(/site/regions/_/item/mailbox, (mail, {from, to, date, text}))
+(/site/categories, (category, {id}))
+(/site/categories/category, (name, {}))
+(/site/categories/category, (description, {\e}))
+(/site/catgraph, (edge, {from, to}))
+(/site/people, (person, {id}))
+(/site/people/person, (name, {}))
+(/site/people/person, (emailaddress, {\e}))
+(/site/people/person, (phone, {\e}))
+(/site/people/person, (creditcard, {\e}))
+(/site/open_auctions, (open_auction, {id}))
+(/site/open_auctions/open_auction, (initial, {}))
+(/site/open_auctions/open_auction, (reserve, {\e}))
+(/site/open_auctions/open_auction, (bidder, {date, time, personref/person, increase}))
+(/site/open_auctions/open_auction/bidder, (personref, {}))
+(/site/open_auctions/open_auction, (current, {}))
+(/site/open_auctions/open_auction, (itemref, {}))
+(/site/open_auctions/open_auction, (seller, {}))
+(/site/open_auctions/open_auction/seller, (person, {}))
+(/site/open_auctions/open_auction, (annotation, {}))
+(/site/open_auctions/open_auction/annotation, (author, {}))
+(/site/open_auctions/open_auction/annotation/author, (person, {}))
+(/site/open_auctions/open_auction/annotation, (description, {}))
+(/site/open_auctions/open_auction/annotation, (happiness, {}))
+(/site/open_auctions/open_auction, (quantity, {}))
+(/site/open_auctions/open_auction, (type, {}))
+(/site/closed_auctions, (closed_auction, {seller, buyer, itemref/item, date}))
+(/site/closed_auctions/closed_auction, (itemref, {}))
+(/site/closed_auctions/closed_auction, (price, {}))
+(/site/closed_auctions/closed_auction, (annotation, {}))
+(/site/closed_auctions/closed_auction/annotation, (description, {}))
+(/site/closed_auctions/closed_auction/annotation, (happiness, {}))
+(/site/closed_auctions/closed_auction, (quantity, {}))
+(/site/closed_auctions/closed_auction, (type, {}))
+`
+
+// XMarkSpec returns the Appendix B.3 key specification.
+func XMarkSpec() *keys.Spec { return keys.MustParseSpec(xmarkSpecText) }
+
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// XMarkConfig sizes the generated auction site.
+type XMarkConfig struct {
+	Seed        int64
+	Items       int // total items across regions
+	People      int
+	Categories  int
+	OpenAucts   int
+	ClosedAucts int
+}
+
+// DefaultXMark is a laptop-scale configuration (several hundred KB).
+func DefaultXMark() XMarkConfig {
+	return XMarkConfig{Seed: 3, Items: 360, People: 240, Categories: 40, OpenAucts: 120, ClosedAucts: 80}
+}
+
+// XMark holds the generator state; unlike the curated-database generators
+// it produces one document, which the §5.3 change simulators then evolve.
+type XMark struct {
+	cfg  XMarkConfig
+	rng  *rng
+	next map[string]int // id counters per class
+}
+
+// NewXMark returns a generator.
+func NewXMark(cfg XMarkConfig) *XMark {
+	return &XMark{cfg: cfg, rng: newRNG(cfg.Seed), next: map[string]int{}}
+}
+
+// Spec returns the generator's key specification.
+func (g *XMark) Spec() *keys.Spec { return XMarkSpec() }
+
+func (g *XMark) id(class string) string {
+	g.next[class]++
+	return fmt.Sprintf("%s%d", class, g.next[class])
+}
+
+// Document generates the full auction site.
+func (g *XMark) Document() *xmltree.Node {
+	site := xmltree.Elem("site")
+
+	regions := xmltree.Elem("regions")
+	regionElems := map[string]*xmltree.Node{}
+	for _, r := range xmarkRegions {
+		e := xmltree.Elem(r)
+		regionElems[r] = e
+		regions.Append(e)
+	}
+	for i := 0; i < g.cfg.Items; i++ {
+		r := xmarkRegions[g.rng.Intn(len(xmarkRegions))]
+		regionElems[r].Append(g.item())
+	}
+	site.Append(regions)
+
+	categories := xmltree.Elem("categories")
+	for i := 0; i < g.cfg.Categories; i++ {
+		categories.Append(xmltree.Elem("category",
+			xmltree.AttrNode("id", g.id("category")),
+			xmltree.ElemText("name", g.rng.words(2)),
+			xmltree.ElemText("description", g.rng.sentence()),
+		))
+	}
+	site.Append(categories)
+
+	catgraph := xmltree.Elem("catgraph")
+	seen := map[string]bool{}
+	for i := 0; i < g.cfg.Categories; i++ {
+		from := fmt.Sprintf("category%d", 1+g.rng.Intn(g.cfg.Categories))
+		to := fmt.Sprintf("category%d", 1+g.rng.Intn(g.cfg.Categories))
+		if from == to || seen[from+">"+to] {
+			continue
+		}
+		seen[from+">"+to] = true
+		catgraph.Append(xmltree.Elem("edge",
+			xmltree.AttrNode("from", from),
+			xmltree.AttrNode("to", to),
+		))
+	}
+	site.Append(catgraph)
+
+	people := xmltree.Elem("people")
+	for i := 0; i < g.cfg.People; i++ {
+		people.Append(g.person())
+	}
+	site.Append(people)
+
+	open := xmltree.Elem("open_auctions")
+	for i := 0; i < g.cfg.OpenAucts; i++ {
+		open.Append(g.openAuction())
+	}
+	site.Append(open)
+
+	closed := xmltree.Elem("closed_auctions")
+	for i := 0; i < g.cfg.ClosedAucts; i++ {
+		closed.Append(g.closedAuction())
+	}
+	site.Append(closed)
+
+	return site
+}
+
+func (g *XMark) item() *xmltree.Node {
+	it := xmltree.Elem("item",
+		xmltree.AttrNode("id", g.id("item")),
+		xmltree.ElemText("location", g.rng.words(2)),
+		xmltree.ElemText("quantity", fmt.Sprint(1+g.rng.Intn(5))),
+		xmltree.ElemText("name", g.rng.words(2)),
+		xmltree.ElemText("payment", "Money order, Creditcard, Cash"),
+		xmltree.Elem("description", xmltree.ElemText("text", g.rng.text(2))),
+		xmltree.ElemText("shipping", "Will ship only within country"),
+	)
+	used := map[int]bool{}
+	for i := g.rng.Intn(3); i > 0; i-- {
+		c := 1 + g.rng.Intn(maxInt(g.cfg.Categories, 1))
+		if used[c] {
+			continue
+		}
+		used[c] = true
+		it.Append(xmltree.Elem("incategory",
+			xmltree.AttrNode("category", fmt.Sprintf("category%d", c)),
+		))
+	}
+	mb := xmltree.Elem("mailbox")
+	for i := g.rng.Intn(3); i > 0; i-- {
+		appendDistinct(mb, "mail", func() *xmltree.Node { return g.mail() })
+	}
+	it.Append(mb)
+	return it
+}
+
+func (g *XMark) mail() *xmltree.Node {
+	m, d, y := g.rng.date()
+	return xmltree.Elem("mail",
+		xmltree.ElemText("from", g.rng.personName()+" mailto:"+g.rng.word()+"@example.com"),
+		xmltree.ElemText("to", g.rng.personName()+" mailto:"+g.rng.word()+"@example.com"),
+		xmltree.ElemText("date", fmt.Sprintf("%s/%s/%s", m, d, y)),
+		xmltree.ElemText("text", g.rng.text(2)),
+	)
+}
+
+func (g *XMark) person() *xmltree.Node {
+	p := xmltree.Elem("person",
+		xmltree.AttrNode("id", g.id("person")),
+		xmltree.ElemText("name", g.rng.personName()),
+		xmltree.ElemText("emailaddress", "mailto:"+g.rng.word()+"@example.com"),
+	)
+	if g.rng.Intn(2) == 0 {
+		p.Append(xmltree.ElemText("phone", fmt.Sprintf("+1 (%d) %d", 100+g.rng.Intn(900), 1000000+g.rng.Intn(9000000))))
+	}
+	if g.rng.Intn(3) == 0 {
+		p.Append(xmltree.ElemText("creditcard", fmt.Sprintf("%04d %04d %04d %04d",
+			g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000), g.rng.Intn(10000))))
+	}
+	return p
+}
+
+func (g *XMark) personRefID() string {
+	return fmt.Sprintf("person%d", 1+g.rng.Intn(maxInt(g.cfg.People, 1)))
+}
+
+func (g *XMark) itemRefID() string {
+	return fmt.Sprintf("item%d", 1+g.rng.Intn(maxInt(g.cfg.Items, 1)))
+}
+
+func (g *XMark) openAuction() *xmltree.Node {
+	a := xmltree.Elem("open_auction",
+		xmltree.AttrNode("id", g.id("open_auction")),
+		xmltree.ElemText("initial", fmt.Sprintf("%d.%02d", 10+g.rng.Intn(200), g.rng.Intn(100))),
+	)
+	if g.rng.Intn(2) == 0 {
+		a.Append(xmltree.ElemText("reserve", fmt.Sprintf("%d.00", 50+g.rng.Intn(300))))
+	}
+	for i := g.rng.Intn(4); i > 0; i-- {
+		appendDistinct(a, "bidder", func() *xmltree.Node { return g.bidder() })
+	}
+	a.Append(xmltree.ElemText("current", fmt.Sprintf("%d.%02d", 20+g.rng.Intn(400), g.rng.Intn(100))))
+	a.Append(xmltree.Elem("itemref", xmltree.AttrNode("item", g.itemRefID())))
+	a.Append(xmltree.Elem("seller", xmltree.AttrNode("person", g.personRefID())))
+	a.Append(xmltree.Elem("annotation",
+		xmltree.Elem("author", xmltree.AttrNode("person", g.personRefID())),
+		xmltree.Elem("description", xmltree.ElemText("text", g.rng.text(2))),
+		xmltree.ElemText("happiness", fmt.Sprint(1+g.rng.Intn(10))),
+	))
+	a.Append(xmltree.ElemText("quantity", fmt.Sprint(1+g.rng.Intn(3))))
+	a.Append(xmltree.ElemText("type", []string{"Regular", "Featured", "Dutch"}[g.rng.Intn(3)]))
+	return a
+}
+
+func (g *XMark) bidder() *xmltree.Node {
+	m, d, y := g.rng.date()
+	return xmltree.Elem("bidder",
+		xmltree.ElemText("date", fmt.Sprintf("%s/%s/%s", m, d, y)),
+		xmltree.ElemText("time", fmt.Sprintf("%02d:%02d:%02d", g.rng.Intn(24), g.rng.Intn(60), g.rng.Intn(60))),
+		xmltree.Elem("personref", xmltree.AttrNode("person", g.personRefID())),
+		xmltree.ElemText("increase", fmt.Sprintf("%d.00", 1+g.rng.Intn(30))),
+	)
+}
+
+// formatClosedDate derives a date from a serial so closed-auction keys
+// stay unique (date is part of the composite key in Appendix B.3); the
+// pattern only repeats after lcm(12,28,10) = 420 serials combined with the
+// other key parts.
+func formatClosedDate(serial int) string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+serial%12, 1+serial%28, 1995+serial%10)
+}
+
+func (g *XMark) closedAuction() *xmltree.Node {
+	g.next["closeddate"]++
+	serial := g.next["closeddate"]
+	a := xmltree.Elem("closed_auction",
+		xmltree.Elem("seller", xmltree.AttrNode("person", g.personRefID())),
+		xmltree.Elem("buyer", xmltree.AttrNode("person", g.personRefID())),
+		xmltree.Elem("itemref", xmltree.AttrNode("item", g.itemRefID())),
+		xmltree.ElemText("date", formatClosedDate(serial)),
+		xmltree.ElemText("price", fmt.Sprintf("%d.%02d", 20+g.rng.Intn(400), g.rng.Intn(100))),
+		xmltree.Elem("annotation",
+			xmltree.Elem("description", xmltree.ElemText("text", g.rng.text(1))),
+			xmltree.ElemText("happiness", fmt.Sprint(1+g.rng.Intn(10))),
+		),
+		xmltree.ElemText("quantity", "1"),
+		xmltree.ElemText("type", "Regular"),
+	)
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

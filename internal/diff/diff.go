@@ -1,0 +1,306 @@
+// Package diff implements Myers' O(ND) line-difference algorithm
+// ("An O(ND) difference algorithm and its variations", Algorithmica 1986),
+// the algorithm behind unix diff, which the paper uses (as `diff -d`) to
+// build its sequence-of-delta baselines (§5). The divide-and-conquer
+// (middle snake) refinement keeps memory linear, so the worst-case
+// synthetic workloads (§5.3) stay cheap.
+//
+// Scripts use a forward ed-like format that stores only inserted text, the
+// most compact delta representation, so the diff-based baselines are "the
+// smallest possible" as in the paper.
+package diff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Match is a pair of indices (AIndex, BIndex) with a[AIndex] == b[BIndex];
+// the sequence of matches returned by Matches is strictly increasing in
+// both components (a longest common subsequence).
+type Match struct {
+	AIndex, BIndex int
+}
+
+// Matches returns an LCS of a and b as index pairs, using Myers'
+// linear-space algorithm.
+func Matches(a, b []string) []Match {
+	ia, ib := intern(a, b)
+	var out []Match
+	diffRec(ia, ib, 0, 0, &out)
+	return out
+}
+
+// intern hash-conses both line slices to ints so comparisons are O(1).
+func intern(a, b []string) ([]int32, []int32) {
+	ids := make(map[string]int32, len(a)+len(b))
+	conv := func(ls []string) []int32 {
+		out := make([]int32, len(ls))
+		for i, s := range ls {
+			id, ok := ids[s]
+			if !ok {
+				id = int32(len(ids))
+				ids[s] = id
+			}
+			out[i] = id
+		}
+		return out
+	}
+	return conv(a), conv(b)
+}
+
+// diffRec appends the LCS matches of a and b to out; offA/offB are the
+// global offsets of the slices.
+func diffRec(a, b []int32, offA, offB int, out *[]Match) {
+	// Strip common prefix and suffix: both a fast path and the recursion
+	// floor.
+	for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+		*out = append(*out, Match{offA, offB})
+		a, b = a[1:], b[1:]
+		offA++
+		offB++
+	}
+	var tail []Match
+	for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		tail = append(tail, Match{offA + len(a) - 1, offB + len(b) - 1})
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	if len(a) > 0 && len(b) > 0 {
+		x, y, u, v := middleSnake(a, b)
+		diffRec(a[:x], b[:y], offA, offB, out)
+		for i := x; i < u; i++ {
+			*out = append(*out, Match{offA + i, offB + (y + i - x)})
+		}
+		diffRec(a[u:], b[v:], offA+u, offB+v, out)
+	}
+	// Append the suffix matches in increasing order.
+	for i := len(tail) - 1; i >= 0; i-- {
+		*out = append(*out, tail[i])
+	}
+}
+
+// middleSnake finds a middle snake of an optimal edit path: a (possibly
+// empty) run of diagonal moves from (x,y) to (u,v) that splits the problem
+// roughly in half (Myers 1986, §4b). The backward search is implemented as
+// a forward search over the reversed sequences, which keeps the two passes
+// symmetric. Callers must strip common prefixes/suffixes first, which
+// guarantees the split always makes progress.
+func middleSnake(a, b []int32) (x, y, u, v int) {
+	n, m := len(a), len(b)
+	delta := n - m
+	odd := delta%2 != 0
+	maxD := (n+m+1)/2 + 1
+	off := maxD + 1
+	vf := make([]int, 2*maxD+3) // forward frontier, indexed by diagonal k+off
+	vb := make([]int, 2*maxD+3) // reverse frontier in reversed coordinates
+
+	for d := 0; d <= maxD; d++ {
+		// Forward pass on (a, b).
+		for k := -d; k <= d; k += 2 {
+			var xs int
+			if k == -d || (k != d && vf[off+k-1] < vf[off+k+1]) {
+				xs = vf[off+k+1]
+			} else {
+				xs = vf[off+k-1] + 1
+			}
+			ys := xs - k
+			xe, ye := xs, ys
+			for xe < n && ye < m && a[xe] == b[ye] {
+				xe++
+				ye++
+			}
+			vf[off+k] = xe
+			if odd {
+				// Reverse diagonal corresponding to k; the reverse
+				// (d-1)-path exists for kr in [-(d-1), d-1].
+				if kr := delta - k; kr >= -(d-1) && kr <= d-1 {
+					if xe >= n-vb[off+kr] {
+						return xs, ys, xe, ye
+					}
+				}
+			}
+		}
+		// Reverse pass: forward search on the reversed sequences.
+		for k := -d; k <= d; k += 2 {
+			var xs int
+			if k == -d || (k != d && vb[off+k-1] < vb[off+k+1]) {
+				xs = vb[off+k+1]
+			} else {
+				xs = vb[off+k-1] + 1
+			}
+			ys := xs - k
+			xe, ye := xs, ys
+			for xe < n && ye < m && a[n-1-xe] == b[m-1-ye] {
+				xe++
+				ye++
+			}
+			vb[off+k] = xe
+			if !odd {
+				if kf := delta - k; kf >= -d && kf <= d {
+					if vf[off+kf] >= n-xe {
+						// Translate the reverse snake to forward coordinates.
+						return n - xe, m - ye, n - xs, m - ys
+					}
+				}
+			}
+		}
+	}
+	// Unreachable: an overlap exists by d = ceil((n+m)/2).
+	panic("diff: middle snake not found")
+}
+
+// Hunk is one edit: replace a[AStart:AEnd] with Insert. AStart/AEnd are
+// 0-based, half-open. A pure insertion has AStart == AEnd; a pure deletion
+// has len(Insert) == 0.
+type Hunk struct {
+	AStart, AEnd int
+	Insert       []string
+}
+
+// Script is an ordered list of non-overlapping hunks transforming a into b.
+type Script struct {
+	Hunks []Hunk
+}
+
+// Compute returns the minimal edit script from a to b.
+func Compute(a, b []string) *Script {
+	matches := Matches(a, b)
+	s := &Script{}
+	ai, bi := 0, 0
+	flush := func(aEnd, bEnd int) {
+		if ai < aEnd || bi < bEnd {
+			h := Hunk{AStart: ai, AEnd: aEnd}
+			h.Insert = append(h.Insert, b[bi:bEnd]...)
+			s.Hunks = append(s.Hunks, h)
+		}
+	}
+	for _, m := range matches {
+		flush(m.AIndex, m.BIndex)
+		ai, bi = m.AIndex+1, m.BIndex+1
+	}
+	flush(len(a), len(b))
+	return s
+}
+
+// Apply transforms a using the script, returning b.
+func (s *Script) Apply(a []string) ([]string, error) {
+	out := make([]string, 0, len(a))
+	pos := 0
+	for _, h := range s.Hunks {
+		if h.AStart < pos || h.AEnd > len(a) || h.AStart > h.AEnd {
+			return nil, fmt.Errorf("diff: hunk %d,%d out of order or range (len %d)", h.AStart, h.AEnd, len(a))
+		}
+		out = append(out, a[pos:h.AStart]...)
+		out = append(out, h.Insert...)
+		pos = h.AEnd
+	}
+	out = append(out, a[pos:]...)
+	return out, nil
+}
+
+// EditDistance returns the number of deleted plus inserted lines.
+func (s *Script) EditDistance() int {
+	d := 0
+	for _, h := range s.Hunks {
+		d += (h.AEnd - h.AStart) + len(h.Insert)
+	}
+	return d
+}
+
+// Format renders the script in a forward ed-like format that stores only
+// the inserted text:
+//
+//	2,3c       replace lines 2-3 (1-based, inclusive) with the body
+//	5a         append the body after line 5
+//	7,8d       delete lines 7-8
+//
+// Bodies are terminated by a lone "."; a body line that is itself "." is
+// escaped as "..".
+func (s *Script) Format() string {
+	var b strings.Builder
+	for _, h := range s.Hunks {
+		switch {
+		case h.AStart == h.AEnd: // insertion after line AStart
+			fmt.Fprintf(&b, "%da\n", h.AStart)
+		case len(h.Insert) == 0: // deletion
+			if h.AEnd-h.AStart == 1 {
+				fmt.Fprintf(&b, "%dd\n", h.AStart+1)
+			} else {
+				fmt.Fprintf(&b, "%d,%dd\n", h.AStart+1, h.AEnd)
+			}
+			continue
+		default: // change
+			if h.AEnd-h.AStart == 1 {
+				fmt.Fprintf(&b, "%dc\n", h.AStart+1)
+			} else {
+				fmt.Fprintf(&b, "%d,%dc\n", h.AStart+1, h.AEnd)
+			}
+		}
+		for _, line := range h.Insert {
+			if strings.HasPrefix(line, ".") {
+				b.WriteByte('.')
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// Size returns the byte size of the formatted script, the repository cost
+// of storing this delta.
+func (s *Script) Size() int { return len(s.Format()) }
+
+// Parse parses the Format representation back into a script.
+func Parse(text string) (*Script, error) {
+	s := &Script{}
+	if text == "" {
+		return s, nil
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	i := 0
+	for i < len(lines) {
+		cmd := lines[i]
+		i++
+		var lo, hi int
+		var op byte
+		if n, err := fmt.Sscanf(cmd, "%d,%d", &lo, &hi); err == nil && n == 2 {
+			op = cmd[len(cmd)-1]
+		} else if n, err := fmt.Sscanf(cmd, "%d", &lo); err == nil && n == 1 {
+			hi = lo
+			op = cmd[len(cmd)-1]
+		} else {
+			return nil, fmt.Errorf("diff: bad command %q", cmd)
+		}
+		var h Hunk
+		switch op {
+		case 'a':
+			h = Hunk{AStart: lo, AEnd: lo}
+		case 'd':
+			h = Hunk{AStart: lo - 1, AEnd: hi}
+		case 'c':
+			h = Hunk{AStart: lo - 1, AEnd: hi}
+		default:
+			return nil, fmt.Errorf("diff: bad op %q in %q", op, cmd)
+		}
+		if op != 'd' {
+			for {
+				if i >= len(lines) {
+					return nil, fmt.Errorf("diff: unterminated body for %q", cmd)
+				}
+				line := lines[i]
+				i++
+				if line == "." {
+					break
+				}
+				if strings.HasPrefix(line, "..") {
+					line = line[1:]
+				}
+				h.Insert = append(h.Insert, line)
+			}
+		}
+		s.Hunks = append(s.Hunks, h)
+	}
+	return s, nil
+}

@@ -1,0 +1,280 @@
+package diff
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, " ")
+}
+
+// refLCSLen is a reference O(N*M) DP longest-common-subsequence length.
+func refLCSLen(a, b []string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func TestMatchesBasic(t *testing.T) {
+	cases := []struct {
+		a, b string
+		lcs  int
+	}{
+		{"", "", 0},
+		{"a", "", 0},
+		{"", "a", 0},
+		{"a b c", "a b c", 3},
+		{"a b c", "a x c", 2},
+		{"a b c a b b a", "c b a b a c", 4}, // Myers' paper example
+		{"x", "y", 0},
+		{"a a a a", "a a", 2},
+		{"a b", "b a", 1},
+	}
+	for _, c := range cases {
+		a, b := lines(c.a), lines(c.b)
+		ms := Matches(a, b)
+		if len(ms) != c.lcs {
+			t.Errorf("Matches(%q, %q): %d matches, want %d", c.a, c.b, len(ms), c.lcs)
+		}
+		validateMatches(t, a, b, ms)
+	}
+}
+
+func validateMatches(t *testing.T, a, b []string, ms []Match) {
+	t.Helper()
+	lastA, lastB := -1, -1
+	for _, m := range ms {
+		if m.AIndex <= lastA || m.BIndex <= lastB {
+			t.Fatalf("matches not strictly increasing: %v", ms)
+		}
+		if a[m.AIndex] != b[m.BIndex] {
+			t.Fatalf("match pairs unequal lines: a[%d]=%q b[%d]=%q", m.AIndex, a[m.AIndex], m.BIndex, b[m.BIndex])
+		}
+		lastA, lastB = m.AIndex, m.BIndex
+	}
+}
+
+func TestComputeApplyRoundTrip(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"a b c", "a b c"},
+		{"a b c", ""},
+		{"", "a b c"},
+		{"a b c d", "a x c d"},
+		{"a b c d", "a c d"},
+		{"a b c d", "a b x y c d"},
+		{"g1 g2 g3", "g3 g2 g1"},
+	}
+	for _, c := range cases {
+		a, b := lines(c[0]), lines(c[1])
+		s := Compute(a, b)
+		got, err := s.Apply(a)
+		if err != nil {
+			t.Fatalf("Apply(%q->%q): %v", c[0], c[1], err)
+		}
+		if !reflect.DeepEqual(got, append([]string{}, b...)) && !(len(got) == 0 && len(b) == 0) {
+			t.Errorf("Apply(%q->%q) = %v, want %v", c[0], c[1], got, b)
+		}
+	}
+}
+
+func TestEditDistanceMinimal(t *testing.T) {
+	// EditDistance must equal (len(a)-LCS) + (len(b)-LCS): the script is
+	// minimal, like diff -d (§5).
+	cases := [][2]string{
+		{"a b c a b b a", "c b a b a c"},
+		{"x x x", "y y y"},
+		{"a b c d e f", "a c e f b d"},
+	}
+	for _, c := range cases {
+		a, b := lines(c[0]), lines(c[1])
+		want := len(a) + len(b) - 2*refLCSLen(a, b)
+		if got := Compute(a, b).EditDistance(); got != want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	a := []string{"one", "two", "three", "four", "five"}
+	b := []string{"one", "TWO", "three", "five", "six", "."}
+	s := Compute(a, b)
+	text := s.Format()
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	got, err := back.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("parsed script mis-applies: %v, want %v\nscript:\n%s", got, b, text)
+	}
+}
+
+func TestFormatCommands(t *testing.T) {
+	a := []string{"k1", "k2", "k3", "k4"}
+	// delete k2, change k4, append k5.
+	b := []string{"k1", "k3", "K4", "k5"}
+	text := Compute(a, b).Format()
+	for _, want := range []string{"2d\n", "4c\n"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("script missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDotEscaping(t *testing.T) {
+	a := []string{"x"}
+	b := []string{".", "..", "...", "normal"}
+	s := Compute(a, b)
+	back, err := Parse(s.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Fatalf("dot lines corrupted: %v", got)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := &Script{Hunks: []Hunk{{AStart: 5, AEnd: 6}}}
+	if _, err := s.Apply([]string{"a"}); err == nil {
+		t.Error("out-of-range hunk should error")
+	}
+	s = &Script{Hunks: []Hunk{{AStart: 1, AEnd: 2}, {AStart: 0, AEnd: 1}}}
+	if _, err := s.Apply([]string{"a", "b", "c"}); err == nil {
+		t.Error("out-of-order hunks should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"zzz\n", "1x\n", "3a\nno terminator"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func randomLines(rng *rand.Rand, n, alphabet int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("l%d", rng.Intn(alphabet))
+	}
+	return out
+}
+
+// TestQuickMyersAgainstDP: on random inputs the linear-space Myers must
+// produce (1) a valid common subsequence, (2) of optimal length per the DP
+// reference, and (3) a script that transforms a into b, surviving the
+// Format/Parse round trip.
+func TestQuickMyersAgainstDP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomLines(rng, rng.Intn(60), 1+rng.Intn(8))
+		b := randomLines(rng, rng.Intn(60), 1+rng.Intn(8))
+		ms := Matches(a, b)
+		lastA, lastB := -1, -1
+		for _, m := range ms {
+			if m.AIndex <= lastA || m.BIndex <= lastB || a[m.AIndex] != b[m.BIndex] {
+				return false
+			}
+			lastA, lastB = m.AIndex, m.BIndex
+		}
+		if len(ms) != refLCSLen(a, b) {
+			return false
+		}
+		s := Compute(a, b)
+		got, err := s.Apply(a)
+		if err != nil || !sameLines(got, b) {
+			return false
+		}
+		back, err := Parse(s.Format())
+		if err != nil {
+			return false
+		}
+		got2, err := back.Apply(a)
+		return err == nil && sameLines(got2, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameLines(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLargeSequences exercises the linear-space path on inputs big enough
+// that a full-trace Myers would be costly.
+func TestLargeSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomLines(rng, 5000, 400)
+	b := append([]string{}, a...)
+	// Mutate 10%: deletions, insertions, changes.
+	for i := 0; i < 500; i++ {
+		j := rng.Intn(len(b))
+		switch rng.Intn(3) {
+		case 0:
+			b = append(b[:j], b[j+1:]...)
+		case 1:
+			b = append(b[:j], append([]string{fmt.Sprintf("new%d", i)}, b[j:]...)...)
+		case 2:
+			b[j] = fmt.Sprintf("mod%d", i)
+		}
+	}
+	s := Compute(a, b)
+	got, err := s.Apply(a)
+	if err != nil || !sameLines(got, b) {
+		t.Fatal("large diff failed to round trip")
+	}
+	if len(Matches(a, b)) != refLCSLen(a, b) {
+		t.Fatal("large diff not optimal")
+	}
+}
+
+func BenchmarkDiff1K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomLines(rng, 1000, 300)
+	y := append([]string{}, x...)
+	for i := 0; i < 50; i++ {
+		y[rng.Intn(len(y))] = fmt.Sprintf("m%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(x, y)
+	}
+}

@@ -1,0 +1,396 @@
+package extmem
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xarch/internal/intervals"
+	"xarch/internal/keys"
+)
+
+// Archiver is the external-memory archiver of §6: it maintains an archive
+// in a directory as token files, adding versions with bounded memory.
+// Frontier strategy is the plain archiver (whole-content alternatives);
+// the in-memory archiver additionally offers the §4.2 weave.
+type Archiver struct {
+	dir    string
+	spec   *keys.Spec
+	budget int // run-former memory budget, in tokens
+
+	dict     *dictionary
+	versions int
+	rootTime *intervals.Set
+
+	// LastSort reports the external sort of the most recent AddVersion.
+	LastSort SortStats
+}
+
+const (
+	metaFile    = "meta.txt"
+	dictFile    = "dict.txt"
+	archiveFile = "archive.tok"
+)
+
+// Open creates or reopens an archiver rooted at dir. budget caps the run
+// former's in-memory partial tree, in tokens; small budgets force many
+// sorted runs (useful to exercise the external path).
+func Open(dir string, spec *keys.Spec, budget int) (*Archiver, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("extmem: %w", err)
+	}
+	ar := &Archiver{
+		dir: dir, spec: spec, budget: budget,
+		dict: newDictionary(), rootTime: intervals.New(),
+	}
+	if f, err := os.Open(filepath.Join(dir, metaFile)); err == nil {
+		defer f.Close()
+		var versions int
+		var timeStr string
+		if _, err := fmt.Fscanf(f, "versions %d\nroottime %q\n", &versions, &timeStr); err != nil {
+			return nil, fmt.Errorf("extmem: corrupt meta: %w", err)
+		}
+		ts, err := intervals.Parse(timeStr)
+		if err != nil {
+			return nil, fmt.Errorf("extmem: corrupt meta timestamp: %w", err)
+		}
+		ar.versions = versions
+		ar.rootTime = ts
+		df, err := os.Open(filepath.Join(dir, dictFile))
+		if err != nil {
+			return nil, fmt.Errorf("extmem: missing dictionary: %w", err)
+		}
+		defer df.Close()
+		ar.dict, err = loadDictionary(df)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Fresh archive: empty token file.
+		if err := os.WriteFile(filepath.Join(dir, archiveFile), nil, 0o644); err != nil {
+			return nil, fmt.Errorf("extmem: %w", err)
+		}
+		if err := ar.saveMeta(); err != nil {
+			return nil, err
+		}
+	}
+	return ar, nil
+}
+
+// Versions returns the number of archived versions.
+func (ar *Archiver) Versions() int { return ar.versions }
+
+// ArchiveTokenPath returns the path of the current archive token file.
+func (ar *Archiver) ArchiveTokenPath() string { return filepath.Join(ar.dir, archiveFile) }
+
+func (ar *Archiver) saveMeta() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "versions %d\nroottime %q\n", ar.versions, ar.rootTime.String())
+	if err := os.WriteFile(filepath.Join(ar.dir, metaFile), []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	df, err := os.Create(filepath.Join(ar.dir, dictFile))
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if err := ar.dict.save(df); err != nil {
+		df.Close()
+		return err
+	}
+	return df.Close()
+}
+
+// AddVersionFile archives the XML document in path as the next version.
+func (ar *Archiver) AddVersionFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	return ar.AddVersion(f)
+}
+
+// AddEmptyVersion archives an empty database as the next version.
+func (ar *Archiver) AddEmptyVersion() error { return ar.AddVersion(nil) }
+
+// AddVersion archives the XML document read from r as the next version,
+// running the three §6 phases: decompose, external sort, streaming merge.
+func (ar *Archiver) AddVersion(r io.Reader) error {
+	i := ar.versions + 1
+	tmp := func(name string) string { return filepath.Join(ar.dir, fmt.Sprintf("tmp-%s", name)) }
+	var cleanup []string
+	defer func() {
+		for _, p := range cleanup {
+			os.Remove(p)
+		}
+	}()
+
+	sortedPath := tmp("sorted.tok")
+	if r != nil {
+		// Phase 1: decompose into internal representation + key files.
+		tokPath := tmp("version.tok")
+		cleanup = append(cleanup, tokPath)
+		tokF, err := os.Create(tokPath)
+		if err != nil {
+			return fmt.Errorf("extmem: %w", err)
+		}
+		tw := newTokenWriter(tokF)
+		var keyFiles []*os.File
+		keyPath := func(pattern string) string {
+			return tmp("keys-" + sanitize(pattern) + ".key")
+		}
+		openKeyWriter := func(pattern string) (*tokenWriter, error) {
+			p := keyPath(pattern)
+			cleanup = append(cleanup, p)
+			f, err := os.Create(p)
+			if err != nil {
+				return nil, fmt.Errorf("extmem: %w", err)
+			}
+			keyFiles = append(keyFiles, f)
+			return newTokenWriter(f), nil
+		}
+		if _, err := decompose(r, ar.spec, ar.dict, tw, openKeyWriter); err != nil {
+			tokF.Close()
+			return err
+		}
+		if err := tw.flush(); err != nil {
+			tokF.Close()
+			return err
+		}
+		if err := tokF.Close(); err != nil {
+			return err
+		}
+		for _, kf := range keyFiles {
+			// The writers buffer; flush through a final sync of each file.
+			if err := kf.Close(); err != nil {
+				return err
+			}
+		}
+
+		// Phase 2: bounded-memory sorted runs.
+		tokIn, err := os.Open(tokPath)
+		if err != nil {
+			return fmt.Errorf("extmem: %w", err)
+		}
+		var keyReaders []*os.File
+		openKeyReader := func(pattern string) (*rawReader, error) {
+			f, err := os.Open(keyPath(pattern))
+			if err != nil {
+				return nil, fmt.Errorf("extmem: %w", err)
+			}
+			keyReaders = append(keyReaders, f)
+			return newRawReader(f), nil
+		}
+		runs, stats, err := formRuns(newTokenReader(tokIn), ar.dict, ar.spec, ar.budget, ar.dir, "tmp", openKeyReader)
+		tokIn.Close()
+		for _, f := range keyReaders {
+			f.Close()
+		}
+		cleanup = append(cleanup, runs...)
+		if err != nil {
+			return err
+		}
+		ar.LastSort = stats
+
+		// Phase 3: merge the runs into one sorted version.
+		cleanup = append(cleanup, sortedPath)
+		if err := mergeRunFiles(runs, ar.dict, sortedPath); err != nil {
+			return err
+		}
+	} else {
+		cleanup = append(cleanup, sortedPath)
+		if err := os.WriteFile(sortedPath, nil, 0o644); err != nil {
+			return fmt.Errorf("extmem: %w", err)
+		}
+	}
+
+	// Phase 4: streaming nested merge of archive and sorted version.
+	newRoot := ar.rootTime.Clone()
+	newRoot.Add(i)
+	aF, err := os.Open(ar.ArchiveTokenPath())
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	dF, err := os.Open(sortedPath)
+	if err != nil {
+		aF.Close()
+		return fmt.Errorf("extmem: %w", err)
+	}
+	outPath := tmp("archive.new")
+	outF, err := os.Create(outPath)
+	if err != nil {
+		aF.Close()
+		dF.Close()
+		return fmt.Errorf("extmem: %w", err)
+	}
+	sm := &streamMerger{dict: ar.dict, spec: ar.spec, out: newTokenWriter(outF), i: i}
+	err = sm.mergeLevel(newTokenReader(aF), newTokenReader(dF), newRoot, nil)
+	aF.Close()
+	dF.Close()
+	if err == nil {
+		err = sm.out.flush()
+	}
+	if cerr := outF.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(outPath)
+		return err
+	}
+	if err := os.Rename(outPath, ar.ArchiveTokenPath()); err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	ar.versions = i
+	ar.rootTime = newRoot
+	return ar.saveMeta()
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteArchiveXML streams the archive in the paper's XML form (compact,
+// no indentation): the outer <T> carries the root timestamp; explicit
+// node timestamps and content groups become nested <T> elements, with
+// <_attr> carriers for attribute items inside groups.
+func (ar *Archiver) WriteArchiveXML(w io.Writer) error {
+	f, err := os.Open(ar.ArchiveTokenPath())
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(w, 64*1024)
+	fmt.Fprintf(bw, `<T t="%s"><root>`, ar.rootTime.String())
+
+	tr := newTokenReader(f)
+	type frame struct {
+		name    string
+		wrapped bool // node wrapped in a <T> element
+		open    bool // start tag still open (no attrs written yet? always closed before children)
+		started bool // '>' written
+	}
+	var stack []frame
+	closeStart := func() {
+		if n := len(stack); n > 0 && !stack[n-1].started {
+			bw.WriteByte('>')
+			stack[n-1].started = true
+		}
+	}
+	inGroup := false
+	for {
+		t, ok := tr.take()
+		if !ok {
+			break
+		}
+		switch t.op {
+		case tokOpen:
+			closeStart()
+			name, err := ar.dict.name(t.tag)
+			if err != nil {
+				return err
+			}
+			wrapped := false
+			if t.data != "" && !inGroup {
+				fmt.Fprintf(bw, `<T t="%s">`, t.data)
+				wrapped = true
+			}
+			bw.WriteByte('<')
+			bw.WriteString(name)
+			stack = append(stack, frame{name: name, wrapped: wrapped})
+		case tokAttr:
+			name, err := ar.dict.name(t.tag)
+			if err != nil {
+				return err
+			}
+			if len(stack) > 0 && !stack[len(stack)-1].started {
+				fmt.Fprintf(bw, ` %s="`, name)
+				xmlEscape(bw, t.data, true)
+				bw.WriteByte('"')
+			} else {
+				// An attribute item inside group content after other
+				// items: carry it in an <_attr> element.
+				fmt.Fprintf(bw, `<_attr n="`)
+				xmlEscape(bw, name, true)
+				bw.WriteString(`">`)
+				xmlEscape(bw, t.data, false)
+				bw.WriteString("</_attr>")
+			}
+		case tokText:
+			closeStart()
+			xmlEscape(bw, t.data, false)
+		case tokClose:
+			n := len(stack)
+			if n == 0 {
+				return fmt.Errorf("extmem: unbalanced archive tokens")
+			}
+			fr := stack[n-1]
+			stack = stack[:n-1]
+			if !fr.started {
+				bw.WriteString("/>")
+			} else {
+				fmt.Fprintf(bw, "</%s>", fr.name)
+			}
+			if fr.wrapped {
+				bw.WriteString("</T>")
+			}
+		case tokTSOpen:
+			closeStart()
+			fmt.Fprintf(bw, `<T t="%s">`, t.data)
+			inGroup = true
+		case tokTSClose:
+			bw.WriteString("</T>")
+			inGroup = false
+		}
+	}
+	if tr.err != nil {
+		return tr.err
+	}
+	bw.WriteString("</root></T>")
+	return bw.Flush()
+}
+
+func xmlEscape(w *bufio.Writer, s string, attr bool) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '"':
+			if attr {
+				w.WriteString("&quot;")
+			} else {
+				w.WriteByte('"')
+			}
+		case '\n':
+			if attr {
+				w.WriteString("&#10;")
+			} else {
+				w.WriteByte('\n')
+			}
+		case '\t':
+			if attr {
+				w.WriteString("&#9;")
+			} else {
+				w.WriteByte('\t')
+			}
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}

@@ -1,0 +1,455 @@
+package extmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xarch/internal/keys"
+)
+
+// dictionary maps tag/attribute names to integers (§6.1: "a document with
+// tag names replaced by integers"). One dictionary serves the archive and
+// every version.
+type dictionary struct {
+	ids   map[string]int
+	names []string
+}
+
+func newDictionary() *dictionary {
+	return &dictionary{ids: map[string]int{}}
+}
+
+func (d *dictionary) id(name string) int {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := len(d.names)
+	d.ids[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+func (d *dictionary) name(id int) (string, error) {
+	if id < 0 || id >= len(d.names) {
+		return "", fmt.Errorf("extmem: tag id %d outside dictionary", id)
+	}
+	return d.names[id], nil
+}
+
+// save writes the dictionary as "id<TAB>name" lines.
+func (d *dictionary) save(w io.Writer) error {
+	for i, n := range d.names {
+		if _, err := fmt.Fprintf(w, "%d\t%s\n", i, escapeNL(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadDictionary(r io.Reader) (*dictionary, error) {
+	d := newDictionary()
+	var id int
+	var name string
+	for {
+		n, err := fmt.Fscanf(r, "%d\t%s\n", &id, &name)
+		if err == io.EOF || n == 0 {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("extmem: dictionary: %w", err)
+		}
+		got := d.id(unescapeNL(name))
+		if got != id {
+			return nil, fmt.Errorf("extmem: dictionary ids out of order: %d != %d", got, id)
+		}
+	}
+	return d, nil
+}
+
+func escapeNL(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	return s
+}
+
+func unescapeNL(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// memo is an in-flight memorization of a key-path value (the (**) steps of
+// Annotate Keys, §4.1).
+type memo struct {
+	rec     *pendingKey
+	pathIdx int
+	depth   int // element depth at which the memorized subtree began
+	b       strings.Builder
+}
+
+// pendingKey collects the key-path values of one open keyed node.
+type pendingKey struct {
+	key    *keys.Key
+	depth  int
+	filled []bool
+	values []string
+}
+
+// decomposer streams one XML document into the internal representation
+// plus key files (§6.1), running the stack algorithm of §4.1.
+type decomposer struct {
+	spec *keys.Spec
+	dict *dictionary
+
+	tokens  *tokenWriter
+	keyOut  map[string]*tokenWriter // key file per keyed-path pattern
+	keyFile func(pattern string) (*tokenWriter, error)
+
+	path     []string
+	pendings []*pendingKey
+	memos    []*memo
+	textBuf  strings.Builder
+	depth    int
+
+	nodesSeen int
+}
+
+// decompose streams the XML document from r, writing the token stream to
+// tokens and composite key values to per-pattern key files obtained from
+// keyFile. It returns the node count.
+func decompose(r io.Reader, spec *keys.Spec, dict *dictionary, tokens *tokenWriter,
+	keyFile func(pattern string) (*tokenWriter, error)) (int, error) {
+
+	d := &decomposer{
+		spec:    spec,
+		dict:    dict,
+		tokens:  tokens,
+		keyOut:  map[string]*tokenWriter{},
+		keyFile: keyFile,
+	}
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("extmem: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := d.start(t); err != nil {
+				return 0, err
+			}
+		case xml.EndElement:
+			if err := d.end(); err != nil {
+				return 0, err
+			}
+		case xml.CharData:
+			d.textBuf.Write(t)
+		}
+	}
+	if d.depth != 0 {
+		return 0, fmt.Errorf("extmem: unbalanced document")
+	}
+	for pattern, kw := range d.keyOut {
+		if err := kw.flush(); err != nil {
+			return 0, fmt.Errorf("extmem: flush key file %s: %w", pattern, err)
+		}
+	}
+	return d.nodesSeen, nil
+}
+
+func (d *decomposer) flushText() {
+	if d.textBuf.Len() == 0 {
+		return
+	}
+	s := d.textBuf.String()
+	d.textBuf.Reset()
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	d.tokens.text(s)
+	d.nodesSeen++
+	for _, m := range d.memos {
+		m.b.WriteString("t(")
+		escapeCanon(&m.b, s)
+		m.b.WriteByte(')')
+	}
+}
+
+func (d *decomposer) start(t xml.StartElement) error {
+	d.flushText()
+	name := localName(t.Name)
+	d.path = append(d.path, name)
+	d.depth++
+	d.nodesSeen++
+
+	// Sorted attributes (canonical order).
+	attrs := make([][2]string, 0, len(t.Attr))
+	for _, a := range t.Attr {
+		an := localName(a.Name)
+		if an == "xmlns" || strings.HasPrefix(an, "xmlns:") {
+			continue
+		}
+		attrs = append(attrs, [2]string{an, a.Value})
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		if attrs[i][0] != attrs[j][0] {
+			return attrs[i][0] < attrs[j][0]
+		}
+		return attrs[i][1] < attrs[j][1]
+	})
+
+	// Key-path values of enclosing keyed nodes that begin at this element
+	// start memorizing here ((**) of §4.1); key paths ending at one of
+	// this element's attributes fill directly from the start tag.
+	for _, p := range d.pendings {
+		rel := keys.Path(d.path[p.depth:])
+		for pi, kp := range p.key.KeyPaths {
+			if len(kp) == 0 {
+				continue
+			}
+			if kp.Matches(rel) {
+				d.memos = append(d.memos, &memo{rec: p, pathIdx: pi, depth: d.depth})
+			}
+			if len(rel) == len(kp)-1 && kp[:len(kp)-1].Matches(rel) {
+				if err := fillFromAttrs(p, pi, kp[len(kp)-1], attrs); err != nil {
+					return fmt.Errorf("extmem: %s: %w", pathString(d.path), err)
+				}
+			}
+		}
+	}
+
+	// A keyed element opens its own pending record; an empty key path
+	// ({\e}) memorizes the node's whole value, and single-segment key
+	// paths may fill from the node's own attributes.
+	if k := d.spec.KeyFor(keys.Path(d.path)); k != nil {
+		p := &pendingKey{
+			key:    k,
+			depth:  d.depth,
+			filled: make([]bool, len(k.KeyPaths)),
+			values: make([]string, len(k.KeyPaths)),
+		}
+		d.pendings = append(d.pendings, p)
+		for pi, kp := range k.KeyPaths {
+			if len(kp) == 0 {
+				d.memos = append(d.memos, &memo{rec: p, pathIdx: pi, depth: d.depth})
+				continue
+			}
+			if len(kp) == 1 {
+				if err := fillFromAttrs(p, pi, kp[0], attrs); err != nil {
+					return fmt.Errorf("extmem: %s: %w", pathString(d.path), err)
+				}
+			}
+		}
+	}
+
+	// Every active memorization (old and new) receives this element's
+	// canonical fragment: new memos start their value with it.
+	for _, m := range d.memos {
+		m.b.WriteString("e(")
+		escapeCanon(&m.b, name)
+		for _, a := range attrs {
+			m.b.WriteString("a(")
+			escapeCanon(&m.b, a[0])
+			m.b.WriteByte('=')
+			escapeCanon(&m.b, a[1])
+			m.b.WriteByte(')')
+		}
+	}
+
+	d.tokens.open(d.dict.id(name), nil, "")
+	for _, a := range attrs {
+		d.tokens.attr(d.dict.id(a[0]), a[1])
+		d.nodesSeen++
+	}
+	return nil
+}
+
+func (d *decomposer) end() error {
+	d.flushText()
+
+	// Close canonical fragments; finish memorizations that began here.
+	remaining := d.memos[:0]
+	for _, m := range d.memos {
+		m.b.WriteByte(')')
+		if m.depth == d.depth {
+			if err := m.rec.fill(m.pathIdx, m.b.String()); err != nil {
+				return fmt.Errorf("extmem: %s: %w", pathString(d.path), err)
+			}
+			continue
+		}
+		remaining = append(remaining, m)
+	}
+	d.memos = remaining
+
+	// If the closing node is keyed, its pending record is complete: write
+	// the composite key value to the key file of its path pattern.
+	if len(d.pendings) > 0 && d.pendings[len(d.pendings)-1].depth == d.depth {
+		p := d.pendings[len(d.pendings)-1]
+		d.pendings = d.pendings[:len(d.pendings)-1]
+		for pi, kp := range p.key.KeyPaths {
+			if !p.filled[pi] {
+				return fmt.Errorf("extmem: %s: key path %s of %s resolves to 0 nodes",
+					pathString(d.path), kp, p.key)
+			}
+		}
+		pattern := p.key.NodePath().Absolute()
+		kw, ok := d.keyOut[pattern]
+		if !ok {
+			var err error
+			kw, err = d.keyFile(pattern)
+			if err != nil {
+				return err
+			}
+			d.keyOut[pattern] = kw
+		}
+		writeKeyRecord(kw, p)
+	}
+
+	d.tokens.close()
+	d.path = d.path[:len(d.path)-1]
+	d.depth--
+	return nil
+}
+
+// fill records one key-path value, rejecting duplicates ("every path Pi
+// exists uniquely").
+func (p *pendingKey) fill(pi int, canon string) error {
+	if p.filled[pi] {
+		return fmt.Errorf("key path %s of %s resolves to more than one node", p.key.KeyPaths[pi], p.key)
+	}
+	p.filled[pi] = true
+	p.values[pi] = canon
+	return nil
+}
+
+// writeKeyRecord appends a composite key value: path names and canonical
+// values sorted by path name (§4.2's lexicographic key-path order).
+func writeKeyRecord(kw *tokenWriter, p *pendingKey) {
+	type ent struct{ path, canon string }
+	ents := make([]ent, len(p.key.KeyPaths))
+	for i, kp := range p.key.KeyPaths {
+		ents[i] = ent{kp.String(), p.values[i]}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].path < ents[j].path })
+	kw.varint(uint64(len(ents)))
+	for _, e := range ents {
+		kw.str(e.path)
+		kw.str(e.canon)
+	}
+}
+
+// rawReader reads the varint/string records of key files.
+type rawReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func newRawReader(r io.Reader) *rawReader {
+	return &rawReader{r: bufio.NewReaderSize(r, 32*1024)}
+}
+
+func (rr *rawReader) varint() (uint64, error) {
+	if rr.err != nil {
+		return 0, rr.err
+	}
+	v, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		rr.err = err
+	}
+	return v, err
+}
+
+func (rr *rawReader) str() (string, error) {
+	n, err := rr.varint()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rr.r, buf); err != nil {
+		rr.err = err
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// readKeyRecord pops the next composite key value from a key file.
+func readKeyRecord(rr *rawReader) (*tkey, error) {
+	n, err := rr.varint()
+	if err != nil {
+		return nil, err
+	}
+	k := &tkey{}
+	for i := uint64(0); i < n; i++ {
+		p, err := rr.str()
+		if err != nil {
+			return nil, err
+		}
+		c, err := rr.str()
+		if err != nil {
+			return nil, err
+		}
+		k.paths = append(k.paths, p)
+		k.canon = append(k.canon, c)
+	}
+	return k, nil
+}
+
+// fillFromAttrs fills key path pi of p from a matching attribute.
+func fillFromAttrs(p *pendingKey, pi int, seg string, attrs [][2]string) error {
+	for _, a := range attrs {
+		if seg == a[0] || seg == keys.Wildcard {
+			var b strings.Builder
+			b.WriteString("a(")
+			escapeCanon(&b, a[0])
+			b.WriteByte('=')
+			escapeCanon(&b, a[1])
+			b.WriteByte(')')
+			if err := p.fill(pi, b.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func escapeCanon(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', ')', '=', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+}
+
+func localName(n xml.Name) string {
+	if n.Space == "" || strings.ContainsAny(n.Space, ":/") {
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
+}
+
+func pathString(p []string) string { return "/" + strings.Join(p, "/") }

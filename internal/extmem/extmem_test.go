@@ -1,0 +1,350 @@
+package extmem
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"xarch/internal/core"
+	"xarch/internal/datagen"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// addAll archives the version sequence with the external archiver.
+func addAll(t *testing.T, ar *Archiver, docs []*xmltree.Node) {
+	t.Helper()
+	for i, d := range docs {
+		var err error
+		if d == nil {
+			err = ar.AddEmptyVersion()
+		} else {
+			err = ar.AddVersion(strings.NewReader(d.IndentedXML()))
+		}
+		if err != nil {
+			t.Fatalf("external add v%d: %v", i+1, err)
+		}
+	}
+}
+
+// loadExternal reads the external archive back through the in-memory
+// loader for semantic comparison.
+func loadExternal(t *testing.T, ar *Archiver, spec *keys.Spec) *core.Archive {
+	t.Helper()
+	var b strings.Builder
+	if err := ar.WriteArchiveXML(&b); err != nil {
+		t.Fatalf("write archive xml: %v", err)
+	}
+	doc, err := xmltree.ParseString(b.String())
+	if err != nil {
+		t.Fatalf("parse external archive: %v\n%s", err, clip(b.String()))
+	}
+	a, err := core.Load(doc, spec, core.Options{})
+	if err != nil {
+		t.Fatalf("load external archive: %v\n%s", err, clip(b.String()))
+	}
+	return a
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "..."
+	}
+	return s
+}
+
+// checkEquivalence verifies the external archive reproduces every version
+// identically to an in-memory archive of the same sequence.
+func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budget int) {
+	t.Helper()
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, ar, docs)
+	if ar.Versions() != len(docs) {
+		t.Fatalf("external versions = %d, want %d", ar.Versions(), len(docs))
+	}
+
+	mem := core.New(spec, core.Options{SkipValidation: true})
+	for _, d := range docs {
+		var doc *xmltree.Node
+		if d != nil {
+			doc = d.Clone()
+		}
+		if err := mem.Add(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ext := loadExternal(t, ar, spec)
+	if err := ext.CheckInvariants(); err != nil {
+		t.Fatalf("external archive invariants: %v", err)
+	}
+	for i := 1; i <= len(docs); i++ {
+		want, err := mem.Version(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ext.Version(i)
+		if err != nil {
+			t.Fatalf("external Version(%d): %v", i, err)
+		}
+		if (want == nil) != (got == nil) {
+			t.Fatalf("version %d emptiness differs", i)
+		}
+		if want == nil {
+			continue
+		}
+		same, err := mem.SameVersion(want, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Fatalf("version %d differs between external and in-memory archiver (budget %d)", i, budget)
+		}
+	}
+}
+
+func TestCompanyEquivalence(t *testing.T) {
+	docs := datagen.CompanyVersions()
+	docs = append(docs, nil) // plus an empty version
+	for _, budget := range []int{16, 64, 1 << 20} {
+		checkEquivalence(t, datagen.CompanySpec(), docs, budget)
+	}
+}
+
+func TestOMIMEquivalenceTinyBudget(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 41, Records: 25, DeleteFrac: 0.04, InsertFrac: 0.08, ModifyFrac: 0.08})
+	var docs []*xmltree.Node
+	for i := 0; i < 4; i++ {
+		docs = append(docs, g.Next())
+	}
+	// A 100-token budget forces dozens of runs per version.
+	checkEquivalence(t, datagen.OMIMSpec(), docs, 100)
+}
+
+func TestXMarkEquivalence(t *testing.T) {
+	g := datagen.NewXMark(datagen.XMarkConfig{Seed: 41, Items: 25, People: 15, Categories: 8, OpenAucts: 10, ClosedAucts: 6})
+	doc := g.Document()
+	docs := []*xmltree.Node{doc, g.RandomChanges(doc, 0.1), g.KeyModChanges(doc, 0.1)}
+	checkEquivalence(t, datagen.XMarkSpec(), docs, 200)
+}
+
+func TestRunsFormedUnderBudget(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 43, Records: 40})
+	doc := g.Next()
+	dir := t.TempDir()
+	ar, err := Open(dir, datagen.OMIMSpec(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddVersion(strings.NewReader(doc.IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	if ar.LastSort.Runs < 2 {
+		t.Errorf("tiny budget produced %d runs, expected several", ar.LastSort.Runs)
+	}
+	t.Logf("budget=64: runs=%d tokens=%d", ar.LastSort.Runs, ar.LastSort.RunTokens)
+
+	dir2 := t.TempDir()
+	ar2, err := Open(dir2, datagen.OMIMSpec(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar2.AddVersion(strings.NewReader(doc.IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	if ar2.LastSort.Runs != 1 {
+		t.Errorf("huge budget produced %d runs, want 1", ar2.LastSort.Runs)
+	}
+}
+
+func TestReopenAndExtend(t *testing.T) {
+	spec := datagen.CompanySpec()
+	docs := datagen.CompanyVersions()
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, ar, docs[:2])
+
+	// Re-open the directory and continue.
+	ar2, err := Open(dir, spec, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar2.Versions() != 2 {
+		t.Fatalf("reopened archiver versions = %d", ar2.Versions())
+	}
+	addAll(t, ar2, docs[2:])
+
+	ext := loadExternal(t, ar2, spec)
+	h, err := ext.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "2,4" {
+		t.Errorf("Jane history through reopened external archive = %q, want 2,4", h)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	spec := datagen.CompanySpec()
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		`<db><dept></dept></db>`,                             // missing key path (name)
+		`<db><dept><name>a</name><name>b</name></dept></db>`, // duplicate key path
+		`<db><zzz/></db>`,                                    // unkeyed element
+		`<db><dept><name>f</name>stray</dept></db>`,          // text above frontier
+	} {
+		if err := ar.AddVersion(strings.NewReader(src)); err == nil {
+			t.Errorf("AddVersion(%q): expected error", src)
+		}
+		if ar.Versions() != 0 {
+			t.Fatalf("failed add advanced version counter")
+		}
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := newDictionary()
+	names := []string{"db", "dept", "emp", "weird\nname", "tab\tname"}
+	for _, n := range names {
+		d.id(n)
+	}
+	var b strings.Builder
+	if err := d.save(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadDictionary(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range names {
+		got, err := back.name(i)
+		if err != nil || got != n {
+			t.Errorf("name(%d) = %q, %v; want %q", i, got, err, n)
+		}
+	}
+	if _, err := back.name(99); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestTokenStreamRoundTrip(t *testing.T) {
+	var b strings.Builder
+	tw := newTokenWriter(&stringWriter{&b})
+	k := &tkey{paths: []string{"fn", "ln"}, canon: []string{"e(fnt(John))", "e(lnt(Doe))"}}
+	tw.open(3, k, "1-4")
+	tw.attr(5, "value")
+	tw.text("hello")
+	tw.tsOpen("2,4")
+	tw.text("group")
+	tw.tsClose()
+	tw.close()
+	if err := tw.flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newTokenReader(strings.NewReader(b.String()))
+	expect := []struct {
+		op   byte
+		data string
+	}{
+		{tokOpen, "1-4"}, {tokAttr, "value"}, {tokText, "hello"},
+		{tokTSOpen, "2,4"}, {tokText, "group"}, {tokTSClose, ""}, {tokClose, ""},
+	}
+	for i, e := range expect {
+		tok, ok := tr.take()
+		if !ok {
+			t.Fatalf("stream ended at %d: %v", i, tr.err)
+		}
+		if tok.op != e.op || tok.data != e.data {
+			t.Fatalf("token %d = {%#x %q}, want {%#x %q}", i, tok.op, tok.data, e.op, e.data)
+		}
+		if i == 0 {
+			if tok.key == nil || len(tok.key.paths) != 2 || tok.key.canon[1] != "e(lnt(Doe))" {
+				t.Fatalf("key corrupted: %+v", tok.key)
+			}
+		}
+	}
+	if _, ok := tr.take(); ok {
+		t.Fatal("extra tokens")
+	}
+}
+
+type stringWriter struct{ b *strings.Builder }
+
+func (w *stringWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestCompareKeys(t *testing.T) {
+	a := &tkey{paths: []string{"fn"}, canon: []string{"x"}}
+	b := &tkey{paths: []string{"fn"}, canon: []string{"y"}}
+	if compareKeys(a, b) >= 0 || compareKeys(b, a) <= 0 || compareKeys(a, a) != 0 {
+		t.Error("canonical ordering broken")
+	}
+	empty := &tkey{}
+	if compareKeys(empty, a) >= 0 {
+		t.Error("fewer key paths should sort first")
+	}
+	if compareKeys(nil, empty) != 0 {
+		t.Error("nil and empty keys should compare equal")
+	}
+}
+
+func TestSwissProtEquivalence(t *testing.T) {
+	g := datagen.NewSwissProt(datagen.SwissProtConfig{Seed: 47, Records: 12, DeleteFrac: 0.1, InsertFrac: 0.2, ModifyFrac: 0.1})
+	var docs []*xmltree.Node
+	for i := 0; i < 3; i++ {
+		docs = append(docs, g.Next())
+	}
+	checkEquivalence(t, datagen.SwissProtSpec(), docs, 150)
+}
+
+func BenchmarkExternalAdd(b *testing.B) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 51, Records: 100})
+	doc := g.Next()
+	text := doc.IndentedXML()
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		ar, err := Open(dir, datagen.OMIMSpec(), 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := ar.AddVersion(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestArchiveXMLWellFormed(t *testing.T) {
+	dir := t.TempDir()
+	ar, err := Open(dir, datagen.CompanySpec(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, ar, datagen.CompanyVersions())
+	var b strings.Builder
+	if err := ar.WriteArchiveXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	xml := b.String()
+	if !strings.HasPrefix(xml, `<T t="1-4"><root>`) {
+		t.Errorf("archive XML prefix wrong: %s", clip(xml))
+	}
+	if _, err := xmltree.ParseString(xml); err != nil {
+		t.Fatalf("archive XML not well-formed: %v\n%s", err, clip(xml))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,283 @@
+// Package extmem implements the external-memory archiver of §6 of Buneman
+// et al., "Archiving Scientific Data", for documents larger than memory:
+//
+//  1. Decompose (§6.1): a streaming pass splits the XML into an internal
+//     token representation (tag names replaced by dictionary numbers),
+//     a tag dictionary, and per-key-path files of key values — the
+//     streaming realization of Annotate Keys (§4.1).
+//  2. Sort (§6.2): bounded-memory sorted runs over the token stream (keyed
+//     levels sorted by key value; stems duplicated across runs), then a
+//     multi-way merge of the runs into one sorted document.
+//  3. Merge (§6.3): a single streaming pass merges the sorted archive and
+//     the sorted version by the Nested Merge rules.
+//
+// Only O(height + frontier-subtree) state is held in memory at any point
+// outside the run former, whose memory use is capped by an explicit node
+// budget.
+package extmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Token opcodes of the internal representation.
+const (
+	tokOpen    = 0x01 // element open: tagID, flags, [key], [time]
+	tokText    = 0x02 // text: data
+	tokAttr    = 0x03 // attribute: nameID, value
+	tokClose   = 0x04 // element close
+	tokTSOpen  = 0x05 // frontier content group open: time
+	tokTSClose = 0x06 // group close
+)
+
+// Open flags.
+const (
+	flagHasKey  = 0x01
+	flagHasTime = 0x02
+)
+
+// token is one decoded token.
+type token struct {
+	op   byte
+	tag  int    // tokOpen: dictionary id; tokAttr: name id
+	data string // tokText: text; tokAttr: value; tokTSOpen/tokOpen: time
+	key  *tkey  // tokOpen with flagHasKey
+}
+
+// tkey is the key annotation carried inline by annotated token streams:
+// key-path names and canonical values, sorted by path name (§4.2).
+type tkey struct {
+	paths []string
+	canon []string
+}
+
+// compareKeys orders two key annotations per <=lab (canonical strings
+// stand in for fingerprints; the order only needs to be consistent).
+func compareKeys(a, b *tkey) int {
+	la, lb := 0, 0
+	if a != nil {
+		la = len(a.paths)
+	}
+	if b != nil {
+		lb = len(b.paths)
+	}
+	if la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	for i := 0; i < la; i++ {
+		if a.paths[i] != b.paths[i] {
+			if a.paths[i] < b.paths[i] {
+				return -1
+			}
+			return 1
+		}
+		if a.canon[i] != b.canon[i] {
+			if a.canon[i] < b.canon[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// tokenWriter writes a token stream.
+type tokenWriter struct {
+	w *bufio.Writer
+}
+
+func newTokenWriter(w io.Writer) *tokenWriter {
+	return &tokenWriter{w: bufio.NewWriterSize(w, 64*1024)}
+}
+
+func (tw *tokenWriter) varint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	tw.w.Write(buf[:n])
+}
+
+func (tw *tokenWriter) str(s string) {
+	tw.varint(uint64(len(s)))
+	tw.w.WriteString(s)
+}
+
+func (tw *tokenWriter) open(tagID int, key *tkey, time string) {
+	tw.w.WriteByte(tokOpen)
+	tw.varint(uint64(tagID))
+	var flags byte
+	if key != nil {
+		flags |= flagHasKey
+	}
+	if time != "" {
+		flags |= flagHasTime
+	}
+	tw.w.WriteByte(flags)
+	if key != nil {
+		tw.varint(uint64(len(key.paths)))
+		for i := range key.paths {
+			tw.str(key.paths[i])
+			tw.str(key.canon[i])
+		}
+	}
+	if time != "" {
+		tw.str(time)
+	}
+}
+
+func (tw *tokenWriter) text(s string) {
+	tw.w.WriteByte(tokText)
+	tw.str(s)
+}
+
+func (tw *tokenWriter) attr(nameID int, value string) {
+	tw.w.WriteByte(tokAttr)
+	tw.varint(uint64(nameID))
+	tw.str(value)
+}
+
+func (tw *tokenWriter) close() { tw.w.WriteByte(tokClose) }
+
+func (tw *tokenWriter) tsOpen(time string) {
+	tw.w.WriteByte(tokTSOpen)
+	tw.str(time)
+}
+
+func (tw *tokenWriter) tsClose() { tw.w.WriteByte(tokTSClose) }
+
+func (tw *tokenWriter) flush() error { return tw.w.Flush() }
+
+// writeToken re-emits a decoded token.
+func (tw *tokenWriter) writeToken(t token) {
+	switch t.op {
+	case tokOpen:
+		tw.open(t.tag, t.key, t.data)
+	case tokText:
+		tw.text(t.data)
+	case tokAttr:
+		tw.attr(t.tag, t.data)
+	case tokClose:
+		tw.close()
+	case tokTSOpen:
+		tw.tsOpen(t.data)
+	case tokTSClose:
+		tw.tsClose()
+	}
+}
+
+// tokenReader reads a token stream with one token of lookahead.
+type tokenReader struct {
+	r    *bufio.Reader
+	cur  token
+	err  error
+	done bool
+}
+
+func newTokenReader(r io.Reader) *tokenReader {
+	tr := &tokenReader{r: bufio.NewReaderSize(r, 64*1024)}
+	tr.next()
+	return tr
+}
+
+func (tr *tokenReader) varint() uint64 {
+	v, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		tr.fail(err)
+		return 0
+	}
+	return v
+}
+
+func (tr *tokenReader) str() string {
+	n := tr.varint()
+	if tr.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(tr.r, buf); err != nil {
+		tr.fail(err)
+		return ""
+	}
+	return string(buf)
+}
+
+func (tr *tokenReader) fail(err error) {
+	if err == io.EOF {
+		tr.done = true
+		return
+	}
+	if tr.err == nil {
+		tr.err = err
+	}
+	tr.done = true
+}
+
+// next advances to the next token; peek() then returns it.
+func (tr *tokenReader) next() {
+	if tr.done {
+		return
+	}
+	op, err := tr.r.ReadByte()
+	if err != nil {
+		tr.fail(err)
+		return
+	}
+	t := token{op: op}
+	switch op {
+	case tokOpen:
+		t.tag = int(tr.varint())
+		flags, err := tr.r.ReadByte()
+		if err != nil {
+			tr.fail(err)
+			return
+		}
+		if flags&flagHasKey != 0 {
+			k := &tkey{}
+			n := tr.varint()
+			for i := uint64(0); i < n; i++ {
+				k.paths = append(k.paths, tr.str())
+				k.canon = append(k.canon, tr.str())
+			}
+			t.key = k
+		}
+		if flags&flagHasTime != 0 {
+			t.data = tr.str()
+		}
+	case tokText:
+		t.data = tr.str()
+	case tokAttr:
+		t.tag = int(tr.varint())
+		t.data = tr.str()
+	case tokClose, tokTSClose:
+	case tokTSOpen:
+		t.data = tr.str()
+	default:
+		tr.fail(fmt.Errorf("extmem: unknown opcode %#x", op))
+		return
+	}
+	if tr.err == nil && !tr.done {
+		tr.cur = t
+	}
+}
+
+// peek returns the current token; ok is false at end of stream.
+func (tr *tokenReader) peek() (token, bool) {
+	if tr.done {
+		return token{}, false
+	}
+	return tr.cur, true
+}
+
+// take returns the current token and advances.
+func (tr *tokenReader) take() (token, bool) {
+	t, ok := tr.peek()
+	if ok {
+		tr.next()
+	}
+	return t, ok
+}

@@ -1,0 +1,54 @@
+// Package fingerprint computes fingerprints of XML values (§4.3 of
+// Buneman et al., "Archiving Scientific Data").
+//
+// A fingerprint is a hash of the canonical form of a value, so that
+// value-equal XML values always have equal fingerprints. Fingerprints are
+// an efficiency device only: the archiver compares fingerprints first and
+// falls back to comparing canonical forms when fingerprints collide, so a
+// collision can never merge two elements with different key values.
+package fingerprint
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"hash/fnv"
+
+	"xarch/internal/xmltree"
+)
+
+// Func maps a canonical XML string to a 64-bit fingerprint.
+type Func func(canonical string) uint64
+
+// FNV is the default fingerprint function: FNV-1a, fast and stdlib-only.
+func FNV(canonical string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(canonical))
+	return h.Sum64()
+}
+
+// MD5 uses the first 8 bytes of an MD5 digest, in the spirit of DOMHash
+// (the function the paper references). Slower than FNV; collision
+// probability ~2^-64 either way.
+func MD5(canonical string) uint64 {
+	sum := md5.Sum([]byte(canonical))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Weak8 is a deliberately weak 8-bit fingerprint used by tests to force
+// collisions and exercise the canonical-form fallback path. Never use it
+// for real archives (it is correct but slow under collisions).
+func Weak8(canonical string) uint64 {
+	var h uint64
+	for i := 0; i < len(canonical); i++ {
+		h += uint64(canonical[i])
+	}
+	return h % 251
+}
+
+// Of fingerprints the value rooted at n using f (FNV if f is nil).
+func Of(n *xmltree.Node, f Func) uint64 {
+	if f == nil {
+		f = FNV
+	}
+	return f(xmltree.Canonical(n))
+}

@@ -1,0 +1,67 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"xarch/internal/xmltree"
+)
+
+func TestValueEqualImpliesEqualFingerprint(t *testing.T) {
+	a := xmltree.MustParseString(`<emp x="1" y="2"><fn>John</fn></emp>`)
+	b := xmltree.MustParseString(`<emp y="2" x="1"><fn>John</fn></emp>`) // attr order differs
+	for _, f := range []Func{FNV, MD5, Weak8} {
+		if Of(a, f) != Of(b, f) {
+			t.Errorf("value-equal nodes got different fingerprints")
+		}
+	}
+}
+
+func TestDifferentValuesUsuallyDiffer(t *testing.T) {
+	a := xmltree.MustParseString(`<fn>John</fn>`)
+	b := xmltree.MustParseString(`<fn>Jane</fn>`)
+	if Of(a, FNV) == Of(b, FNV) {
+		t.Error("FNV collision on trivial distinct values (astronomically unlikely)")
+	}
+	if Of(a, MD5) == Of(b, MD5) {
+		t.Error("MD5 collision on trivial distinct values")
+	}
+}
+
+func TestWeak8Range(t *testing.T) {
+	// Weak8 must collide a lot — that is its job in collision tests.
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		n := xmltree.ElemText("k", string(rune('a'+i%26))+string(rune('a'+(i/26)%26)))
+		fp := Of(n, Weak8)
+		if fp >= 251 {
+			t.Fatalf("Weak8 out of range: %d", fp)
+		}
+		seen[fp] = true
+	}
+	if len(seen) >= 1000 {
+		t.Error("Weak8 produced no collisions over 1000 values")
+	}
+}
+
+func TestNilFuncDefaultsToFNV(t *testing.T) {
+	n := xmltree.ElemText("a", "b")
+	if Of(n, nil) != Of(n, FNV) {
+		t.Error("nil Func should default to FNV")
+	}
+}
+
+func BenchmarkFNV(b *testing.B) {
+	c := xmltree.Canonical(xmltree.MustParseString(`<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>`))
+	b.SetBytes(int64(len(c)))
+	for i := 0; i < b.N; i++ {
+		FNV(c)
+	}
+}
+
+func BenchmarkMD5(b *testing.B) {
+	c := xmltree.Canonical(xmltree.MustParseString(`<emp><fn>John</fn><ln>Doe</ln><sal>95K</sal></emp>`))
+	b.SetBytes(int64(len(c)))
+	for i := 0; i < b.N; i++ {
+		MD5(c)
+	}
+}

@@ -1,0 +1,350 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseString(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", ""},
+		{"1", "1"},
+		{"1-3", "1-3"},
+		{"1-3,5,7-9", "1-3,5,7-9"},
+		{"1,2,3", "1-3"},             // adjacent singletons coalesce
+		{"7-9, 1-3 ,5", "1-3,5,7-9"}, // order and spaces are normalized
+		{"4-6,1-3", "1-6"},
+		{"1-5,3-8", "1-8"},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got := s.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"a", "1-", "-3", "3-1", "1,,2", "1-2-3", "1.5"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestAddCoalesce(t *testing.T) {
+	s := New()
+	s.Add(5)
+	s.Add(7)
+	if got := s.String(); got != "5,7" {
+		t.Fatalf("got %q", got)
+	}
+	s.Add(6)
+	if got := s.String(); got != "5-7" {
+		t.Fatalf("after bridging add got %q", got)
+	}
+	s.Add(4)
+	s.Add(8)
+	if got := s.String(); got != "4-8" {
+		t.Fatalf("after extending got %q", got)
+	}
+	s.Add(6) // idempotent
+	if got := s.String(); got != "4-8" {
+		t.Fatalf("after duplicate add got %q", got)
+	}
+}
+
+func TestAddRangeOverlaps(t *testing.T) {
+	s := MustParse("1-3,10-12")
+	s.AddRange(2, 11)
+	if got := s.String(); got != "1-12" {
+		t.Fatalf("got %q", got)
+	}
+	s = MustParse("5")
+	s.AddRange(1, 3)
+	if got := s.String(); got != "1-3,5" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRemoveSplits(t *testing.T) {
+	s := MustParse("1-5")
+	s.Remove(3)
+	if got := s.String(); got != "1-2,4-5" {
+		t.Fatalf("split: got %q", got)
+	}
+	s.Remove(1)
+	s.Remove(5)
+	if got := s.String(); got != "2,4" {
+		t.Fatalf("trim: got %q", got)
+	}
+	s.Remove(2)
+	s.Remove(4)
+	if !s.Empty() {
+		t.Fatalf("expected empty, got %q", s.String())
+	}
+	s.Remove(9) // removing absent value is a no-op
+	if !s.Empty() {
+		t.Fatalf("no-op remove changed set")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := MustParse("1-3,5,7-9")
+	for _, v := range []int{1, 2, 3, 5, 7, 8, 9} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []int{0, 4, 6, 10, -1} {
+		if s.Contains(v) {
+			t.Errorf("Contains(%d) = true, want false", v)
+		}
+	}
+	var nilSet *Set
+	if nilSet.Contains(1) {
+		t.Error("nil set should contain nothing")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := MustParse("1-5,10-15")
+	b := MustParse("4-11,20")
+
+	if got := a.Union(b).String(); got != "1-15,20" {
+		t.Errorf("Union = %q", got)
+	}
+	if got := a.Intersect(b).String(); got != "4-5,10-11" {
+		t.Errorf("Intersect = %q", got)
+	}
+	if got := a.Minus(b).String(); got != "1-3,12-15" {
+		t.Errorf("Minus = %q", got)
+	}
+	if got := b.Minus(a).String(); got != "6-9,20" {
+		t.Errorf("reverse Minus = %q", got)
+	}
+}
+
+func TestMinusEdge(t *testing.T) {
+	if got := MustParse("1-10").Minus(MustParse("1-10")).String(); got != "" {
+		t.Errorf("self minus = %q", got)
+	}
+	if got := MustParse("1-10").Minus(New()).String(); got != "1-10" {
+		t.Errorf("minus empty = %q", got)
+	}
+	if got := New().Minus(MustParse("1-10")).String(); got != "" {
+		t.Errorf("empty minus = %q", got)
+	}
+	if got := MustParse("5").Minus(MustParse("1-10")).String(); got != "" {
+		t.Errorf("subset minus = %q", got)
+	}
+}
+
+func TestSupersetOf(t *testing.T) {
+	a := MustParse("1-10,20-30")
+	for _, sub := range []string{"", "1", "5-8", "1-10", "25,28", "1-10,22"} {
+		if !a.SupersetOf(MustParse(sub)) {
+			t.Errorf("SupersetOf(%q) = false", sub)
+		}
+	}
+	for _, notSub := range []string{"0", "11", "5-11", "19-21", "31"} {
+		if a.SupersetOf(MustParse(notSub)) {
+			t.Errorf("SupersetOf(%q) = true", notSub)
+		}
+	}
+	var nilSet *Set
+	if !nilSet.SupersetOf(New()) {
+		t.Error("nil ⊇ empty should hold")
+	}
+	if nilSet.SupersetOf(New(1)) {
+		t.Error("nil ⊉ {1}")
+	}
+}
+
+func TestMinMaxLen(t *testing.T) {
+	s := MustParse("3-5,9")
+	if s.Min() != 3 || s.Max() != 9 || s.Len() != 4 {
+		t.Fatalf("Min/Max/Len = %d/%d/%d", s.Min(), s.Max(), s.Len())
+	}
+	if s.RunCount() != 2 {
+		t.Fatalf("RunCount = %d", s.RunCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty set should panic")
+		}
+	}()
+	New().Min()
+}
+
+func TestVersionsAndRuns(t *testing.T) {
+	s := MustParse("1-3,7")
+	got := s.Versions()
+	want := []int{1, 2, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Versions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Versions = %v, want %v", got, want)
+		}
+	}
+	runs := s.Runs()
+	if len(runs) != 2 || runs[0] != [2]int{1, 3} || runs[1] != [2]int{7, 7} {
+		t.Fatalf("Runs = %v", runs)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustParse("1-5")
+	b := a.Clone()
+	b.Add(10)
+	if a.Contains(10) {
+		t.Error("Clone shares storage with original")
+	}
+	var nilSet *Set
+	if c := nilSet.Clone(); !c.Empty() {
+		t.Error("Clone(nil) should be empty")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !MustParse("1-3").Equal(MustParse("1,2,3")) {
+		t.Error("normalized forms should be equal")
+	}
+	if MustParse("1-3").Equal(MustParse("1-4")) {
+		t.Error("different sets reported equal")
+	}
+	var nilSet *Set
+	if !nilSet.Equal(New()) || !New().Equal(nilSet) {
+		t.Error("nil and empty should be equal")
+	}
+}
+
+// model is a reference implementation over a map, used by property tests.
+type model map[int]bool
+
+func (m model) toSet() *Set {
+	s := New()
+	for v := range m {
+		s.Add(v)
+	}
+	return s
+}
+
+// TestQuickAgainstModel drives a Set and a map model with the same random
+// operations and checks that membership, cardinality and rendering agree.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(ops []int16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		m := model{}
+		for _, op := range ops {
+			v := int(op % 200)
+			if v < 0 {
+				v = -v
+			}
+			if rng.Intn(3) == 0 {
+				s.Remove(v)
+				delete(m, v)
+			} else {
+				s.Add(v)
+				m[v] = true
+			}
+		}
+		if s.Len() != len(m) {
+			return false
+		}
+		for v := -205; v < 205; v++ {
+			if s.Contains(v) != m[v] {
+				return false
+			}
+		}
+		// String round-trips.
+		back, err := Parse(s.String())
+		return err == nil && back.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlgebra checks Union/Intersect/Minus against the map model.
+func TestQuickAlgebra(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		ma, mb := model{}, model{}
+		for _, v := range av {
+			ma[int(v%60)] = true
+		}
+		for _, v := range bv {
+			mb[int(v%60)] = true
+		}
+		a, b := ma.toSet(), mb.toSet()
+		u, in, mi := a.Union(b), a.Intersect(b), a.Minus(b)
+		for v := 0; v < 60; v++ {
+			if u.Contains(v) != (ma[v] || mb[v]) {
+				return false
+			}
+			if in.Contains(v) != (ma[v] && mb[v]) {
+				return false
+			}
+			if mi.Contains(v) != (ma[v] && !mb[v]) {
+				return false
+			}
+		}
+		// Laws: a = (a∖b) ∪ (a∩b); (a∖b) ∩ b = ∅; a ⊆ a∪b.
+		if !mi.Union(in).Equal(a) {
+			return false
+		}
+		if !mi.Intersect(b).Empty() {
+			return false
+		}
+		return u.SupersetOf(a) && u.SupersetOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccretiveCompactness demonstrates the paper's §2 point: when elements
+// persist across contiguous versions, the timestamp stays a single run no
+// matter how many versions accumulate.
+func TestAccretiveCompactness(t *testing.T) {
+	s := New()
+	for v := 1; v <= 10000; v++ {
+		s.Add(v)
+	}
+	if s.RunCount() != 1 {
+		t.Fatalf("accretive timestamp fragmented into %d runs", s.RunCount())
+	}
+	if s.String() != "1-10000" {
+		t.Fatalf("got %q", s.String())
+	}
+}
+
+func BenchmarkAddSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for v := 1; v <= 1000; v++ {
+			s.Add(v)
+		}
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	s := New()
+	for v := 0; v < 10000; v += 2 {
+		s.Add(v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Contains(i % 10000)
+	}
+}

@@ -1,0 +1,112 @@
+package keyindex
+
+import (
+	"strings"
+	"testing"
+
+	"xarch/internal/core"
+	"xarch/internal/datagen"
+)
+
+func companyArchive(t *testing.T) *core.Archive {
+	t.Helper()
+	a := core.New(datagen.CompanySpec(), core.Options{})
+	for i, d := range datagen.CompanyVersions() {
+		if err := a.Add(d.Clone()); err != nil {
+			t.Fatalf("add v%d: %v", i+1, err)
+		}
+	}
+	return a
+}
+
+func TestHistoryMatchesCore(t *testing.T) {
+	a := companyArchive(t)
+	ix := Build(a)
+	selectors := []string{
+		"/db",
+		"/db/dept[name=finance]",
+		"/db/dept[name=marketing]",
+		"/db/dept[name=finance]/emp[fn=John,ln=Doe]",
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]",
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/sal",
+		"/db/dept[name=finance]/emp[fn=John,ln=Doe]/tel[.=123-4567]",
+	}
+	for _, sel := range selectors {
+		want, err := a.History(sel)
+		if err != nil {
+			t.Fatalf("core History(%s): %v", sel, err)
+		}
+		got, err := ix.History(sel)
+		if err != nil {
+			t.Fatalf("index History(%s): %v", sel, err)
+		}
+		if !want.Equal(got) {
+			t.Errorf("History(%s): index %q, core %q", sel, got, want)
+		}
+	}
+}
+
+func TestHistoryErrors(t *testing.T) {
+	ix := Build(companyArchive(t))
+	if _, err := ix.History("/db/dept[name=nosuch]"); err == nil || !strings.Contains(err.Error(), "no element") {
+		t.Errorf("missing element: %v", err)
+	}
+	if _, err := ix.History("/db/dept"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous selector: %v", err)
+	}
+	if _, err := ix.History("not-a-selector"); err == nil {
+		t.Error("bad selector accepted")
+	}
+}
+
+// TestPartialPredicate: naming only one of two key paths still resolves
+// when unambiguous (via the linear fallback).
+func TestPartialPredicate(t *testing.T) {
+	a := companyArchive(t)
+	ix := Build(a)
+	got, err := ix.History("/db/dept[name=finance]/emp[fn=Jane]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "2,4" {
+		t.Errorf("partial predicate history = %q, want 2,4", got)
+	}
+}
+
+// TestBinarySearchCost: on a wide archive the fully-specified lookup cost
+// grows like log d, far below d.
+func TestBinarySearchCost(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 31, Records: 512})
+	a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true})
+	doc := g.Next()
+	if err := a.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(a)
+	// Look up a record by Num.
+	num := doc.Child("Record").ChildText("Num")
+	ix.Searches = 0
+	if _, err := ix.History("/ROOT/Record[Num=" + num + "]"); err != nil {
+		t.Fatal(err)
+	}
+	// Two steps: ROOT (1 entry) + Record among 512: ~log2(512)=9 plus the
+	// first step. Require well under a linear scan.
+	if ix.Searches > 40 {
+		t.Errorf("lookup cost %d comparisons; expected O(log d) ~ 10", ix.Searches)
+	}
+	t.Logf("searches=%d for 512 records", ix.Searches)
+}
+
+// TestHistoryAfterEvolution: the index reflects the archive it was built
+// from, including terminated elements.
+func TestHistoryAfterEvolution(t *testing.T) {
+	a := companyArchive(t)
+	ix := Build(a)
+	h, err := ix.History("/db/dept[name=marketing]/emp[fn=John,ln=Doe]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "3" {
+		t.Errorf("marketing John = %q, want 3", h)
+	}
+}

@@ -1,0 +1,173 @@
+// Package keys implements keys for XML as used by the archiver of Buneman
+// et al., "Archiving Scientific Data" (§3, Appendix A/B): relative keys
+// (Context, (Target, {P1..Pk})), the textual key-specification format of
+// Appendix B, implied keys, frontier paths, and validation of documents
+// against a specification.
+package keys
+
+import (
+	"fmt"
+	"strings"
+
+	"xarch/internal/xmltree"
+)
+
+// Wildcard is the path segment that matches any single element name; the
+// XMark specification of Appendix B.3 uses it for the region elements
+// (africa, asia, ...).
+const Wildcard = "_"
+
+// Path is a sequence of node (or attribute) names. The empty Path is the
+// empty key path, written "\e" or "." in the paper.
+type Path []string
+
+// ParsePath parses "a/b/c" (or "/a/b/c"). "", "." and `\e` all denote the
+// empty path.
+func ParsePath(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "." || s == `\e` {
+		return nil, nil
+	}
+	s = strings.TrimPrefix(s, "/")
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "/")
+	p := make(Path, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("keys: empty path segment in %q", s)
+		}
+		p = append(p, part)
+	}
+	return p, nil
+}
+
+// String renders the path; the empty path renders as "\e".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return `\e`
+	}
+	return strings.Join(p, "/")
+}
+
+// Absolute renders the path with a leading slash, "/" for the empty path.
+func (p Path) Absolute() string {
+	return "/" + strings.Join(p, "/")
+}
+
+// Concat returns p followed by q as a new path.
+func (p Path) Concat(q Path) Path {
+	out := make(Path, 0, len(p)+len(q))
+	out = append(out, p...)
+	out = append(out, q...)
+	return out
+}
+
+// Equal reports exact segment equality (wildcards are not expanded).
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// segMatch reports whether pattern segment a matches concrete segment b.
+func segMatch(a, b string) bool { return a == Wildcard || a == b }
+
+// segCompatible reports whether two pattern segments can match a common
+// concrete segment.
+func segCompatible(a, b string) bool {
+	return a == Wildcard || b == Wildcard || a == b
+}
+
+// Matches reports whether the (possibly wildcarded) pattern p matches the
+// concrete path q exactly.
+func (p Path) Matches(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !segMatch(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchesPrefix reports whether p matches a proper or improper prefix of q.
+func (p Path) MatchesPrefix(q Path) bool {
+	if len(p) > len(q) {
+		return false
+	}
+	for i := range p {
+		if !segMatch(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatiblePrefixOf reports whether pattern p could be a proper prefix of
+// pattern q, i.e. some concrete path matched by q has a prefix matched by p.
+func (p Path) CompatiblePrefixOf(q Path) bool {
+	if len(p) >= len(q) {
+		return false
+	}
+	for i := range p {
+		if !segCompatible(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible reports whether patterns p and q can match a common concrete
+// path.
+func (p Path) Compatible(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !segCompatible(p[i], q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve evaluates the path from node n, matching element children by tag
+// at every step; the final segment may instead match an attribute. It
+// returns all reachable nodes (n[[P]] in the paper). The empty path
+// resolves to n itself.
+func (p Path) Resolve(n *xmltree.Node) []*xmltree.Node {
+	cur := []*xmltree.Node{n}
+	for i, seg := range p {
+		var next []*xmltree.Node
+		for _, c := range cur {
+			if c.Kind != xmltree.Element {
+				continue
+			}
+			for _, ch := range c.Children {
+				if ch.Kind == xmltree.Element && segMatch(seg, ch.Name) {
+					next = append(next, ch)
+				}
+			}
+			if i == len(p)-1 {
+				for _, a := range c.Attrs {
+					if segMatch(seg, a.Name) {
+						next = append(next, a)
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,243 @@
+package keys
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// companySpec is the key specification of the §3 running example.
+const companySpec = `
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+`
+
+func TestParsePathForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", `\e`},
+		{".", `\e`},
+		{`\e`, `\e`},
+		{"/", `\e`},
+		{"a", "a"},
+		{"/a/b", "a/b"},
+		{"a/b/c", "a/b/c"},
+		{" a / b ", "a/b"},
+	}
+	for _, c := range cases {
+		p, err := ParsePath(c.in)
+		if err != nil {
+			t.Fatalf("ParsePath(%q): %v", c.in, err)
+		}
+		if p.String() != c.want {
+			t.Errorf("ParsePath(%q) = %q, want %q", c.in, p.String(), c.want)
+		}
+	}
+	if _, err := ParsePath("a//b"); err == nil {
+		t.Error("expected error for empty segment")
+	}
+}
+
+func TestParseSpecCompany(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	if len(spec.Keys) != 5 {
+		t.Fatalf("parsed %d keys, want 5", len(spec.Keys))
+	}
+	k := spec.Keys[2]
+	if k.Context.String() != "db/dept" || k.Target.String() != "emp" {
+		t.Fatalf("third key mangled: %s", k)
+	}
+	if len(k.KeyPaths) != 2 || k.KeyPaths[0].String() != "fn" || k.KeyPaths[1].String() != "ln" {
+		t.Fatalf("emp key paths mangled: %s", k)
+	}
+	// Rendering round-trips.
+	again := MustParseSpec(spec.String())
+	if len(again.Keys) != 5 {
+		t.Fatalf("String() round trip lost keys: %d", len(again.Keys))
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		`(db, (dept, {name}))`,  // context not absolute
+		`(/db, dept, {name})`,   // missing inner parens
+		`(/db, (dept))`,         // missing key-path set
+		`(/db, (, {name}))`,     // empty target
+		`(/db (dept, {name}))`,  // missing comma
+		`(/db, (dept, {name})`,  // unbalanced
+		`(/nowhere/x, (y, {}))`, // context not keyed
+	}
+	for _, line := range bad {
+		if _, err := ParseSpecString(line); err == nil {
+			t.Errorf("ParseSpecString(%q): expected error", line)
+		}
+	}
+}
+
+func TestImpliedKeys(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	// Implied: (/db, (dept/name... no — (/db/dept, (name, {})) and
+	// (/db/dept/emp, (fn, {})), (/db/dept/emp, (ln, {})).
+	wantImplied := map[string]bool{
+		"/db/dept/name":   true,
+		"/db/dept/emp/fn": true,
+		"/db/dept/emp/ln": true,
+	}
+	gotImplied := map[string]bool{}
+	for _, k := range spec.AllKeys() {
+		if k.Implied {
+			gotImplied[k.NodePath().Absolute()] = true
+			if len(k.KeyPaths) != 0 {
+				t.Errorf("implied key %s should have empty key-path set", k)
+			}
+		}
+	}
+	for p := range wantImplied {
+		if !gotImplied[p] {
+			t.Errorf("missing implied key for %s (got %v)", p, gotImplied)
+		}
+	}
+	for p := range gotImplied {
+		if !wantImplied[p] {
+			t.Errorf("unexpected implied key for %s", p)
+		}
+	}
+}
+
+func TestExplicitKeyWinsOverImplied(t *testing.T) {
+	// OMIM declares (/ROOT/Record/Contributors, (Date, {})) explicitly even
+	// though nothing implies it; and Swiss-Prot-style specs often declare a
+	// key that normalization would also imply. The explicit one must win.
+	spec := MustParseSpec(`
+(/, (db, {}))
+(/db, (rec, {id}))
+(/db/rec, (id, {}))
+`)
+	k := spec.KeyFor(Path{"db", "rec", "id"})
+	if k == nil || k.Implied {
+		t.Fatalf("explicit key should win: %+v", k)
+	}
+}
+
+func TestFrontierPathsCompany(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	want := []string{
+		"/db/dept/emp/fn",
+		"/db/dept/emp/ln",
+		"/db/dept/emp/sal",
+		"/db/dept/emp/tel",
+		"/db/dept/name",
+	}
+	var got []string
+	for _, p := range spec.FrontierPaths() {
+		got = append(got, p.Absolute())
+	}
+	sort.Strings(got)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("frontier paths = %v, want %v", got, want)
+	}
+	// §3: "name is a frontier node, but emp is not".
+	if !spec.IsFrontier(Path{"db", "dept", "name"}) {
+		t.Error("name should be frontier")
+	}
+	if spec.IsFrontier(Path{"db", "dept", "emp"}) {
+		t.Error("emp should not be frontier")
+	}
+	if !spec.IsKeyed(Path{"db", "dept", "emp"}) {
+		t.Error("emp should be keyed")
+	}
+	if spec.IsKeyed(Path{"db", "dept", "office"}) {
+		t.Error("office should not be keyed")
+	}
+}
+
+func TestWildcardMatching(t *testing.T) {
+	spec := MustParseSpec(`
+(/, (site, {}))
+(/site, (regions, {}))
+(/site/regions, (africa, {}))
+(/site/regions, (asia, {}))
+(/site/regions/_, (item, {id}))
+`)
+	for _, region := range []string{"africa", "asia"} {
+		p := Path{"site", "regions", region, "item"}
+		k := spec.KeyFor(p)
+		if k == nil {
+			t.Fatalf("item under %s not keyed", region)
+		}
+		if len(k.KeyPaths) != 1 || k.KeyPaths[0].String() != "id" {
+			t.Fatalf("wrong key for %s: %s", region, k)
+		}
+	}
+	if spec.KeyFor(Path{"site", "item"}) != nil {
+		t.Error("wildcard matched wrong depth")
+	}
+	// The wildcarded item key implies /site/regions/_/item/id, which is a
+	// frontier path and must match both regions.
+	if !spec.IsFrontier(Path{"site", "regions", "africa", "item", "id"}) {
+		t.Error("implied wildcard frontier path not matched")
+	}
+	// item itself is a prefix of item/id, so not frontier.
+	if spec.IsFrontier(Path{"site", "regions", "asia", "item"}) {
+		t.Error("item should not be frontier")
+	}
+}
+
+func TestRestrictionKeyedBeneathKeyPath(t *testing.T) {
+	// (/a, (b, {c})) plus a key under /a/b/c violates restriction 3.
+	_, err := ParseSpecString(`
+(/, (a, {}))
+(/a, (b, {c}))
+(/a/b/c, (d, {}))
+`)
+	if err == nil {
+		t.Fatal("expected restriction-3 violation")
+	}
+	if !strings.Contains(err.Error(), "beneath key path") {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
+
+func TestCompatiblePrefix(t *testing.T) {
+	a, _ := ParsePath("site/regions/_")
+	b, _ := ParsePath("site/regions/africa/item")
+	if !a.CompatiblePrefixOf(b) {
+		t.Error("wildcard prefix compatibility failed")
+	}
+	c, _ := ParsePath("site/people")
+	if c.CompatiblePrefixOf(b) {
+		t.Error("incompatible prefix reported compatible")
+	}
+	if b.CompatiblePrefixOf(b) {
+		t.Error("a path is not a *proper* prefix of itself")
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	n1 := len(spec.AllKeys())
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.AllKeys()) != n1 {
+		t.Fatalf("Normalize not idempotent: %d then %d keys", n1, len(spec.AllKeys()))
+	}
+}
+
+func TestRestrictionKeyedBeneathEmptyKeyPath(t *testing.T) {
+	// (/db, (entry, {\e})) keys entry by its whole value; keying anything
+	// below entry violates restriction 3.
+	_, err := ParseSpecString(`
+(/, (db, {}))
+(/db, (entry, {\e}))
+(/db/entry, (sub, {id}))
+`)
+	if err == nil {
+		t.Fatal("expected restriction-3 violation for keys below a {\\e}-keyed node")
+	}
+}

@@ -1,0 +1,214 @@
+package keys
+
+import (
+	"strings"
+	"testing"
+
+	"xarch/internal/xmltree"
+)
+
+// version4 is version 4 of the company database (Figure 2).
+const version4 = `
+<db>
+  <dept>
+    <name>finance</name>
+    <emp>
+      <fn>John</fn> <ln>Doe</ln>
+      <sal>95K</sal>
+      <tel>123-4567</tel>
+    </emp>
+    <emp>
+      <fn>Jane</fn> <ln>Smith</ln>
+      <sal>95K</sal>
+      <tel>123-6789</tel>
+      <tel>112-3456</tel>
+    </emp>
+  </dept>
+</db>`
+
+func TestCheckDocumentValid(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(version4)
+	if errs := spec.CheckDocument(doc); len(errs) != 0 {
+		t.Fatalf("valid document rejected: %v", errs[0])
+	}
+}
+
+func TestCheckDuplicateKeyValues(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`
+<db>
+  <dept><name>finance</name></dept>
+  <dept><name>finance</name></dept>
+</db>`)
+	errs := spec.CheckDocument(doc)
+	if len(errs) == 0 {
+		t.Fatal("duplicate dept names not detected")
+	}
+	if !strings.Contains(errs[0].Error(), "duplicate key value") {
+		t.Fatalf("wrong error: %v", errs[0])
+	}
+}
+
+func TestCheckDuplicateCompositeKey(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	// Same fn+ln twice in ONE dept: invalid. (In different depts it is
+	// fine — the John Does of version 3 in the paper.)
+	doc := xmltree.MustParseString(`
+<db><dept><name>finance</name>
+  <emp><fn>John</fn><ln>Doe</ln></emp>
+  <emp><fn>John</fn><ln>Doe</ln></emp>
+</dept></db>`)
+	if errs := spec.CheckDocument(doc); len(errs) == 0 {
+		t.Fatal("duplicate composite key not detected")
+	}
+	doc2 := xmltree.MustParseString(`
+<db>
+  <dept><name>finance</name><emp><fn>John</fn><ln>Doe</ln></emp></dept>
+  <dept><name>marketing</name><emp><fn>John</fn><ln>Doe</ln></emp></dept>
+</db>`)
+	if errs := spec.CheckDocument(doc2); len(errs) != 0 {
+		t.Fatalf("same emp key in different depts should be legal: %v", errs[0])
+	}
+}
+
+func TestCheckDuplicateTel(t *testing.T) {
+	// tel is keyed by its own value ({.}): "the same telephone number
+	// cannot be repeated below an emp node".
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`
+<db><dept><name>f</name>
+  <emp><fn>a</fn><ln>b</ln><tel>1</tel><tel>1</tel></emp>
+</dept></db>`)
+	if errs := spec.CheckDocument(doc); len(errs) == 0 {
+		t.Fatal("duplicate tel value not detected")
+	}
+}
+
+func TestCheckMissingKeyPath(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`<db><dept><emp><fn>a</fn><ln>b</ln></emp></dept></db>`)
+	errs := spec.CheckDocument(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "resolves to 0 nodes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing name key path not detected: %v", errs)
+	}
+}
+
+func TestCheckRepeatedKeyPath(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`<db><dept><name>a</name><name>b</name></dept></db>`)
+	errs := spec.CheckDocument(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "resolves to 2 nodes") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("repeated key path not detected: %v", errs)
+	}
+}
+
+func TestCheckUnkeyedElementAboveFrontier(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`<db><dept><name>f</name><budget>10</budget></dept></db>`)
+	errs := spec.CheckDocument(doc)
+	if len(errs) == 0 || !strings.Contains(errs[0].Msg, "unkeyed element") {
+		t.Fatalf("unkeyed element not detected: %v", errs)
+	}
+}
+
+func TestCheckTextAboveFrontier(t *testing.T) {
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`<db><dept>stray<name>f</name></dept></db>`)
+	errs := spec.CheckDocument(doc)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "text content above the frontier") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("stray text not detected: %v", errs)
+	}
+}
+
+func TestCheckContentBelowFrontierUnconstrained(t *testing.T) {
+	// Area code / number below tel (a frontier node) need no keys (§3).
+	spec := MustParseSpec(companySpec)
+	doc := xmltree.MustParseString(`
+<db><dept><name>f</name>
+  <emp><fn>a</fn><ln>b</ln>
+    <tel><area>215</area><num>123-4567</num></tel>
+  </emp>
+</dept></db>`)
+	if errs := spec.CheckDocument(doc); len(errs) != 0 {
+		t.Fatalf("content below frontier should be unconstrained: %v", errs[0])
+	}
+}
+
+func TestCheckAttributeKeys(t *testing.T) {
+	spec := MustParseSpec(`
+(/, (site, {}))
+(/site, (item, {id}))
+(/site/item, (name, {}))
+`)
+	// id attribute is the key-path value: fine.
+	ok := xmltree.MustParseString(`<site><item id="i1"><name>x</name></item></site>`)
+	if errs := spec.CheckDocument(ok); len(errs) != 0 {
+		t.Fatalf("attribute key rejected: %v", errs[0])
+	}
+	// A second, uncovered attribute above the frontier is flagged.
+	bad := xmltree.MustParseString(`<site><item id="i1" extra="y"><name>x</name></item></site>`)
+	errs := spec.CheckDocument(bad)
+	found := false
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "unkeyed attribute") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("uncovered attribute not detected: %v", errs)
+	}
+	// Duplicate attribute key values are detected.
+	dup := xmltree.MustParseString(`<site><item id="i1"><name>x</name></item><item id="i1"><name>y</name></item></site>`)
+	if errs := spec.CheckDocument(dup); len(errs) == 0 {
+		t.Fatal("duplicate attribute key not detected")
+	}
+}
+
+func TestResolveAttributeLastSegment(t *testing.T) {
+	doc := xmltree.MustParseString(`<bidder><personref person="p92"/></bidder>`)
+	p, _ := ParsePath("personref/person")
+	got := p.Resolve(doc)
+	if len(got) != 1 || got[0].Kind != xmltree.Attr || got[0].Data != "p92" {
+		t.Fatalf("attribute resolution failed: %+v", got)
+	}
+	// Attributes never match mid-path.
+	p2, _ := ParsePath("person/ref")
+	if got := p2.Resolve(doc); len(got) != 0 {
+		t.Fatalf("mid-path attribute should not resolve: %+v", got)
+	}
+}
+
+func TestCheckEmptyKeyPathUniqueness(t *testing.T) {
+	// {\e} keys the node by its whole value, including nested structure.
+	spec := MustParseSpec(`
+(/, (db, {}))
+(/db, (entry, {\e}))
+`)
+	ok := xmltree.MustParseString(`<db><entry><a>1</a></entry><entry><a>2</a></entry></db>`)
+	if errs := spec.CheckDocument(ok); len(errs) != 0 {
+		t.Fatalf("distinct entries rejected: %v", errs[0])
+	}
+	dup := xmltree.MustParseString(`<db><entry><a>1</a></entry><entry><a>1</a></entry></db>`)
+	if errs := spec.CheckDocument(dup); len(errs) == 0 {
+		t.Fatal("value-equal entries not detected")
+	}
+}

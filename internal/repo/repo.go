@@ -1,0 +1,203 @@
+// Package repo implements the sequence-of-delta baselines of §5: version
+// repositories that store a first version plus line-diff deltas —
+// incremental (V1 + diffs of successive pairs) and cumulative (V1 + diff
+// from V1 to each version) — and the keep-everything repository that
+// stores each version whole.
+//
+// Repositories operate on the line-oriented serialized text of each
+// version (xmltree's indented form), exactly how the paper ran unix diff
+// over formatted XML.
+package repo
+
+import (
+	"fmt"
+	"strings"
+
+	"xarch/internal/diff"
+)
+
+// Repository is a store of successive versions of a text document.
+type Repository interface {
+	// Add appends the next version.
+	Add(text string)
+	// Retrieve reconstructs version i (1-based).
+	Retrieve(i int) (string, error)
+	// Size is the repository's storage cost in bytes.
+	Size() int
+	// Versions is the number of stored versions.
+	Versions() int
+	// Pieces returns the stored artifacts (the first version and each
+	// delta) for compression experiments.
+	Pieces() []string
+}
+
+func toLines(text string) []string {
+	if text == "" {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+}
+
+func fromLines(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// Incremental stores V1 and the delta between each pair of successive
+// versions. Retrieval of version i applies i-1 deltas.
+type Incremental struct {
+	count  int
+	first  string
+	deltas []*diff.Script
+	last   []string // working copy of the latest version's lines
+}
+
+// NewIncremental returns an empty incremental-diff repository.
+func NewIncremental() *Incremental { return &Incremental{} }
+
+// Add appends the next version.
+func (r *Incremental) Add(text string) {
+	lines := toLines(text)
+	r.count++
+	if r.count == 1 {
+		r.first = text
+		r.last = lines
+		return
+	}
+	r.deltas = append(r.deltas, diff.Compute(r.last, lines))
+	r.last = lines
+}
+
+// Versions is the number of stored versions.
+func (r *Incremental) Versions() int { return r.count }
+
+// Retrieve reconstructs version i by applying deltas 1..i-1 to V1.
+func (r *Incremental) Retrieve(i int) (string, error) {
+	if i < 1 || i > r.Versions() {
+		return "", fmt.Errorf("repo: version %d out of range 1..%d", i, r.Versions())
+	}
+	cur := toLines(r.first)
+	for _, d := range r.deltas[:i-1] {
+		var err error
+		cur, err = d.Apply(cur)
+		if err != nil {
+			return "", fmt.Errorf("repo: corrupt delta chain: %w", err)
+		}
+	}
+	return fromLines(cur), nil
+}
+
+// Size is len(V1) plus the formatted size of every delta.
+func (r *Incremental) Size() int {
+	total := len(r.first)
+	for _, d := range r.deltas {
+		total += d.Size()
+	}
+	return total
+}
+
+// Pieces returns V1 and each delta's text.
+func (r *Incremental) Pieces() []string {
+	out := []string{r.first}
+	for _, d := range r.deltas {
+		out = append(out, d.Format())
+	}
+	return out
+}
+
+// Cumulative stores V1 and, for every later version, the delta from V1.
+// Any version is retrievable with a single delta application, but storage
+// grows quadratically as the database drifts from V1 (§5.2).
+type Cumulative struct {
+	count      int
+	first      string
+	firstLines []string
+	deltas     []*diff.Script
+}
+
+// NewCumulative returns an empty cumulative-diff repository.
+func NewCumulative() *Cumulative { return &Cumulative{} }
+
+// Add appends the next version.
+func (r *Cumulative) Add(text string) {
+	r.count++
+	if r.count == 1 {
+		r.first = text
+		r.firstLines = toLines(text)
+		return
+	}
+	r.deltas = append(r.deltas, diff.Compute(r.firstLines, toLines(text)))
+}
+
+// Versions is the number of stored versions.
+func (r *Cumulative) Versions() int { return r.count }
+
+// Retrieve reconstructs version i with one delta application.
+func (r *Cumulative) Retrieve(i int) (string, error) {
+	if i < 1 || i > r.Versions() {
+		return "", fmt.Errorf("repo: version %d out of range 1..%d", i, r.Versions())
+	}
+	if i == 1 {
+		return r.first, nil
+	}
+	lines, err := r.deltas[i-2].Apply(r.firstLines)
+	if err != nil {
+		return "", fmt.Errorf("repo: corrupt delta: %w", err)
+	}
+	return fromLines(lines), nil
+}
+
+// Size is len(V1) plus the formatted size of every cumulative delta.
+func (r *Cumulative) Size() int {
+	total := len(r.first)
+	for _, d := range r.deltas {
+		total += d.Size()
+	}
+	return total
+}
+
+// Pieces returns V1 and each delta's text.
+func (r *Cumulative) Pieces() []string {
+	out := []string{r.first}
+	for _, d := range r.deltas {
+		out = append(out, d.Format())
+	}
+	return out
+}
+
+// Full stores every version whole — the Swiss-Prot archiving practice the
+// paper opens with.
+type Full struct {
+	versions []string
+}
+
+// NewFull returns an empty keep-everything repository.
+func NewFull() *Full { return &Full{} }
+
+// Add appends the next version.
+func (r *Full) Add(text string) { r.versions = append(r.versions, text) }
+
+// Versions is the number of stored versions.
+func (r *Full) Versions() int { return len(r.versions) }
+
+// Retrieve returns version i verbatim.
+func (r *Full) Retrieve(i int) (string, error) {
+	if i < 1 || i > len(r.versions) {
+		return "", fmt.Errorf("repo: version %d out of range 1..%d", i, len(r.versions))
+	}
+	return r.versions[i-1], nil
+}
+
+// Size is the sum of all version sizes.
+func (r *Full) Size() int {
+	total := 0
+	for _, v := range r.versions {
+		total += len(v)
+	}
+	return total
+}
+
+// Pieces returns every stored version.
+func (r *Full) Pieces() []string { return append([]string{}, r.versions...) }

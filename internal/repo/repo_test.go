@@ -1,0 +1,161 @@
+package repo
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func version(n, lines int) string {
+	var b strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&b, "v%d line %d\n", n, i)
+	}
+	return b.String()
+}
+
+func testRepository(t *testing.T, mk func() Repository) {
+	t.Helper()
+	r := mk()
+	if r.Versions() != 0 {
+		t.Fatal("fresh repository not empty")
+	}
+	var want []string
+	base := "shared line 1\nshared line 2\nshared line 3\n"
+	for i := 1; i <= 6; i++ {
+		v := base + fmt.Sprintf("unique to v%d\n", i)
+		if i%2 == 0 {
+			v += "even-version extra line\n"
+		}
+		r.Add(v)
+		want = append(want, v)
+	}
+	if r.Versions() != 6 {
+		t.Fatalf("Versions = %d", r.Versions())
+	}
+	for i, w := range want {
+		got, err := r.Retrieve(i + 1)
+		if err != nil {
+			t.Fatalf("Retrieve(%d): %v", i+1, err)
+		}
+		if got != w {
+			t.Errorf("Retrieve(%d) = %q, want %q", i+1, got, w)
+		}
+	}
+	if _, err := r.Retrieve(0); err == nil {
+		t.Error("Retrieve(0) should fail")
+	}
+	if _, err := r.Retrieve(7); err == nil {
+		t.Error("Retrieve(7) should fail")
+	}
+	if r.Size() <= 0 {
+		t.Error("Size not positive")
+	}
+	if len(r.Pieces()) == 0 {
+		t.Error("Pieces empty")
+	}
+}
+
+func TestIncremental(t *testing.T) { testRepository(t, func() Repository { return NewIncremental() }) }
+func TestCumulative(t *testing.T)  { testRepository(t, func() Repository { return NewCumulative() }) }
+func TestFull(t *testing.T)        { testRepository(t, func() Repository { return NewFull() }) }
+
+// TestIncrementalSmallerThanFull: with small deltas, the incremental
+// repository is far smaller than keeping every version.
+func TestIncrementalSmallerThanFull(t *testing.T) {
+	inc, full := NewIncremental(), NewFull()
+	base := strings.Repeat("stable content line\n", 200)
+	for i := 1; i <= 10; i++ {
+		v := base + fmt.Sprintf("delta %d\n", i)
+		inc.Add(v)
+		full.Add(v)
+	}
+	if inc.Size()*4 > full.Size() {
+		t.Errorf("incremental %d not ≪ full %d", inc.Size(), full.Size())
+	}
+}
+
+// TestCumulativeGrowsQuadratically reproduces the §5.2 observation: as the
+// database drifts from V1, cumulative deltas grow linearly per version, so
+// the repository grows quadratically while incremental stays linear.
+func TestCumulativeGrowsQuadratically(t *testing.T) {
+	inc, cum := NewIncremental(), NewCumulative()
+	rng := rand.New(rand.NewSource(5))
+	lines := make([]string, 300)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("line %d", i)
+	}
+	add := func() {
+		text := strings.Join(lines, "\n") + "\n"
+		inc.Add(text)
+		cum.Add(text)
+	}
+	add()
+	for v := 0; v < 15; v++ {
+		// Change 10 random lines each version (cumulative drift).
+		for c := 0; c < 10; c++ {
+			lines[rng.Intn(len(lines))] = fmt.Sprintf("changed v%d c%d", v, c)
+		}
+		add()
+	}
+	if cum.Size() < 2*inc.Size() {
+		t.Errorf("cumulative %d should far exceed incremental %d", cum.Size(), inc.Size())
+	}
+}
+
+// TestQuickRepositoriesAgree: random version sequences retrieve
+// identically from all three repositories.
+func TestQuickRepositoriesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inc, cum, full := NewIncremental(), NewCumulative(), NewFull()
+		lines := []string{}
+		var versions []string
+		for v := 0; v < 8; v++ {
+			// Random edits.
+			for e := 0; e < rng.Intn(5); e++ {
+				switch {
+				case len(lines) == 0 || rng.Intn(3) == 0:
+					pos := 0
+					if len(lines) > 0 {
+						pos = rng.Intn(len(lines))
+					}
+					lines = append(lines[:pos], append([]string{fmt.Sprintf("l%d", rng.Intn(50))}, lines[pos:]...)...)
+				case rng.Intn(2) == 0:
+					lines = append(lines[:rng.Intn(len(lines))], lines[minInt(rng.Intn(len(lines))+1, len(lines)):]...)
+				default:
+					lines[rng.Intn(len(lines))] = fmt.Sprintf("m%d", rng.Intn(50))
+				}
+			}
+			text := ""
+			if len(lines) > 0 {
+				text = strings.Join(lines, "\n") + "\n"
+			}
+			versions = append(versions, text)
+			inc.Add(text)
+			cum.Add(text)
+			full.Add(text)
+		}
+		for i, want := range versions {
+			for _, r := range []Repository{inc, cum, full} {
+				got, err := r.Retrieve(i + 1)
+				if err != nil || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

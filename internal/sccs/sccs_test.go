@@ -1,0 +1,109 @@
+package sccs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeaveRetrieve(t *testing.T) {
+	w := New()
+	w.Add("a\nb\nc\n")
+	w.Add("a\nc\nd\n")
+	w.Add("a\nb\nc\nd\n")
+	for i, want := range []string{"a\nb\nc\n", "a\nc\nd\n", "a\nb\nc\nd\n"} {
+		got, err := w.Retrieve(i + 1)
+		if err != nil {
+			t.Fatalf("Retrieve(%d): %v", i+1, err)
+		}
+		if got != want {
+			t.Errorf("Retrieve(%d) = %q, want %q", i+1, got, want)
+		}
+	}
+	if _, err := w.Retrieve(4); err == nil {
+		t.Error("out-of-range retrieve accepted")
+	}
+}
+
+// TestLineStoredOnce: the defining SCCS property the paper contrasts with
+// CVS (§8): a line that is deleted and reinserted appears once in the
+// weave with a split timestamp.
+func TestLineStoredOnce(t *testing.T) {
+	w := New()
+	w.Add("keep\nflicker\n")
+	w.Add("keep\n")
+	w.Add("keep\nflicker\n")
+	if w.Lines() != 2 {
+		t.Fatalf("weave holds %d lines, want 2", w.Lines())
+	}
+	h := w.History("flicker")
+	if h == nil || h.String() != "1,3" {
+		t.Errorf("flicker history = %v, want 1,3", h)
+	}
+	if w.History("nosuch") != nil {
+		t.Error("missing line should have nil history")
+	}
+}
+
+func TestFormatMarkers(t *testing.T) {
+	w := New()
+	w.Add("x\n")
+	w.Add("x\ny\n")
+	text := w.Format()
+	if !strings.Contains(text, "^T 1-2\nx\n") || !strings.Contains(text, "^T 2\ny\n") {
+		t.Errorf("unexpected weave format:\n%s", text)
+	}
+	if w.Size() != len(text) {
+		t.Error("Size disagrees with Format")
+	}
+}
+
+// TestQuickWeaveRoundTrip: every version of a random edit history is
+// reconstructed exactly.
+func TestQuickWeaveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := New()
+		var lines []string
+		var versions []string
+		for v := 0; v < 10; v++ {
+			for e := 0; e < rng.Intn(6); e++ {
+				switch {
+				case len(lines) == 0 || rng.Intn(3) == 0:
+					pos := 0
+					if len(lines) > 0 {
+						pos = rng.Intn(len(lines))
+					}
+					lines = append(lines[:pos], append([]string{fmt.Sprintf("l%d", rng.Intn(30))}, lines[pos:]...)...)
+				default:
+					lines = append(lines[:rng.Intn(len(lines))], lines[min(rng.Intn(len(lines))+1, len(lines)):]...)
+				}
+			}
+			text := ""
+			if len(lines) > 0 {
+				text = strings.Join(lines, "\n") + "\n"
+			}
+			versions = append(versions, text)
+			w.Add(text)
+		}
+		for i, want := range versions {
+			got, err := w.Retrieve(i + 1)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

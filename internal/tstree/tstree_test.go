@@ -1,0 +1,173 @@
+package tstree
+
+import (
+	"fmt"
+	"testing"
+
+	"xarch/internal/core"
+	"xarch/internal/datagen"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+func buildArchive(t *testing.T, spec *keys.Spec, docs []*xmltree.Node) *core.Archive {
+	t.Helper()
+	a := core.New(spec, core.Options{})
+	for i, d := range docs {
+		var doc *xmltree.Node
+		if d != nil {
+			doc = d.Clone()
+		}
+		if err := a.Add(doc); err != nil {
+			t.Fatalf("add v%d: %v", i+1, err)
+		}
+	}
+	return a
+}
+
+// TestFig15Shape builds the archive of Figure 15: a root with children
+// l1..l8 whose lifetimes match the figure, and checks that retrieving
+// version 2 visits only the left part of the tree.
+func TestFig15Shape(t *testing.T) {
+	var specText = "(/, (l0, {}))\n"
+	for i := 1; i <= 8; i++ {
+		specText += fmt.Sprintf("(/l0, (l%d, {}))\n", i)
+	}
+	spec := keys.MustParseSpec(specText)
+	// Lifetimes from the figure: l1,l2: 1-2; l3: 3-5; l4: 4; l5,l6: 3-5;
+	// l7: 4-6; l8: 3-5,7-9.
+	life := map[string][]int{
+		"l1": {1, 2}, "l2": {1, 2},
+		"l3": {3, 4, 5}, "l4": {4}, "l5": {3, 4, 5}, "l6": {3, 4, 5},
+		"l7": {4, 5, 6}, "l8": {3, 4, 5, 7, 8, 9},
+	}
+	var docs []*xmltree.Node
+	for v := 1; v <= 9; v++ {
+		doc := xmltree.Elem("l0")
+		for i := 1; i <= 8; i++ {
+			name := fmt.Sprintf("l%d", i)
+			for _, lv := range life[name] {
+				if lv == v {
+					doc.Append(xmltree.Elem(name))
+				}
+			}
+		}
+		docs = append(docs, doc)
+	}
+	a := buildArchive(t, spec, docs)
+	ix := Build(a)
+	for v := 1; v <= 9; v++ {
+		got, err := ix.Version(v)
+		if err != nil {
+			t.Fatalf("Version(%d): %v", v, err)
+		}
+		want, err := a.Version(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := a.SameVersion(want, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("version %d: tree retrieval differs from scan", v)
+		}
+	}
+	// Version 2 is alive in only l1, l2 (α=2 of k=8): the probe count must
+	// be well under a full scan of the tree.
+	_, err := ix.Version(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes, naive := ix.ProbeStats()
+	if probes == 0 || naive == 0 {
+		t.Fatal("probe accounting missing")
+	}
+	// 2α-1+2α·log2(k/α) = 3 + 4·2 = 11 probes at this level (plus the root
+	// level); naive is k=8 at this level but the tree may probe slightly
+	// more in the worst case — just require it beats 2k.
+	if probes > 2*naive {
+		t.Errorf("probes %d exceed fallback bound 2k=%d", probes, 2*naive)
+	}
+	t.Logf("version 2: probes=%d naive=%d", probes, naive)
+}
+
+// TestMatchesScanRetrieval cross-checks tree-based retrieval against the
+// core scan on a generated OMIM history.
+func TestMatchesScanRetrieval(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 21, Records: 30, DeleteFrac: 0.05, InsertFrac: 0.1, ModifyFrac: 0.1})
+	a := core.New(datagen.OMIMSpec(), core.Options{})
+	for v := 0; v < 6; v++ {
+		if err := a.Add(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := Build(a)
+	for v := 1; v <= 6; v++ {
+		got, err := ix.Version(v)
+		if err != nil {
+			t.Fatalf("Version(%d): %v", v, err)
+		}
+		want, _ := a.Version(v)
+		same, err := a.SameVersion(want, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Errorf("version %d mismatch", v)
+		}
+	}
+}
+
+// TestProbeSavingsOnSparseVersion: with many children and few alive, the
+// tree probes far fewer positions than the naive scan.
+func TestProbeSavingsOnSparseVersion(t *testing.T) {
+	spec := keys.MustParseSpec("(/, (db, {}))\n(/db, (rec, {id}))")
+	// 64 records in version 2+; version 1 has just one.
+	mk := func(ids []int) *xmltree.Node {
+		db := xmltree.Elem("db")
+		for _, id := range ids {
+			db.Append(xmltree.Elem("rec", xmltree.ElemText("id", fmt.Sprint(id))))
+		}
+		return db
+	}
+	var all []int
+	for i := 0; i < 64; i++ {
+		all = append(all, i)
+	}
+	a := buildArchive(t, spec, []*xmltree.Node{mk([]int{999}), mk(all), mk(all)})
+	ix := Build(a)
+	if _, err := ix.Version(1); err != nil {
+		t.Fatal(err)
+	}
+	probes, naive := ix.ProbeStats()
+	if probes >= naive {
+		t.Errorf("no probe saving on sparse version: probes=%d naive=%d", probes, naive)
+	}
+	t.Logf("sparse version: probes=%d naive=%d", probes, naive)
+}
+
+func TestVersionErrors(t *testing.T) {
+	a := buildArchive(t, datagen.CompanySpec(), datagen.CompanyVersions())
+	ix := Build(a)
+	for _, v := range []int{0, 5} {
+		if _, err := ix.Version(v); err == nil {
+			t.Errorf("Version(%d): expected error", v)
+		}
+	}
+}
+
+// TestEmptyVersionThroughIndex retrieves an empty archived version.
+func TestEmptyVersionThroughIndex(t *testing.T) {
+	docs := datagen.CompanyVersions()
+	docs = append(docs, nil)
+	a := buildArchive(t, datagen.CompanySpec(), docs)
+	ix := Build(a)
+	got, err := ix.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("version 5 should be empty, got %s", got.XML())
+	}
+}

@@ -1,0 +1,312 @@
+// Package xmill implements an XMill-style XML compressor (Liefke & Suciu,
+// SIGMOD 2000), the tool §5.4 applies to the archive. The essential XMill
+// ideas are reproduced: structure is separated from content, tag and
+// attribute names are dictionary-encoded, and text is grouped into
+// containers by the name of the enclosing element (values of like elements
+// compress far better together than interleaved). Each container and the
+// structure stream are DEFLATE-compressed independently.
+//
+// This is why a compressed archive beats a gzipped diff repository (§5.4):
+// the archive is XML, so all of John Doe's salaries land in one container
+// next to every other salary, while a gzipped delta sequence interleaves
+// everything.
+package xmill
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xarch/internal/compressutil"
+	"xarch/internal/xmltree"
+)
+
+const magic = "XMIL1"
+
+// Structure stream opcodes.
+const (
+	opOpen  = 0x01 // + varint name id
+	opAttr  = 0x02 // + varint name id; value goes to container "@name"
+	opText  = 0x03 // value goes to the enclosing element's container
+	opClose = 0x04
+)
+
+type encoder struct {
+	names      map[string]uint64
+	nameList   []string
+	containers map[string]*bytes.Buffer
+	contKeys   []string
+	structure  bytes.Buffer
+}
+
+func (e *encoder) nameID(s string) uint64 {
+	if id, ok := e.names[s]; ok {
+		return id
+	}
+	id := uint64(len(e.nameList))
+	e.names[s] = id
+	e.nameList = append(e.nameList, s)
+	return id
+}
+
+func (e *encoder) container(key string) *bytes.Buffer {
+	if c, ok := e.containers[key]; ok {
+		return c
+	}
+	c := &bytes.Buffer{}
+	e.containers[key] = c
+	e.contKeys = append(e.contKeys, key)
+	return c
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func (e *encoder) walk(n *xmltree.Node) {
+	switch n.Kind {
+	case xmltree.Text:
+		// Text reaching here has no enclosing element (should not happen
+		// for well-formed docs); store under the root container.
+		e.structure.WriteByte(opText)
+		putString(e.container(""), n.Data)
+	case xmltree.Attr:
+		e.structure.WriteByte(opAttr)
+		putUvarint(&e.structure, e.nameID(n.Name))
+		putString(e.container("@"+n.Name), n.Data)
+	case xmltree.Element:
+		e.structure.WriteByte(opOpen)
+		putUvarint(&e.structure, e.nameID(n.Name))
+		for _, a := range n.Attrs {
+			e.structure.WriteByte(opAttr)
+			putUvarint(&e.structure, e.nameID(a.Name))
+			putString(e.container("@"+a.Name), a.Data)
+		}
+		for _, c := range n.Children {
+			if c.Kind == xmltree.Text {
+				e.structure.WriteByte(opText)
+				putString(e.container(n.Name), c.Data)
+				continue
+			}
+			e.walk(c)
+		}
+		e.structure.WriteByte(opClose)
+	}
+}
+
+// Compress serializes and compresses the document.
+func Compress(doc *xmltree.Node) []byte {
+	e := &encoder{names: map[string]uint64{}, containers: map[string]*bytes.Buffer{}}
+	e.walk(doc)
+
+	var out bytes.Buffer
+	out.WriteString(magic)
+	putUvarint(&out, uint64(len(e.nameList)))
+	for _, n := range e.nameList {
+		putString(&out, n)
+	}
+	putUvarint(&out, uint64(len(e.contKeys)))
+	var blobs [][]byte
+	for _, key := range e.contKeys {
+		comp := compressutil.Flate(e.containers[key].Bytes())
+		putString(&out, key)
+		putUvarint(&out, uint64(len(comp)))
+		blobs = append(blobs, comp)
+	}
+	structComp := compressutil.Flate(e.structure.Bytes())
+	putUvarint(&out, uint64(len(structComp)))
+	for _, b := range blobs {
+		out.Write(b)
+	}
+	out.Write(structComp)
+	return out.Bytes()
+}
+
+// Size returns the compressed size of the document — the xmill(...) chart
+// lines of §5.4.
+func Size(doc *xmltree.Node) int { return len(Compress(doc)) }
+
+// CompressConcat compresses several documents "side by side into one XML
+// tree" (the xmill(V1+...+Vi) baseline of §5.4).
+func CompressConcat(docs []*xmltree.Node) []byte {
+	root := xmltree.Elem("versions")
+	for _, d := range docs {
+		if d != nil {
+			root.Append(d)
+		}
+	}
+	defer func() { root.Children = nil }() // do not keep aliased children
+	return Compress(root)
+}
+
+type decoder struct {
+	names      []string
+	containers map[string]*bytes.Reader
+	structure  *bytes.Reader
+}
+
+func readUvarint(r *bytes.Reader) (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *decoder) nextValue(key string) (string, error) {
+	c, ok := d.containers[key]
+	if !ok {
+		return "", fmt.Errorf("xmill: missing container %q", key)
+	}
+	return readString(c)
+}
+
+// Decompress reverses Compress.
+func Decompress(data []byte) (*xmltree.Node, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("xmill: bad magic")
+	}
+	r := bytes.NewReader(data[len(magic):])
+	nNames, err := readUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmill: header: %w", err)
+	}
+	d := &decoder{containers: map[string]*bytes.Reader{}}
+	for i := uint64(0); i < nNames; i++ {
+		s, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmill: dictionary: %w", err)
+		}
+		d.names = append(d.names, s)
+	}
+	nCont, err := readUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmill: container index: %w", err)
+	}
+	type contHdr struct {
+		key string
+		sz  uint64
+	}
+	var hdrs []contHdr
+	for i := uint64(0); i < nCont; i++ {
+		key, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmill: container key: %w", err)
+		}
+		sz, err := readUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("xmill: container size: %w", err)
+		}
+		hdrs = append(hdrs, contHdr{key, sz})
+	}
+	structSize, err := readUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmill: structure size: %w", err)
+	}
+	for _, h := range hdrs {
+		blob := make([]byte, h.sz)
+		if _, err := r.Read(blob); err != nil {
+			return nil, fmt.Errorf("xmill: container data: %w", err)
+		}
+		raw, err := compressutil.Unflate(blob)
+		if err != nil {
+			return nil, fmt.Errorf("xmill: container %q: %w", h.key, err)
+		}
+		d.containers[h.key] = bytes.NewReader(raw)
+	}
+	blob := make([]byte, structSize)
+	if _, err := r.Read(blob); err != nil {
+		return nil, fmt.Errorf("xmill: structure data: %w", err)
+	}
+	raw, err := compressutil.Unflate(blob)
+	if err != nil {
+		return nil, fmt.Errorf("xmill: structure: %w", err)
+	}
+	d.structure = bytes.NewReader(raw)
+	return d.decode()
+}
+
+func (d *decoder) decode() (*xmltree.Node, error) {
+	var stack []*xmltree.Node
+	var root *xmltree.Node
+	for {
+		op, err := d.structure.ReadByte()
+		if err != nil {
+			break // end of structure
+		}
+		switch op {
+		case opOpen:
+			id, err := readUvarint(d.structure)
+			if err != nil || id >= uint64(len(d.names)) {
+				return nil, fmt.Errorf("xmill: bad open tag")
+			}
+			n := xmltree.Elem(d.names[id])
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmill: multiple roots")
+				}
+				root = n
+			} else {
+				stack[len(stack)-1].Append(n)
+			}
+			stack = append(stack, n)
+		case opAttr:
+			id, err := readUvarint(d.structure)
+			if err != nil || id >= uint64(len(d.names)) {
+				return nil, fmt.Errorf("xmill: bad attr")
+			}
+			name := d.names[id]
+			val, err := d.nextValue("@" + name)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmill: attribute outside element")
+			}
+			stack[len(stack)-1].Append(xmltree.AttrNode(name, val))
+		case opText:
+			key := ""
+			if len(stack) > 0 {
+				key = stack[len(stack)-1].Name
+			}
+			val, err := d.nextValue(key)
+			if err != nil {
+				return nil, err
+			}
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmill: text outside element")
+			}
+			stack[len(stack)-1].Append(xmltree.TextNode(val))
+		case opClose:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmill: unbalanced close")
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			return nil, fmt.Errorf("xmill: unknown opcode %#x", op)
+		}
+	}
+	if len(stack) != 0 || root == nil {
+		return nil, fmt.Errorf("xmill: truncated structure")
+	}
+	return root, nil
+}

@@ -1,0 +1,134 @@
+package xmill
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xarch/internal/compressutil"
+	"xarch/internal/datagen"
+	"xarch/internal/xmltree"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	docs := []string{
+		`<a/>`,
+		`<a x="1">text</a>`,
+		`<db><dept><name>finance</name><emp><fn>John</fn><ln>Doe</ln></emp></dept></db>`,
+		`<r><m>mixed <i>inline</i> tail</m></r>`,
+		`<u v="amp &amp; lt &lt;">body &gt;</u>`,
+	}
+	for _, src := range docs {
+		doc := xmltree.MustParseString(src)
+		back, err := Decompress(Compress(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !xmltree.Equal(doc, back) {
+			t.Errorf("round trip changed %s into %s", src, back.XML())
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 11, Records: 40, InsertFrac: 0.1})
+	doc := g.Next()
+	back, err := Decompress(Compress(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, back) {
+		t.Error("OMIM round trip mismatch")
+	}
+	xg := datagen.NewXMark(datagen.XMarkConfig{Seed: 11, Items: 40, People: 30, Categories: 10, OpenAucts: 15, ClosedAucts: 10})
+	xdoc := xg.Document()
+	back, err = Decompress(Compress(xdoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(xdoc, back) {
+		t.Error("XMark round trip mismatch")
+	}
+}
+
+// TestContainerGroupingBeatsGzip: on documents with many like-tagged
+// values, container grouping compresses better than gzip of the same
+// serialized text — the §5.4 effect.
+func TestContainerGroupingBeatsGzip(t *testing.T) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 13, Records: 300})
+	doc := g.Next()
+	xmillSize := Size(doc)
+	gzipSize := compressutil.GzipSize([]byte(doc.IndentedXML()))
+	t.Logf("xmill=%d gzip=%d raw=%d", xmillSize, gzipSize, len(doc.IndentedXML()))
+	if xmillSize >= gzipSize {
+		t.Errorf("xmill (%d) should beat gzip (%d) on grouped scientific data", xmillSize, gzipSize)
+	}
+}
+
+func TestCompressConcat(t *testing.T) {
+	a := xmltree.MustParseString(`<db><x>1</x></db>`)
+	b := xmltree.MustParseString(`<db><x>2</x></db>`)
+	data := CompressConcat([]*xmltree.Node{a, b, nil})
+	back, err := Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "versions" || len(back.Children) != 2 {
+		t.Fatalf("concat structure wrong: %s", back.XML())
+	}
+	if !xmltree.Equal(back.Children[0], a) || !xmltree.Equal(back.Children[1], b) {
+		t.Error("concat children corrupted")
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("bogus"),
+		[]byte("XMIL1"),
+		append([]byte("XMIL1"), 0xFF, 0xFF, 0xFF),
+	} {
+		if _, err := Decompress(data); err == nil {
+			t.Errorf("Decompress(%q): expected error", data)
+		}
+	}
+}
+
+// TestQuickRoundTrip compresses random trees and checks value equality.
+func TestQuickRoundTrip(t *testing.T) {
+	payloads := []string{"x", "longer value with words", "1", "", "<>&\"'", strings.Repeat("r", 100)}
+	var gen func(rng *rand.Rand, depth int) *xmltree.Node
+	gen = func(rng *rand.Rand, depth int) *xmltree.Node {
+		n := xmltree.Elem([]string{"a", "b", "c", "d"}[rng.Intn(4)])
+		if rng.Intn(2) == 0 {
+			n.SetAttr([]string{"k", "id"}[rng.Intn(2)], payloads[rng.Intn(len(payloads))])
+		}
+		for i := rng.Intn(4); i > 0; i-- {
+			if depth > 0 && rng.Intn(2) == 0 {
+				n.Append(gen(rng, depth-1))
+			} else {
+				n.Append(xmltree.TextNode(payloads[rng.Intn(len(payloads))]))
+			}
+		}
+		return n
+	}
+	f := func(seed int64) bool {
+		doc := gen(rand.New(rand.NewSource(seed)), 4)
+		back, err := Decompress(Compress(doc))
+		return err == nil && xmltree.Equal(doc, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompressOMIM(b *testing.B) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 17, Records: 150})
+	doc := g.Next()
+	b.SetBytes(int64(len(doc.IndentedXML())))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(doc)
+	}
+}

@@ -1,0 +1,81 @@
+package xmltree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// Canonical returns the canonical string form of the value rooted at n
+// (§4.3 of the paper, in the spirit of W3C Canonical XML): a deterministic
+// serialization with the property
+//
+//	Canonical(a) == Canonical(b)  ⇔  Equal(a, b)
+//
+// Attributes are sorted by (name, value); text is escaped so that markup
+// characters cannot collide with structure; kinds are distinguished so a
+// text node "a" never collides with an element <a/>.
+func Canonical(n *Node) string {
+	var b strings.Builder
+	_ = WriteCanonical(&b, n)
+	return b.String()
+}
+
+// CanonicalList returns the canonical form of an ordered list of values,
+// used for the content of frontier nodes (the list of E/T children).
+func CanonicalList(ns []*Node) string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	for _, n := range ns {
+		writeCanonical(bw, n)
+	}
+	bw.Flush()
+	return b.String()
+}
+
+// WriteCanonical streams the canonical form of n to w.
+func WriteCanonical(w io.Writer, n *Node) error {
+	bw := bufio.NewWriter(w)
+	writeCanonical(bw, n)
+	return bw.Flush()
+}
+
+func writeCanonical(w *bufio.Writer, n *Node) {
+	switch n.Kind {
+	case Text:
+		w.WriteByte('t')
+		w.WriteByte('(')
+		escapeCanonical(w, n.Data)
+		w.WriteByte(')')
+	case Attr:
+		w.WriteByte('a')
+		w.WriteByte('(')
+		escapeCanonical(w, n.Name)
+		w.WriteByte('=')
+		escapeCanonical(w, n.Data)
+		w.WriteByte(')')
+	case Element:
+		w.WriteByte('e')
+		w.WriteByte('(')
+		escapeCanonical(w, n.Name)
+		for _, a := range n.sortedAttrs() {
+			writeCanonical(w, a)
+		}
+		for _, c := range n.Children {
+			writeCanonical(w, c)
+		}
+		w.WriteByte(')')
+	}
+}
+
+// escapeCanonical escapes the canonical structural bytes so strings cannot
+// forge structure.
+func escapeCanonical(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', ')', '=', '\\':
+			w.WriteByte('\\')
+		}
+		w.WriteByte(s[i])
+	}
+}

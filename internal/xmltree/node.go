@@ -1,0 +1,388 @@
+// Package xmltree implements the XML data model of Buneman et al.,
+// "Archiving Scientific Data" (Appendix A): trees of element nodes
+// (E-nodes), attribute nodes (A-nodes) and text nodes (T-nodes), with
+// value equality (=v), a total value order (<=v) and a canonical string
+// form such that two values are equal iff their canonical forms are
+// string-equal.
+//
+// Whitespace-only text between elements is not part of the model
+// (footnote 3 of the paper) and is dropped by the parser.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind distinguishes the three node types of the model.
+type Kind uint8
+
+const (
+	// Element is an E-node: a tag name, ordered E/T children and a set of
+	// A-children.
+	Element Kind = iota
+	// Text is a T-node: a string value. T-nodes are always leaves.
+	Text
+	// Attr is an A-node: an (attribute name, string value) pair. A-nodes
+	// are always leaves and unordered among their siblings.
+	Attr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "element"
+	case Text:
+		return "text"
+	case Attr:
+		return "attr"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is one node of an XML tree.
+//
+// For an Element, Name is the tag, Children holds E- and T-children in
+// document order, and Attrs holds A-children. For Text, Data is the text.
+// For Attr, Name/Data are the attribute name and value.
+type Node struct {
+	Kind     Kind
+	Name     string
+	Data     string
+	Attrs    []*Node
+	Children []*Node
+}
+
+// Elem constructs an element node with the given children (which may be a
+// mix of element, text and attribute nodes; attribute nodes are routed to
+// Attrs).
+func Elem(name string, children ...*Node) *Node {
+	n := &Node{Kind: Element, Name: name}
+	for _, c := range children {
+		n.Append(c)
+	}
+	return n
+}
+
+// TextNode constructs a T-node.
+func TextNode(s string) *Node { return &Node{Kind: Text, Data: s} }
+
+// AttrNode constructs an A-node.
+func AttrNode(name, value string) *Node {
+	return &Node{Kind: Attr, Name: name, Data: value}
+}
+
+// ElemText is shorthand for an element with a single text child, the most
+// common leaf shape in scientific data (<name>finance</name>).
+func ElemText(name, text string) *Node {
+	return Elem(name, TextNode(text))
+}
+
+// Append adds c as a child of n, routing attribute nodes to Attrs.
+// It panics if n is not an element.
+func (n *Node) Append(c *Node) {
+	if n.Kind != Element {
+		panic("xmltree: Append on non-element")
+	}
+	if c.Kind == Attr {
+		n.Attrs = append(n.Attrs, c)
+	} else {
+		n.Children = append(n.Children, c)
+	}
+}
+
+// SetAttr sets attribute name to value, replacing an existing attribute of
+// the same name.
+func (n *Node) SetAttr(name, value string) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			a.Data = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, AttrNode(name, value))
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Data, true
+		}
+	}
+	return "", false
+}
+
+// Child returns the first element child with the given tag, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == Element && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all element children with the given tag.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == Element && c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Text returns the concatenation of the node's direct text children
+// (for an element), or Data for a text/attribute node.
+func (n *Node) Text() string {
+	if n.Kind != Element {
+		return n.Data
+	}
+	var b strings.Builder
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			b.WriteString(c.Data)
+		}
+	}
+	return b.String()
+}
+
+// ChildText returns the text content of the first element child with the
+// given tag, or "" if there is none.
+func (n *Node) ChildText(name string) string {
+	if c := n.Child(name); c != nil {
+		return c.Text()
+	}
+	return ""
+}
+
+// Path returns the first node reached by following the given tag names from
+// n, or nil if any step is missing.
+func (n *Node) Path(names ...string) *Node {
+	cur := n
+	for _, name := range names {
+		if cur = cur.Child(name); cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	if n.Attrs != nil {
+		c.Attrs = make([]*Node, len(n.Attrs))
+		for i, a := range n.Attrs {
+			c.Attrs[i] = a.Clone()
+		}
+	}
+	if n.Children != nil {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// CountNodes returns the number of nodes in the subtree (elements, texts
+// and attributes), matching the N column of Figure 7.
+func (n *Node) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	total := 1 + len(n.Attrs)
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Height returns the height of the subtree: 1 for a leaf element or
+// text node, matching the h column of Figure 7 (attributes do not add
+// depth).
+func (n *Node) Height() int {
+	if n == nil {
+		return 0
+	}
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height(); ch > h {
+			h = ch
+		}
+	}
+	return h + 1
+}
+
+// Walk calls fn for every node in document order (attributes of an element
+// are visited before its children). Returning false from fn prunes the
+// subtree below the current node.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, a := range n.Attrs {
+		fn(a)
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// sortedAttrs returns the attributes ordered by (name, value); attribute
+// children form a set, so all value comparisons view them in this order.
+func (n *Node) sortedAttrs() []*Node {
+	if len(n.Attrs) <= 1 {
+		return n.Attrs
+	}
+	out := make([]*Node, len(n.Attrs))
+	copy(out, n.Attrs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Data < out[j].Data
+	})
+	return out
+}
+
+// Equal reports value equality (=v, Appendix A.3): the trees are
+// isomorphic by an isomorphism that is the identity on strings, respecting
+// child order for E/T children and ignoring order among attributes.
+func Equal(a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind != b.Kind || a.Name != b.Name {
+		return false
+	}
+	switch a.Kind {
+	case Text, Attr:
+		return a.Data == b.Data
+	}
+	if len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	sa, sb := a.sortedAttrs(), b.sortedAttrs()
+	for i := range sa {
+		if sa[i].Name != sb[i].Name || sa[i].Data != sb[i].Data {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualList reports value equality of two child sequences, in order.
+func EqualList(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare implements the total value order of Appendix A.6, returning
+// -1, 0 or +1. The order ranks T-nodes < A-nodes < E-nodes, then compares
+// within each kind: text by string; attributes by (name, value); elements
+// by tag, then child list (shorter first, then lexicographic by value),
+// then attribute set (sorted by name, then value).
+func Compare(a, b *Node) int {
+	if a == b {
+		return 0
+	}
+	if a == nil {
+		return -1
+	}
+	if b == nil {
+		return 1
+	}
+	if a.Kind != b.Kind {
+		// T < A < E.
+		return kindRank(a.Kind) - kindRank(b.Kind)
+	}
+	switch a.Kind {
+	case Text:
+		return strings.Compare(a.Data, b.Data)
+	case Attr:
+		if c := strings.Compare(a.Name, b.Name); c != 0 {
+			return c
+		}
+		return strings.Compare(a.Data, b.Data)
+	}
+	if c := strings.Compare(a.Name, b.Name); c != 0 {
+		return c
+	}
+	if c := CompareList(a.Children, b.Children); c != 0 {
+		return c
+	}
+	return compareAttrSets(a.sortedAttrs(), b.sortedAttrs())
+}
+
+func kindRank(k Kind) int {
+	switch k {
+	case Text:
+		return -1
+	case Attr:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// CompareList orders two child sequences: shorter lists first, then
+// pointwise by Compare (Appendix A.6, <=l).
+func CompareList(a, b []*Node) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func compareAttrSets(a, b []*Node) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if c := strings.Compare(a[i].Name, b[i].Name); c != 0 {
+			return c
+		}
+		if c := strings.Compare(a[i].Data, b[i].Data); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

@@ -1,0 +1,292 @@
+package xmltree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	n := Elem("emp",
+		AttrNode("id", "7"),
+		ElemText("fn", "John"),
+		ElemText("ln", "Doe"),
+		TextNode("note"),
+	)
+	if n.Kind != Element || n.Name != "emp" {
+		t.Fatalf("bad element: %+v", n)
+	}
+	if len(n.Attrs) != 1 || len(n.Children) != 3 {
+		t.Fatalf("attrs/children routing wrong: %d attrs, %d children", len(n.Attrs), len(n.Children))
+	}
+	if got, ok := n.Attr("id"); !ok || got != "7" {
+		t.Errorf("Attr(id) = %q, %v", got, ok)
+	}
+	if _, ok := n.Attr("missing"); ok {
+		t.Error("Attr(missing) reported present")
+	}
+	if n.ChildText("fn") != "John" {
+		t.Errorf("ChildText(fn) = %q", n.ChildText("fn"))
+	}
+	if n.ChildText("absent") != "" {
+		t.Error("ChildText(absent) non-empty")
+	}
+}
+
+func TestSetAttr(t *testing.T) {
+	n := Elem("a")
+	n.SetAttr("x", "1")
+	n.SetAttr("x", "2")
+	n.SetAttr("y", "3")
+	if len(n.Attrs) != 2 {
+		t.Fatalf("SetAttr duplicated: %d attrs", len(n.Attrs))
+	}
+	if v, _ := n.Attr("x"); v != "2" {
+		t.Errorf("x = %q, want 2", v)
+	}
+}
+
+func TestPathAndChildren(t *testing.T) {
+	doc := MustParseString(`<db><dept><name>finance</name><emp><fn>John</fn></emp><emp><fn>Jane</fn></emp></dept></db>`)
+	if doc.Path("dept", "name").Text() != "finance" {
+		t.Error("Path lookup failed")
+	}
+	if doc.Path("dept", "nosuch") != nil {
+		t.Error("Path should return nil for missing step")
+	}
+	emps := doc.Child("dept").ChildrenNamed("emp")
+	if len(emps) != 2 {
+		t.Fatalf("ChildrenNamed = %d elements", len(emps))
+	}
+	if emps[1].ChildText("fn") != "Jane" {
+		t.Error("wrong second emp")
+	}
+}
+
+func TestCountAndHeight(t *testing.T) {
+	doc := MustParseString(`<db><dept><name>finance</name></dept></db>`)
+	// Nodes: db, dept, name, text = 4.
+	if got := doc.CountNodes(); got != 4 {
+		t.Errorf("CountNodes = %d, want 4", got)
+	}
+	// Height: db(1) -> dept(2) -> name(3) -> text(4).
+	if got := doc.Height(); got != 4 {
+		t.Errorf("Height = %d, want 4", got)
+	}
+	withAttr := Elem("a", AttrNode("k", "v"))
+	if withAttr.CountNodes() != 2 {
+		t.Errorf("attr not counted")
+	}
+	if withAttr.Height() != 1 {
+		t.Errorf("attr should not add height")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	orig := MustParseString(`<a x="1"><b>t</b></a>`)
+	c := orig.Clone()
+	if !Equal(orig, c) {
+		t.Fatal("clone not equal")
+	}
+	c.Child("b").Children[0].Data = "changed"
+	c.Attrs[0].Data = "9"
+	if orig.Child("b").Text() != "t" {
+		t.Error("clone shares text storage")
+	}
+	if v, _ := orig.Attr("x"); v != "1" {
+		t.Error("clone shares attr storage")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{`<a/>`, `<a/>`, true},
+		{`<a/>`, `<b/>`, false},
+		{`<a>x</a>`, `<a>x</a>`, true},
+		{`<a>x</a>`, `<a>y</a>`, false},
+		// E/T child order matters.
+		{`<a><b/><c/></a>`, `<a><c/><b/></a>`, false},
+		// Attribute order does not matter.
+		{`<a x="1" y="2"/>`, `<a y="2" x="1"/>`, true},
+		{`<a x="1"/>`, `<a x="2"/>`, false},
+		{`<a x="1"/>`, `<a/>`, false},
+		// Whitespace between elements is ignored by the model.
+		{"<a>\n  <b/>\n</a>", `<a><b/></a>`, true},
+		// Nested structure.
+		{`<a><b><c>1</c></b></a>`, `<a><b><c>1</c></b></a>`, true},
+		{`<a><b><c>1</c></b></a>`, `<a><b><c>2</c></b></a>`, false},
+	}
+	for _, c := range cases {
+		a, b := MustParseString(c.a), MustParseString(c.b)
+		if got := Equal(a, b); got != c.want {
+			t.Errorf("Equal(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Equal(b, a); got != c.want {
+			t.Errorf("Equal symmetric (%s, %s) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestCompareKindOrder(t *testing.T) {
+	// T-node < A-node < E-node (Appendix A.6).
+	tn, an, en := TextNode("z"), AttrNode("a", "a"), Elem("a")
+	if Compare(tn, an) >= 0 || Compare(an, en) >= 0 || Compare(tn, en) >= 0 {
+		t.Error("kind order violated")
+	}
+	if Compare(en, tn) <= 0 {
+		t.Error("reverse kind order violated")
+	}
+}
+
+func TestCompareLists(t *testing.T) {
+	shorter := MustParseString(`<a><b/></a>`)
+	longer := MustParseString(`<a><b/><b/></a>`)
+	if Compare(shorter, longer) >= 0 {
+		t.Error("shorter child list should sort first")
+	}
+	x := MustParseString(`<a><b>1</b></a>`)
+	y := MustParseString(`<a><b>2</b></a>`)
+	if Compare(x, y) >= 0 {
+		t.Error("lexicographic child comparison failed")
+	}
+}
+
+func TestEqualListAndCompareList(t *testing.T) {
+	a := []*Node{ElemText("x", "1"), TextNode("t")}
+	b := []*Node{ElemText("x", "1"), TextNode("t")}
+	if !EqualList(a, b) {
+		t.Error("EqualList false negative")
+	}
+	if CompareList(a, b) != 0 {
+		t.Error("CompareList nonzero for equal lists")
+	}
+	b[1] = TextNode("u")
+	if EqualList(a, b) {
+		t.Error("EqualList false positive")
+	}
+	if CompareList(a, b) >= 0 {
+		t.Error("t should sort before u")
+	}
+}
+
+func TestWalkOrderAndPrune(t *testing.T) {
+	doc := MustParseString(`<a x="1"><b><c/></b><d/></a>`)
+	var names []string
+	doc.Walk(func(n *Node) bool {
+		switch n.Kind {
+		case Element:
+			names = append(names, n.Name)
+		case Attr:
+			names = append(names, "@"+n.Name)
+		}
+		return n.Name != "b" // prune below b
+	})
+	want := []string{"a", "@x", "b", "d"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("Walk order = %v, want %v", names, want)
+	}
+}
+
+// genTree builds a random tree for property tests.
+func genTree(rng *rand.Rand, depth int) *Node {
+	names := []string{"a", "b", "t", "e(", "x)y"}
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return TextNode(names[rng.Intn(len(names))])
+		}
+		return AttrNode(names[rng.Intn(len(names))], names[rng.Intn(len(names))])
+	}
+	n := Elem(names[rng.Intn(len(names))])
+	for i := rng.Intn(4); i > 0; i-- {
+		c := genTree(rng, depth-1)
+		if c.Kind == Attr {
+			// Avoid duplicate attribute names within one element.
+			dup := false
+			for _, a := range n.Attrs {
+				if a.Name == c.Name {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+		}
+		n.Append(c)
+	}
+	return n
+}
+
+// TestQuickCanonicalIffEqual checks the defining property of the canonical
+// form (§4.3): Canonical(a) == Canonical(b) iff a =v b.
+func TestQuickCanonicalIffEqual(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := genTree(rand.New(rand.NewSource(seedA)), 3)
+		b := genTree(rand.New(rand.NewSource(seedB)), 3)
+		return (Canonical(a) == Canonical(b)) == Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// And identical seeds must agree.
+	a := genTree(rand.New(rand.NewSource(42)), 4)
+	b := genTree(rand.New(rand.NewSource(42)), 4)
+	if Canonical(a) != Canonical(b) || !Equal(a, b) {
+		t.Fatal("same-seed trees should be equal")
+	}
+}
+
+// TestQuickCompareTotalOrder checks antisymmetry, consistency with Equal,
+// and transitivity of the Appendix A.6 order on random trees.
+func TestQuickCompareTotalOrder(t *testing.T) {
+	f := func(s1, s2, s3 int64) bool {
+		a := genTree(rand.New(rand.NewSource(s1)), 3)
+		b := genTree(rand.New(rand.NewSource(s2)), 3)
+		c := genTree(rand.New(rand.NewSource(s3)), 3)
+		// Antisymmetry.
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		// Compare == 0 iff Equal.
+		if (Compare(a, b) == 0) != Equal(a, b) {
+			return false
+		}
+		// Transitivity.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEqual checks Clone produces an equal, independent tree.
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		a := genTree(rand.New(rand.NewSource(seed)), 4)
+		return Equal(a, a.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttrEscapingInCanonical(t *testing.T) {
+	// Values that contain the canonical structural characters must not
+	// collide with genuinely different structures.
+	a := Elem("x", TextNode("t(y)"))
+	b := Elem("x", TextNode("t"), TextNode("y"))
+	if Canonical(a) == Canonical(b) {
+		t.Error("canonical collision via structural characters")
+	}
+	c := Elem("e(", TextNode(")"))
+	d := Elem("e", TextNode("()"))
+	if Canonical(c) == Canonical(d) {
+		t.Error("canonical collision via element name")
+	}
+}

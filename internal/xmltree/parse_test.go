@@ -1,0 +1,183 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	doc, err := ParseString(`<db><dept><name>finance</name><emp sal="95K"><fn>John</fn></emp></dept></db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "db" {
+		t.Fatalf("root = %q", doc.Name)
+	}
+	emp := doc.Path("dept", "emp")
+	if emp == nil {
+		t.Fatal("missing emp")
+	}
+	if v, _ := emp.Attr("sal"); v != "95K" {
+		t.Errorf("sal = %q", v)
+	}
+}
+
+func TestParseDropsInterElementWhitespace(t *testing.T) {
+	doc := MustParseString("<a>\n  <b>  keep  me  </b>\n  <c/>\n</a>")
+	if len(doc.Children) != 2 {
+		t.Fatalf("whitespace text retained: %d children", len(doc.Children))
+	}
+	if doc.Child("b").Text() != "  keep  me  " {
+		t.Errorf("inner text mangled: %q", doc.Child("b").Text())
+	}
+}
+
+func TestParseCoalescesCharData(t *testing.T) {
+	doc := MustParseString(`<a>one &amp; two</a>`)
+	if len(doc.Children) != 1 || doc.Children[0].Kind != Text {
+		t.Fatalf("expected a single text child, got %d", len(doc.Children))
+	}
+	if doc.Text() != "one & two" {
+		t.Errorf("entity not decoded: %q", doc.Text())
+	}
+}
+
+func TestParseSkipsCommentsAndPI(t *testing.T) {
+	doc := MustParseString(`<?xml version="1.0"?><!-- c --><a><!-- inner --><b/></a>`)
+	if len(doc.Children) != 1 || doc.Children[0].Name != "b" {
+		t.Fatalf("comments/PI leaked into tree: %+v", doc.Children)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		``,
+		`plain text`,
+		`<a><b></a></b>`,
+		`<a/><b/>`, // two roots
+		`<a>`,      // unclosed
+	} {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("ParseString(%q): expected error", in)
+		}
+	}
+}
+
+func TestRoundTripCompact(t *testing.T) {
+	srcs := []string{
+		`<db><dept><name>finance</name><emp><fn>John</fn><ln>Doe</ln></emp></dept></db>`,
+		`<a x="1" y="two&quot;three"><b>text &lt;escaped&gt; &amp; kept</b><c/></a>`,
+		`<r><p>mixed <i>inline</i> tail</p></r>`,
+	}
+	for _, src := range srcs {
+		doc := MustParseString(src)
+		back := MustParseString(doc.XML())
+		if !Equal(doc, back) {
+			t.Errorf("round trip changed value:\n in: %s\nout: %s", src, doc.XML())
+		}
+	}
+}
+
+func TestRoundTripIndented(t *testing.T) {
+	doc := MustParseString(`<db><dept><name>finance</name><emp><fn>John</fn><sal>95K</sal></emp></dept></db>`)
+	indented := doc.IndentedXML()
+	back := MustParseString(indented)
+	if !Equal(doc, back) {
+		t.Fatalf("indented round trip changed value:\n%s", indented)
+	}
+	// The line-oriented property the experiments rely on (§5): every start
+	// tag begins its own line.
+	lines := strings.Split(strings.TrimSpace(indented), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("expected line-per-element layout, got %d lines:\n%s", len(lines), indented)
+	}
+	for _, ln := range lines {
+		trimmed := strings.TrimLeft(ln, " ")
+		if trimmed == "" {
+			t.Errorf("blank line in indented output")
+		}
+	}
+}
+
+// TestQuickSerializeRoundTrip: parse(serialize(tree)) =v tree for random
+// trees whose strings exercise escaping. Attribute and text payloads avoid
+// raw control characters, as in real scientific data.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	payloads := []string{"x", "a & b", "<tag>", `"quoted"`, "tab\tsep", "multi\nline", "]]>"}
+	var gen func(rng *rand.Rand, depth int) *Node
+	gen = func(rng *rand.Rand, depth int) *Node {
+		n := Elem([]string{"a", "b", "c"}[rng.Intn(3)])
+		if rng.Intn(2) == 0 {
+			n.SetAttr("k", payloads[rng.Intn(len(payloads))])
+		}
+		kids := rng.Intn(3)
+		for i := 0; i < kids; i++ {
+			if depth > 0 && rng.Intn(2) == 0 {
+				n.Append(gen(rng, depth-1))
+			} else {
+				n.Append(TextNode(payloads[rng.Intn(len(payloads))]))
+			}
+		}
+		return n
+	}
+	f := func(seed int64) bool {
+		doc := gen(rand.New(rand.NewSource(seed)), 3)
+		compact, err := ParseString(doc.XML())
+		if err != nil || !equalModuloWhitespaceText(doc, compact) {
+			return false
+		}
+		indented, err := ParseString(doc.IndentedXML())
+		return err == nil && equalModuloWhitespaceText(doc, indented)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// equalModuloWhitespaceText compares trees ignoring text nodes that are
+// whitespace-only (the parser drops them by design, and indented
+// serialization of adjacent text nodes may merge them).
+func equalModuloWhitespaceText(a, b *Node) bool {
+	return Canonical(stripWS(a)) == Canonical(stripWS(b))
+}
+
+func stripWS(n *Node) *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Data: n.Data}
+	for _, a := range n.Attrs {
+		c.Attrs = append(c.Attrs, a.Clone())
+	}
+	var textRun strings.Builder
+	flush := func() {
+		if textRun.Len() > 0 {
+			c.Children = append(c.Children, TextNode(textRun.String()))
+			textRun.Reset()
+		}
+	}
+	for _, ch := range n.Children {
+		if ch.Kind == Text {
+			if strings.TrimSpace(ch.Data) != "" {
+				textRun.WriteString(ch.Data)
+			}
+			continue
+		}
+		flush()
+		c.Children = append(c.Children, stripWS(ch))
+	}
+	flush()
+	return c
+}
+
+func TestNamespacePrefixHandling(t *testing.T) {
+	// The archive uses <T> "in a separate namespace" (§2); parsing keeps
+	// local names so the archive layer can recognize them.
+	doc := MustParseString(`<a xmlns:v="http://example.com/ns"><v:T t="1-3"><b/></v:T></a>`)
+	tn := doc.Children[0]
+	if tn.Name != "T" {
+		t.Fatalf("namespaced element name = %q, want T", tn.Name)
+	}
+	if v, ok := tn.Attr("t"); !ok || v != "1-3" {
+		t.Fatalf("t attr = %q, %v", v, ok)
+	}
+}

@@ -1,0 +1,167 @@
+package xmltree
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// WriteOptions controls serialization.
+type WriteOptions struct {
+	// Indent enables the line-oriented layout used throughout the paper's
+	// experiments: every start tag, text line and end tag is written on its
+	// own line, indented by depth, so that "each element is represented by
+	// one or more consecutive lines separate from other elements" (§5) and
+	// line diff yields compact deltas.
+	Indent bool
+	// IndentString is the per-level indentation; defaults to two spaces.
+	IndentString string
+}
+
+// Write serializes the subtree rooted at n.
+func (n *Node) Write(w io.Writer, opts WriteOptions) error {
+	if opts.IndentString == "" {
+		opts.IndentString = "  "
+	}
+	bw := bufio.NewWriter(w)
+	writeNode(bw, n, opts, 0)
+	return bw.Flush()
+}
+
+// XML returns the compact single-line serialization.
+func (n *Node) XML() string {
+	var b strings.Builder
+	_ = n.Write(&b, WriteOptions{})
+	return b.String()
+}
+
+// IndentedXML returns the line-oriented serialization used for the space
+// experiments and for the line-diff baselines.
+func (n *Node) IndentedXML() string {
+	var b strings.Builder
+	_ = n.Write(&b, WriteOptions{Indent: true})
+	return b.String()
+}
+
+func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int) {
+	switch n.Kind {
+	case Text:
+		if opts.Indent {
+			writeIndent(w, opts, depth)
+		}
+		escapeText(w, n.Data)
+		if opts.Indent {
+			w.WriteByte('\n')
+		}
+		return
+	case Attr:
+		// A bare attribute outside an element has no XML form; render it
+		// the way canonical form does so it is at least visible.
+		w.WriteString("@")
+		w.WriteString(n.Name)
+		w.WriteString("=\"")
+		escapeAttr(w, n.Data)
+		w.WriteString("\"")
+		return
+	}
+	if opts.Indent {
+		writeIndent(w, opts, depth)
+	}
+	w.WriteByte('<')
+	w.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		w.WriteByte(' ')
+		w.WriteString(a.Name)
+		w.WriteString(`="`)
+		escapeAttr(w, a.Data)
+		w.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		w.WriteString("/>")
+		if opts.Indent {
+			w.WriteByte('\n')
+		}
+		return
+	}
+	// An element with any text content is written inline on one line, so
+	// indented output round-trips exactly (indentation never leaks into
+	// character data) and leaves keep the <name>finance</name> layout of
+	// the paper's figures.
+	if opts.Indent && hasTextChild(n) {
+		w.WriteByte('>')
+		for _, c := range n.Children {
+			writeNode(w, c, WriteOptions{}, 0)
+		}
+		w.WriteString("</")
+		w.WriteString(n.Name)
+		w.WriteString(">\n")
+		return
+	}
+	w.WriteByte('>')
+	if opts.Indent {
+		w.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		writeNode(w, c, opts, depth+1)
+	}
+	if opts.Indent {
+		writeIndent(w, opts, depth)
+	}
+	w.WriteString("</")
+	w.WriteString(n.Name)
+	w.WriteByte('>')
+	if opts.Indent {
+		w.WriteByte('\n')
+	}
+}
+
+func hasTextChild(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind == Text {
+			return true
+		}
+	}
+	return false
+}
+
+func writeIndent(w *bufio.Writer, opts WriteOptions, depth int) {
+	for i := 0; i < depth; i++ {
+		w.WriteString(opts.IndentString)
+	}
+}
+
+func escapeText(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttr(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			w.WriteString("&amp;")
+		case '<':
+			w.WriteString("&lt;")
+		case '>':
+			w.WriteString("&gt;")
+		case '"':
+			w.WriteString("&quot;")
+		case '\n':
+			w.WriteString("&#10;")
+		case '\t':
+			w.WriteString("&#9;")
+		default:
+			w.WriteByte(s[i])
+		}
+	}
+}

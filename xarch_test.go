@@ -1,0 +1,196 @@
+package xarch
+
+import (
+	"strings"
+	"testing"
+
+	"xarch/internal/bench"
+)
+
+const quickSpec = `
+(/, (db, {}))
+(/db, (dept, {name}))
+(/db/dept, (emp, {fn, ln}))
+(/db/dept/emp, (sal, {}))
+(/db/dept/emp, (tel, {.}))
+`
+
+// TestPublicAPIEndToEnd drives the whole public surface: spec parsing,
+// archiving, retrieval, history, indexes, serialization, reload and
+// compression.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec, err := ParseKeySpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArchive(spec, Options{})
+	versions := []string{
+		`<db><dept><name>finance</name></dept></db>`,
+		`<db><dept><name>finance</name><emp><fn>Jane</fn><ln>Smith</ln><sal>90K</sal></emp></dept></db>`,
+		`<db><dept><name>finance</name><emp><fn>Jane</fn><ln>Smith</ln><sal>95K</sal></emp></dept></db>`,
+	}
+	for i, src := range versions {
+		doc, err := ParseXMLString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report := ValidateDocument(spec, doc); report != "" {
+			t.Fatalf("version %d invalid:\n%s", i+1, report)
+		}
+		if err := a.Add(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h, err := a.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "2-3" {
+		t.Errorf("history = %q, want 2-3", h)
+	}
+	changes, err := a.ContentHistory("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/sal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Errorf("salary changes = %v, want two alternatives", changes)
+	}
+
+	// Index-accelerated access agrees.
+	tix := NewTimestampIndex(a)
+	v2, err := tix.Version(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Path("dept", "emp", "sal").Text() != "90K" {
+		t.Errorf("indexed retrieval wrong: %s", v2.XML())
+	}
+	hix := NewHistoryIndex(a)
+	h2, err := hix.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(h2) {
+		t.Errorf("index history %q != scan history %q", h2, h)
+	}
+
+	// Serialization round trip through the facade.
+	var buf strings.Builder
+	if err := a.WriteXML(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArchive(strings.NewReader(buf.String()), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Versions() != 3 {
+		t.Errorf("reloaded versions = %d", back.Versions())
+	}
+
+	// Compression round trip.
+	doc, err := ParseXMLString(versions[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := CompressXMill(doc)
+	if CompressedArchiveSize(a) <= 0 {
+		t.Error("compressed archive size not positive")
+	}
+	dec, err := DecompressXMill(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.XML() != doc.XML() {
+		t.Error("xmill round trip changed document")
+	}
+}
+
+// TestExternalArchiverFacade drives the §6 path through the facade.
+func TestExternalArchiverFacade(t *testing.T) {
+	spec, err := ParseKeySpec(quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := OpenExternalArchiver(t.TempDir(), spec, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddVersion(strings.NewReader(
+		`<db><dept><name>finance</name><emp><fn>Jo</fn><ln>Doe</ln></emp></dept></db>`)); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := ar.WriteArchiveXML(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArchive(strings.NewReader(b.String()), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := back.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Path("dept", "emp", "fn").Text() != "Jo" {
+		t.Errorf("external archive content wrong: %s", v1.XML())
+	}
+}
+
+// TestHeadlineClaims asserts the qualitative results of the evaluation
+// (E13 in DESIGN.md) at reduced scale. Absolute numbers differ from the
+// 2002 testbed; the *shape* must hold:
+//
+//  1. on accretive OMIM-like data, the archive stays close to the
+//     incremental-diff repository and close to the last version's size;
+//  2. cumulative diffs blow up (≥2x incremental) under churn;
+//  3. the XMill-compressed archive beats the gzipped diff repositories;
+//  4. the compressed archive is a fraction of the last version's size;
+//  5. the key-modification worst case penalizes the archive, not the
+//     diff repositories.
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storage claims take a few seconds")
+	}
+	// OMIM-like: a quarter's worth of daily versions.
+	spec, docs := bench.OMIMSequence(0.3, 25)
+	omim, err := bench.Run(spec, docs, bench.Config{CompressEvery: 25, KeepConcat: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, inc := bench.Last(omim.Archive), bench.Last(omim.IncDiffs)
+	ver := bench.Last(omim.Version)
+	if r := float64(arch) / float64(inc); r > 1.25 {
+		t.Errorf("claim 1a: OMIM archive %.3fx inc diffs, want near parity", r)
+	}
+	if r := float64(arch) / float64(ver); r > 1.25 {
+		t.Errorf("claim 1b: OMIM archive %.3fx last version, want < ~1.12-1.25", r)
+	}
+	xa, gz := bench.Last(omim.XMillArchive), bench.Last(omim.GzipInc)
+	if xa >= gz {
+		t.Errorf("claim 3: xmill(archive)=%d should beat gzip(inc)=%d", xa, gz)
+	}
+	if r := float64(xa) / float64(ver); r > 0.6 {
+		t.Errorf("claim 4: xmill(archive) %.3fx last version, want well under 1", r)
+	}
+
+	// Swiss-Prot-like churn: cumulative blow-up.
+	spec2, docs2 := bench.SwissProtSequence(0.15, 8)
+	sp, err := bench.Run(spec2, docs2, bench.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cumu, inc := bench.Last(sp.CumuDiffs), bench.Last(sp.IncDiffs); cumu < 2*inc {
+		t.Errorf("claim 2: cumulative %d < 2x incremental %d", cumu, inc)
+	}
+
+	// Key-modification worst case.
+	spec3, docs3 := bench.XMarkSequence(0.25, 6, 0.10, true)
+	km, err := bench.Run(spec3, docs3, bench.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, i := bench.Last(km.Archive), bench.Last(km.IncDiffs); a <= i {
+		t.Errorf("claim 5: worst case should penalize the archive (%d vs %d)", a, i)
+	}
+}
