@@ -164,6 +164,7 @@ func BenchmarkAnnotateScaling(b *testing.B) {
 			doc := g.Next()
 			b.SetBytes(int64(len(doc.IndentedXML())))
 			ann := annotate.New(datagen.OMIMSpec(), nil)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := ann.Version(doc); err != nil {
@@ -185,15 +186,18 @@ func BenchmarkNestedMergeScaling(b *testing.B) {
 			v1 := g.Next()
 			v2 := g.Next()
 			b.SetBytes(int64(len(v2.IndentedXML())))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true})
-				if err := a.Add(v1.Clone()); err != nil {
+				// Add neither mutates nor retains the document, so the
+				// versions are fed to every iteration without cloning.
+				if err := a.Add(v1); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
-				if err := a.Add(v2.Clone()); err != nil {
+				if err := a.Add(v2); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -212,7 +216,7 @@ func buildBenchArchive(b *testing.B, versions int) (*Archive, []*xmltree.Node) {
 	for i := 0; i < versions; i++ {
 		d := g.Next()
 		docs = append(docs, d)
-		if err := a.Add(d.Clone()); err != nil {
+		if err := a.Add(d); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -221,6 +225,7 @@ func buildBenchArchive(b *testing.B, versions int) (*Archive, []*xmltree.Node) {
 
 // BenchmarkRetrievalScan: version retrieval by archive scan (§7.1).
 func BenchmarkRetrievalScan(b *testing.B) {
+	b.ReportAllocs()
 	a, _ := buildBenchArchive(b, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -233,6 +238,7 @@ func BenchmarkRetrievalScan(b *testing.B) {
 // BenchmarkRetrievalTimestampTree: the same retrievals through timestamp
 // trees (§7.1).
 func BenchmarkRetrievalTimestampTree(b *testing.B) {
+	b.ReportAllocs()
 	a, _ := buildBenchArchive(b, 10)
 	ix := NewTimestampIndex(a)
 	b.ResetTimer()
@@ -246,6 +252,7 @@ func BenchmarkRetrievalTimestampTree(b *testing.B) {
 // BenchmarkRetrievalIncDiffs: reconstructing version i from the
 // incremental diff repository — the §5 baseline that must replay deltas.
 func BenchmarkRetrievalIncDiffs(b *testing.B) {
+	b.ReportAllocs()
 	_, docs := buildBenchArchive(b, 10)
 	r := repo.NewIncremental()
 	for _, d := range docs {
@@ -262,6 +269,7 @@ func BenchmarkRetrievalIncDiffs(b *testing.B) {
 // BenchmarkHistoryScan and BenchmarkHistoryIndex: temporal history by
 // archive walk versus the §7.2 sorted-list index.
 func BenchmarkHistoryScan(b *testing.B) {
+	b.ReportAllocs()
 	a, docs := buildBenchArchive(b, 10)
 	num := docs[0].Child("Record").ChildText("Num")
 	sel := "/ROOT/Record[Num=" + num + "]"
@@ -274,6 +282,7 @@ func BenchmarkHistoryScan(b *testing.B) {
 }
 
 func BenchmarkHistoryIndex(b *testing.B) {
+	b.ReportAllocs()
 	a, docs := buildBenchArchive(b, 10)
 	ix := NewHistoryIndex(a)
 	num := docs[0].Child("Record").ChildText("Num")
@@ -297,12 +306,13 @@ func BenchmarkFingerprintMerge(b *testing.B) {
 		fn   FingerprintFunc
 	}{{"fnv", FNV}, {"md5", MD5}} {
 		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				a := core.New(datagen.OMIMSpec(), core.Options{SkipValidation: true, Fingerprint: f.fn})
-				if err := a.Add(v1.Clone()); err != nil {
+				if err := a.Add(v1); err != nil {
 					b.Fatal(err)
 				}
-				if err := a.Add(v2.Clone()); err != nil {
+				if err := a.Add(v2); err != nil {
 					b.Fatal(err)
 				}
 			}

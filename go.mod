@@ -1,0 +1,3 @@
+module xarch
+
+go 1.24

@@ -29,12 +29,14 @@ const TimestampTag = "T"
 const AttrItemTag = "_attr"
 
 // Annotator annotates documents against one key specification. It caches
-// path lookups, so annotating many versions of the same dataset is cheap.
+// path lookups in a trie keyed by path segment, so annotating many
+// versions of the same dataset never rebuilds path strings.
 type Annotator struct {
 	spec *keys.Spec
 	fp   fingerprint.Func
 
-	mu    pathCache
+	cache pathEntry
+	canon xmltree.AppendBuffer // scratch for canonical forms of key-path values
 	stats Stats
 }
 
@@ -45,13 +47,37 @@ type Stats struct {
 	ValuesHashed int
 }
 
-type pathCache struct {
-	m map[string]*pathInfo
+// pathEntry is one trie node of the path-lookup cache.
+type pathEntry struct {
+	info     *pathInfo
+	resolved bool
+	children map[string]*pathEntry
 }
 
 type pathInfo struct {
 	key      *keys.Key
 	frontier bool
+	// kpNames[i] is key.KeyPaths[i].String(); kpOrder lists key-path
+	// indices sorted by name. Both are computed once per key so the hot
+	// annotation loop builds no path strings and never sorts (§4.2's
+	// lexicographic key-path order comes from iterating kpOrder).
+	kpNames []string
+	kpOrder []int
+}
+
+// newPathInfo precomputes the key-path name order for one key.
+func newPathInfo(k *keys.Key, frontier bool) *pathInfo {
+	info := &pathInfo{key: k, frontier: frontier}
+	info.kpNames = make([]string, len(k.KeyPaths))
+	info.kpOrder = make([]int, len(k.KeyPaths))
+	for i, kp := range k.KeyPaths {
+		info.kpNames[i] = kp.String()
+		info.kpOrder[i] = i
+	}
+	sort.Slice(info.kpOrder, func(a, b int) bool {
+		return info.kpNames[info.kpOrder[a]] < info.kpNames[info.kpOrder[b]]
+	})
+	return info
 }
 
 // New returns an Annotator for the given specification. If fp is nil, the
@@ -60,7 +86,7 @@ func New(spec *keys.Spec, fp fingerprint.Func) *Annotator {
 	if fp == nil {
 		fp = fingerprint.FNV
 	}
-	return &Annotator{spec: spec, fp: fp, mu: pathCache{m: map[string]*pathInfo{}}}
+	return &Annotator{spec: spec, fp: fp}
 }
 
 // Spec returns the annotator's key specification.
@@ -69,24 +95,37 @@ func (a *Annotator) Spec() *keys.Spec { return a.spec }
 // Stats returns cumulative annotation statistics.
 func (a *Annotator) Stats() Stats { return a.stats }
 
+// lookup walks the cache trie along path; misses consult the spec once.
+// The path is only read, never retained.
 func (a *Annotator) lookup(path keys.Path) *pathInfo {
-	id := path.Absolute()
-	if info, ok := a.mu.m[id]; ok {
-		return info
+	e := &a.cache
+	for _, seg := range path {
+		c, ok := e.children[seg]
+		if !ok {
+			if e.children == nil {
+				e.children = make(map[string]*pathEntry, 4)
+			}
+			c = &pathEntry{}
+			e.children[seg] = c
+		}
+		e = c
 	}
-	var info *pathInfo
-	if k := a.spec.KeyFor(path); k != nil {
-		info = &pathInfo{key: k, frontier: a.spec.IsFrontier(path)}
+	if !e.resolved {
+		if k := a.spec.KeyFor(path); k != nil {
+			e.info = newPathInfo(k, a.spec.IsFrontier(path))
+		}
+		e.resolved = true
 	}
-	a.mu.m[id] = info
-	return info
+	return e.info
 }
 
 // Version annotates one incoming version. The document must satisfy the
 // specification; violations surface as errors here even without a prior
 // CheckDocument call.
 func (a *Annotator) Version(doc *xmltree.Node) (*anode.Node, error) {
-	return a.annotateElem(doc, keys.Path{doc.Name})
+	path := make(keys.Path, 1, 16)
+	path[0] = doc.Name
+	return a.annotateElem(doc, path)
 }
 
 func (a *Annotator) annotateElem(x *xmltree.Node, path keys.Path) (*anode.Node, error) {
@@ -99,7 +138,7 @@ func (a *Annotator) annotateElem(x *xmltree.Node, path keys.Path) (*anode.Node, 
 		return nil, fmt.Errorf("annotate: unkeyed element above the frontier at %s", path.Absolute())
 	}
 	n := &anode.Node{Kind: xmltree.Element, Name: x.Name, Frontier: info.frontier}
-	kv, err := a.keyValue(x, info.key)
+	kv, err := a.keyValue(x, info)
 	if err != nil {
 		return nil, fmt.Errorf("annotate: %s: %w", path.Absolute(), err)
 	}
@@ -109,26 +148,42 @@ func (a *Annotator) annotateElem(x *xmltree.Node, path keys.Path) (*anode.Node, 
 	if info.frontier {
 		// Content below the frontier is copied verbatim; reserved names in
 		// content would corrupt the archive's XML form, so reject them.
-		for _, attr := range x.Attrs {
-			n.Attrs = append(n.Attrs, anode.FromXML(attr))
-		}
-		for _, c := range x.Children {
-			if err := checkReserved(c); err != nil {
-				return nil, fmt.Errorf("annotate: below %s: %w", path.Absolute(), err)
+		if len(x.Attrs) > 0 {
+			n.Attrs = make([]*anode.Node, len(x.Attrs))
+			for i, attr := range x.Attrs {
+				n.Attrs[i] = anode.FromXML(attr)
 			}
-			n.Children = append(n.Children, anode.FromXML(c))
+		}
+		if len(x.Children) > 0 {
+			n.Children = make([]*anode.Node, len(x.Children))
+			for i, c := range x.Children {
+				if err := checkReserved(c); err != nil {
+					return nil, fmt.Errorf("annotate: below %s: %w", path.Absolute(), err)
+				}
+				n.Children[i] = anode.FromXML(c)
+			}
 		}
 		return n, nil
 	}
 
 	for _, attr := range x.Attrs {
-		apath := append(append(keys.Path{}, path...), attr.Name)
-		if a.lookup(apath) == nil {
-			return nil, fmt.Errorf("annotate: unkeyed attribute %s above the frontier", apath.Absolute())
+		path = append(path, attr.Name)
+		info := a.lookup(path)
+		if info == nil {
+			return nil, fmt.Errorf("annotate: unkeyed attribute %s above the frontier", path.Absolute())
 		}
+		path = path[:len(path)-1]
 		n.Attrs = append(n.Attrs, anode.FromXML(attr))
 	}
-	seen := map[string]int{}
+	elems := 0
+	for _, c := range x.Children {
+		if c.Kind == xmltree.Element {
+			elems++
+		}
+	}
+	if elems > 0 {
+		n.Children = make([]*anode.Node, 0, elems)
+	}
 	for _, c := range x.Children {
 		switch c.Kind {
 		case xmltree.Text:
@@ -137,21 +192,25 @@ func (a *Annotator) annotateElem(x *xmltree.Node, path keys.Path) (*anode.Node, 
 			}
 			return nil, fmt.Errorf("annotate: text content above the frontier at %s", path.Absolute())
 		case xmltree.Element:
-			cpath := append(append(keys.Path{}, path...), c.Name)
-			cn, err := a.annotateElem(c, cpath)
+			path = append(path, c.Name)
+			cn, err := a.annotateElem(c, path)
+			path = path[:len(path)-1]
 			if err != nil {
 				return nil, err
 			}
-			id := cn.Name + "\x00" + strings.Join(cn.Key.Canon, "\x00")
-			if seen[id] > 0 {
-				return nil, fmt.Errorf("annotate: duplicate key value for %s%s at %s",
-					cn.Name, cn.Key.String(), path.Absolute())
-			}
-			seen[id]++
 			n.Children = append(n.Children, cn)
 		}
 	}
 	n.SortChildrenByLabel()
+	// Duplicate key values are adjacent after the stable sort, so the
+	// uniqueness check of §4.1 needs no side table.
+	for i := 1; i < len(n.Children); i++ {
+		if n.Children[i-1].CompareLabel(n.Children[i]) == 0 {
+			c := n.Children[i]
+			return nil, fmt.Errorf("annotate: duplicate key value for %s%s at %s",
+				c.Name, c.Key.String(), path.Absolute())
+		}
+	}
 	return n, nil
 }
 
@@ -167,33 +226,33 @@ func checkReserved(x *xmltree.Node) error {
 	return err
 }
 
-// keyValue computes the node's key value under key k: one entry per key
-// path, sorted lexicographically by key-path name (§4.2).
-func (a *Annotator) keyValue(x *xmltree.Node, k *keys.Key) (*anode.KeyValue, error) {
-	kv := &anode.KeyValue{}
-	type entry struct {
-		path  string
-		canon string
-		disp  string
+// keyValue computes the node's key value under info's key: one entry per
+// key path, sorted lexicographically by key-path name (§4.2). The sorted
+// order is precomputed on info, value resolution allocates nothing, and
+// canonical forms are built in the annotator's scratch buffer, so the
+// only per-value allocations are the strings the annotation keeps.
+func (a *Annotator) keyValue(x *xmltree.Node, info *pathInfo) (*anode.KeyValue, error) {
+	k := info.key
+	np := len(k.KeyPaths)
+	strs := make([]string, 3*np) // one backing array for Paths/Canon/Disp
+	kv := &anode.KeyValue{
+		Paths: strs[:np:np],
+		Canon: strs[np : 2*np : 2*np],
+		Disp:  strs[2*np:],
+		FP:    make([]uint64, np),
 	}
-	entries := make([]entry, 0, len(k.KeyPaths))
-	for _, kp := range k.KeyPaths {
-		nodes := kp.Resolve(x)
-		if len(nodes) != 1 {
-			return nil, fmt.Errorf("key path %s of %s resolves to %d nodes, want 1", kp, k, len(nodes))
+	for out, idx := range info.kpOrder {
+		kp := k.KeyPaths[idx]
+		node, found := kp.ResolveUnique(x)
+		if found != 1 {
+			return nil, fmt.Errorf("key path %s of %s resolves to %d nodes, want 1", kp, k, len(kp.Resolve(x)))
 		}
-		entries = append(entries, entry{
-			path:  kp.String(),
-			canon: xmltree.Canonical(nodes[0]),
-			disp:  displayValue(nodes[0]),
-		})
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].path < entries[j].path })
-	for _, e := range entries {
-		kv.Paths = append(kv.Paths, e.path)
-		kv.Canon = append(kv.Canon, e.canon)
-		kv.Disp = append(kv.Disp, e.disp)
-		kv.FP = append(kv.FP, a.fp(e.canon))
+		a.canon.Reset()
+		xmltree.WriteCanonicalTo(&a.canon, node)
+		kv.Paths[out] = info.kpNames[idx]
+		kv.Canon[out] = a.canon.String()
+		kv.Disp[out] = displayValue(node)
+		kv.FP[out] = a.fp(kv.Canon[out])
 		a.stats.ValuesHashed++
 	}
 	return kv, nil
@@ -326,7 +385,7 @@ func (a *Annotator) archiveElem(x *xmltree.Node, path keys.Path, eff *intervals.
 	if eff.Empty() {
 		return nil, fmt.Errorf("annotate: node at %s has empty timestamp", path.Absolute())
 	}
-	kv, err := a.keyValueAt(n, info.key, eff.Min())
+	kv, err := a.keyValueAt(n, info, eff.Min())
 	if err != nil {
 		return nil, fmt.Errorf("annotate: %s: %w", path.Absolute(), err)
 	}
@@ -404,32 +463,26 @@ func (a *Annotator) archiveFrontierContent(x *xmltree.Node, n *anode.Node) error
 // keyValueAt computes the key value of an archive node from its content at
 // version v (the node's earliest version), resolving key paths through the
 // timestamped structure.
-func (a *Annotator) keyValueAt(n *anode.Node, k *keys.Key, v int) (*anode.KeyValue, error) {
-	kv := &anode.KeyValue{}
-	type entry struct {
-		path  string
-		canon string
-		disp  string
+func (a *Annotator) keyValueAt(n *anode.Node, info *pathInfo, v int) (*anode.KeyValue, error) {
+	k := info.key
+	np := len(k.KeyPaths)
+	kv := &anode.KeyValue{
+		Paths: make([]string, np),
+		Canon: make([]string, np),
+		Disp:  make([]string, np),
+		FP:    make([]uint64, np),
 	}
-	entries := make([]entry, 0, len(k.KeyPaths))
-	for _, kp := range k.KeyPaths {
+	for out, idx := range info.kpOrder {
+		kp := k.KeyPaths[idx]
 		nodes := resolveAt(n, kp, v)
 		if len(nodes) != 1 {
 			return nil, fmt.Errorf("key path %s of %s resolves to %d nodes at version %d, want 1", kp, k, len(nodes), v)
 		}
 		x := ProjectAt(nodes[0], v)
-		entries = append(entries, entry{
-			path:  kp.String(),
-			canon: xmltree.Canonical(x),
-			disp:  displayValue(x),
-		})
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].path < entries[j].path })
-	for _, e := range entries {
-		kv.Paths = append(kv.Paths, e.path)
-		kv.Canon = append(kv.Canon, e.canon)
-		kv.Disp = append(kv.Disp, e.disp)
-		kv.FP = append(kv.FP, a.fp(e.canon))
+		kv.Paths[out] = info.kpNames[idx]
+		kv.Canon[out] = xmltree.Canonical(x)
+		kv.Disp[out] = displayValue(x)
+		kv.FP[out] = a.fp(kv.Canon[out])
 		a.stats.ValuesHashed++
 	}
 	return kv, nil

@@ -11,7 +11,7 @@ package anode
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"xarch/internal/intervals"
@@ -93,18 +93,23 @@ type Group struct {
 	Time *intervals.Set
 	// Content holds the items: attribute nodes first (sorted by name),
 	// then E/T children in document order. Content is immutable once the
-	// group has been compared (see Canon).
+	// group has been compared (see Canon and Comparer).
 	Content []*Node
 
-	canon string // lazily cached canonical form of Content
+	canon   string // lazily cached canonical form of Content
+	canonOK bool   // distinguishes "not computed" from genuinely-empty content
+
+	fp   uint64    // cached content fingerprint, valid when fpBy matches
+	fpBy *Comparer // the comparer that computed fp
 }
 
 // Canon returns the canonical form of the group's content, cached after
 // the first call. Merging compares group contents repeatedly, so caching
 // keeps Nested Merge within the paper's O(αN log N) bound.
 func (g *Group) Canon() string {
-	if g.canon == "" {
+	if !g.canonOK {
 		g.canon = CanonicalItems(g.Content)
+		g.canonOK = true
 	}
 	return g.canon
 }
@@ -132,6 +137,14 @@ type Node struct {
 	// Groups, when non-nil, holds the timestamped content alternatives of
 	// a frontier node; Children and Attrs are then empty.
 	Groups []*Group
+
+	// fp caches the fingerprint of the subtree's canonical form, computed
+	// by fpBy. Content below the frontier is immutable once built, so the
+	// cache never needs invalidation; tying it to the computing Comparer
+	// keeps nodes shared across archives with different fingerprint
+	// functions correct.
+	fp   uint64
+	fpBy *Comparer
 }
 
 // Label renders the node's full label, e.g. "emp{fn=John,ln=Doe}" (§4.2).
@@ -159,27 +172,46 @@ func (n *Node) CompareLabel(other *Node) int {
 // The sort is stable so unkeyed content (below frontier) keeps document
 // order, but it must only be applied at non-frontier levels.
 func (n *Node) SortChildrenByLabel() {
-	sort.SliceStable(n.Children, func(i, j int) bool {
-		return n.Children[i].CompareLabel(n.Children[j]) < 0
-	})
+	slices.SortStableFunc(n.Children, (*Node).CompareLabel)
+}
+
+// attrCmp is the canonical (name, value) order of attribute nodes.
+func attrCmp(a, b *Node) int {
+	if a.Name != b.Name {
+		return strings.Compare(a.Name, b.Name)
+	}
+	return strings.Compare(a.Data, b.Data)
 }
 
 // ContentItems returns the frontier node's content as a single item list:
 // attributes (sorted by name) followed by E/T children. This is the unit
 // of value comparison and weaving below the frontier.
+//
+// When the node has no attributes the child slice itself is returned;
+// callers must treat the result as read-only (the merge pipeline only
+// iterates it or moves it whole into a Group).
 func (n *Node) ContentItems() []*Node {
+	if len(n.Attrs) == 0 {
+		return n.Children
+	}
 	items := make([]*Node, 0, len(n.Attrs)+len(n.Children))
-	attrs := make([]*Node, len(n.Attrs))
-	copy(attrs, n.Attrs)
-	sort.SliceStable(attrs, func(i, j int) bool {
-		if attrs[i].Name != attrs[j].Name {
-			return attrs[i].Name < attrs[j].Name
+	items = append(items, n.Attrs...)
+	if !attrsSorted(items) {
+		slices.SortStableFunc(items, attrCmp)
+	}
+	return append(items, n.Children...)
+}
+
+// attrsSorted reports whether attribute nodes are already in canonical
+// (name, value) order — the common case, which skips the sort above.
+func attrsSorted(attrs []*Node) bool {
+	for i := 1; i < len(attrs); i++ {
+		p, c := attrs[i-1], attrs[i]
+		if p.Name > c.Name || (p.Name == c.Name && p.Data > c.Data) {
+			return false
 		}
-		return attrs[i].Data < attrs[j].Data
-	})
-	items = append(items, attrs...)
-	items = append(items, n.Children...)
-	return items
+	}
+	return true
 }
 
 // SetContentItems splits items back into Attrs and Children.
@@ -199,7 +231,7 @@ func (n *Node) SetContentItems(items []*Node) {
 // on frontier content, where nodes carry no groups.
 func Canonical(n *Node) string {
 	var b strings.Builder
-	writeCanon(&b, n)
+	WriteCanonicalTo(&b, n)
 	return b.String()
 }
 
@@ -207,15 +239,53 @@ func Canonical(n *Node) string {
 func CanonicalItems(items []*Node) string {
 	var b strings.Builder
 	for _, it := range items {
-		writeCanon(&b, it)
+		WriteCanonicalTo(&b, it)
 	}
 	return b.String()
 }
 
-func writeCanon(b *strings.Builder, n *Node) {
-	// Convert through xmltree to reuse its canonical form, guaranteeing
-	// the same bytes as fingerprinting the original document.
-	b.WriteString(xmltree.Canonical(n.ToXML()))
+// WriteCanonicalTo streams the canonical form of n into w directly,
+// producing exactly the bytes xmltree.Canonical(n.ToXML()) would, without
+// the tree conversion or intermediate strings. Like ToXML it must not be
+// called on nodes with timestamp groups.
+func WriteCanonicalTo(w xmltree.CanonWriter, n *Node) {
+	if len(n.Groups) > 0 {
+		panic("anode: canonical form of a node with timestamp groups")
+	}
+	switch n.Kind {
+	case xmltree.Text:
+		w.WriteByte('t')
+		w.WriteByte('(')
+		xmltree.EscapeCanonical(w, n.Data)
+		w.WriteByte(')')
+	case xmltree.Attr:
+		w.WriteByte('a')
+		w.WriteByte('(')
+		xmltree.EscapeCanonical(w, n.Name)
+		w.WriteByte('=')
+		xmltree.EscapeCanonical(w, n.Data)
+		w.WriteByte(')')
+	case xmltree.Element:
+		w.WriteByte('e')
+		w.WriteByte('(')
+		xmltree.EscapeCanonical(w, n.Name)
+		if attrsSorted(n.Attrs) {
+			for _, a := range n.Attrs {
+				WriteCanonicalTo(w, a)
+			}
+		} else {
+			sorted := make([]*Node, len(n.Attrs))
+			copy(sorted, n.Attrs)
+			slices.SortStableFunc(sorted, attrCmp)
+			for _, a := range sorted {
+				WriteCanonicalTo(w, a)
+			}
+		}
+		for _, c := range n.Children {
+			WriteCanonicalTo(w, c)
+		}
+		w.WriteByte(')')
+	}
 }
 
 // ToXML converts the subtree to a plain xmltree.Node, dropping key
@@ -242,19 +312,28 @@ func (n *Node) ToXML() *xmltree.Node {
 }
 
 // FromXML converts a plain xmltree.Node (a subtree below the frontier)
-// into an unannotated anode tree.
+// into an unannotated anode tree. Child slices are allocated exactly once
+// at their final size — this runs for every content node of every
+// incoming version.
 func FromXML(x *xmltree.Node) *Node {
 	n := &Node{Kind: x.Kind, Name: x.Name, Data: x.Data}
-	for _, a := range x.Attrs {
-		n.Attrs = append(n.Attrs, FromXML(a))
+	if len(x.Attrs) > 0 {
+		n.Attrs = make([]*Node, len(x.Attrs))
+		for i, a := range x.Attrs {
+			n.Attrs[i] = FromXML(a)
+		}
 	}
-	for _, c := range x.Children {
-		n.Children = append(n.Children, FromXML(c))
+	if len(x.Children) > 0 {
+		n.Children = make([]*Node, len(x.Children))
+		for i, c := range x.Children {
+			n.Children[i] = FromXML(c)
+		}
 	}
 	return n
 }
 
-// Clone returns a deep copy of the subtree.
+// Clone returns a deep copy of the subtree. Cached fingerprints carry
+// over: the copy's content is identical, so they remain valid.
 func (n *Node) Clone() *Node {
 	c := &Node{
 		Kind:     n.Kind,
@@ -262,6 +341,8 @@ func (n *Node) Clone() *Node {
 		Data:     n.Data,
 		Key:      n.Key, // immutable once computed
 		Frontier: n.Frontier,
+		fp:       n.fp,
+		fpBy:     n.fpBy,
 	}
 	if n.Time != nil {
 		c.Time = n.Time.Clone()
@@ -273,7 +354,7 @@ func (n *Node) Clone() *Node {
 		c.Children = append(c.Children, ch.Clone())
 	}
 	for _, g := range n.Groups {
-		ng := &Group{}
+		ng := &Group{canon: g.canon, canonOK: g.canonOK, fp: g.fp, fpBy: g.fpBy}
 		if g.Time != nil {
 			ng.Time = g.Time.Clone()
 		}
@@ -300,9 +381,66 @@ func (n *Node) CountNodes() int {
 }
 
 // EqualValue reports =v between two annotation-free views of the nodes
-// (groups are not allowed).
+// (groups are not allowed). The comparison is structural — equivalent to
+// comparing canonical forms (the canonical serialization is injective on
+// values) but without materializing them.
 func EqualValue(a, b *Node) bool {
-	return Canonical(a) == Canonical(b)
+	if len(a.Groups) > 0 || len(b.Groups) > 0 {
+		panic("anode: value comparison of a node with timestamp groups")
+	}
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case xmltree.Text:
+		return a.Data == b.Data
+	case xmltree.Attr:
+		return a.Name == b.Name && a.Data == b.Data
+	}
+	if a.Name != b.Name || len(a.Children) != len(b.Children) || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	if !equalAttrSets(a.Attrs, b.Attrs) {
+		return false
+	}
+	for i := range a.Children {
+		if !EqualValue(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalAttrSets compares attribute children as (name, value) multisets,
+// matching the sorted order of the canonical form.
+func equalAttrSets(a, b []*Node) bool {
+	if attrsSorted(a) && attrsSorted(b) {
+		for i := range a {
+			if a[i].Name != b[i].Name || a[i].Data != b[i].Data {
+				return false
+			}
+		}
+		return true
+	}
+	// Unsorted attributes are vanishingly rare; fall back to canonical
+	// order via the sorting path of ContentItems-style comparison.
+	as, bs := sortedAttrCopy(a), sortedAttrCopy(b)
+	for i := range as {
+		if as[i].Name != bs[i].Name || as[i].Data != bs[i].Data {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAttrCopy(attrs []*Node) []*Node {
+	out := make([]*Node, len(attrs))
+	copy(out, attrs)
+	slices.SortStableFunc(out, attrCmp)
+	return out
 }
 
 // EqualItems reports list value equality of two item lists.

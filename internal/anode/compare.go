@@ -1,0 +1,198 @@
+package anode
+
+import (
+	"sync"
+
+	"xarch/internal/fingerprint"
+)
+
+// Comparer is the fingerprint-first value-comparison layer of the merge
+// pipeline (§4.3): it fingerprints subtrees by streaming their canonical
+// form through a pooled hasher, caches the result on the node (or group),
+// and compares values fingerprint-first with an exact fallback when
+// fingerprints agree — the same collision-safety discipline
+// KeyValue.Compare uses, so a fingerprint collision can never merge two
+// different values.
+//
+// A Comparer is cheap to create and tied to one fingerprint function;
+// cached fingerprints record the Comparer that computed them, so a node
+// observed by two archives with different fingerprint functions is simply
+// re-fingerprinted. Like the archive trees it annotates, a Comparer and
+// the nodes it fingerprints must be confined to one goroutine at a time:
+// the per-node cache writes are unsynchronized.
+type Comparer struct {
+	newHasher func() fingerprint.Hasher
+	pool      sync.Pool
+	// reference disables fingerprints entirely: every comparison goes
+	// through canonical strings, reproducing the pre-fingerprint merge
+	// semantics byte for byte. Used by differential tests.
+	reference bool
+}
+
+// NewComparer returns a Comparer whose fingerprints follow f (nil means
+// FNV-1a, matching fingerprint.Of).
+func NewComparer(f fingerprint.Func) *Comparer {
+	c := &Comparer{newHasher: fingerprint.HasherFor(f)}
+	c.pool.New = func() any { return c.newHasher() }
+	return c
+}
+
+// NewCanonComparer returns a reference Comparer that ignores fingerprints
+// and compares full canonical strings, exactly like the archiver did
+// before fingerprint-first comparison. It exists so tests can assert the
+// fast path produces byte-identical archives.
+func NewCanonComparer() *Comparer {
+	c := NewComparer(nil)
+	c.reference = true
+	return c
+}
+
+// Fingerprint returns the fingerprint of n's canonical form, cached on
+// the node after the first computation.
+func (c *Comparer) Fingerprint(n *Node) uint64 {
+	if n.fpBy == c {
+		return n.fp
+	}
+	h := c.pool.Get().(fingerprint.Hasher)
+	h.Reset()
+	WriteCanonicalTo(h, n)
+	fp := h.Sum64()
+	c.pool.Put(h)
+	n.fp = fp
+	n.fpBy = c
+	return fp
+}
+
+// ItemsFingerprint combines the (cached) fingerprints of an item list into
+// an order-sensitive list fingerprint. It is an internal matching device
+// only — never exposed as a value fingerprint — so mixing item
+// fingerprints rather than re-hashing the concatenated canonical bytes is
+// sound: any collision is caught by the exact fallback.
+func (c *Comparer) ItemsFingerprint(items []*Node) uint64 {
+	if c.reference {
+		return 0
+	}
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, it := range items {
+		fp := c.Fingerprint(it)
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (fp >> s & 0xff)) * prime
+		}
+	}
+	return h
+}
+
+// GroupFingerprint returns the list fingerprint of the group's content,
+// cached on the group.
+func (c *Comparer) GroupFingerprint(g *Group) uint64 {
+	if c.reference {
+		return 0
+	}
+	if g.fpBy == c {
+		return g.fp
+	}
+	fp := c.ItemsFingerprint(g.Content)
+	g.fp = fp
+	g.fpBy = c
+	return fp
+}
+
+// EqualValue reports =v between two group-free nodes, fingerprint-first:
+// differing fingerprints decide immediately; equal fingerprints are
+// confirmed structurally so collisions stay harmless.
+func (c *Comparer) EqualValue(a, b *Node) bool {
+	if a == b {
+		return true
+	}
+	if c.reference {
+		return Canonical(a) == Canonical(b)
+	}
+	if c.Fingerprint(a) != c.Fingerprint(b) {
+		return false
+	}
+	return EqualValue(a, b)
+}
+
+// EqualItems reports list value equality of two item lists,
+// fingerprint-first per item.
+func (c *Comparer) EqualItems(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if c.reference {
+		return CanonicalItems(a) == CanonicalItems(b)
+	}
+	for i := range a {
+		if !c.EqualValue(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupMatches reports whether the group's content equals items, given
+// the precomputed ItemsFingerprint of items.
+func (c *Comparer) GroupMatches(g *Group, items []*Node, itemsFP uint64) bool {
+	if c.reference {
+		return g.Canon() == CanonicalItems(items)
+	}
+	if c.GroupFingerprint(g) != itemsFP {
+		return false
+	}
+	return c.EqualItems(g.Content, items)
+}
+
+// Interner maps nodes to small integer ids such that two nodes receive
+// the same id iff they are value-equal. It buckets by fingerprint and
+// verifies candidates exactly, so fingerprint collisions produce distinct
+// ids rather than false matches. The weave merge uses it to run the
+// Myers diff over ints instead of canonical strings.
+type Interner struct {
+	c       *Comparer
+	buckets map[uint64][]internEntry
+	canons  map[string]int32 // reference mode: intern by canonical string
+	next    int32
+}
+
+type internEntry struct {
+	n  *Node
+	id int32
+}
+
+// NewInterner returns an empty Interner over c's equality.
+func (c *Comparer) NewInterner() *Interner {
+	in := &Interner{c: c}
+	if c.reference {
+		in.canons = make(map[string]int32)
+	} else {
+		in.buckets = make(map[uint64][]internEntry)
+	}
+	return in
+}
+
+// ID returns the id of n's value class, allocating a fresh id for values
+// not seen before.
+func (in *Interner) ID(n *Node) int32 {
+	if in.c.reference {
+		canon := Canonical(n)
+		if id, ok := in.canons[canon]; ok {
+			return id
+		}
+		id := in.next
+		in.next++
+		in.canons[canon] = id
+		return id
+	}
+	fp := in.c.Fingerprint(n)
+	for _, e := range in.buckets[fp] {
+		if EqualValue(e.n, n) {
+			return e.id
+		}
+	}
+	id := in.next
+	in.next++
+	in.buckets[fp] = append(in.buckets[fp], internEntry{n, id})
+	return id
+}
+

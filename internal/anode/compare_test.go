@@ -1,0 +1,220 @@
+package anode
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xarch/internal/fingerprint"
+	"xarch/internal/xmltree"
+)
+
+// randomValue builds a random group-free anode subtree.
+func randomValue(rng *rand.Rand, depth int) *Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &Node{Kind: xmltree.Text, Data: randWord(rng)}
+		}
+		return &Node{Kind: xmltree.Attr, Name: randWord(rng), Data: randWord(rng)}
+	}
+	n := &Node{Kind: xmltree.Element, Name: randWord(rng)}
+	for i := rng.Intn(3); i > 0; i-- {
+		n.Attrs = append(n.Attrs, &Node{Kind: xmltree.Attr, Name: randWord(rng), Data: randWord(rng)})
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		c := randomValue(rng, depth-1)
+		if c.Kind == xmltree.Attr {
+			c = &Node{Kind: xmltree.Text, Data: c.Data}
+		}
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+func randWord(rng *rand.Rand) string {
+	words := []string{"a", "b", "emp", "fn", "x", "(=)", `\esc`, "dept"}
+	return words[rng.Intn(len(words))]
+}
+
+// TestWriteCanonicalToMatchesToXML checks the streaming canonicalizer
+// produces exactly the bytes of the seed's ToXML round trip.
+func TestWriteCanonicalToMatchesToXML(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		n := randomValue(rng, 4)
+		want := xmltree.Canonical(n.ToXML())
+		if got := Canonical(n); got != want {
+			t.Fatalf("streaming canonical %q != via-ToXML %q", got, want)
+		}
+	}
+}
+
+// TestEqualValueMatchesCanonical checks structural equality coincides
+// with canonical-string equality on random value pairs.
+func TestEqualValueMatchesCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func() bool {
+		a := randomValue(rng, 3)
+		b := randomValue(rng, 3)
+		if (Canonical(a) == Canonical(b)) != EqualValue(a, b) {
+			return false
+		}
+		return EqualValue(a, a.Clone())
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestComparerEquality checks the fingerprint-first comparison agrees
+// with canonical equality for strong and collision-prone fingerprints.
+func TestComparerEquality(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *Comparer
+	}{
+		{"fnv", NewComparer(nil)},
+		{"weak8", NewComparer(fingerprint.Weak8)},
+		{"reference", NewCanonComparer()},
+	} {
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 300; i++ {
+			a := randomValue(rng, 3)
+			b := randomValue(rng, 3)
+			want := Canonical(a) == Canonical(b)
+			if got := tc.c.EqualValue(a, b); got != want {
+				t.Fatalf("%s: EqualValue = %v, canonical equality = %v", tc.name, got, want)
+			}
+		}
+	}
+}
+
+// TestComparerFingerprintMatchesFunc checks cached node fingerprints are
+// the configured Func applied to the canonical form.
+func TestComparerFingerprintMatchesFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := NewComparer(fingerprint.Weak8)
+	for i := 0; i < 100; i++ {
+		n := randomValue(rng, 3)
+		want := fingerprint.Weak8(Canonical(n))
+		if got := c.Fingerprint(n); got != want {
+			t.Fatalf("Fingerprint = %d, want %d", got, want)
+		}
+		if again := c.Fingerprint(n); again != want {
+			t.Fatalf("cached Fingerprint = %d, want %d", again, want)
+		}
+	}
+}
+
+// TestComparerCacheIsPerComparer checks a node fingerprinted by one
+// comparer is re-fingerprinted, not misread, by another.
+func TestComparerCacheIsPerComparer(t *testing.T) {
+	n := &Node{Kind: xmltree.Text, Data: "salary"}
+	fnv := NewComparer(nil)
+	weak := NewComparer(fingerprint.Weak8)
+	got1 := fnv.Fingerprint(n)
+	got2 := weak.Fingerprint(n)
+	if got1 != fingerprint.FNV(Canonical(n)) || got2 != fingerprint.Weak8(Canonical(n)) {
+		t.Fatalf("cross-comparer cache corruption: %d, %d", got1, got2)
+	}
+}
+
+// TestGroupCanonEmptyContent: genuinely-empty content must cache too (the
+// seed used "" as the not-computed sentinel and recomputed forever).
+func TestGroupCanonEmptyContent(t *testing.T) {
+	g := &Group{}
+	if g.Canon() != "" {
+		t.Fatalf("empty content canon = %q", g.Canon())
+	}
+	if !g.canonOK {
+		t.Error("empty canon not cached")
+	}
+	// A group fingerprinted by one comparer must match an equal list.
+	c := NewComparer(nil)
+	if !c.GroupMatches(g, nil, c.ItemsFingerprint(nil)) {
+		t.Error("empty group does not match empty items")
+	}
+}
+
+// TestInternerCollisionSafety: under Weak8 many distinct values share a
+// fingerprint; the interner must still give distinct ids to distinct
+// values and one id per value class.
+func TestInternerCollisionSafety(t *testing.T) {
+	c := NewComparer(fingerprint.Weak8)
+	in := c.NewInterner()
+	ids := map[string]int32{}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		n := randomValue(rng, 2)
+		canon := Canonical(n)
+		id := in.ID(n)
+		if prev, ok := ids[canon]; ok {
+			if prev != id {
+				t.Fatalf("same value got ids %d and %d", prev, id)
+			}
+			continue
+		}
+		for c2, id2 := range ids {
+			if id2 == id && c2 != canon {
+				t.Fatalf("distinct values %q and %q share id %d", c2, canon, id)
+			}
+		}
+		ids[canon] = id
+	}
+}
+
+// TestComparerAllocationFree: comparing already-fingerprinted equal items
+// must not allocate — the point of the fingerprint-first pipeline.
+func TestComparerAllocationFree(t *testing.T) {
+	c := NewComparer(nil)
+	a := FromXML(xmltree.MustParseString(`<emp x="1"><fn>John</fn><sal>95K</sal></emp>`))
+	b := a.Clone()
+	b.fpBy = nil // force one fresh fingerprint computation
+	c.EqualValue(a, b)
+	allocs := testing.AllocsPerRun(200, func() {
+		if !c.EqualValue(a, b) {
+			t.Fatal("equal values reported unequal")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EqualValue allocates %v per run on cached fingerprints, want 0", allocs)
+	}
+}
+
+// TestContentItemsReadOnlyAlias: the no-attribute fast path returns the
+// child slice itself; the sorted path must still not mutate the node.
+func TestContentItemsReadOnlyAlias(t *testing.T) {
+	n := &Node{Kind: xmltree.Element, Name: "e",
+		Children: []*Node{{Kind: xmltree.Text, Data: "x"}}}
+	items := n.ContentItems()
+	if len(items) != 1 || items[0] != n.Children[0] {
+		t.Fatal("fast path should alias children")
+	}
+	m := &Node{Kind: xmltree.Element, Name: "e",
+		Attrs: []*Node{
+			{Kind: xmltree.Attr, Name: "z", Data: "1"},
+			{Kind: xmltree.Attr, Name: "a", Data: "2"},
+		}}
+	_ = m.ContentItems()
+	if m.Attrs[0].Name != "z" {
+		t.Error("ContentItems mutated the node's attribute order")
+	}
+	got := m.ContentItems()
+	if got[0].Name != "a" || got[1].Name != "z" {
+		t.Error("ContentItems not sorted")
+	}
+}
+
+// TestCanonicalEscaping: values containing canonical structural bytes
+// must not forge structure through the streaming path either.
+func TestCanonicalEscaping(t *testing.T) {
+	a := &Node{Kind: xmltree.Text, Data: "x)t(y"}
+	b := &Node{Kind: xmltree.Element, Name: "x"}
+	if Canonical(a) == Canonical(b) {
+		t.Error("escaping failed: text forged element structure")
+	}
+	if !strings.Contains(Canonical(a), `\)`) {
+		t.Errorf("structural byte not escaped in %q", Canonical(a))
+	}
+}

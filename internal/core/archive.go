@@ -32,6 +32,12 @@ type Options struct {
 	// catches most key violations; skipping is for trusted generators and
 	// benchmarks.
 	SkipValidation bool
+
+	// referenceCompare forces the pre-fingerprint comparison semantics:
+	// every content comparison goes through full canonical strings instead
+	// of cached fingerprints. Only differential tests in this package can
+	// set it; the two modes must produce byte-identical archives.
+	referenceCompare bool
 }
 
 // Archive is a merged store of all versions of one keyed database.
@@ -39,16 +45,22 @@ type Archive struct {
 	spec     *keys.Spec
 	opts     Options
 	ann      *annotate.Annotator
+	cmp      *anode.Comparer
 	root     *anode.Node
 	versions int
 }
 
 // New returns an empty archive for documents satisfying spec.
 func New(spec *keys.Spec, opts Options) *Archive {
+	cmp := anode.NewComparer(opts.Fingerprint)
+	if opts.referenceCompare {
+		cmp = anode.NewCanonComparer()
+	}
 	return &Archive{
 		spec: spec,
 		opts: opts,
 		ann:  annotate.New(spec, opts.Fingerprint),
+		cmp:  cmp,
 		root: &anode.Node{Kind: xmltree.Element, Name: "root", Time: intervals.New()},
 	}
 }
@@ -67,6 +79,9 @@ func (a *Archive) Root() *anode.Node { return a.root }
 // Add archives doc as the next version. A nil doc archives an empty
 // version (§2: "the root node keeps track of the possibility that an
 // archived version is empty"). On error the archive is unchanged.
+//
+// Add neither mutates nor retains doc: annotation copies every node the
+// archive keeps, so callers need not clone documents they reuse.
 func (a *Archive) Add(doc *xmltree.Node) error {
 	i := a.versions + 1
 	vroot := &anode.Node{Kind: xmltree.Element, Name: "root"}

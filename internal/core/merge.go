@@ -87,14 +87,16 @@ func terminate(c *anode.Node, T *intervals.Set, i int) {
 
 // mergePlainFrontier merges frontier content without further compaction:
 // content alternatives are stored whole, each under its own timestamp
-// (§4.2 and Fig 8).
+// (§4.2 and Fig 8). Contents are compared fingerprint-first (§4.3): the
+// cached subtree fingerprints decide all non-matches, and equal
+// fingerprints are confirmed exactly, so collisions never merge different
+// contents.
 func (a *Archive) mergePlainFrontier(x, y *anode.Node, T *intervals.Set, i int) error {
 	yItems := y.ContentItems()
-	yCanon := anode.CanonicalItems(yItems)
 
 	if x.Groups == nil {
 		xItems := x.ContentItems()
-		if anode.CanonicalItems(xItems) == yCanon {
+		if a.cmp.EqualItems(xItems, yItems) {
 			// Content unchanged: it keeps inheriting x's timestamp, which
 			// now includes i.
 			return nil
@@ -108,8 +110,9 @@ func (a *Archive) mergePlainFrontier(x, y *anode.Node, T *intervals.Set, i int) 
 		return nil
 	}
 
+	yFP := a.cmp.ItemsFingerprint(yItems)
 	for _, g := range x.Groups {
-		if g.Canon() == yCanon {
+		if a.cmp.GroupMatches(g, yItems, yFP) {
 			if g.Time == nil {
 				// Inherited-time group: alive whenever x is, including i.
 				return nil
@@ -132,62 +135,104 @@ func (a *Archive) mergePlainFrontier(x, y *anode.Node, T *intervals.Set, i int) 
 	return nil
 }
 
+// witem is one weave item during mergeWeave: its node and its effective
+// timestamp. shared marks a timestamp aliased from a source group or a
+// memoized derivation; such sets are treated read-only and cloned once per
+// output group when the weave is regrouped.
+type witem struct {
+	n      *anode.Node
+	t      *intervals.Set // nil = inherited from x
+	shared bool
+}
+
 // mergeWeave merges frontier content with further compaction (§4.2,
 // Fig 10): the archive keeps an SCCS-style weave of content items; items
 // common to the weave and the new content are matched by a minimal diff
 // and stay stored once, gaining version i in their timestamps.
+//
+// Items are compared through the Comparer's interner: the diff runs over
+// fingerprint-verified value-class ids, so no canonical strings are
+// materialized and a fingerprint collision can only split a value class
+// (costing compactness on that node, never correctness).
 func (a *Archive) mergeWeave(x, y *anode.Node, T *intervals.Set, i int) error {
-	type witem struct {
-		n *anode.Node
-		t *intervals.Set // nil = inherited from x
-	}
 	var weave []witem
 	if x.Groups == nil {
-		for _, it := range x.ContentItems() {
-			weave = append(weave, witem{it, nil})
+		items := x.ContentItems()
+		weave = make([]witem, 0, len(items))
+		for _, it := range items {
+			weave = append(weave, witem{n: it})
 		}
 	} else {
+		total := 0
+		for _, g := range x.Groups {
+			total += len(g.Content)
+		}
+		weave = make([]witem, 0, total)
 		for _, g := range x.Groups {
 			for _, it := range g.Content {
-				var t *intervals.Set
-				if g.Time != nil {
-					t = g.Time.Clone() // per-item: matched/unmatched items of one group may diverge
-				}
-				weave = append(weave, witem{it, t})
+				// The group's set is aliased, not cloned: matched and
+				// unmatched items of one group diverge by swapping in
+				// memoized derived sets below, never by mutating this one.
+				weave = append(weave, witem{n: it, t: g.Time, shared: g.Time != nil})
 			}
 		}
 	}
 	yItems := y.ContentItems()
 
-	aCanon := make([]string, len(weave))
-	for idx, w := range weave {
-		aCanon[idx] = anode.Canonical(w.n)
+	in := a.cmp.NewInterner()
+	aIDs := make([]int32, len(weave))
+	for idx := range weave {
+		aIDs[idx] = in.ID(weave[idx].n)
 	}
-	bCanon := make([]string, len(yItems))
+	bIDs := make([]int32, len(yItems))
 	for idx, it := range yItems {
-		bCanon[idx] = anode.Canonical(it)
+		bIDs[idx] = in.ID(it)
 	}
-	matches := diff.Matches(aCanon, bCanon)
+	matches := diff.MatchesIDs(aIDs, bIDs)
 
-	var out []witem
+	// Timestamp derivations are memoized and shared across items: one
+	// T−{i} for every newly terminated item, one {i} for every new item,
+	// and one t∪{i} per distinct source-group timestamp.
+	var tWithout, tNew *intervals.Set
+	type tsPair struct{ src, derived *intervals.Set }
+	var added []tsPair
+	withI := func(t *intervals.Set) *intervals.Set {
+		for _, p := range added {
+			if p.src == t {
+				return p.derived
+			}
+		}
+		d := t.Clone()
+		d.Add(i)
+		added = append(added, tsPair{t, d})
+		return d
+	}
+
+	out := make([]witem, 0, len(weave)+len(yItems))
 	ai, bi := 0, 0
 	take := func(m diff.Match) {
 		for ; ai < m.AIndex; ai++ { // weave items absent from version i
 			w := weave[ai]
 			if w.t == nil {
-				w.t = T.Without(i)
+				if tWithout == nil {
+					tWithout = T.Without(i)
+				}
+				w.t, w.shared = tWithout, true
 			}
 			out = append(out, w)
 		}
 		for ; bi < m.BIndex; bi++ { // items new in version i
-			out = append(out, witem{yItems[bi], intervals.New(i)})
+			if tNew == nil {
+				tNew = intervals.New(i)
+			}
+			out = append(out, witem{n: yItems[bi], t: tNew, shared: true})
 		}
 	}
 	for _, m := range matches {
 		take(m)
 		w := weave[ai]
 		if w.t != nil {
-			w.t.Add(i)
+			w.t, w.shared = withI(w.t), true
 		}
 		out = append(out, w)
 		ai++
@@ -220,7 +265,14 @@ func (a *Archive) mergeWeave(x, y *anode.Node, T *intervals.Set, i int) error {
 			g.Content = append(g.Content, w.n)
 			continue
 		}
-		groups = append(groups, &anode.Group{Time: w.t, Content: []*anode.Node{w.n}})
+		t := w.t
+		if w.shared && t != nil {
+			// Each output group owns its timestamp: future merges mutate
+			// group times in place, so shared sets are cloned exactly once
+			// per group here.
+			t = t.Clone()
+		}
+		groups = append(groups, &anode.Group{Time: t, Content: []*anode.Node{w.n}})
 	}
 	x.Groups = groups
 	x.Attrs, x.Children = nil, nil
@@ -254,11 +306,4 @@ func attrItemsEqual(a, b []*anode.Node) bool {
 		}
 	}
 	return true
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

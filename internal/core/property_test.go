@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"xarch/internal/datagen"
 	"xarch/internal/fingerprint"
 	"xarch/internal/keys"
 	"xarch/internal/xmltree"
@@ -226,4 +227,105 @@ func TestQuickEvolutionWeakFingerprints(t *testing.T) {
 func TestLongEvolution(t *testing.T) {
 	runEvolution(t, 424242, 60, Options{})
 	runEvolution(t, 424242, 60, Options{FurtherCompaction: true})
+}
+
+// buildArchiveXML archives docs under opts, checks invariants, and
+// returns the archive's XML form.
+func buildArchiveXML(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, opts Options) string {
+	t.Helper()
+	a := New(spec, opts)
+	for i, d := range docs {
+		if err := a.Add(d); err != nil {
+			t.Fatalf("Add v%d: %v", i+1, err)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return a.XML()
+}
+
+// assertFastMatchesReference builds the same version sequence with the
+// fingerprint-first comparison layer and with the reference
+// canonical-string comparison (the pre-fingerprint semantics), across
+// plain/weave modes and strong/collision-prone fingerprint functions, and
+// requires byte-identical archives: the optimization must never alter
+// output (§4.3 — fingerprints are an efficiency device only).
+func assertFastMatchesReference(t *testing.T, spec *keys.Spec, docs []*xmltree.Node) bool {
+	t.Helper()
+	ok := true
+	for _, weave := range []bool{false, true} {
+		for _, fp := range []struct {
+			name string
+			fn   fingerprint.Func
+		}{{"fnv", nil}, {"weak8", fingerprint.Weak8}} {
+			fast := buildArchiveXML(t, spec, docs, Options{
+				FurtherCompaction: weave, Fingerprint: fp.fn})
+			ref := buildArchiveXML(t, spec, docs, Options{
+				FurtherCompaction: weave, Fingerprint: fp.fn, referenceCompare: true})
+			if fast != ref {
+				t.Errorf("weave=%v fp=%s: fingerprint-first archive differs from reference", weave, fp.name)
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// TestQuickFingerprintFirstMatchesReference runs the differential check
+// over random company evolutions, including empty versions and
+// resurrections.
+func TestQuickFingerprintFirstMatchesReference(t *testing.T) {
+	spec := keys.MustParseSpec(companySpec)
+	f := func(seed int64) bool {
+		e := &evolver{rng: rand.New(rand.NewSource(seed))}
+		var docs []*xmltree.Node
+		var doc *xmltree.Node
+		for i := 0; i < 10; i++ {
+			doc = e.mutate(doc)
+			if doc == nil {
+				docs = append(docs, nil)
+			} else {
+				docs = append(docs, doc.Clone())
+			}
+		}
+		return assertFastMatchesReference(t, spec, docs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintFirstMatchesReferenceOMIM runs the differential check
+// over OMIM-like accretive version sequences.
+func TestFingerprintFirstMatchesReferenceOMIM(t *testing.T) {
+	for _, seed := range []int64{1, 7, 62} {
+		g := datagen.NewOMIM(datagen.OMIMConfig{Seed: seed, Records: 30,
+			DeleteFrac: 0.05, InsertFrac: 0.08, ModifyFrac: 0.08})
+		var docs []*xmltree.Node
+		for i := 0; i < 5; i++ {
+			docs = append(docs, g.Next())
+		}
+		assertFastMatchesReference(t, datagen.OMIMSpec(), docs)
+	}
+}
+
+// TestFingerprintFirstMatchesReferenceXMark runs the differential check
+// over XMark sequences under both §5.3 change simulators.
+func TestFingerprintFirstMatchesReferenceXMark(t *testing.T) {
+	for _, keyMod := range []bool{false, true} {
+		g := datagen.NewXMark(datagen.XMarkConfig{Seed: 11, Items: 30,
+			People: 20, Categories: 6, OpenAucts: 10, ClosedAucts: 6})
+		doc := g.Document()
+		docs := []*xmltree.Node{doc}
+		for i := 0; i < 4; i++ {
+			if keyMod {
+				doc = g.KeyModChanges(doc, 0.1)
+			} else {
+				doc = g.RandomChanges(doc, 0.1)
+			}
+			docs = append(docs, doc)
+		}
+		assertFastMatchesReference(t, datagen.XMarkSpec(), docs)
+	}
 }

@@ -26,8 +26,15 @@ type Match struct {
 // linear-space algorithm.
 func Matches(a, b []string) []Match {
 	ia, ib := intern(a, b)
+	return MatchesIDs(ia, ib)
+}
+
+// MatchesIDs is Matches over pre-interned sequences: equal ids must mean
+// equal lines. Callers that already have cheap identity (fingerprint-
+// verified value classes, say) skip the string interning entirely.
+func MatchesIDs(a, b []int32) []Match {
 	var out []Match
-	diffRec(ia, ib, 0, 0, &out)
+	diffRec(a, b, 0, 0, &out)
 	return out
 }
 

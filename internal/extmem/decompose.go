@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"xarch/internal/keys"
+	"xarch/internal/xmltree"
 )
 
 // dictionary maps tag/attribute names to integers (§6.1: "a document with
@@ -193,7 +194,7 @@ func (d *decomposer) flushText() {
 	d.nodesSeen++
 	for _, m := range d.memos {
 		m.b.WriteString("t(")
-		escapeCanon(&m.b, s)
+		xmltree.EscapeCanonical(&m.b, s)
 		m.b.WriteByte(')')
 	}
 }
@@ -269,12 +270,12 @@ func (d *decomposer) start(t xml.StartElement) error {
 	// canonical fragment: new memos start their value with it.
 	for _, m := range d.memos {
 		m.b.WriteString("e(")
-		escapeCanon(&m.b, name)
+		xmltree.EscapeCanonical(&m.b, name)
 		for _, a := range attrs {
 			m.b.WriteString("a(")
-			escapeCanon(&m.b, a[0])
+			xmltree.EscapeCanonical(&m.b, a[0])
 			m.b.WriteByte('=')
-			escapeCanon(&m.b, a[1])
+			xmltree.EscapeCanonical(&m.b, a[1])
 			m.b.WriteByte(')')
 		}
 	}
@@ -423,9 +424,9 @@ func fillFromAttrs(p *pendingKey, pi int, seg string, attrs [][2]string) error {
 		if seg == a[0] || seg == keys.Wildcard {
 			var b strings.Builder
 			b.WriteString("a(")
-			escapeCanon(&b, a[0])
+			xmltree.EscapeCanonical(&b, a[0])
 			b.WriteByte('=')
-			escapeCanon(&b, a[1])
+			xmltree.EscapeCanonical(&b, a[1])
 			b.WriteByte(')')
 			if err := p.fill(pi, b.String()); err != nil {
 				return err
@@ -433,16 +434,6 @@ func fillFromAttrs(p *pendingKey, pi int, seg string, attrs [][2]string) error {
 		}
 	}
 	return nil
-}
-
-func escapeCanon(b *strings.Builder, s string) {
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '(', ')', '=', '\\':
-			b.WriteByte('\\')
-		}
-		b.WriteByte(s[i])
-	}
 }
 
 func localName(n xml.Name) string {

@@ -3,9 +3,12 @@ package extmem
 import (
 	"fmt"
 	"strings"
+	"sync"
 
+	"xarch/internal/fingerprint"
 	"xarch/internal/intervals"
 	"xarch/internal/keys"
+	"xarch/internal/xmltree"
 )
 
 // streamMerger implements the single-pass merge of the sorted archive and
@@ -243,12 +246,18 @@ func readFrontierBody(r *tokenReader) (*fbody, error) {
 
 // emitMergedFrontier applies the plain frontier-merge rules (§4.2) to the
 // materialized contents and writes the result. eff is the node's effective
-// timestamp including i.
+// timestamp including i. Contents are compared fingerprint-first over the
+// token streams (§4.3) — no canonical strings are materialized — with an
+// exact token comparison when fingerprints agree, so collisions never
+// merge different contents.
 func (sm *streamMerger) emitMergedFrontier(aBody *fbody, dTokens []token, eff *intervals.Set) {
-	dCanon := canonicalOfTokens(sm.dict, dTokens)
+	dFP := fingerprintOfTokens(sm.dict, dTokens)
+	same := func(tokens []token) bool {
+		return fingerprintOfTokens(sm.dict, tokens) == dFP && tokensEqual(tokens, dTokens)
+	}
 
 	if len(aBody.groups) == 0 {
-		if canonicalOfTokens(sm.dict, aBody.shared) == dCanon {
+		if same(aBody.shared) {
 			for _, t := range aBody.shared {
 				sm.out.writeToken(t)
 			}
@@ -261,7 +270,7 @@ func (sm *streamMerger) emitMergedFrontier(aBody *fbody, dTokens []token, eff *i
 	matched := false
 	for gi := range aBody.groups {
 		g := &aBody.groups[gi]
-		if !matched && canonicalOfTokens(sm.dict, g.tokens) == dCanon {
+		if !matched && same(g.tokens) {
 			g.time.Add(sm.i)
 			matched = true
 		}
@@ -307,10 +316,18 @@ func attrTokensEqual(a, b []token) bool {
 	return true
 }
 
-// canonicalOfTokens renders a balanced token sequence in the canonical
-// form of the xmltree package, for content comparison below the frontier.
-func canonicalOfTokens(dict *dictionary, tokens []token) string {
-	var b strings.Builder
+// hasherPool recycles the streaming FNV states used for token-content
+// fingerprints. The function is fixed: these fingerprints are an internal
+// matching device, always confirmed by tokensEqual, so the choice never
+// shows in the output.
+var hasherPool = sync.Pool{New: func() any { return fingerprint.NewFNV() }}
+
+// fingerprintOfTokens hashes a balanced token sequence in the canonical
+// form of the xmltree package — the same bytes canonicalOfTokens used to
+// build — without materializing the string.
+func fingerprintOfTokens(dict *dictionary, tokens []token) uint64 {
+	h := hasherPool.Get().(fingerprint.Hasher)
+	h.Reset()
 	for _, t := range tokens {
 		switch t.op {
 		case tokOpen:
@@ -318,25 +335,58 @@ func canonicalOfTokens(dict *dictionary, tokens []token) string {
 			if err != nil {
 				name = fmt.Sprintf("?%d", t.tag)
 			}
-			b.WriteString("e(")
-			escapeCanon(&b, name)
+			h.WriteString("e(")
+			xmltree.EscapeCanonical(h, name)
 		case tokAttr:
 			name, err := dict.name(t.tag)
 			if err != nil {
 				name = fmt.Sprintf("?%d", t.tag)
 			}
-			b.WriteString("a(")
-			escapeCanon(&b, name)
-			b.WriteByte('=')
-			escapeCanon(&b, t.data)
-			b.WriteByte(')')
+			h.WriteString("a(")
+			xmltree.EscapeCanonical(h, name)
+			h.WriteByte('=')
+			xmltree.EscapeCanonical(h, t.data)
+			h.WriteByte(')')
 		case tokText:
-			b.WriteString("t(")
-			escapeCanon(&b, t.data)
-			b.WriteByte(')')
+			h.WriteString("t(")
+			xmltree.EscapeCanonical(h, t.data)
+			h.WriteByte(')')
 		case tokClose:
-			b.WriteByte(')')
+			h.WriteByte(')')
 		}
 	}
-	return b.String()
+	fp := h.Sum64()
+	hasherPool.Put(h)
+	return fp
+}
+
+// tokensEqual reports whether two balanced token sequences denote the
+// same canonical content: it compares exactly the fields the canonical
+// form renders (both streams share one dictionary, so tag ids stand in
+// for names).
+func tokensEqual(a, b []token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		ta, tb := a[i], b[i]
+		if ta.op != tb.op {
+			return false
+		}
+		switch ta.op {
+		case tokOpen:
+			if ta.tag != tb.tag {
+				return false
+			}
+		case tokAttr:
+			if ta.tag != tb.tag || ta.data != tb.data {
+				return false
+			}
+		case tokText:
+			if ta.data != tb.data {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -11,7 +11,10 @@ package fingerprint
 import (
 	"crypto/md5"
 	"encoding/binary"
+	"hash"
 	"hash/fnv"
+	"io"
+	"reflect"
 
 	"xarch/internal/xmltree"
 )
@@ -51,4 +54,162 @@ func Of(n *xmltree.Node, f Func) uint64 {
 		f = FNV
 	}
 	return f(xmltree.Canonical(n))
+}
+
+// Hasher is a streaming fingerprint state: canonical bytes are written
+// into it (it satisfies xmltree.CanonWriter) and Sum64 yields the same
+// fingerprint the matching Func would return for the accumulated bytes.
+// Hashers are not safe for concurrent use; Reset allows pooling.
+type Hasher interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+	Sum64() uint64
+	Reset()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvHasher is an allocation-free streaming FNV-1a, byte-identical to
+// hash/fnv over the same input.
+type fnvHasher struct{ h uint64 }
+
+// NewFNV returns a streaming Hasher matching the FNV Func.
+func NewFNV() Hasher { return &fnvHasher{h: fnvOffset64} }
+
+func (f *fnvHasher) Write(p []byte) (int, error) {
+	h := f.h
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	f.h = h
+	return len(p), nil
+}
+
+func (f *fnvHasher) WriteByte(b byte) error {
+	f.h = (f.h ^ uint64(b)) * fnvPrime64
+	return nil
+}
+
+func (f *fnvHasher) WriteString(s string) (int, error) {
+	h := f.h
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	f.h = h
+	return len(s), nil
+}
+
+func (f *fnvHasher) Sum64() uint64 { return f.h }
+func (f *fnvHasher) Reset()        { f.h = fnvOffset64 }
+
+// weak8Hasher streams the Weak8 byte sum.
+type weak8Hasher struct{ h uint64 }
+
+// NewWeak8 returns a streaming Hasher matching the Weak8 Func.
+func NewWeak8() Hasher { return &weak8Hasher{} }
+
+func (w *weak8Hasher) Write(p []byte) (int, error) {
+	for _, b := range p {
+		w.h += uint64(b)
+	}
+	return len(p), nil
+}
+
+func (w *weak8Hasher) WriteByte(b byte) error {
+	w.h += uint64(b)
+	return nil
+}
+
+func (w *weak8Hasher) WriteString(s string) (int, error) {
+	for i := 0; i < len(s); i++ {
+		w.h += uint64(s[i])
+	}
+	return len(s), nil
+}
+
+func (w *weak8Hasher) Sum64() uint64 { return w.h % 251 }
+func (w *weak8Hasher) Reset()        { w.h = 0 }
+
+// md5Hasher wraps crypto/md5 behind the Hasher interface.
+type md5Hasher struct {
+	h   hash.Hash
+	buf [1]byte
+}
+
+// NewMD5 returns a streaming Hasher matching the MD5 Func.
+func NewMD5() Hasher { return &md5Hasher{h: md5.New()} }
+
+func (m *md5Hasher) Write(p []byte) (int, error) { return m.h.Write(p) }
+
+func (m *md5Hasher) WriteByte(b byte) error {
+	m.buf[0] = b
+	_, err := m.h.Write(m.buf[:])
+	return err
+}
+
+func (m *md5Hasher) WriteString(s string) (int, error) {
+	return io.WriteString(m.h, s)
+}
+
+func (m *md5Hasher) Sum64() uint64 {
+	var out [md5.Size]byte
+	sum := m.h.Sum(out[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+func (m *md5Hasher) Reset() { m.h.Reset() }
+
+// funcHasher buffers the canonical bytes and applies an arbitrary Func at
+// Sum64 time — the compatibility path for user-supplied fingerprints.
+type funcHasher struct {
+	f   Func
+	buf []byte
+}
+
+func (fh *funcHasher) Write(p []byte) (int, error) {
+	fh.buf = append(fh.buf, p...)
+	return len(p), nil
+}
+
+func (fh *funcHasher) WriteByte(b byte) error {
+	fh.buf = append(fh.buf, b)
+	return nil
+}
+
+func (fh *funcHasher) WriteString(s string) (int, error) {
+	fh.buf = append(fh.buf, s...)
+	return len(s), nil
+}
+
+func (fh *funcHasher) Sum64() uint64 { return fh.f(string(fh.buf)) }
+func (fh *funcHasher) Reset()        { fh.buf = fh.buf[:0] }
+
+// HasherFor returns a constructor of streaming Hashers consistent with f:
+// for the package's built-in Funcs the dedicated (allocation-free for FNV
+// and Weak8) implementations, and for any other function a buffering
+// fallback that applies f to the accumulated canonical bytes. A nil f
+// means FNV. The returned constructor is safe for concurrent use.
+func HasherFor(f Func) func() Hasher {
+	switch {
+	case f == nil:
+		return NewFNV
+	case funcEq(f, FNV):
+		return NewFNV
+	case funcEq(f, MD5):
+		return NewMD5
+	case funcEq(f, Weak8):
+		return NewWeak8
+	}
+	return func() Hasher { return &funcHasher{f: f} }
+}
+
+// funcEq reports whether two Funcs are the same top-level function. Go
+// forbids direct func comparison; the code pointer is a sound proxy for
+// the package's non-closure built-ins.
+func funcEq(a, b Func) bool {
+	return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
 }

@@ -65,3 +65,57 @@ func BenchmarkMD5(b *testing.B) {
 		MD5(c)
 	}
 }
+
+// TestHasherMatchesFunc checks the defining property of streaming hashers:
+// writing canonical bytes into the hasher yields exactly Func(bytes),
+// however the writes are sliced.
+func TestHasherMatchesFunc(t *testing.T) {
+	custom := func(s string) uint64 { return uint64(len(s)) * 7 }
+	inputs := []string{"", "a", "e(emp a(x=1)t(John))", "t(\\(\\)\\=)", "long " +
+		"canonical input with some repetition repetition repetition"}
+	for _, tc := range []struct {
+		name string
+		f    Func
+	}{{"fnv", FNV}, {"md5", MD5}, {"weak8", Weak8}, {"nil", nil}, {"custom", custom}} {
+		mk := HasherFor(tc.f)
+		want := tc.f
+		if want == nil {
+			want = FNV
+		}
+		for _, in := range inputs {
+			// Whole-string write.
+			h := mk()
+			h.WriteString(in)
+			if got := h.Sum64(); got != want(in) {
+				t.Errorf("%s: WriteString(%q) = %#x, want %#x", tc.name, in, got, want(in))
+			}
+			// Byte-at-a-time, after a Reset of the same hasher.
+			h.Reset()
+			for i := 0; i < len(in); i++ {
+				h.WriteByte(in[i])
+			}
+			if got := h.Sum64(); got != want(in) {
+				t.Errorf("%s: WriteByte stream of %q = %#x, want %#x", tc.name, in, got, want(in))
+			}
+			// Write of the raw bytes.
+			h.Reset()
+			h.Write([]byte(in))
+			if got := h.Sum64(); got != want(in) {
+				t.Errorf("%s: Write(%q) = %#x, want %#x", tc.name, in, got, want(in))
+			}
+		}
+	}
+}
+
+func TestFNVHasherAllocationFree(t *testing.T) {
+	h := NewFNV()
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Reset()
+		h.WriteString("e(emp a(x=1)t(John))")
+		h.WriteByte(')')
+		_ = h.Sum64()
+	})
+	if allocs != 0 {
+		t.Errorf("FNV hasher allocates %v per run, want 0", allocs)
+	}
+}

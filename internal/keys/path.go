@@ -142,6 +142,55 @@ func (p Path) Compatible(q Path) bool {
 	return true
 }
 
+// ResolveUnique evaluates the path from n like Resolve but without
+// building result slices: it returns the unique match, or found != 1 when
+// the path resolves to zero or several nodes (found saturates at 2).
+// Annotation resolves one key path per keyed node, so this is the merge
+// pipeline's allocation-free fast path.
+func (p Path) ResolveUnique(n *xmltree.Node) (match *xmltree.Node, found int) {
+	if len(p) == 0 {
+		return n, 1
+	}
+	resolveUniqueRec(p, n, 0, &match, &found)
+	if found != 1 {
+		return nil, found
+	}
+	return match, 1
+}
+
+func resolveUniqueRec(p Path, n *xmltree.Node, i int, match **xmltree.Node, found *int) {
+	if n.Kind != xmltree.Element || *found >= 2 {
+		return
+	}
+	seg := p[i]
+	last := i == len(p)-1
+	for _, ch := range n.Children {
+		if ch.Kind != xmltree.Element || !segMatch(seg, ch.Name) {
+			continue
+		}
+		if last {
+			if *found++; *found == 1 {
+				*match = ch
+			} else {
+				return
+			}
+		} else {
+			resolveUniqueRec(p, ch, i+1, match, found)
+		}
+	}
+	if last {
+		for _, a := range n.Attrs {
+			if segMatch(seg, a.Name) {
+				if *found++; *found == 1 {
+					*match = a
+				} else {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Resolve evaluates the path from node n, matching element children by tag
 // at every step; the final segment may instead match an attribute. It
 // returns all reachable nodes (n[[P]] in the paper). The empty path

@@ -100,10 +100,3 @@ func TestQuickWeaveRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

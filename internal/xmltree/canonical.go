@@ -4,7 +4,18 @@ import (
 	"bufio"
 	"io"
 	"strings"
+	"sync"
 )
+
+// CanonWriter is the sink of streaming canonicalization: anything that can
+// take bytes, single bytes and strings without forcing intermediate
+// allocations. *strings.Builder, *bufio.Writer and the streaming hashers
+// of internal/fingerprint all satisfy it.
+type CanonWriter interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+}
 
 // Canonical returns the canonical string form of the value rooted at n
 // (§4.3 of the paper, in the spirit of W3C Canonical XML): a deterministic
@@ -17,7 +28,7 @@ import (
 // text node "a" never collides with an element <a/>.
 func Canonical(n *Node) string {
 	var b strings.Builder
-	_ = WriteCanonical(&b, n)
+	WriteCanonicalTo(&b, n)
 	return b.String()
 }
 
@@ -25,57 +36,108 @@ func Canonical(n *Node) string {
 // used for the content of frontier nodes (the list of E/T children).
 func CanonicalList(ns []*Node) string {
 	var b strings.Builder
-	bw := bufio.NewWriter(&b)
 	for _, n := range ns {
-		writeCanonical(bw, n)
+		WriteCanonicalTo(&b, n)
 	}
-	bw.Flush()
 	return b.String()
 }
 
-// WriteCanonical streams the canonical form of n to w.
-func WriteCanonical(w io.Writer, n *Node) error {
-	bw := bufio.NewWriter(w)
-	writeCanonical(bw, n)
-	return bw.Flush()
+// AppendBuffer adapts an append-style byte buffer to CanonWriter. Hot
+// paths keep one per worker and Reset it between values, so streaming a
+// canonical form costs no allocation beyond the buffer's steady state.
+type AppendBuffer struct{ Buf []byte }
+
+// Reset empties the buffer, keeping its capacity.
+func (w *AppendBuffer) Reset() { w.Buf = w.Buf[:0] }
+
+// String returns the buffered bytes as a freshly allocated string.
+func (w *AppendBuffer) String() string { return string(w.Buf) }
+
+func (w *AppendBuffer) Write(p []byte) (int, error) {
+	w.Buf = append(w.Buf, p...)
+	return len(p), nil
 }
 
-func writeCanonical(w *bufio.Writer, n *Node) {
+func (w *AppendBuffer) WriteByte(b byte) error {
+	w.Buf = append(w.Buf, b)
+	return nil
+}
+
+func (w *AppendBuffer) WriteString(s string) (int, error) {
+	w.Buf = append(w.Buf, s...)
+	return len(s), nil
+}
+
+// CanonicalAppend appends the canonical form of n to dst and returns the
+// extended buffer, letting callers amortize allocation across many values.
+func CanonicalAppend(dst []byte, n *Node) []byte {
+	w := AppendBuffer{Buf: dst}
+	WriteCanonicalTo(&w, n)
+	return w.Buf
+}
+
+// bufioPool recycles the buffered writers used when streaming to a plain
+// io.Writer; callers that implement CanonWriter never touch it.
+var bufioPool = sync.Pool{New: func() any { return bufio.NewWriter(io.Discard) }}
+
+// WriteCanonical streams the canonical form of n to w.
+func WriteCanonical(w io.Writer, n *Node) error {
+	if cw, ok := w.(CanonWriter); ok {
+		WriteCanonicalTo(cw, n)
+		return nil
+	}
+	bw := bufioPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	WriteCanonicalTo(bw, n)
+	err := bw.Flush()
+	bw.Reset(io.Discard) // drop the reference to w before pooling
+	bufioPool.Put(bw)
+	return err
+}
+
+// WriteCanonicalTo streams the canonical form of n into w with no
+// intermediate buffering or tree conversion.
+func WriteCanonicalTo(w CanonWriter, n *Node) {
 	switch n.Kind {
 	case Text:
 		w.WriteByte('t')
 		w.WriteByte('(')
-		escapeCanonical(w, n.Data)
+		EscapeCanonical(w, n.Data)
 		w.WriteByte(')')
 	case Attr:
 		w.WriteByte('a')
 		w.WriteByte('(')
-		escapeCanonical(w, n.Name)
+		EscapeCanonical(w, n.Name)
 		w.WriteByte('=')
-		escapeCanonical(w, n.Data)
+		EscapeCanonical(w, n.Data)
 		w.WriteByte(')')
 	case Element:
 		w.WriteByte('e')
 		w.WriteByte('(')
-		escapeCanonical(w, n.Name)
+		EscapeCanonical(w, n.Name)
 		for _, a := range n.sortedAttrs() {
-			writeCanonical(w, a)
+			WriteCanonicalTo(w, a)
 		}
 		for _, c := range n.Children {
-			writeCanonical(w, c)
+			WriteCanonicalTo(w, c)
 		}
 		w.WriteByte(')')
 	}
 }
 
-// escapeCanonical escapes the canonical structural bytes so strings cannot
-// forge structure.
-func escapeCanonical(w *bufio.Writer, s string) {
+// EscapeCanonical writes s with the canonical structural bytes escaped, so
+// strings cannot forge structure. It is shared by every producer of
+// canonical bytes (xmltree, anode, extmem) so their forms stay identical.
+func EscapeCanonical(w CanonWriter, s string) {
+	start := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '(', ')', '=', '\\':
+			w.WriteString(s[start:i])
 			w.WriteByte('\\')
+			w.WriteByte(s[i])
+			start = i + 1
 		}
-		w.WriteByte(s[i])
 	}
+	w.WriteString(s[start:])
 }

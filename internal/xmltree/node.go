@@ -11,7 +11,7 @@ package xmltree
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -142,6 +142,9 @@ func (n *Node) Text() string {
 	if n.Kind != Element {
 		return n.Data
 	}
+	if len(n.Children) == 1 && n.Children[0].Kind == Text {
+		return n.Children[0].Data
+	}
 	var b strings.Builder
 	for _, c := range n.Children {
 		if c.Kind == Text {
@@ -242,19 +245,36 @@ func (n *Node) Walk(fn func(*Node) bool) {
 
 // sortedAttrs returns the attributes ordered by (name, value); attribute
 // children form a set, so all value comparisons view them in this order.
+// Attributes already in order — the overwhelmingly common case — are
+// returned as-is without copying.
 func (n *Node) sortedAttrs() []*Node {
-	if len(n.Attrs) <= 1 {
+	if attrsSorted(n.Attrs) {
 		return n.Attrs
 	}
 	out := make([]*Node, len(n.Attrs))
 	copy(out, n.Attrs)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Name != out[j].Name {
-			return out[i].Name < out[j].Name
-		}
-		return out[i].Data < out[j].Data
-	})
+	slices.SortStableFunc(out, attrCmp)
 	return out
+}
+
+// attrCmp is the canonical (name, value) order of attribute nodes.
+func attrCmp(a, b *Node) int {
+	if a.Name != b.Name {
+		return strings.Compare(a.Name, b.Name)
+	}
+	return strings.Compare(a.Data, b.Data)
+}
+
+// attrsSorted reports whether attrs are already in canonical (name, value)
+// order.
+func attrsSorted(attrs []*Node) bool {
+	for i := 1; i < len(attrs); i++ {
+		p, c := attrs[i-1], attrs[i]
+		if p.Name > c.Name || (p.Name == c.Name && p.Data > c.Data) {
+			return false
+		}
+	}
+	return true
 }
 
 // Equal reports value equality (=v, Appendix A.3): the trees are
