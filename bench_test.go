@@ -16,7 +16,9 @@ import (
 	"xarch/internal/bench"
 	"xarch/internal/core"
 	"xarch/internal/datagen"
+	"xarch/internal/keyindex"
 	"xarch/internal/repo"
+	"xarch/internal/tstree"
 	"xarch/internal/xmltree"
 )
 
@@ -207,7 +209,7 @@ func BenchmarkNestedMergeScaling(b *testing.B) {
 
 // buildBenchArchive archives an OMIM history once for the retrieval and
 // history benchmarks (§7).
-func buildBenchArchive(b *testing.B, versions int) (*Archive, []*xmltree.Node) {
+func buildBenchArchive(b *testing.B, versions int) (*core.Archive, []*xmltree.Node) {
 	b.Helper()
 	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 63, Records: 300,
 		DeleteFrac: 0.01, InsertFrac: 0.02, ModifyFrac: 0.02})
@@ -240,7 +242,7 @@ func BenchmarkRetrievalScan(b *testing.B) {
 func BenchmarkRetrievalTimestampTree(b *testing.B) {
 	b.ReportAllocs()
 	a, _ := buildBenchArchive(b, 10)
-	ix := NewTimestampIndex(a)
+	ix := tstree.Build(a)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ix.Version(1 + i%10); err != nil {
@@ -284,7 +286,7 @@ func BenchmarkHistoryScan(b *testing.B) {
 func BenchmarkHistoryIndex(b *testing.B) {
 	b.ReportAllocs()
 	a, docs := buildBenchArchive(b, 10)
-	ix := NewHistoryIndex(a)
+	ix := keyindex.Build(a)
 	num := docs[0].Child("Record").ChildText("Num")
 	sel := "/ROOT/Record[Num=" + num + "]"
 	b.ResetTimer()

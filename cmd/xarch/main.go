@@ -3,19 +3,25 @@
 //
 // Usage:
 //
-//	xarch add      -spec keys.txt -archive archive.xml [-compact] version.xml
-//	xarch get      -spec keys.txt -archive archive.xml -version N
-//	xarch history  -spec keys.txt -archive archive.xml -selector /db/dept[name=finance]
+//	xarch add      [-engine mem|ext] -spec keys.txt -archive PATH [-compact] [-budget N] [-novalidate] version.xml
+//	xarch get      [-engine mem|ext] -spec keys.txt -archive PATH -version N
+//	xarch history  [-engine mem|ext] -spec keys.txt -archive PATH -selector /db/dept[name=finance] [-changes]
+//	xarch stats    [-engine mem|ext] -spec keys.txt -archive PATH
+//	xarch snapshot [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch validate -spec keys.txt version.xml
-//	xarch stats    -spec keys.txt -archive archive.xml
-//	xarch extadd   -spec keys.txt -dir archdir [-budget N] version.xml
-//	xarch extxml   -spec keys.txt -dir archdir
 //
-// "add" with a missing archive file creates a fresh archive. Selectors
+// Every subcommand works against either engine of the xarch.Store
+// interface: with -engine mem (the default) PATH is an archive XML file,
+// with -engine ext PATH is the directory of an external-memory archive
+// (§6). "add" creates a fresh archive when PATH does not exist; with
+// -novalidate the ext engine streams the version through the
+// bounded-memory pipeline without ever parsing it into a tree, so
+// documents larger than RAM can be archived. Selectors
 // name elements by key, e.g. /db/dept[name=finance]/emp[fn=John,ln=Doe].
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,10 +46,8 @@ func main() {
 		err = cmdValidate(args)
 	case "stats":
 		err = cmdStats(args)
-	case "extadd":
-		err = cmdExtAdd(args)
-	case "extxml":
-		err = cmdExtXML(args)
+	case "snapshot":
+		err = cmdSnapshot(args)
 	default:
 		usage()
 	}
@@ -54,8 +58,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|extadd|extxml} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot} [flags]")
 	os.Exit(2)
+}
+
+// storeFlags holds the flags shared by every store-backed subcommand.
+type storeFlags struct {
+	engine     *string
+	spec       *string
+	archive    *string
+	budget     *int
+	compact    *bool
+	novalidate *bool
+}
+
+func addStoreFlags(fs *flag.FlagSet) *storeFlags {
+	return &storeFlags{
+		engine:     fs.String("engine", "mem", "archiver engine: mem (in-memory) or ext (external-memory)"),
+		spec:       fs.String("spec", "", "key specification file"),
+		archive:    fs.String("archive", "", "archive XML file (mem) or archive directory (ext)"),
+		budget:     fs.Int("budget", 1<<20, "external-sort memory budget in tokens (ext engine)"),
+		compact:    fs.Bool("compact", false, "further compaction below frontier nodes (mem engine)"),
+		novalidate: fs.Bool("novalidate", false, "skip the key-specification check on add; with -engine ext the version streams without being parsed into a tree"),
+	}
 }
 
 func loadSpec(path string) (*xarch.KeySpec, error) {
@@ -67,84 +92,121 @@ func loadSpec(path string) (*xarch.KeySpec, error) {
 	return xarch.ReadKeySpec(f)
 }
 
-func loadArchive(specPath, archivePath string, opts xarch.Options) (*xarch.Archive, *xarch.KeySpec, error) {
-	spec, err := loadSpec(specPath)
+// openStore opens the requested engine against the flags' archive path.
+// The returned save function persists the in-memory engine back to its
+// file (the external engine persists itself on every Add). Only with
+// create may a missing path become a fresh archive; read-only commands
+// refuse, so a mistyped path errors instead of leaving an empty archive.
+func openStore(sf *storeFlags, create bool) (xarch.Store, func() error, error) {
+	if *sf.spec == "" || *sf.archive == "" {
+		return nil, nil, fmt.Errorf("need -spec and -archive")
+	}
+	spec, err := loadSpec(*sf.spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.Open(archivePath)
-	if os.IsNotExist(err) {
-		return xarch.NewArchive(spec, opts), spec, nil
+	opts := []xarch.Option{
+		xarch.WithCompaction(*sf.compact),
+		xarch.WithMemoryBudget(*sf.budget),
+		xarch.WithValidation(!*sf.novalidate),
+		// One-shot commands issue at most one query, so the store-owned
+		// indexes would cost a full archive scan without ever paying off.
+		xarch.WithIndexes(false),
 	}
-	if err != nil {
-		return nil, nil, err
+	switch *sf.engine {
+	case "ext":
+		if !create {
+			if _, err := os.Stat(*sf.archive); err != nil {
+				return nil, nil, fmt.Errorf("archive directory %s: %w", *sf.archive, err)
+			}
+		}
+		store, err := xarch.OpenStore(*sf.archive, spec, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return store, func() error { return nil }, nil
+	case "mem":
+		path := *sf.archive
+		var store *xarch.MemStore
+		if f, err := os.Open(path); err == nil {
+			store, err = xarch.LoadStore(f, spec, opts...)
+			f.Close()
+			if err != nil {
+				return nil, nil, err
+			}
+		} else if os.IsNotExist(err) && create {
+			store = xarch.NewStore(spec, opts...)
+		} else {
+			return nil, nil, err
+		}
+		save := func() error {
+			tmp := path + ".tmp"
+			f, err := os.Create(tmp)
+			if err != nil {
+				return err
+			}
+			if err := store.Snapshot(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			return os.Rename(tmp, path)
+		}
+		return store, save, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q (want mem or ext)", *sf.engine)
 	}
-	defer f.Close()
-	a, err := xarch.LoadArchive(f, spec, opts)
-	return a, spec, err
-}
-
-func loadDoc(path string) (*xarch.Document, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return xarch.ParseXML(f)
 }
 
 func cmdAdd(args []string) error {
 	fs := flag.NewFlagSet("add", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	archivePath := fs.String("archive", "", "archive XML file (created if missing)")
-	compact := fs.Bool("compact", false, "further compaction below frontier nodes")
+	sf := addStoreFlags(fs)
 	fs.Parse(args)
-	if *specPath == "" || *archivePath == "" || fs.NArg() != 1 {
+	if fs.NArg() != 1 {
 		return fmt.Errorf("add needs -spec, -archive and one version file")
 	}
-	opts := xarch.Options{FurtherCompaction: *compact}
-	a, _, err := loadArchive(*specPath, *archivePath, opts)
+	store, save, err := openStore(sf, true)
 	if err != nil {
 		return err
 	}
-	doc, err := loadDoc(fs.Arg(0))
+	defer store.Close()
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	if err := a.Add(doc); err != nil {
-		return err
-	}
-	tmp := *archivePath + ".tmp"
-	f, err := os.Create(tmp)
+	err = store.AddReader(f)
+	f.Close()
 	if err != nil {
+		var kv *xarch.KeyViolationError
+		if errors.As(err, &kv) {
+			return fmt.Errorf("version rejected:\n%w", kv)
+		}
 		return err
 	}
-	if err := a.WriteXML(f, true); err != nil {
-		f.Close()
+	if err := save(); err != nil {
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, *archivePath); err != nil {
-		return err
-	}
-	fmt.Printf("archived version %d (%d versions total)\n", a.Versions(), a.Versions())
+	fmt.Printf("archived version %d (%s engine)\n", store.Versions(), *sf.engine)
 	return nil
 }
 
 func cmdGet(args []string) error {
 	fs := flag.NewFlagSet("get", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	archivePath := fs.String("archive", "", "archive XML file")
+	sf := addStoreFlags(fs)
 	version := fs.Int("version", 0, "version number to retrieve")
 	fs.Parse(args)
-	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	store, _, err := openStore(sf, false)
 	if err != nil {
 		return err
 	}
-	doc, err := a.Version(*version)
+	defer store.Close()
+	doc, err := store.Version(*version)
 	if err != nil {
+		if errors.Is(err, xarch.ErrNoSuchVersion) {
+			return fmt.Errorf("version %d does not exist (archive has %d)", *version, store.Versions())
+		}
 		return err
 	}
 	if doc == nil {
@@ -157,22 +219,28 @@ func cmdGet(args []string) error {
 
 func cmdHistory(args []string) error {
 	fs := flag.NewFlagSet("history", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	archivePath := fs.String("archive", "", "archive XML file")
+	sf := addStoreFlags(fs)
 	selector := fs.String("selector", "", "element selector, e.g. /db/dept[name=finance]")
 	changes := fs.Bool("changes", false, "also list content-change versions")
 	fs.Parse(args)
-	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	store, _, err := openStore(sf, false)
 	if err != nil {
 		return err
 	}
-	h, err := a.History(*selector)
+	defer store.Close()
+	h, err := store.History(*selector)
 	if err != nil {
+		switch {
+		case errors.Is(err, xarch.ErrNoSuchElement):
+			return fmt.Errorf("no archived element matches %s", *selector)
+		case errors.Is(err, xarch.ErrAmbiguousSelector):
+			return fmt.Errorf("selector %s is ambiguous; add key predicates", *selector)
+		}
 		return err
 	}
 	fmt.Printf("exists at versions: %s\n", h)
 	if *changes {
-		ch, err := a.ContentHistory(*selector)
+		ch, err := store.ContentHistory(*selector)
 		if err != nil {
 			return err
 		}
@@ -192,13 +260,24 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	doc, err := loadDoc(fs.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	if report := xarch.ValidateDocument(spec, doc); report != "" {
-		fmt.Print(report)
-		os.Exit(1)
+	doc, err := xarch.ParseXML(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if err := xarch.ValidateDocument(spec, doc); err != nil {
+		var kv *xarch.KeyViolationError
+		if errors.As(err, &kv) {
+			for _, v := range kv.Violations {
+				fmt.Println(v.Error())
+			}
+			os.Exit(1)
+		}
+		return err
 	}
 	fmt.Println("document satisfies the key specification")
 	return nil
@@ -206,14 +285,17 @@ func cmdValidate(args []string) error {
 
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	archivePath := fs.String("archive", "", "archive XML file")
+	sf := addStoreFlags(fs)
 	fs.Parse(args)
-	a, _, err := loadArchive(*specPath, *archivePath, xarch.Options{})
+	store, _, err := openStore(sf, false)
 	if err != nil {
 		return err
 	}
-	s := a.Stats()
+	defer store.Close()
+	s, err := store.Stats()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("versions              %d\n", s.Versions)
 	fmt.Printf("elements              %d\n", s.Elements)
 	fmt.Printf("text nodes            %d\n", s.TextNodes)
@@ -225,46 +307,24 @@ func cmdStats(args []string) error {
 	fmt.Printf("timestamp intervals   %d\n", s.TimestampRuns)
 	fmt.Printf("content groups        %d\n", s.Groups)
 	fmt.Printf("archive XML bytes     %d\n", s.XMLBytes)
-	fmt.Printf("xmill-compressed      %d\n", xarch.CompressedArchiveSize(a))
+	if cs, ok := store.(interface{ CompressedSize() (int, error) }); ok {
+		n, err := cs.CompressedSize()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("xmill-compressed      %d\n", n)
+	}
 	return nil
 }
 
-func cmdExtAdd(args []string) error {
-	fs := flag.NewFlagSet("extadd", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	dir := fs.String("dir", "", "external archive directory")
-	budget := fs.Int("budget", 1<<20, "external-sort memory budget in tokens")
+func cmdSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	sf := addStoreFlags(fs)
 	fs.Parse(args)
-	if *specPath == "" || *dir == "" || fs.NArg() != 1 {
-		return fmt.Errorf("extadd needs -spec, -dir and one version file")
-	}
-	spec, err := loadSpec(*specPath)
+	store, _, err := openStore(sf, false)
 	if err != nil {
 		return err
 	}
-	ar, err := xarch.OpenExternalArchiver(*dir, spec, *budget)
-	if err != nil {
-		return err
-	}
-	if err := ar.AddVersionFile(fs.Arg(0)); err != nil {
-		return err
-	}
-	fmt.Printf("archived version %d (external sort: %d runs)\n", ar.Versions(), ar.LastSort.Runs)
-	return nil
-}
-
-func cmdExtXML(args []string) error {
-	fs := flag.NewFlagSet("extxml", flag.ExitOnError)
-	specPath := fs.String("spec", "", "key specification file")
-	dir := fs.String("dir", "", "external archive directory")
-	fs.Parse(args)
-	spec, err := loadSpec(*specPath)
-	if err != nil {
-		return err
-	}
-	ar, err := xarch.OpenExternalArchiver(*dir, spec, 1<<20)
-	if err != nil {
-		return err
-	}
-	return ar.WriteArchiveXML(os.Stdout)
+	defer store.Close()
+	return store.Snapshot(os.Stdout)
 }

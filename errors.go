@@ -1,0 +1,38 @@
+package xarch
+
+import (
+	"errors"
+
+	"xarch/internal/core"
+	"xarch/internal/keys"
+)
+
+// Sentinel errors. Every error returned by a Store wraps one of these (or
+// carries a *KeyViolationError), so callers dispatch with errors.Is and
+// errors.As instead of matching message strings.
+var (
+	// ErrNoSuchVersion reports a version number outside 1..Versions().
+	ErrNoSuchVersion = core.ErrNoSuchVersion
+	// ErrNoSuchElement reports a selector that matches no archived
+	// element.
+	ErrNoSuchElement = core.ErrNoSuchElement
+	// ErrAmbiguousSelector reports a selector whose predicates match more
+	// than one element at some step.
+	ErrAmbiguousSelector = core.ErrAmbiguousSelector
+	// ErrBadSelector reports a selector that does not parse.
+	ErrBadSelector = core.ErrBadSelector
+	// ErrCorruptArchive reports structural corruption discovered while
+	// reading an archive.
+	ErrCorruptArchive = core.ErrCorruptArchive
+	// ErrClosed reports a call on a closed Store.
+	ErrClosed = errors.New("xarch: store is closed")
+)
+
+// KeyViolationError aggregates every violation of a key specification
+// found in one document; Add and ValidateDocument return it. Recover it
+// with errors.As to inspect the individual violations.
+type KeyViolationError = keys.ViolationsError
+
+// KeyViolation describes one violation of a key specification: the path
+// of the offending node, the violated key, and what went wrong.
+type KeyViolation = keys.ValidationError

@@ -4,8 +4,11 @@
 // archiver's in-memory reach on the paper's 256 MB machine. This example
 // archives Swiss-Prot-like releases through the external-memory pipeline
 // (decompose → bounded-memory sorted runs → streaming merge) with an
-// artificially tiny memory budget, so the multi-run machinery is visible,
-// then verifies every release is retrievable from the resulting archive.
+// artificially tiny memory budget, so the multi-run machinery is visible.
+//
+// Both engines implement the same xarch.Store interface, so retrieval and
+// history queries run directly against the external store — no manual
+// export/reload step.
 //
 //	go run ./examples/bigarchive
 package main
@@ -35,38 +38,41 @@ func main() {
 	// A 500-token budget forces the run former to spill constantly — a
 	// stand-in for a document 1000x larger than memory.
 	const budget = 500
-	ar, err := xarch.OpenExternalArchiver(dir, spec, budget)
+	// WithValidation(false) keeps ingest truly streaming: the releases
+	// come from a trusted generator, so AddReader feeds the §6 pipeline
+	// directly instead of parsing each release into a tree first.
+	ar, err := xarch.OpenStore(dir, spec,
+		xarch.WithMemoryBudget(budget), xarch.WithValidation(false))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer ar.Close()
 
-	fmt.Printf("== External archiver in %s (budget: %d tokens) ==\n", dir, budget)
+	fmt.Printf("== External store in %s (budget: %d tokens) ==\n", dir, budget)
 	var releases []string
 	for rel := 1; rel <= 4; rel++ {
 		doc := g.Next()
 		text := doc.IndentedXML()
 		releases = append(releases, text)
-		if err := ar.AddVersion(strings.NewReader(text)); err != nil {
+		// AddReader streams the release through the §6 pipeline; the
+		// document is never held in memory as a tree.
+		if err := ar.AddReader(strings.NewReader(text)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("release %d: %8d bytes -> %4d sorted runs merged\n",
-			rel, len(text), ar.LastSort.Runs)
+			rel, len(text), ar.SortRuns())
 	}
 
-	// Read the external archive back through the in-memory loader and
-	// verify each release round-trips.
 	var b strings.Builder
-	if err := ar.WriteArchiveXML(&b); err != nil {
+	if err := ar.Snapshot(&b); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\narchive XML: %d bytes for %d releases\n", b.Len(), ar.Versions())
 
-	loaded, err := xarch.LoadArchive(strings.NewReader(b.String()), spec, xarch.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Retrieval runs against the external store itself, through the same
+	// Store interface the in-memory engine implements.
 	for rel := 1; rel <= len(releases); rel++ {
-		got, err := loaded.Version(rel)
+		got, err := ar.Version(rel)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +80,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		same, err := loaded.SameVersion(want, got)
+		same, err := ar.SameVersion(want, got)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,12 +93,12 @@ func main() {
 	}
 
 	// Temporal history works on externally-built archives too.
-	v1, err := loaded.Version(1)
+	v1, err := ar.Version(1)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pac := v1.Child("Record").ChildText("pac")
-	h, err := loaded.History("/ROOT/Record[pac=" + pac + "]")
+	h, err := ar.History("/ROOT/Record[pac=" + pac + "]")
 	if err != nil {
 		log.Fatal(err)
 	}

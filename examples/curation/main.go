@@ -29,7 +29,7 @@ func main() {
 	cfg.Records = 300
 	g := datagen.NewOMIM(cfg)
 
-	a := xarch.NewArchive(datagen.OMIMSpec(), xarch.Options{})
+	a := xarch.NewStore(datagen.OMIMSpec())
 	var lastSize int
 	fmt.Println("== Archiving 30 daily versions ==")
 	for day := 1; day <= 30; day++ {
@@ -39,13 +39,20 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	stats := a.Stats()
+	stats, err := a.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	compressed, err := a.CompressedSize()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("versions archived      %d\n", stats.Versions)
 	fmt.Printf("latest version size    %d bytes\n", lastSize)
 	fmt.Printf("whole archive size     %d bytes (%.3fx the latest version)\n",
 		stats.XMLBytes, float64(stats.XMLBytes)/float64(lastSize))
 	fmt.Printf("compressed archive     %d bytes (%.3fx the latest version)\n",
-		xarch.CompressedArchiveSize(a), float64(xarch.CompressedArchiveSize(a))/float64(lastSize))
+		compressed, float64(compressed)/float64(lastSize))
 	fmt.Printf("timestamp inheritance  %d of %d keyed nodes inherit (%.1f%%)\n",
 		stats.InheritedTimestamps, stats.KeyedNodes,
 		100*float64(stats.InheritedTimestamps)/float64(stats.KeyedNodes))
@@ -76,20 +83,14 @@ func main() {
 	}
 	fmt.Printf("free-text revisions at versions %v\n", textChanges)
 
-	// Fast history queries through the §7.2 index.
-	ix := xarch.NewHistoryIndex(a)
-	h2, err := ix.History(sel)
-	if err != nil {
+	// The store owns its indexes and keeps them fresh across Adds, so
+	// the History call above already went through the §7.2 sorted key
+	// lists and Version retrievals go through the §7.1 timestamp trees —
+	// no manual index building, no stale results.
+	if _, err := a.Version(1); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("indexed lookup agrees: t=[%s]\n", h2)
-
-	// Fast snapshot retrieval through §7.1 timestamp trees.
-	tix := xarch.NewTimestampIndex(a)
-	if _, err := tix.Version(1); err != nil {
-		log.Fatal(err)
-	}
-	probes, naive := tix.ProbeStats()
+	probes, naive := a.ProbeStats()
 	fmt.Printf("\n== Timestamp-tree retrieval of day 1 ==\n")
 	fmt.Printf("tree probes %d vs naive child scans %d\n", probes, naive)
 }

@@ -49,7 +49,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := xarch.NewArchive(keySpec, xarch.Options{})
+	a := xarch.NewStore(keySpec)
 	for _, src := range []string{v1, v2} {
 		doc, err := xarch.ParseXMLString(src)
 		if err != nil {
@@ -85,9 +85,9 @@ func main() {
 	fmt.Print(archiveXML(a))
 }
 
-func archiveXML(a *xarch.Archive) string {
+func archiveXML(a xarch.Store) string {
 	var b strings.Builder
-	if err := a.WriteXML(&b, true); err != nil {
+	if err := a.Snapshot(&b); err != nil {
 		log.Fatal(err)
 	}
 	return b.String()

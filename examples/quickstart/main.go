@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a := xarch.NewArchive(keySpec, xarch.Options{})
+	a := xarch.NewStore(keySpec)
 
 	fmt.Println("== Archiving the four versions of Figure 2 ==")
 	for i, src := range versions {
@@ -67,7 +67,7 @@ func main() {
 	}
 
 	fmt.Println("\n== The archive as XML (compare Figure 5) ==")
-	if err := a.WriteXML(os.Stdout, true); err != nil {
+	if err := a.Snapshot(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
@@ -95,18 +95,16 @@ func main() {
 	fmt.Printf("salary content changed at versions %v (90K at 3, 95K at 4)\n", changes)
 
 	fmt.Println("\n== Retrieving version 2 from the archive ==")
-	v2, err := a.Version(2)
-	if err != nil {
+	if err := a.WriteVersion(2, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(v2.IndentedXML())
 
-	fmt.Println("\n== Round trip: save and reload the archive ==")
+	fmt.Println("\n== Round trip: snapshot and reload the archive ==")
 	var buf strings.Builder
-	if err := a.WriteXML(&buf, true); err != nil {
+	if err := a.Snapshot(&buf); err != nil {
 		log.Fatal(err)
 	}
-	reloaded, err := xarch.LoadArchive(strings.NewReader(buf.String()), keySpec, xarch.Options{})
+	reloaded, err := xarch.LoadStore(strings.NewReader(buf.String()), keySpec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,243 @@
+package xarch
+
+import (
+	"bytes"
+	"io"
+	"sync"
+
+	"xarch/internal/core"
+	"xarch/internal/extmem"
+	"xarch/internal/xmill"
+	"xarch/internal/xmltree"
+)
+
+// ExtStore is the external-memory engine of the Store interface: the
+// archiver of §6, maintaining the archive on disk as token files and
+// adding versions with bounded memory (decompose, external sort,
+// streaming merge).
+//
+// Ingest streams; queries materialize a read-only in-memory view of the
+// archive on first use and reuse it until the next Add invalidates it.
+// The view is never mutated, so any number of readers share it while an
+// Add builds the next one.
+type ExtStore struct {
+	mu     sync.RWMutex
+	cfg    config
+	ar     *extmem.Archiver
+	view   *core.Archive // materialized query view; nil when stale
+	closed bool
+}
+
+var _ Store = (*ExtStore)(nil)
+
+// OpenStore creates or reopens an external-memory store in dir.
+func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ar, err := extmem.Open(dir, spec, cfg.budget)
+	if err != nil {
+		return nil, err
+	}
+	return &ExtStore{cfg: cfg, ar: ar}, nil
+}
+
+// Add archives doc as the next version through the §6 pipeline.
+func (s *ExtStore) Add(doc *Document) error {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if doc == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		s.view = nil
+		return s.ar.AddEmptyVersion()
+	}
+	if s.cfg.validation {
+		if err := s.ar.Spec().CheckDocumentErr(doc); err != nil {
+			return err
+		}
+	}
+	// Serialize through a pipe so the pipeline never holds a second full
+	// copy of the document as one contiguous string.
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(doc.Write(pw, xmltree.WriteOptions{}))
+	}()
+	err := s.addStream(pr)
+	pr.Close() // unblock the writer if decompose stopped early
+	return err
+}
+
+// AddReader archives the XML document read from r as the next version.
+// With validation on (the default) the document is parsed and checked
+// against the key specification first, exactly like the in-memory
+// engine. Construct the store with WithValidation(false) to stream the
+// document through decompose, external sort and merge without ever
+// holding it in memory as a tree; key violations then surface as
+// decompose or merge errors rather than a full validation report.
+func (s *ExtStore) AddReader(r io.Reader) error {
+	if s.cfg.validation {
+		doc, err := xmltree.Parse(r)
+		if err != nil {
+			return err
+		}
+		return s.Add(doc)
+	}
+	return s.addStream(r)
+}
+
+func (s *ExtStore) addStream(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.view = nil
+	return s.ar.AddVersion(r)
+}
+
+// acquireView returns the materialized read view, building it under the
+// write lock if the last Add invalidated it. The returned archive is
+// immutable: a later Add replaces the pointer rather than mutating it, so
+// callers may keep reading it without holding any lock.
+func (s *ExtStore) acquireView() (*core.Archive, error) {
+	s.mu.RLock()
+	v, closed := s.view, s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if v != nil {
+		return v, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.view == nil {
+		var buf bytes.Buffer
+		if err := s.ar.WriteArchiveXML(&buf); err != nil {
+			return nil, err
+		}
+		view, err := core.LoadReader(&buf, s.ar.Spec(), s.cfg.coreOptions())
+		if err != nil {
+			return nil, err
+		}
+		s.view = view
+	}
+	return s.view, nil
+}
+
+// Versions returns the number of archived versions.
+func (s *ExtStore) Versions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ar.Versions()
+}
+
+// Version reconstructs version n from the materialized view.
+func (s *ExtStore) Version(n int) (*Document, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	return v.Version(n)
+}
+
+// WriteVersion writes the indented XML of version n to w.
+func (s *ExtStore) WriteVersion(n int, w io.Writer) error {
+	return writeVersion(s, n, w)
+}
+
+// History returns the versions in which the selected element exists.
+func (s *ExtStore) History(selector string) (*VersionSet, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	return v.History(selector)
+}
+
+// ContentHistory returns the versions at which the selected frontier
+// element's content changed.
+func (s *ExtStore) ContentHistory(selector string) ([]int, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return nil, err
+	}
+	return v.ContentHistory(selector)
+}
+
+// Stats summarizes the archive's structure.
+func (s *ExtStore) Stats() (Stats, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return Stats{}, err
+	}
+	return v.Stats(), nil
+}
+
+// Snapshot streams the archive's XML form to w, straight from the token
+// file; LoadStore reads it back into an in-memory store.
+func (s *ExtStore) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.ar.WriteArchiveXML(w)
+}
+
+// Close flushes metadata and releases the store; every later call fails
+// with ErrClosed. The on-disk archive remains and can be reopened with
+// OpenStore.
+func (s *ExtStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.view = nil
+	return s.ar.Close()
+}
+
+// CompressedSize returns the XMill-compressed size of the archive (§5.4).
+func (s *ExtStore) CompressedSize() (int, error) {
+	v, err := s.acquireView()
+	if err != nil {
+		return 0, err
+	}
+	return xmill.Size(v.ToXMLTree()), nil
+}
+
+// SameVersion reports whether doc is archive-equivalent to other under
+// the store's key specification. The comparison depends only on the key
+// spec, so it runs on a throwaway annotator without materializing the
+// archive.
+func (s *ExtStore) SameVersion(doc, other *Document) (bool, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return false, ErrClosed
+	}
+	return core.New(s.ar.Spec(), s.cfg.coreOptions()).SameVersion(doc, other)
+}
+
+// SortRuns reports how many sorted runs the external sort of the most
+// recent Add produced (§6): 1 means the version fit the memory budget.
+func (s *ExtStore) SortRuns() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ar.LastSort.Runs
+}

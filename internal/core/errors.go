@@ -1,0 +1,21 @@
+package core
+
+import "errors"
+
+// Sentinel errors for the archiver's failure modes. Errors returned by
+// Version, History and the selector machinery wrap one of these, so
+// callers dispatch with errors.Is instead of matching message strings.
+var (
+	// ErrNoSuchVersion reports a version number outside 1..Versions().
+	ErrNoSuchVersion = errors.New("no such version")
+	// ErrNoSuchElement reports a selector that matches no archived element.
+	ErrNoSuchElement = errors.New("no such element")
+	// ErrAmbiguousSelector reports a selector whose predicates match more
+	// than one element at some step.
+	ErrAmbiguousSelector = errors.New("ambiguous selector")
+	// ErrBadSelector reports a selector that does not parse.
+	ErrBadSelector = errors.New("malformed selector")
+	// ErrCorruptArchive reports structural corruption discovered while
+	// reading an archive.
+	ErrCorruptArchive = errors.New("corrupt archive")
+)

@@ -16,7 +16,7 @@ import (
 // keyed elements (§2).
 func (a *Archive) Version(i int) (*xmltree.Node, error) {
 	if i < 1 || i > a.versions {
-		return nil, fmt.Errorf("core: version %d out of range 1..%d", i, a.versions)
+		return nil, fmt.Errorf("core: version %d out of range 1..%d: %w", i, a.versions, ErrNoSuchVersion)
 	}
 	var result *xmltree.Node
 	for _, c := range a.root.Children {
@@ -28,7 +28,7 @@ func (a *Archive) Version(i int) (*xmltree.Node, error) {
 			continue
 		}
 		if result != nil {
-			return nil, fmt.Errorf("core: archive corrupt: multiple roots at version %d", i)
+			return nil, fmt.Errorf("core: multiple roots at version %d: %w", i, ErrCorruptArchive)
 		}
 		result = annotate.ProjectAt(c, i)
 	}
@@ -107,13 +107,13 @@ func (a *Archive) resolveSteps(steps []SelectorStep) (*anode.Node, *intervals.Se
 				continue
 			}
 			if found != nil {
-				return nil, nil, fmt.Errorf("core: selector is ambiguous at %s: matches %s and %s",
-					path, found.Label(), c.Label())
+				return nil, nil, fmt.Errorf("core: selector is ambiguous at %s: matches %s and %s: %w",
+					path, found.Label(), c.Label(), ErrAmbiguousSelector)
 			}
 			found = c
 		}
 		if found == nil {
-			return nil, nil, fmt.Errorf("core: no element matches %s", path)
+			return nil, nil, fmt.Errorf("core: no element matches %s: %w", path, ErrNoSuchElement)
 		}
 		cur = found
 		if cur.Time != nil {

@@ -37,12 +37,18 @@ func (s *SelectorStep) matches(kv *anode.KeyValue) bool {
 	return true
 }
 
+// badSelector builds a parse error wrapping ErrBadSelector.
+func badSelector(format string, args ...any) error {
+	return fmt.Errorf("core: "+format+": %w", append(args, ErrBadSelector)...)
+}
+
 // ParseSelector parses "/db/dept[name=finance]/emp[fn=John,ln=Doe]".
 // Values may be quoted with double quotes to include ']', '/', ',' or '='.
+// Parse failures wrap ErrBadSelector.
 func ParseSelector(s string) ([]SelectorStep, error) {
 	s = strings.TrimSpace(s)
 	if !strings.HasPrefix(s, "/") {
-		return nil, fmt.Errorf("core: selector %q must start with /", s)
+		return nil, badSelector("selector %q must start with /", s)
 	}
 	var steps []SelectorStep
 	i := 1
@@ -54,7 +60,7 @@ func ParseSelector(s string) ([]SelectorStep, error) {
 		}
 		tag := s[start:i]
 		if tag == "" {
-			return nil, fmt.Errorf("core: empty step in selector %q", s)
+			return nil, badSelector("empty step in selector %q", s)
 		}
 		step := SelectorStep{Tag: tag}
 		if i < len(s) && s[i] == '[' {
@@ -67,7 +73,7 @@ func ParseSelector(s string) ([]SelectorStep, error) {
 				step.Preds = append(step.Preds, pred)
 				i = next
 				if i >= len(s) {
-					return nil, fmt.Errorf("core: unterminated predicate in %q", s)
+					return nil, badSelector("unterminated predicate in %q", s)
 				}
 				if s[i] == ',' {
 					i++
@@ -77,7 +83,7 @@ func ParseSelector(s string) ([]SelectorStep, error) {
 					i++
 					break
 				}
-				return nil, fmt.Errorf("core: bad predicate separator at %d in %q", i, s)
+				return nil, badSelector("bad predicate separator at %d in %q", i, s)
 			}
 		}
 		steps = append(steps, step)
@@ -89,7 +95,7 @@ func ParseSelector(s string) ([]SelectorStep, error) {
 		}
 	}
 	if len(steps) == 0 {
-		return nil, fmt.Errorf("core: empty selector %q", s)
+		return nil, badSelector("empty selector %q", s)
 	}
 	return steps, nil
 }
@@ -98,12 +104,12 @@ func parsePredicate(s string, i int) (Predicate, int, error) {
 	start := i
 	for i < len(s) && s[i] != '=' {
 		if s[i] == ']' || s[i] == ',' {
-			return Predicate{}, 0, fmt.Errorf("core: predicate missing '=' near %q", s[start:i])
+			return Predicate{}, 0, badSelector("predicate missing '=' near %q", s[start:i])
 		}
 		i++
 	}
 	if i >= len(s) {
-		return Predicate{}, 0, fmt.Errorf("core: predicate missing '=' in %q", s)
+		return Predicate{}, 0, badSelector("predicate missing '=' in %q", s)
 	}
 	path := strings.TrimSpace(s[start:i])
 	if path == "." {
@@ -118,7 +124,7 @@ func parsePredicate(s string, i int) (Predicate, int, error) {
 			i++
 		}
 		if i >= len(s) {
-			return Predicate{}, 0, fmt.Errorf("core: unterminated quoted value in %q", s)
+			return Predicate{}, 0, badSelector("unterminated quoted value in %q", s)
 		}
 		value = s[vstart:i]
 		i++ // consume closing quote

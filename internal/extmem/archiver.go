@@ -83,6 +83,14 @@ func Open(dir string, spec *keys.Spec, budget int) (*Archiver, error) {
 // Versions returns the number of archived versions.
 func (ar *Archiver) Versions() int { return ar.versions }
 
+// Spec returns the archiver's key specification.
+func (ar *Archiver) Spec() *keys.Spec { return ar.spec }
+
+// Close flushes the archive metadata. The archiver keeps no open file
+// handles between operations, so Close is cheap; it exists so the store
+// layer can offer one lifecycle across engines.
+func (ar *Archiver) Close() error { return ar.saveMeta() }
+
 // ArchiveTokenPath returns the path of the current archive token file.
 func (ar *Archiver) ArchiveTokenPath() string { return filepath.Join(ar.dir, archiveFile) }
 

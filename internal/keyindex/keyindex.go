@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"xarch/internal/anode"
 	"xarch/internal/core"
@@ -27,13 +28,21 @@ type entry struct {
 	children []entry
 }
 
-// Index is the sorted-list history index of an archive.
+// Index is the sorted-list history index of an archive. An Index is
+// immutable after Build and safe for concurrent History calls.
 type Index struct {
 	archive *core.Archive
 	top     []entry
-	// Searches counts binary-search comparisons, for the O(l log d) bench.
-	Searches int
+	// searches counts binary-search comparisons, for the O(l log d) bench.
+	searches atomic.Int64
 }
+
+// SearchCount returns the number of comparisons performed since the index
+// was built or ResetSearches was last called.
+func (ix *Index) SearchCount() int { return int(ix.searches.Load()) }
+
+// ResetSearches zeroes the comparison counter.
+func (ix *Index) ResetSearches() { ix.searches.Store(0) }
 
 // Build constructs the index with a single scan through the archive
 // (§7.2): archive children are already label-sorted, but the search order
@@ -83,6 +92,7 @@ func dispKey(n *anode.Node) string {
 // History resolves a selector (the same syntax as core.Archive.History)
 // with one binary search per step when the selector specifies every key
 // path; under-specified steps fall back to a linear scan of that list.
+// It is safe to call concurrently.
 func (ix *Index) History(selector string) (*intervals.Set, error) {
 	steps, err := core.ParseSelector(selector)
 	if err != nil {
@@ -91,10 +101,12 @@ func (ix *Index) History(selector string) (*intervals.Set, error) {
 	list := ix.top
 	var cur *entry
 	path := ""
+	searches := 0
+	defer func() { ix.searches.Add(int64(searches)) }()
 	for si := range steps {
 		step := &steps[si]
 		path += "/" + step.Tag
-		found, err := ix.find(list, step, path)
+		found, err := ix.find(list, step, path, &searches)
 		if err != nil {
 			return nil, err
 		}
@@ -104,14 +116,16 @@ func (ix *Index) History(selector string) (*intervals.Set, error) {
 	return cur.time.Clone(), nil
 }
 
-// find locates the entry matching the step in the sorted list.
-func (ix *Index) find(list []entry, step *core.SelectorStep, path string) (*entry, error) {
+// find locates the entry matching the step in the sorted list,
+// accumulating comparison counts into searches (one atomic update per
+// History call, not per comparison).
+func (ix *Index) find(list []entry, step *core.SelectorStep, path string, searches *int) (*entry, error) {
 	if target, ok := exactKey(step); ok {
 		// Fully-specified key: binary search by (tag, dispKey).
 		lo, hi := 0, len(list)
 		for lo < hi {
 			mid := (lo + hi) / 2
-			ix.Searches++
+			*searches++
 			if less(list[mid].tag, list[mid].dispKey, step.Tag, target) {
 				lo = mid + 1
 			} else {
@@ -128,17 +142,17 @@ func (ix *Index) find(list []entry, step *core.SelectorStep, path string) (*entr
 	// Under-specified predicates: linear scan with ambiguity detection.
 	var found *entry
 	for i := range list {
-		ix.Searches++
+		*searches++
 		if list[i].tag != step.Tag || !matchesNode(list[i].node, step) {
 			continue
 		}
 		if found != nil {
-			return nil, fmt.Errorf("keyindex: selector ambiguous at %s", path)
+			return nil, fmt.Errorf("keyindex: selector ambiguous at %s: %w", path, core.ErrAmbiguousSelector)
 		}
 		found = &list[i]
 	}
 	if found == nil {
-		return nil, fmt.Errorf("keyindex: no element matches %s", path)
+		return nil, fmt.Errorf("keyindex: no element matches %s: %w", path, core.ErrNoSuchElement)
 	}
 	return found, nil
 }

@@ -85,16 +85,16 @@ func TestBinarySearchCost(t *testing.T) {
 	ix := Build(a)
 	// Look up a record by Num.
 	num := doc.Child("Record").ChildText("Num")
-	ix.Searches = 0
+	ix.ResetSearches()
 	if _, err := ix.History("/ROOT/Record[Num=" + num + "]"); err != nil {
 		t.Fatal(err)
 	}
 	// Two steps: ROOT (1 entry) + Record among 512: ~log2(512)=9 plus the
 	// first step. Require well under a linear scan.
-	if ix.Searches > 40 {
-		t.Errorf("lookup cost %d comparisons; expected O(log d) ~ 10", ix.Searches)
+	if ix.SearchCount() > 40 {
+		t.Errorf("lookup cost %d comparisons; expected O(log d) ~ 10", ix.SearchCount())
 	}
-	t.Logf("searches=%d for 512 records", ix.Searches)
+	t.Logf("searches=%d for 512 records", ix.SearchCount())
 }
 
 // TestHistoryAfterEvolution: the index reflects the archive it was built

@@ -2,6 +2,7 @@ package keys
 
 import (
 	"fmt"
+	"strings"
 
 	"xarch/internal/xmltree"
 )
@@ -18,6 +19,35 @@ func (e *ValidationError) Error() string {
 		return fmt.Sprintf("keys: %s at %s: %s", e.Msg, e.Path, e.Key)
 	}
 	return fmt.Sprintf("keys: %s at %s", e.Msg, e.Path)
+}
+
+// ViolationsError aggregates every violation of a key specification found
+// in one document. It is the error type behind document validation; use
+// errors.As to recover the individual violations.
+type ViolationsError struct {
+	Violations []*ValidationError
+}
+
+func (e *ViolationsError) Error() string {
+	if len(e.Violations) == 1 {
+		return e.Violations[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "keys: document violates key specification (%d violations):", len(e.Violations))
+	for _, v := range e.Violations {
+		b.WriteString("\n\t")
+		b.WriteString(v.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual violations to errors.Is/errors.As.
+func (e *ViolationsError) Unwrap() []error {
+	out := make([]error, len(e.Violations))
+	for i, v := range e.Violations {
+		out[i] = v
+	}
+	return out
 }
 
 // CheckDocument verifies that doc satisfies the specification and the
@@ -37,10 +67,11 @@ func (s *Spec) CheckDocument(doc *xmltree.Node) []*ValidationError {
 	return errs
 }
 
-// CheckDocumentErr is CheckDocument returning the first violation as error.
+// CheckDocumentErr is CheckDocument returning the violations as a single
+// *ViolationsError (nil when the document satisfies the spec).
 func (s *Spec) CheckDocumentErr(doc *xmltree.Node) error {
 	if errs := s.CheckDocument(doc); len(errs) > 0 {
-		return errs[0]
+		return &ViolationsError{Violations: errs}
 	}
 	return nil
 }

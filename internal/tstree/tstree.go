@@ -11,6 +11,7 @@ package tstree
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xarch/internal/annotate"
 	"xarch/internal/anode"
@@ -35,14 +36,16 @@ type nodeIndex struct {
 	children []*nodeIndex // parallel to keyed children
 }
 
-// Index is a timestamp-tree index over an archive.
+// Index is a timestamp-tree index over an archive. An Index is immutable
+// after Build and safe for concurrent Version calls; the probe accounting
+// of the most recent call is kept in atomics.
 type Index struct {
 	archive *core.Archive
 	root    *nodeIndex
 
-	// probe accounting for the §7.1 analysis
-	probes int
-	naive  int
+	// probe accounting of the last Version call, for the §7.1 analysis
+	probes atomic.Int64
+	naive  atomic.Int64
 }
 
 // Build constructs timestamp trees for every non-frontier node with a
@@ -96,32 +99,44 @@ func pairUp(level []*binNode) *binNode {
 	return level[0]
 }
 
-// Version retrieves version i using the timestamp trees.
+// probeCount accumulates the probe accounting of one Version call, so
+// concurrent calls do not contend on shared counters.
+type probeCount struct {
+	probes, naive int
+}
+
+// Version retrieves version i using the timestamp trees. It is safe to
+// call concurrently.
 func (ix *Index) Version(i int) (*xmltree.Node, error) {
 	if i < 1 || i > ix.archive.Versions() {
-		return nil, fmt.Errorf("tstree: version %d out of range 1..%d", i, ix.archive.Versions())
+		return nil, fmt.Errorf("tstree: version %d out of range 1..%d: %w",
+			i, ix.archive.Versions(), core.ErrNoSuchVersion)
 	}
-	ix.probes, ix.naive = 0, 0
+	var pc probeCount
+	defer func() {
+		ix.probes.Store(int64(pc.probes))
+		ix.naive.Store(int64(pc.naive))
+	}()
 	rootTime := ix.archive.Root().Time
 	if !rootTime.Contains(i) {
 		return nil, nil
 	}
-	alive := ix.aliveChildren(ix.root, i)
+	alive := ix.aliveChildren(ix.root, i, &pc)
 	if len(alive) == 0 {
 		return nil, nil // empty version
 	}
 	if len(alive) > 1 {
-		return nil, fmt.Errorf("tstree: archive corrupt: multiple roots at version %d", i)
+		return nil, fmt.Errorf("tstree: multiple roots at version %d: %w", i, core.ErrCorruptArchive)
 	}
-	return ix.build(ix.root.children[alive[0]], i), nil
+	return ix.build(ix.root.children[alive[0]], i, &pc), nil
 }
 
 // aliveChildren returns the indexes of ni's children alive at version i,
 // searching the timestamp tree with the §7.1 probe budget: if a search
 // would probe more than 2k tree nodes, fall back to scanning the k leaves.
-func (ix *Index) aliveChildren(ni *nodeIndex, i int) []int {
+func (ix *Index) aliveChildren(ni *nodeIndex, i int, pc *probeCount) []int {
 	k := len(ni.n.Children)
-	ix.naive += k
+	pc.naive += k
 	if ni.tree == nil {
 		return nil
 	}
@@ -170,12 +185,12 @@ func (ix *Index) aliveChildren(ni *nodeIndex, i int) []int {
 		}
 		scan(ni.tree)
 	}
-	ix.probes += probed
+	pc.probes += probed
 	return out
 }
 
 // build reconstructs the subtree of version i below ni.
-func (ix *Index) build(ni *nodeIndex, i int) *xmltree.Node {
+func (ix *Index) build(ni *nodeIndex, i int, pc *probeCount) *xmltree.Node {
 	n := ni.n
 	if n.Frontier || n.Groups != nil {
 		return annotate.ProjectAt(n, i)
@@ -184,12 +199,15 @@ func (ix *Index) build(ni *nodeIndex, i int) *xmltree.Node {
 	for _, attr := range n.Attrs {
 		e.Append(xmltree.AttrNode(attr.Name, attr.Data))
 	}
-	for _, idx := range ix.aliveChildren(ni, i) {
-		e.Append(ix.build(ni.children[idx], i))
+	for _, idx := range ix.aliveChildren(ni, i, pc) {
+		e.Append(ix.build(ni.children[idx], i, pc))
 	}
 	return e
 }
 
 // ProbeStats reports the tree probes of the last Version call against the
-// naive child-scan cost, quantifying the §7.1 saving.
-func (ix *Index) ProbeStats() (probes, naive int) { return ix.probes, ix.naive }
+// naive child-scan cost, quantifying the §7.1 saving. Under concurrent
+// Version calls it reflects whichever call finished last.
+func (ix *Index) ProbeStats() (probes, naive int) {
+	return int(ix.probes.Load()), int(ix.naive.Load())
+}

@@ -1,0 +1,150 @@
+package xarch
+
+import (
+	"io"
+
+	"xarch/internal/core"
+	"xarch/internal/xmltree"
+)
+
+// Store is the one interface over both archiver engines: the in-memory
+// nested-merge archiver (§4, MemStore) and the external-memory archiver
+// (§6, ExtStore). Every consumer — CLI, examples, benchmarks — can work
+// against either engine unchanged.
+//
+// A Store keeps its query structures fresh itself: Add invalidates them
+// and the next query rebuilds them (the §7 indexes on the in-memory
+// engine, the materialized view on the external engine), so a query
+// issued right after an Add sees the new version without any manual
+// rebuild step. All query methods are safe for concurrent use with each
+// other and with a concurrent Add.
+type Store interface {
+	// Add archives doc as the next version. A nil doc archives an empty
+	// version. On error the store is unchanged. Add neither mutates nor
+	// retains doc.
+	Add(doc *Document) error
+	// AddReader archives the XML document read from r as the next
+	// version. On the external engine with WithValidation(false), the
+	// document streams through the §6 pipeline without ever being held
+	// in memory as a tree.
+	AddReader(r io.Reader) error
+	// Versions returns the number of archived versions, numbered
+	// 1..Versions().
+	Versions() int
+	// Version reconstructs version n. It returns (nil, nil) if version n
+	// was archived as an empty database, and an error wrapping
+	// ErrNoSuchVersion if n is outside 1..Versions(). Keyed siblings come
+	// back in key order, not document order (§2).
+	Version(n int) (*Document, error)
+	// WriteVersion writes the indented XML of version n to w. The
+	// version is reconstructed in memory first and then serialized
+	// directly to w. An empty version writes nothing.
+	WriteVersion(n int, w io.Writer) error
+	// History returns the set of versions in which the element denoted by
+	// selector exists (§7.2), e.g.
+	//
+	//	/db/dept[name=finance]/emp[fn=John,ln=Doe]
+	//
+	// Errors wrap ErrNoSuchElement, ErrAmbiguousSelector or
+	// ErrBadSelector.
+	History(selector string) (*VersionSet, error)
+	// ContentHistory returns, for a frontier element, the versions at
+	// which its content changed.
+	ContentHistory(selector string) ([]int, error)
+	// Stats summarizes the archive's structure (timestamp inheritance,
+	// interval fragmentation, XML size).
+	Stats() (Stats, error)
+	// Snapshot streams the archive itself, in the paper's XML form, to w.
+	// The snapshot can be reloaded with LoadStore.
+	Snapshot(w io.Writer) error
+	// Close releases the store. Every later call fails with ErrClosed.
+	Close() error
+}
+
+// Stats summarizes an archive's structure; see the field docs in
+// internal/core.
+type Stats = core.Stats
+
+// config collects the knobs shared by both engines; it is populated by
+// the functional Options.
+type config struct {
+	fingerprint FingerprintFunc
+	compaction  bool
+	indexes     bool
+	validation  bool
+	budget      int // external-sort memory budget, in tokens
+}
+
+func defaultConfig() config {
+	return config{
+		indexes:    true,
+		validation: true,
+		budget:     1 << 20,
+	}
+}
+
+// Option configures a Store at construction time.
+type Option func(*config)
+
+// WithFingerprint selects the fingerprint function for key values (§4.3).
+// Collisions are always resolved by comparing canonical forms, so the
+// choice affects speed only. The default is FNV-1a.
+func WithFingerprint(f FingerprintFunc) Option {
+	return func(c *config) { c.fingerprint = f }
+}
+
+// WithCompaction toggles the SCCS-style weave below frontier nodes (§4.2,
+// "Further Compaction"): content that persists across versions is stored
+// once and only differences are timestamped. In-memory engine only; off
+// by default.
+func WithCompaction(on bool) Option {
+	return func(c *config) { c.compaction = on }
+}
+
+// WithIndexes toggles the store-owned query indexes: timestamp trees for
+// version retrieval (§7.1) and sorted key lists for history queries
+// (§7.2). On by default; Add invalidates them and the next query
+// rebuilds them, so they are never stale and cost nothing during bulk
+// ingest. Turn them off to make every query a direct archive scan.
+// In-memory engine only; the external engine always queries its
+// materialized view directly.
+func WithIndexes(on bool) Option {
+	return func(c *config) { c.indexes = on }
+}
+
+// WithValidation toggles the key-specification check on Add. On by
+// default; violations are reported as a *KeyViolationError. Turning it
+// off is for trusted generators and benchmarks — annotation still catches
+// most key violations.
+func WithValidation(on bool) Option {
+	return func(c *config) { c.validation = on }
+}
+
+// WithMemoryBudget caps the memory of the external sort's partial trees,
+// in tokens (§6). External engine only; small budgets force many sorted
+// runs. The default is 1<<20.
+func WithMemoryBudget(tokens int) Option {
+	return func(c *config) { c.budget = tokens }
+}
+
+// writeVersion implements Store.WriteVersion on top of Version; both
+// engines share it so version serialization cannot diverge.
+func writeVersion(s Store, n int, w io.Writer) error {
+	doc, err := s.Version(n)
+	if err != nil {
+		return err
+	}
+	if doc == nil {
+		return nil // empty version
+	}
+	return doc.Write(w, xmltree.WriteOptions{Indent: true})
+}
+
+// coreOptions lowers a config onto the in-memory engine's option struct.
+func (c config) coreOptions() core.Options {
+	return core.Options{
+		Fingerprint:       c.fingerprint,
+		FurtherCompaction: c.compaction,
+		SkipValidation:    !c.validation,
+	}
+}

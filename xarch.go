@@ -7,9 +7,14 @@
 // element is stored once no matter how many versions contain it, and its
 // lifetime is a compact timestamp such as "1-3,5,7-9". The archive is
 // itself XML, supports retrieval of any version with one scan, answers
-// temporal-history queries about any keyed element, compresses extremely
-// well with the included XMill-style compressor, and scales beyond memory
-// through the external-memory archiver.
+// temporal-history queries about any keyed element, and compresses
+// extremely well with the included XMill-style compressor.
+//
+// The public API is the Store interface, implemented by two engines that
+// behave identically to callers: NewStore returns the in-memory
+// nested-merge archiver (§4), OpenStore the external-memory archiver that
+// scales beyond RAM (§6). Stores own their query indexes (§7) and refresh
+// them on every Add, and all query methods are safe for concurrent use.
 //
 // Quick start:
 //
@@ -18,39 +23,29 @@
 //	(/db, (dept, {name}))
 //	(/db/dept, (emp, {fn, ln}))
 //	`)
-//	a := xarch.NewArchive(spec, xarch.Options{})
-//	doc, _ := xarch.ParseXML(strings.NewReader(version1XML))
-//	a.Add(doc)
+//	store := xarch.NewStore(spec)
+//	doc, _ := xarch.ParseXMLString(version1XML)
+//	store.Add(doc)
 //	...
-//	v1, _ := a.Version(1)
-//	history, _ := a.History("/db/dept[name=finance]/emp[fn=John,ln=Doe]")
+//	v1, _ := store.Version(1)
+//	history, _ := store.History("/db/dept[name=finance]/emp[fn=John,ln=Doe]")
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for the reproduced evaluation.
+// Behaviour is tuned with functional options — WithFingerprint,
+// WithCompaction, WithIndexes, WithValidation, WithMemoryBudget — and
+// failures carry structured errors (ErrNoSuchVersion, KeyViolationError,
+// ...) for errors.Is / errors.As dispatch. See the examples directory for
+// complete programs and DESIGN.md for the system inventory.
 package xarch
 
 import (
 	"io"
-	"strings"
 
-	"xarch/internal/core"
-	"xarch/internal/extmem"
 	"xarch/internal/fingerprint"
 	"xarch/internal/intervals"
-	"xarch/internal/keyindex"
 	"xarch/internal/keys"
-	"xarch/internal/tstree"
 	"xarch/internal/xmill"
 	"xarch/internal/xmltree"
 )
-
-// Archive is a merged store of all versions of one keyed database (§4 of
-// the paper). Create with NewArchive or LoadArchive.
-type Archive = core.Archive
-
-// Options configures an archive: fingerprint function (§4.3), further
-// compaction below frontier nodes (§4.2), and validation behaviour.
-type Options = core.Options
 
 // KeySpec is a key specification: the relative keys a document satisfies
 // (§3, Appendix A). Parse one with ParseKeySpec.
@@ -64,22 +59,11 @@ type Document = xmltree.Node
 // "1-3,5,7-9" (§2).
 type VersionSet = intervals.Set
 
-// TimestampIndex accelerates version retrieval with per-node timestamp
-// binary trees (§7.1).
-type TimestampIndex = tstree.Index
-
-// HistoryIndex accelerates temporal-history queries with sorted key lists
-// (§7.2).
-type HistoryIndex = keyindex.Index
-
-// ExternalArchiver archives documents larger than memory (§6).
-type ExternalArchiver = extmem.Archiver
-
 // FingerprintFunc hashes canonical XML values (§4.3). FNV, MD5 and the
 // test-only Weak8 are provided.
 type FingerprintFunc = fingerprint.Func
 
-// Fingerprint functions re-exported for Options.Fingerprint.
+// Fingerprint functions for WithFingerprint.
 var (
 	FNV   FingerprintFunc = fingerprint.FNV
 	MD5   FingerprintFunc = fingerprint.MD5
@@ -99,16 +83,6 @@ func ReadKeySpec(r io.Reader) (*KeySpec, error) {
 	return keys.ParseSpec(r)
 }
 
-// NewArchive returns an empty archive for documents satisfying spec.
-func NewArchive(spec *KeySpec, opts Options) *Archive {
-	return core.New(spec, opts)
-}
-
-// LoadArchive reads an archive back from its XML form.
-func LoadArchive(r io.Reader, spec *KeySpec, opts Options) (*Archive, error) {
-	return core.LoadReader(r, spec, opts)
-}
-
 // ParseXML parses an XML document into a Document.
 func ParseXML(r io.Reader) (*Document, error) {
 	return xmltree.Parse(r)
@@ -124,23 +98,6 @@ func ParseVersionSet(s string) (*VersionSet, error) {
 	return intervals.Parse(s)
 }
 
-// NewTimestampIndex builds timestamp trees over an archive (§7.1).
-func NewTimestampIndex(a *Archive) *TimestampIndex {
-	return tstree.Build(a)
-}
-
-// NewHistoryIndex builds the sorted-key-list history index (§7.2).
-func NewHistoryIndex(a *Archive) *HistoryIndex {
-	return keyindex.Build(a)
-}
-
-// OpenExternalArchiver creates or reopens an external-memory archiver in
-// dir (§6). budgetTokens caps the memory of the external sort's partial
-// trees.
-func OpenExternalArchiver(dir string, spec *KeySpec, budgetTokens int) (*ExternalArchiver, error) {
-	return extmem.Open(dir, spec, budgetTokens)
-}
-
 // CompressXMill compresses a document with the XMill-style compressor
 // (§5.4): structure separated from content, text grouped into containers
 // by enclosing element, each container deflated independently.
@@ -153,23 +110,9 @@ func DecompressXMill(data []byte) (*Document, error) {
 	return xmill.Decompress(data)
 }
 
-// CompressedArchiveSize returns the XMill-compressed size of the archive,
-// the headline metric of §5.4.
-func CompressedArchiveSize(a *Archive) int {
-	return xmill.Size(a.ToXMLTree())
-}
-
-// ValidateDocument checks a document against a key specification,
-// returning a human-readable report of all violations ("" when valid).
-func ValidateDocument(spec *KeySpec, doc *Document) string {
-	errs := spec.CheckDocument(doc)
-	if len(errs) == 0 {
-		return ""
-	}
-	var b strings.Builder
-	for _, e := range errs {
-		b.WriteString(e.Error())
-		b.WriteByte('\n')
-	}
-	return b.String()
+// ValidateDocument checks a document against a key specification. It
+// returns nil when the document satisfies the spec and a
+// *KeyViolationError carrying every violation otherwise.
+func ValidateDocument(spec *KeySpec, doc *Document) error {
+	return spec.CheckDocumentErr(doc)
 }

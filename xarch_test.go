@@ -1,6 +1,7 @@
 package xarch
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -15,15 +16,15 @@ const quickSpec = `
 (/db/dept/emp, (tel, {.}))
 `
 
-// TestPublicAPIEndToEnd drives the whole public surface: spec parsing,
-// archiving, retrieval, history, indexes, serialization, reload and
-// compression.
+// TestPublicAPIEndToEnd drives the whole public surface through the Store
+// interface: spec parsing, archiving, retrieval, history, serialization,
+// reload and compression.
 func TestPublicAPIEndToEnd(t *testing.T) {
 	spec, err := ParseKeySpec(quickSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := NewArchive(spec, Options{})
+	var store Store = NewStore(spec)
 	versions := []string{
 		`<db><dept><name>finance</name></dept></db>`,
 		`<db><dept><name>finance</name><emp><fn>Jane</fn><ln>Smith</ln><sal>90K</sal></emp></dept></db>`,
@@ -34,22 +35,22 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if report := ValidateDocument(spec, doc); report != "" {
-			t.Fatalf("version %d invalid:\n%s", i+1, report)
+		if err := ValidateDocument(spec, doc); err != nil {
+			t.Fatalf("version %d invalid: %v", i+1, err)
 		}
-		if err := a.Add(doc); err != nil {
+		if err := store.Add(doc); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	h, err := a.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	h, err := store.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h.String() != "2-3" {
 		t.Errorf("history = %q, want 2-3", h)
 	}
-	changes, err := a.ContentHistory("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/sal")
+	changes, err := store.ContentHistory("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/sal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,35 +58,39 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("salary changes = %v, want two alternatives", changes)
 	}
 
-	// Index-accelerated access agrees.
-	tix := NewTimestampIndex(a)
-	v2, err := tix.Version(2)
+	v2, err := store.Version(2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v2.Path("dept", "emp", "sal").Text() != "90K" {
-		t.Errorf("indexed retrieval wrong: %s", v2.XML())
+		t.Errorf("retrieval wrong: %s", v2.XML())
 	}
-	hix := NewHistoryIndex(a)
-	h2, err := hix.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
-	if err != nil {
+	var vbuf strings.Builder
+	if err := store.WriteVersion(2, &vbuf); err != nil {
 		t.Fatal(err)
 	}
-	if !h.Equal(h2) {
-		t.Errorf("index history %q != scan history %q", h2, h)
+	if vbuf.String() != v2.IndentedXML() {
+		t.Errorf("WriteVersion disagrees with Version:\n%s\nvs\n%s", vbuf.String(), v2.IndentedXML())
 	}
 
-	// Serialization round trip through the facade.
+	// Serialization round trip through the Store interface.
 	var buf strings.Builder
-	if err := a.WriteXML(&buf, true); err != nil {
+	if err := store.Snapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
-	back, err := LoadArchive(strings.NewReader(buf.String()), spec, Options{})
+	back, err := LoadStore(strings.NewReader(buf.String()), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if back.Versions() != 3 {
 		t.Errorf("reloaded versions = %d", back.Versions())
+	}
+	h2, err := back.History("/db/dept[name=finance]/emp[fn=Jane,ln=Smith]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Equal(h2) {
+		t.Errorf("reloaded history %q != original %q", h2, h)
 	}
 
 	// Compression round trip.
@@ -94,8 +99,8 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := CompressXMill(doc)
-	if CompressedArchiveSize(a) <= 0 {
-		t.Error("compressed archive size not positive")
+	if cs, err := back.CompressedSize(); err != nil || cs <= 0 {
+		t.Errorf("compressed archive size = %d, %v", cs, err)
 	}
 	dec, err := DecompressXMill(data)
 	if err != nil {
@@ -104,36 +109,64 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if dec.XML() != doc.XML() {
 		t.Error("xmill round trip changed document")
 	}
+
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Version(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Version after Close = %v, want ErrClosed", err)
+	}
 }
 
-// TestExternalArchiverFacade drives the §6 path through the facade.
-func TestExternalArchiverFacade(t *testing.T) {
+// TestExternalStore drives the §6 engine through the same Store interface.
+func TestExternalStore(t *testing.T) {
 	spec, err := ParseKeySpec(quickSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ar, err := OpenExternalArchiver(t.TempDir(), spec, 64)
+	store, err := OpenStore(t.TempDir(), spec, WithMemoryBudget(64))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ar.AddVersion(strings.NewReader(
+	defer store.Close()
+	if err := store.AddReader(strings.NewReader(
 		`<db><dept><name>finance</name><emp><fn>Jo</fn><ln>Doe</ln></emp></dept></db>`)); err != nil {
 		t.Fatal(err)
 	}
-	var b strings.Builder
-	if err := ar.WriteArchiveXML(&b); err != nil {
-		t.Fatal(err)
-	}
-	back, err := LoadArchive(strings.NewReader(b.String()), spec, Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	v1, err := back.Version(1)
+	v1, err := store.Version(1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v1.Path("dept", "emp", "fn").Text() != "Jo" {
-		t.Errorf("external archive content wrong: %s", v1.XML())
+		t.Errorf("external store content wrong: %s", v1.XML())
+	}
+	h, err := store.History("/db/dept[name=finance]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "1" {
+		t.Errorf("history = %q, want 1", h)
+	}
+
+	// The snapshot reloads into the in-memory engine.
+	var b strings.Builder
+	if err := store.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadStore(strings.NewReader(b.String()), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv1, err := back.Version(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := back.SameVersion(mv1, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Error("external and reloaded retrieval disagree")
 	}
 }
 
