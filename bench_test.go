@@ -9,6 +9,8 @@ package xarch
 
 import (
 	"fmt"
+	"io"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -294,6 +296,151 @@ func BenchmarkHistoryIndex(b *testing.B) {
 		if _, err := ix.History(sel); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// buildExtBenchDir archives an XMark history into a fresh directory with
+// the external engine, for the streaming-query benchmarks (§6/§7).
+func buildExtBenchDir(b *testing.B, versions int) string {
+	b.Helper()
+	dir := b.TempDir()
+	g := datagen.NewXMark(datagen.XMarkConfig{Seed: 71, Items: 60, People: 30, Categories: 10, OpenAucts: 20, ClosedAucts: 12})
+	s, err := OpenStore(dir, datagen.XMarkSpec(), WithValidation(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := g.Document()
+	for i := 0; i < versions; i++ {
+		if err := s.Add(doc); err != nil {
+			b.Fatal(err)
+		}
+		doc = g.RandomChanges(doc, 0.05)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// extQueryOpts returns the store options of one query-path variant.
+func extQueryOpts(matview bool) []Option {
+	opts := []Option{WithValidation(false)}
+	if matview {
+		opts = append(opts, WithMaterializedView(true))
+	}
+	return opts
+}
+
+// benchExtQuery measures the cost of one query issued right after the
+// store's query state was invalidated (the post-Add regime): each
+// iteration reopens the store, so the materialized-view baseline pays its
+// view rebuild and the streaming path pays one scan.
+func benchExtQuery(b *testing.B, versions int, matview bool, query func(s *ExtStore) error) {
+	dir := buildExtBenchDir(b, versions)
+	cold := queryAllocBytes(b, dir, matview, query)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := OpenStore(dir, datagen.XMarkSpec(), extQueryOpts(matview)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := query(s); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	// ResetTimer clears custom metrics, so the cold-query number is
+	// attached only after the measurement loop.
+	b.ReportMetric(cold, "cold_query_bytes")
+}
+
+// queryAllocBytes measures the bytes allocated by one cold query — the
+// "peak view bytes" number: the materialized-view baseline allocates the
+// whole archive here, the streaming path only the projected answer.
+func queryAllocBytes(b *testing.B, dir string, matview bool, query func(s *ExtStore) error) float64 {
+	b.Helper()
+	s, err := OpenStore(dir, datagen.XMarkSpec(), extQueryOpts(matview)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if err := query(s); err != nil {
+		b.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.TotalAlloc - m0.TotalAlloc)
+}
+
+// BenchmarkExtStoreQueryVersion: ExtStore.WriteVersion after an Add —
+// streaming scan versus materialized-view rebuild.
+func BenchmarkExtStoreQueryVersion(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		matview bool
+	}{{"streaming", false}, {"matview", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			benchExtQuery(b, 8, v.matview, func(s *ExtStore) error {
+				return s.WriteVersion(3, io.Discard)
+			})
+		})
+	}
+}
+
+// BenchmarkExtStoreQueryHistory: selector resolution on the two paths.
+func BenchmarkExtStoreQueryHistory(b *testing.B) {
+	g := datagen.NewXMark(datagen.XMarkConfig{Seed: 71, Items: 60, People: 30, Categories: 10, OpenAucts: 20, ClosedAucts: 12})
+	id, ok := g.Document().Child("categories").Child("category").Attr("id")
+	if !ok {
+		b.Fatal("xmark document has no category id")
+	}
+	sel := "/site/categories/category[id=" + id + "]"
+	for _, v := range []struct {
+		name    string
+		matview bool
+	}{{"streaming", false}, {"matview", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			benchExtQuery(b, 8, v.matview, func(s *ExtStore) error {
+				_, err := s.History(sel)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkExtStoreQueryStats: structural statistics on the two paths.
+func BenchmarkExtStoreQueryStats(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		matview bool
+	}{{"streaming", false}, {"matview", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			benchExtQuery(b, 8, v.matview, func(s *ExtStore) error {
+				_, err := s.Stats()
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkExtStoreQueryVersionScaling pins the bounded-memory claim: the
+// bytes allocated by one streaming query must not grow with the number of
+// archived versions (the materialized view's would).
+func BenchmarkExtStoreQueryVersionScaling(b *testing.B) {
+	for _, versions := range []int{4, 8} {
+		b.Run(fmt.Sprintf("versions=%d", versions), func(b *testing.B) {
+			benchExtQuery(b, versions, false, func(s *ExtStore) error {
+				return s.WriteVersion(2, io.Discard)
+			})
+		})
 	}
 }
 

@@ -4,61 +4,109 @@
 // Usage:
 //
 //	benchfig [-fig 7|11|12|13|14|C1|C2|claims|all] [-scale 1.0] [-versions N]
+//	         [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Scale 1.0 uses megabyte-class documents (minutes for -fig all); smaller
-// scales run in seconds.
+// scales run in seconds. The profile flags write pprof profiles of the
+// full-scale runs, so performance work on the archiver pipelines can be
+// driven from the paper's own workloads.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"xarch/internal/bench"
 )
+
+// errUnknownFig distinguishes a bad -fig value (usage error) from a
+// failing experiment.
+var errUnknownFig = errors.New("unknown figure")
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 7, 11, 12, 13, 14, C1, C2, claims, all")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = megabyte-class documents)")
 	versions := flag.Int("versions", 0, "override the number of versions (0 = per-figure default)")
 	weave := flag.Bool("weave", false, "archive with further compaction (§4.2)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	s := bench.Scale(*scale)
+	// run's defers (profile teardown) must fire before the process exits,
+	// so exit codes are decided out here.
+	err := run(*fig, *scale, *versions, *weave, *cpuprofile, *memprofile)
+	switch {
+	case errors.Is(err, errUnknownFig):
+		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, scale float64, versions int, weave bool, cpuprofile, memprofile string) error {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchfig:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchfig:", err)
+			}
+		}()
+	}
+
+	s := bench.Scale(scale)
 	pick := func(def int) int {
-		if *versions > 0 {
-			return *versions
+		if versions > 0 {
+			return versions
 		}
 		return def
 	}
-	run := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
-	cfgRaw := bench.Config{Weave: *weave}
+	runFig := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
+	cfgRaw := bench.Config{Weave: weave}
 	cfgZip := func(n int) bench.Config {
 		every := n / 5
 		if every < 1 {
 			every = 1
 		}
-		return bench.Config{Weave: *weave, CompressEvery: every, KeepConcat: true}
+		return bench.Config{Weave: weave, CompressEvery: every, KeepConcat: true}
 	}
 
 	did := false
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "benchfig:", err)
-		os.Exit(1)
-	}
-
-	if run("7") {
+	if runFig("7") {
 		did = true
 		fmt.Println(bench.Fig7Table(bench.Fig7(s, pick(10), pick(8))))
 	}
-	if run("11") || run("claims") {
+	if runFig("11") || runFig("claims") {
 		did = true
 		n := pick(40)
 		spec, docs := bench.OMIMSequence(s, n)
 		lines, err := bench.Run(spec, docs, cfgRaw)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println(lines.Table("Figure 11(a): OMIM-like, archive vs diff repositories"))
 		fmt.Println(lines.Summary())
@@ -67,18 +115,18 @@ func main() {
 		spec2, docs2 := bench.SwissProtSequence(s, n2)
 		lines2, err := bench.Run(spec2, docs2, cfgRaw)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println(lines2.Table("Figure 11(b): Swiss-Prot-like, archive vs diff repositories"))
 		fmt.Println(lines2.Summary())
 	}
-	if run("12") || run("claims") {
+	if runFig("12") || runFig("claims") {
 		did = true
 		n := pick(30)
 		spec, docs := bench.OMIMSequence(s, n)
 		lines, err := bench.Run(spec, docs, cfgZip(n))
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println(lines.Table("Figure 12(a): OMIM-like, with compression"))
 		fmt.Println(lines.Summary())
@@ -87,66 +135,65 @@ func main() {
 		spec2, docs2 := bench.SwissProtSequence(s, n2)
 		lines2, err := bench.Run(spec2, docs2, cfgZip(n2))
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println(lines2.Table("Figure 12(b): Swiss-Prot-like, with compression"))
 		fmt.Println(lines2.Summary())
 	}
-	if run("13") {
+	if runFig("13") {
 		did = true
 		for _, frac := range []float64{0.0166, 0.10} {
 			n := pick(12)
 			spec, docs := bench.XMarkSequence(s, n, frac, false)
 			lines, err := bench.Run(spec, docs, cfgZip(n))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println(lines.Table(fmt.Sprintf("Figure 13: XMark random changes, n = %.2f%%", frac*100)))
 			fmt.Println(lines.Summary())
 		}
 	}
-	if run("14") {
+	if runFig("14") {
 		did = true
 		for _, frac := range []float64{0.0166, 0.10} {
 			n := pick(12)
 			spec, docs := bench.XMarkSequence(s, n, frac, true)
 			lines, err := bench.Run(spec, docs, cfgZip(n))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println(lines.Table(fmt.Sprintf("Figure 14: XMark key modification (worst case), n = %.2f%%", frac*100)))
 			fmt.Println(lines.Summary())
 		}
 	}
-	if run("C1") {
+	if runFig("C1") {
 		did = true
 		for _, frac := range []float64{0.0333, 0.0666} {
 			n := pick(12)
 			spec, docs := bench.XMarkSequence(s, n, frac, false)
 			lines, err := bench.Run(spec, docs, cfgZip(n))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println(lines.Table(fmt.Sprintf("Appendix C.1: XMark random changes, n = %.2f%%", frac*100)))
 			fmt.Println(lines.Summary())
 		}
 	}
-	if run("C2") {
+	if runFig("C2") {
 		did = true
 		for _, frac := range []float64{0.0333, 0.0666} {
 			n := pick(12)
 			spec, docs := bench.XMarkSequence(s, n, frac, true)
 			lines, err := bench.Run(spec, docs, cfgZip(n))
 			if err != nil {
-				fail(err)
+				return err
 			}
 			fmt.Println(lines.Table(fmt.Sprintf("Appendix C.2: XMark key modification, n = %.2f%%", frac*100)))
 			fmt.Println(lines.Summary())
 		}
 	}
 	if !did {
-		fmt.Fprintf(os.Stderr, "benchfig: unknown figure %q\n", *fig)
-		flag.Usage()
-		os.Exit(2)
+		return errUnknownFig
 	}
+	return nil
 }

@@ -1,7 +1,6 @@
 package xarch
 
 import (
-	"bytes"
 	"io"
 	"sync"
 
@@ -16,15 +15,22 @@ import (
 // adding versions with bounded memory (decompose, external sort,
 // streaming merge).
 //
-// Ingest streams; queries materialize a read-only in-memory view of the
-// archive on first use and reuse it until the next Add invalidates it.
-// The view is never mutated, so any number of readers share it while an
-// Add builds the next one.
+// Queries stream too: Version, WriteVersion, History, ContentHistory and
+// Stats are answered by a single buffered scan of the archive token file,
+// evaluating timestamps against per-node intervals on the fly, so no
+// in-memory archive is ever materialized and peak query memory is
+// O(document depth + dictionary + one frontier record) — independent of
+// archive and version count. Each query takes a consistent snapshot of
+// the token file under a read lock and then scans without holding any
+// lock, so any number of readers run alongside an Add: the Add replaces
+// the token file by rename while open snapshots keep reading their
+// version of the archive. WithMaterializedView(true) restores the
+// previous behavior of querying a cached in-memory view.
 type ExtStore struct {
 	mu     sync.RWMutex
 	cfg    config
 	ar     *extmem.Archiver
-	view   *core.Archive // materialized query view; nil when stale
+	view   *core.Archive // materialized query view (opt-in); nil when stale
 	closed bool
 }
 
@@ -104,8 +110,20 @@ func (s *ExtStore) addStream(r io.Reader) error {
 	return s.ar.AddVersion(r)
 }
 
-// acquireView returns the materialized read view, building it under the
-// write lock if the last Add invalidated it. The returned archive is
+// query opens a consistent streaming read view under the read lock; the
+// caller scans (and must Close it) without holding any lock, concurrently
+// with other readers and with at most one Add.
+func (s *ExtStore) query() (*extmem.QueryView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.ar.OpenQuery()
+}
+
+// acquireView returns the opt-in materialized read view, building it under
+// the write lock if the last Add invalidated it. The returned archive is
 // immutable: a later Add replaces the pointer rather than mutating it, so
 // callers may keep reading it without holding any lock.
 func (s *ExtStore) acquireView() (*core.Archive, error) {
@@ -124,11 +142,15 @@ func (s *ExtStore) acquireView() (*core.Archive, error) {
 		return nil, ErrClosed
 	}
 	if s.view == nil {
-		var buf bytes.Buffer
-		if err := s.ar.WriteArchiveXML(&buf); err != nil {
-			return nil, err
-		}
-		view, err := core.LoadReader(&buf, s.ar.Spec(), s.cfg.coreOptions())
+		// Stream the archive XML straight into the loader through a pipe:
+		// the XML form is never held as a full in-memory buffer alongside
+		// the parsed archive.
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(s.ar.WriteArchiveXML(pw))
+		}()
+		view, err := core.LoadReader(pr, s.ar.Spec(), s.cfg.coreOptions())
+		pr.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -144,57 +166,102 @@ func (s *ExtStore) Versions() int {
 	return s.ar.Versions()
 }
 
-// Version reconstructs version n from the materialized view.
+// Version reconstructs version n with one streaming scan of the token
+// file (only version n's content is ever materialized).
 func (s *ExtStore) Version(n int) (*Document, error) {
-	v, err := s.acquireView()
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return nil, err
+		}
+		return v.Version(n)
+	}
+	q, err := s.query()
 	if err != nil {
 		return nil, err
 	}
-	return v.Version(n)
+	defer q.Close()
+	return q.Version(n)
 }
 
-// WriteVersion writes the indented XML of version n to w.
+// WriteVersion streams the indented XML of version n directly from the
+// token file to w — the version is never built in memory, and the bytes
+// are identical to the in-memory engine's output.
 func (s *ExtStore) WriteVersion(n int, w io.Writer) error {
-	return writeVersion(s, n, w)
+	if s.cfg.matview {
+		return writeVersion(s, n, w)
+	}
+	q, err := s.query()
+	if err != nil {
+		return err
+	}
+	defer q.Close()
+	return q.WriteVersion(n, w, xmltree.WriteOptions{Indent: true})
 }
 
-// History returns the versions in which the selected element exists.
+// History returns the versions in which the selected element exists,
+// resolving the selector against per-node timestamps during one scan.
 func (s *ExtStore) History(selector string) (*VersionSet, error) {
-	v, err := s.acquireView()
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return nil, err
+		}
+		return v.History(selector)
+	}
+	q, err := s.query()
 	if err != nil {
 		return nil, err
 	}
-	return v.History(selector)
+	defer q.Close()
+	return q.History(selector)
 }
 
 // ContentHistory returns the versions at which the selected frontier
 // element's content changed.
 func (s *ExtStore) ContentHistory(selector string) ([]int, error) {
-	v, err := s.acquireView()
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return nil, err
+		}
+		return v.ContentHistory(selector)
+	}
+	q, err := s.query()
 	if err != nil {
 		return nil, err
 	}
-	return v.ContentHistory(selector)
+	defer q.Close()
+	return q.ContentHistory(selector)
 }
 
-// Stats summarizes the archive's structure.
+// Stats summarizes the archive's structure with streaming scans.
 func (s *ExtStore) Stats() (Stats, error) {
-	v, err := s.acquireView()
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return Stats{}, err
+		}
+		return v.Stats(), nil
+	}
+	q, err := s.query()
 	if err != nil {
 		return Stats{}, err
 	}
-	return v.Stats(), nil
+	defer q.Close()
+	return q.Stats()
 }
 
 // Snapshot streams the archive's XML form to w, straight from the token
-// file; LoadStore reads it back into an in-memory store.
+// file, byte-identical to the in-memory engine's snapshot of the same
+// archive; LoadStore reads it back into an in-memory store.
 func (s *ExtStore) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		return ErrClosed
+	q, err := s.query()
+	if err != nil {
+		return err
 	}
-	return s.ar.WriteArchiveXML(w)
+	defer q.Close()
+	return q.WriteArchiveXML(w, true)
 }
 
 // Close flushes metadata and releases the store; every later call fails
@@ -212,12 +279,32 @@ func (s *ExtStore) Close() error {
 }
 
 // CompressedSize returns the XMill-compressed size of the archive (§5.4).
+// The compressor needs the whole document, so this is the one query that
+// parses the archive XML into a tree — streamed through a pipe rather
+// than buffered twice.
 func (s *ExtStore) CompressedSize() (int, error) {
-	v, err := s.acquireView()
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return 0, err
+		}
+		return xmill.Size(v.ToXMLTree()), nil
+	}
+	q, err := s.query()
 	if err != nil {
 		return 0, err
 	}
-	return xmill.Size(v.ToXMLTree()), nil
+	defer q.Close()
+	pr, pw := io.Pipe()
+	go func() {
+		pw.CloseWithError(q.WriteArchiveXML(pw, false))
+	}()
+	doc, err := xmltree.Parse(pr)
+	pr.Close()
+	if err != nil {
+		return 0, err
+	}
+	return xmill.Size(doc), nil
 }
 
 // SameVersion reports whether doc is archive-equivalent to other under

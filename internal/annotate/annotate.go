@@ -251,33 +251,16 @@ func (a *Annotator) keyValue(x *xmltree.Node, info *pathInfo) (*anode.KeyValue, 
 		xmltree.WriteCanonicalTo(&a.canon, node)
 		kv.Paths[out] = info.kpNames[idx]
 		kv.Canon[out] = a.canon.String()
-		kv.Disp[out] = displayValue(node)
+		kv.Disp[out] = xmltree.DisplayFromCanonical(kv.Canon[out])
 		kv.FP[out] = a.fp(kv.Canon[out])
 		a.stats.ValuesHashed++
 	}
 	return kv, nil
 }
 
-// displayValue renders a key-path value for humans and for history
-// selectors: attribute values and text-only elements render as their text;
-// anything structured falls back to canonical form.
-func displayValue(n *xmltree.Node) string {
-	switch n.Kind {
-	case xmltree.Attr, xmltree.Text:
-		return n.Data
-	}
-	allText := len(n.Children) > 0
-	for _, c := range n.Children {
-		if c.Kind != xmltree.Text {
-			allText = false
-			break
-		}
-	}
-	if allText && len(n.Attrs) == 0 {
-		return n.Text()
-	}
-	return xmltree.Canonical(n)
-}
+// Display derivation lives in xmltree.DisplayFromCanonical: it works from
+// the canonical form alone, so the external engine's streaming query path
+// (which holds only canonical strings) matches selectors identically.
 
 // Archive annotates a parsed archive document (the XML form of §2/Fig 5):
 // the outermost <T> carries the root timestamp; nested <T> elements set
@@ -481,7 +464,7 @@ func (a *Annotator) keyValueAt(n *anode.Node, info *pathInfo, v int) (*anode.Key
 		x := ProjectAt(nodes[0], v)
 		kv.Paths[out] = info.kpNames[idx]
 		kv.Canon[out] = xmltree.Canonical(x)
-		kv.Disp[out] = displayValue(x)
+		kv.Disp[out] = xmltree.DisplayFromCanonical(kv.Canon[out])
 		kv.FP[out] = a.fp(kv.Canon[out])
 		a.stats.ValuesHashed++
 	}

@@ -20,9 +20,11 @@ import (
 
 // KeyValue is the key annotation of a keyed node: the values of its key
 // paths, lexicographically ordered by key-path name (§4.2). Values are
-// kept in canonical form together with their fingerprints; comparisons use
-// the fingerprint first and fall back to the canonical form, so fingerprint
-// collisions never cause incorrect merges (§4.3).
+// kept in canonical form together with their fingerprints; ordering is by
+// canonical form, so sibling order is deterministic and independent of the
+// configured fingerprint function — both archiver engines (and the
+// external engine's on-disk token files) agree on one order. Fingerprints
+// serve as a fast inequality check only (§4.3).
 type KeyValue struct {
 	Paths []string // key-path names, sorted
 	Canon []string // canonical form of each key-path value
@@ -40,7 +42,9 @@ func (kv *KeyValue) Len() int {
 
 // Compare orders two key values of nodes with the same tag, implementing
 // the key-value part of <=lab (§4.2): fewer key paths first, then pairwise
-// by (path name, value).
+// by (path name, canonical value). The order depends only on the canonical
+// forms — never on fingerprints — so it matches the external engine's
+// on-disk sort order and stays stable across fingerprint functions.
 func (kv *KeyValue) Compare(other *KeyValue) int {
 	if kv.Len() != other.Len() {
 		if kv.Len() < other.Len() {
@@ -51,13 +55,6 @@ func (kv *KeyValue) Compare(other *KeyValue) int {
 	for i := 0; i < kv.Len(); i++ {
 		if c := strings.Compare(kv.Paths[i], other.Paths[i]); c != 0 {
 			return c
-		}
-		// Fingerprint first; canonical form on ties (collision safety).
-		if kv.FP[i] != other.FP[i] {
-			if kv.FP[i] < other.FP[i] {
-				return -1
-			}
-			return 1
 		}
 		if c := strings.Compare(kv.Canon[i], other.Canon[i]); c != 0 {
 			return c

@@ -69,11 +69,20 @@ func (a *Archive) ContentHistory(selector string) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
+	return ContentChangeVersions(n, eff), nil
+}
+
+// ContentChangeVersions returns the versions at which a resolved node's
+// content changed: the earliest version of each distinct timestamped
+// content alternative, or just the node's first version when the content
+// never diverged. Shared with the external engine's streaming query path,
+// which builds the node's groups from the token file.
+func ContentChangeVersions(n *anode.Node, eff *intervals.Set) []int {
 	if n.Groups == nil {
 		if eff.Empty() {
-			return nil, nil
+			return nil
 		}
-		return []int{eff.Min()}, nil
+		return []int{eff.Min()}
 	}
 	seen := map[int]bool{}
 	var out []int
@@ -90,15 +99,22 @@ func (a *Archive) ContentHistory(selector string) ([]int, error) {
 			out = append(out, v)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // resolveSteps walks the archive by selector steps, returning the node and
 // its effective timestamp.
 func (a *Archive) resolveSteps(steps []SelectorStep) (*anode.Node, *intervals.Set, error) {
-	cur := a.root
-	eff := a.root.Time
-	path := ""
+	return ResolveFrom(a.root, a.root.Time, steps, "")
+}
+
+// ResolveFrom walks selector steps starting below cur (whose effective
+// timestamp is eff), returning the matched node and its effective
+// timestamp. pathPrefix seeds error messages with the already-resolved
+// selector prefix. The external engine reuses it to resolve selector tails
+// that descend below the frontier of its token file.
+func ResolveFrom(cur *anode.Node, eff *intervals.Set, steps []SelectorStep, pathPrefix string) (*anode.Node, *intervals.Set, error) {
+	path := pathPrefix
 	for _, step := range steps {
 		path += "/" + step.Tag
 		var found *anode.Node
@@ -107,13 +123,12 @@ func (a *Archive) resolveSteps(steps []SelectorStep) (*anode.Node, *intervals.Se
 				continue
 			}
 			if found != nil {
-				return nil, nil, fmt.Errorf("core: selector is ambiguous at %s: matches %s and %s: %w",
-					path, found.Label(), c.Label(), ErrAmbiguousSelector)
+				return nil, nil, AmbiguousSelectorError(path, found.Label(), c.Label())
 			}
 			found = c
 		}
 		if found == nil {
-			return nil, nil, fmt.Errorf("core: no element matches %s: %w", path, ErrNoSuchElement)
+			return nil, nil, NoSuchElementError(path)
 		}
 		cur = found
 		if cur.Time != nil {

@@ -20,13 +20,16 @@ type Predicate struct {
 	Value string
 }
 
-// matches reports whether a node's key value satisfies all predicates.
-func (s *SelectorStep) matches(kv *anode.KeyValue) bool {
+// MatchesKey reports whether a key annotation — given as parallel slices
+// of key-path names and display values — satisfies all predicates. It is
+// the one selector-matching implementation, shared by the archive walk,
+// the §7.2 key index and the external engine's streaming query scan.
+func (s *SelectorStep) MatchesKey(paths, disp []string) bool {
 	for _, p := range s.Preds {
 		ok := false
-		for i := 0; i < kv.Len(); i++ {
-			if kv.Paths[i] == p.Path {
-				ok = kv.Disp[i] == p.Value
+		for i := range paths {
+			if paths[i] == p.Path {
+				ok = disp[i] == p.Value
 				break
 			}
 		}
@@ -35,6 +38,26 @@ func (s *SelectorStep) matches(kv *anode.KeyValue) bool {
 		}
 	}
 	return true
+}
+
+// matches reports whether a node's key value satisfies all predicates.
+func (s *SelectorStep) matches(kv *anode.KeyValue) bool {
+	if kv == nil {
+		return len(s.Preds) == 0
+	}
+	return s.MatchesKey(kv.Paths, kv.Disp)
+}
+
+// AmbiguousSelectorError reports that two elements match a selector step;
+// path is the selector prefix up to and including the ambiguous step.
+func AmbiguousSelectorError(path, labelA, labelB string) error {
+	return fmt.Errorf("core: selector is ambiguous at %s: matches %s and %s: %w",
+		path, labelA, labelB, ErrAmbiguousSelector)
+}
+
+// NoSuchElementError reports that no element matches a selector prefix.
+func NoSuchElementError(path string) error {
+	return fmt.Errorf("core: no element matches %s: %w", path, ErrNoSuchElement)
 }
 
 // badSelector builds a parse error wrapping ErrBadSelector.

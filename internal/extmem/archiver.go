@@ -1,7 +1,6 @@
 package extmem
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -138,74 +137,139 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 
 	sortedPath := tmp("sorted.tok")
 	if r != nil {
-		// Phase 1: decompose into internal representation + key files.
+		// Phases 1+2, pipelined: decompose streams the version into the
+		// token file and the per-pattern key files while a worker follows
+		// those files and forms the bounded-memory sorted runs, so run
+		// forming's in-memory tree building overlaps decompose's parse and
+		// I/O. Key files are pre-created for every pattern of the spec
+		// (normalizing the spec here, before the worker shares it).
 		tokPath := tmp("version.tok")
 		cleanup = append(cleanup, tokPath)
 		tokF, err := os.Create(tokPath)
 		if err != nil {
 			return fmt.Errorf("extmem: %w", err)
 		}
-		tw := newTokenWriter(tokF)
-		var keyFiles []*os.File
-		keyPath := func(pattern string) string {
-			return tmp("keys-" + sanitize(pattern) + ".key")
+		progTok := newProgress()
+		tw := newTokenWriter(&progressWriter{f: tokF, p: progTok})
+
+		type keyFile struct {
+			path string
+			f    *os.File
+			w    *tokenWriter
+			prog *progress
 		}
-		openKeyWriter := func(pattern string) (*tokenWriter, error) {
-			p := keyPath(pattern)
+		keyFiles := map[string]*keyFile{}
+		for _, k := range ar.spec.AllKeys() {
+			pattern := k.NodePath().Absolute()
+			if _, ok := keyFiles[pattern]; ok {
+				continue
+			}
+			p := tmp("keys-" + sanitize(pattern) + ".key")
 			cleanup = append(cleanup, p)
 			f, err := os.Create(p)
 			if err != nil {
-				return nil, fmt.Errorf("extmem: %w", err)
+				tw.release()
+				tokF.Close()
+				for _, kf := range keyFiles {
+					kf.w.release()
+					kf.f.Close()
+				}
+				return fmt.Errorf("extmem: %w", err)
 			}
-			keyFiles = append(keyFiles, f)
-			return newTokenWriter(f), nil
+			prog := newProgress()
+			keyFiles[pattern] = &keyFile{path: p, f: f, w: newTokenWriter(&progressWriter{f: f, p: prog}), prog: prog}
 		}
-		if _, err := decompose(r, ar.spec, ar.dict, tw, openKeyWriter); err != nil {
-			tokF.Close()
-			return err
-		}
-		if err := tw.flush(); err != nil {
-			tokF.Close()
-			return err
-		}
-		if err := tokF.Close(); err != nil {
-			return err
-		}
-		for _, kf := range keyFiles {
-			// The writers buffer; flush through a final sync of each file.
-			if err := kf.Close(); err != nil {
-				return err
+		finishAll := func(err error) {
+			progTok.finish(err)
+			for _, kf := range keyFiles {
+				kf.prog.finish(err)
 			}
 		}
 
-		// Phase 2: bounded-memory sorted runs.
-		tokIn, err := os.Open(tokPath)
-		if err != nil {
-			return fmt.Errorf("extmem: %w", err)
+		type runResult struct {
+			runs  []string
+			stats SortStats
+			err   error
 		}
-		var keyReaders []*os.File
-		openKeyReader := func(pattern string) (*rawReader, error) {
-			f, err := os.Open(keyPath(pattern))
+		resCh := make(chan runResult, 1)
+		go func() {
+			tokIn, err := os.Open(tokPath)
 			if err != nil {
-				return nil, fmt.Errorf("extmem: %w", err)
+				resCh <- runResult{err: fmt.Errorf("extmem: %w", err)}
+				return
 			}
-			keyReaders = append(keyReaders, f)
-			return newRawReader(f), nil
+			defer tokIn.Close()
+			var keyReaders []*os.File
+			defer func() {
+				for _, f := range keyReaders {
+					f.Close()
+				}
+			}()
+			openKeyReader := func(pattern string) (*rawReader, error) {
+				kf, ok := keyFiles[pattern]
+				if !ok {
+					return nil, fmt.Errorf("extmem: no key file for pattern %s", pattern)
+				}
+				f, err := os.Open(kf.path)
+				if err != nil {
+					return nil, fmt.Errorf("extmem: %w", err)
+				}
+				keyReaders = append(keyReaders, f)
+				return newRawReader(&followReader{f: f, p: kf.prog}), nil
+			}
+			tr := newTokenReader(&followReader{f: tokIn, p: progTok})
+			runs, stats, err := formRuns(tr, ar.dict, ar.spec, ar.budget, ar.dir, "tmp", openKeyReader)
+			tr.release()
+			resCh <- runResult{runs: runs, stats: stats, err: err}
+		}()
+
+		keyWriter := func(pattern string) (*tokenWriter, error) {
+			kf, ok := keyFiles[pattern]
+			if !ok {
+				return nil, fmt.Errorf("extmem: key pattern %s not in specification", pattern)
+			}
+			return kf.w, nil
 		}
-		runs, stats, err := formRuns(newTokenReader(tokIn), ar.dict, ar.spec, ar.budget, ar.dir, "tmp", openKeyReader)
-		tokIn.Close()
-		for _, f := range keyReaders {
-			f.Close()
+		// Periodically flushing the writers publishes their bytes to the
+		// following run former, keeping the pipeline overlapped instead of
+		// draining everything at end of document.
+		syncWriters := func() error {
+			if err := tw.flush(); err != nil {
+				return err
+			}
+			for _, kf := range keyFiles {
+				if err := kf.w.flush(); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
-		cleanup = append(cleanup, runs...)
-		if err != nil {
-			return err
+		_, derr := decompose(r, ar.spec, ar.dict, tw, keyWriter, syncWriters)
+		if derr == nil {
+			derr = syncWriters()
 		}
-		ar.LastSort = stats
+		finishAll(derr)
+		res := <-resCh
+		cleanup = append(cleanup, res.runs...)
+		tw.release()
+		for _, kf := range keyFiles {
+			kf.w.release()
+			kf.f.Close()
+		}
+		if cerr := tokF.Close(); derr == nil && cerr != nil {
+			derr = cerr
+		}
+		if derr != nil {
+			return derr
+		}
+		if res.err != nil {
+			return res.err
+		}
+		ar.LastSort = res.stats
 
 		// Phase 3: merge the runs into one sorted version.
 		cleanup = append(cleanup, sortedPath)
-		if err := mergeRunFiles(runs, ar.dict, sortedPath); err != nil {
+		if err := mergeRunFiles(res.runs, ar.dict, sortedPath); err != nil {
 			return err
 		}
 	} else {
@@ -235,12 +299,16 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 		return fmt.Errorf("extmem: %w", err)
 	}
 	sm := &streamMerger{dict: ar.dict, spec: ar.spec, out: newTokenWriter(outF), i: i}
-	err = sm.mergeLevel(newTokenReader(aF), newTokenReader(dF), newRoot, nil)
+	aTR, dTR := newTokenReader(aF), newTokenReader(dF)
+	err = sm.mergeLevel(aTR, dTR, newRoot, nil)
+	aTR.release()
+	dTR.release()
 	aF.Close()
 	dF.Close()
 	if err == nil {
 		err = sm.out.flush()
 	}
+	sm.out.release()
 	if cerr := outF.Close(); err == nil {
 		err = cerr
 	}
@@ -273,132 +341,14 @@ func sanitize(s string) string {
 // WriteArchiveXML streams the archive in the paper's XML form (compact,
 // no indentation): the outer <T> carries the root timestamp; explicit
 // node timestamps and content groups become nested <T> elements, with
-// <_attr> carriers for attribute items inside groups.
+// <_attr> carriers for attribute items inside groups. The emitter (and
+// its XML escaping) is shared with the streaming query engine and the
+// xmltree serializer, so the forms can never diverge.
 func (ar *Archiver) WriteArchiveXML(w io.Writer) error {
-	f, err := os.Open(ar.ArchiveTokenPath())
+	q, err := ar.OpenQuery()
 	if err != nil {
-		return fmt.Errorf("extmem: %w", err)
+		return err
 	}
-	defer f.Close()
-	bw := bufio.NewWriterSize(w, 64*1024)
-	fmt.Fprintf(bw, `<T t="%s"><root>`, ar.rootTime.String())
-
-	tr := newTokenReader(f)
-	type frame struct {
-		name    string
-		wrapped bool // node wrapped in a <T> element
-		open    bool // start tag still open (no attrs written yet? always closed before children)
-		started bool // '>' written
-	}
-	var stack []frame
-	closeStart := func() {
-		if n := len(stack); n > 0 && !stack[n-1].started {
-			bw.WriteByte('>')
-			stack[n-1].started = true
-		}
-	}
-	inGroup := false
-	for {
-		t, ok := tr.take()
-		if !ok {
-			break
-		}
-		switch t.op {
-		case tokOpen:
-			closeStart()
-			name, err := ar.dict.name(t.tag)
-			if err != nil {
-				return err
-			}
-			wrapped := false
-			if t.data != "" && !inGroup {
-				fmt.Fprintf(bw, `<T t="%s">`, t.data)
-				wrapped = true
-			}
-			bw.WriteByte('<')
-			bw.WriteString(name)
-			stack = append(stack, frame{name: name, wrapped: wrapped})
-		case tokAttr:
-			name, err := ar.dict.name(t.tag)
-			if err != nil {
-				return err
-			}
-			if len(stack) > 0 && !stack[len(stack)-1].started {
-				fmt.Fprintf(bw, ` %s="`, name)
-				xmlEscape(bw, t.data, true)
-				bw.WriteByte('"')
-			} else {
-				// An attribute item inside group content after other
-				// items: carry it in an <_attr> element.
-				fmt.Fprintf(bw, `<_attr n="`)
-				xmlEscape(bw, name, true)
-				bw.WriteString(`">`)
-				xmlEscape(bw, t.data, false)
-				bw.WriteString("</_attr>")
-			}
-		case tokText:
-			closeStart()
-			xmlEscape(bw, t.data, false)
-		case tokClose:
-			n := len(stack)
-			if n == 0 {
-				return fmt.Errorf("extmem: unbalanced archive tokens")
-			}
-			fr := stack[n-1]
-			stack = stack[:n-1]
-			if !fr.started {
-				bw.WriteString("/>")
-			} else {
-				fmt.Fprintf(bw, "</%s>", fr.name)
-			}
-			if fr.wrapped {
-				bw.WriteString("</T>")
-			}
-		case tokTSOpen:
-			closeStart()
-			fmt.Fprintf(bw, `<T t="%s">`, t.data)
-			inGroup = true
-		case tokTSClose:
-			bw.WriteString("</T>")
-			inGroup = false
-		}
-	}
-	if tr.err != nil {
-		return tr.err
-	}
-	bw.WriteString("</root></T>")
-	return bw.Flush()
-}
-
-func xmlEscape(w *bufio.Writer, s string, attr bool) {
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '&':
-			w.WriteString("&amp;")
-		case '<':
-			w.WriteString("&lt;")
-		case '>':
-			w.WriteString("&gt;")
-		case '"':
-			if attr {
-				w.WriteString("&quot;")
-			} else {
-				w.WriteByte('"')
-			}
-		case '\n':
-			if attr {
-				w.WriteString("&#10;")
-			} else {
-				w.WriteByte('\n')
-			}
-		case '\t':
-			if attr {
-				w.WriteString("&#9;")
-			} else {
-				w.WriteByte('\t')
-			}
-		default:
-			w.WriteByte(s[i])
-		}
-	}
+	defer q.Close()
+	return q.WriteArchiveXML(w, false)
 }

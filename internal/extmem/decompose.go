@@ -8,6 +8,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"xarch/internal/keys"
 	"xarch/internal/xmltree"
@@ -15,8 +16,12 @@ import (
 
 // dictionary maps tag/attribute names to integers (§6.1: "a document with
 // tag names replaced by integers"). One dictionary serves the archive and
-// every version.
+// every version. It is safe for one writer (the decompose pass) and any
+// number of readers (the run-former worker, query snapshots) to use it
+// concurrently: entries are immutable once assigned, and a mutex guards
+// the growing structures.
 type dictionary struct {
+	mu    sync.RWMutex
 	ids   map[string]int
 	names []string
 }
@@ -26,38 +31,59 @@ func newDictionary() *dictionary {
 }
 
 func (d *dictionary) id(name string) int {
+	d.mu.RLock()
+	id, ok := d.ids[name]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.ids[name]; ok {
 		return id
 	}
-	id := len(d.names)
+	id = len(d.names)
 	d.ids[name] = id
 	d.names = append(d.names, name)
 	return id
 }
 
 func (d *dictionary) name(id int) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id < 0 || id >= len(d.names) {
 		return "", fmt.Errorf("extmem: tag id %d outside dictionary", id)
 	}
 	return d.names[id], nil
 }
 
+// snapshot returns the current name table. Entries are immutable and the
+// table is append-only, so the returned slice is a consistent point-in-time
+// view that later id() calls never mutate.
+func (d *dictionary) snapshot() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.names[:len(d.names):len(d.names)]
+}
+
 // save writes the dictionary as "id<TAB>name" lines.
 func (d *dictionary) save(w io.Writer) error {
-	for i, n := range d.names {
-		if _, err := fmt.Fprintf(w, "%d\t%s\n", i, escapeNL(n)); err != nil {
+	bw := bufio.NewWriterSize(w, 32*1024)
+	for i, n := range d.snapshot() {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", i, escapeNL(n)); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 func loadDictionary(r io.Reader) (*dictionary, error) {
 	d := newDictionary()
+	br := bufio.NewReaderSize(r, 32*1024)
 	var id int
 	var name string
 	for {
-		n, err := fmt.Fscanf(r, "%d\t%s\n", &id, &name)
+		n, err := fmt.Fscanf(br, "%d\t%s\n", &id, &name)
 		if err == io.EOF || n == 0 {
 			break
 		}
@@ -116,6 +142,10 @@ type pendingKey struct {
 	values []string
 }
 
+// decomposeBatch is the element interval at which the decomposer invokes
+// its sync hook, publishing buffered bytes to the concurrent run former.
+const decomposeBatch = 4096
+
 // decomposer streams one XML document into the internal representation
 // plus key files (§6.1), running the stack algorithm of §4.1.
 type decomposer struct {
@@ -125,6 +155,7 @@ type decomposer struct {
 	tokens  *tokenWriter
 	keyOut  map[string]*tokenWriter // key file per keyed-path pattern
 	keyFile func(pattern string) (*tokenWriter, error)
+	sync    func() error // periodic flush hook; may be nil
 
 	path     []string
 	pendings []*pendingKey
@@ -133,13 +164,15 @@ type decomposer struct {
 	depth    int
 
 	nodesSeen int
+	sinceSync int
 }
 
 // decompose streams the XML document from r, writing the token stream to
 // tokens and composite key values to per-pattern key files obtained from
-// keyFile. It returns the node count.
+// keyFile. Every decomposeBatch elements it calls sync (if non-nil) so a
+// concurrent consumer sees the buffered bytes. It returns the node count.
 func decompose(r io.Reader, spec *keys.Spec, dict *dictionary, tokens *tokenWriter,
-	keyFile func(pattern string) (*tokenWriter, error)) (int, error) {
+	keyFile func(pattern string) (*tokenWriter, error), sync func() error) (int, error) {
 
 	d := &decomposer{
 		spec:    spec,
@@ -147,6 +180,7 @@ func decompose(r io.Reader, spec *keys.Spec, dict *dictionary, tokens *tokenWrit
 		tokens:  tokens,
 		keyOut:  map[string]*tokenWriter{},
 		keyFile: keyFile,
+		sync:    sync,
 	}
 	dec := xml.NewDecoder(r)
 	for {
@@ -205,6 +239,14 @@ func (d *decomposer) start(t xml.StartElement) error {
 	d.path = append(d.path, name)
 	d.depth++
 	d.nodesSeen++
+	if d.sync != nil {
+		if d.sinceSync++; d.sinceSync >= decomposeBatch {
+			d.sinceSync = 0
+			if err := d.sync(); err != nil {
+				return err
+			}
+		}
+	}
 
 	// Sorted attributes (canonical order).
 	attrs := make([][2]string, 0, len(t.Attr))

@@ -82,6 +82,11 @@ func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budge
 	if err := ext.CheckInvariants(); err != nil {
 		t.Fatalf("external archive invariants: %v", err)
 	}
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
 	for i := 1; i <= len(docs); i++ {
 		want, err := mem.Version(i)
 		if err != nil {
@@ -94,8 +99,30 @@ func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budge
 		if (want == nil) != (got == nil) {
 			t.Fatalf("version %d emptiness differs", i)
 		}
+		// The streaming query engine must reproduce the materialized view's
+		// answer byte for byte: same tree, same streamed serialization.
+		sv, err := q.Version(i)
+		if err != nil {
+			t.Fatalf("streaming Version(%d): %v", i, err)
+		}
+		if (sv == nil) != (got == nil) {
+			t.Fatalf("streaming version %d emptiness differs from view", i)
+		}
+		var streamed strings.Builder
+		if err := q.WriteVersion(i, &streamed, xmltree.WriteOptions{Indent: true}); err != nil {
+			t.Fatalf("streaming WriteVersion(%d): %v", i, err)
+		}
 		if want == nil {
+			if streamed.Len() != 0 {
+				t.Fatalf("streaming WriteVersion(%d) of empty version wrote %q", i, clip(streamed.String()))
+			}
 			continue
+		}
+		if sv.IndentedXML() != got.IndentedXML() {
+			t.Fatalf("streaming version %d differs from materialized view (budget %d)", i, budget)
+		}
+		if streamed.String() != sv.IndentedXML() {
+			t.Fatalf("streaming WriteVersion(%d) differs from streaming tree (budget %d)", i, budget)
 		}
 		same, err := mem.SameVersion(want, got)
 		if err != nil {
@@ -104,6 +131,24 @@ func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budge
 		if !same {
 			t.Fatalf("version %d differs between external and in-memory archiver (budget %d)", i, budget)
 		}
+	}
+	// Streaming stats must agree with the materialized view exactly,
+	// including the serialized archive size.
+	qs, err := q.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := ext.Stats(); qs != vs {
+		t.Fatalf("streaming stats %+v differ from view stats %+v (budget %d)", qs, vs, budget)
+	}
+	// The indented archive emitter must match the in-memory serializer
+	// byte for byte.
+	var indented strings.Builder
+	if err := q.WriteArchiveXML(&indented, true); err != nil {
+		t.Fatal(err)
+	}
+	if indented.String() != ext.XML() {
+		t.Fatalf("indented archive XML differs from in-memory serialization (budget %d)", budget)
 	}
 }
 
@@ -188,6 +233,72 @@ func TestReopenAndExtend(t *testing.T) {
 	}
 	if h.String() != "2,4" {
 		t.Errorf("Jane history through reopened external archive = %q, want 2,4", h)
+	}
+}
+
+// TestStreamingHistoryParity compares the streaming History/ContentHistory
+// resolution against the in-memory resolver over the same archive,
+// including error semantics (ambiguity, no match) and selectors that
+// descend below the frontier.
+func TestStreamingHistoryParity(t *testing.T) {
+	spec := datagen.CompanySpec()
+	docs := datagen.CompanyVersions()
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addAll(t, ar, docs)
+	ext := loadExternal(t, ar, spec)
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	selectors := []string{
+		"/db/dept[name=finance]",
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]",
+		"/db/dept[name=research]",
+		"/db/dept[name=nosuch]",
+		"/db/dept",    // ambiguous
+		"/nosuch",     // no match at root
+		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/fn", // below the frontier
+		// Both the dept level and (inside the first dept) the emp level
+		// are ambiguous: the in-memory resolver reports the shallower
+		// level, and the streaming resolver must agree even though it
+		// discovers the deeper ambiguity first.
+		"/db/dept/emp",
+		// Unique dept, ambiguous emp level below it: the deeper error
+		// must surface once the enclosing level proves unique.
+		"/db/dept[name=finance]/emp",
+	}
+	for _, sel := range selectors {
+		wantH, wantErr := ext.History(sel)
+		gotH, gotErr := q.History(sel)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("History(%s): view err %v, streaming err %v", sel, wantErr, gotErr)
+			continue
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("History(%s) error text differs:\n  view:      %v\n  streaming: %v", sel, wantErr, gotErr)
+			}
+			continue
+		}
+		if !wantH.Equal(gotH) {
+			t.Errorf("History(%s): view %q, streaming %q", sel, wantH, gotH)
+		}
+
+		wantC, wantErr := ext.ContentHistory(sel)
+		gotC, gotErr := q.ContentHistory(sel)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Errorf("ContentHistory(%s): view err %v, streaming err %v", sel, wantErr, gotErr)
+			continue
+		}
+		if wantErr == nil && fmt.Sprint(wantC) != fmt.Sprint(gotC) {
+			t.Errorf("ContentHistory(%s): view %v, streaming %v", sel, wantC, gotC)
+		}
 	}
 }
 

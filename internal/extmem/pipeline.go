@@ -1,0 +1,110 @@
+package extmem
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+// The ingest pipeline overlaps §6.1 (decompose) with §6.2 (run forming):
+// decompose streams the incoming XML into the version token file and the
+// per-pattern key files, while a worker goroutine follows those same files
+// and builds the bounded-memory sorted runs. The worker may have to wait —
+// a node's composite key is only written when its subtree closes — but the
+// producer side never blocks, so the pipeline cannot deadlock: at worst it
+// degrades to the sequential schedule.
+
+// progress tracks how many bytes of a growing file are durably readable,
+// and whether the writer has finished (successfully or not).
+type progress struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	flushed int64
+	done    bool
+	err     error
+}
+
+func newProgress() *progress {
+	p := &progress{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// advance records n more durable bytes and wakes any waiting follower.
+func (p *progress) advance(n int) {
+	p.mu.Lock()
+	p.flushed += int64(n)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// finish marks the writer done; err, if non-nil, is surfaced to followers.
+func (p *progress) finish(err error) {
+	p.mu.Lock()
+	p.done = true
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// wait blocks until more than off bytes are readable or the writer is
+// done, returning the current frontier.
+func (p *progress) wait(off int64) (flushed int64, done bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.flushed <= off && !p.done {
+		p.cond.Wait()
+	}
+	return p.flushed, p.done, p.err
+}
+
+// progressWriter publishes every durable write to a progress tracker.
+type progressWriter struct {
+	f *os.File
+	p *progress
+}
+
+func (w *progressWriter) Write(b []byte) (int, error) {
+	n, err := w.f.Write(b)
+	if n > 0 {
+		w.p.advance(n)
+	}
+	return n, err
+}
+
+// followReader reads a file that is still being written, never reading
+// past the writer's published frontier and blocking at it until the
+// writer advances or finishes.
+type followReader struct {
+	f   *os.File
+	p   *progress
+	off int64
+}
+
+func (r *followReader) Read(b []byte) (int, error) {
+	for {
+		flushed, done, err := r.p.wait(r.off)
+		if r.off < flushed {
+			if max := flushed - r.off; int64(len(b)) > max {
+				b = b[:max]
+			}
+			n, rerr := r.f.ReadAt(b, r.off)
+			r.off += int64(n)
+			if n > 0 {
+				return n, nil
+			}
+			if rerr != nil && rerr != io.EOF {
+				return 0, rerr
+			}
+			continue
+		}
+		if done {
+			if err != nil {
+				return 0, err
+			}
+			return 0, io.EOF
+		}
+	}
+}

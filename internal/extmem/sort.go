@@ -210,7 +210,9 @@ func (rf *runFormer) flushRun(openStack []*pnode) error {
 	}
 	tw := newTokenWriter(f)
 	rf.writeSorted(tw, rf.root)
-	if err := tw.flush(); err != nil {
+	err = tw.flush()
+	tw.release()
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -292,6 +294,9 @@ func mergeRunFiles(runPaths []string, dict *dictionary, outPath string) error {
 		cursors = append(cursors, newTokenReader(f))
 	}
 	defer func() {
+		for _, c := range cursors {
+			c.release()
+		}
 		for _, f := range files {
 			f.Close()
 		}
@@ -302,6 +307,7 @@ func mergeRunFiles(runPaths []string, dict *dictionary, outPath string) error {
 		return fmt.Errorf("extmem: create sorted file: %w", err)
 	}
 	tw := newTokenWriter(out)
+	defer tw.release()
 	m := &runMerger{dict: dict, out: tw}
 	// Every run repeats the root stem; merge from the top.
 	live := cursors[:0:0]

@@ -21,6 +21,19 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strings"
+	"sync"
+)
+
+// tokenBufSize is the buffer size of every token-file reader and writer;
+// the buffers themselves are pooled so the many short-lived readers and
+// writers of one Add (runs, merges, key files) or query scan reuse a
+// handful of 64 KiB buffers instead of allocating fresh ones.
+const tokenBufSize = 64 * 1024
+
+var (
+	tokenWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, tokenBufSize) }}
+	tokenReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(strings.NewReader(""), tokenBufSize) }}
 )
 
 // Token opcodes of the internal representation.
@@ -93,7 +106,20 @@ type tokenWriter struct {
 }
 
 func newTokenWriter(w io.Writer) *tokenWriter {
-	return &tokenWriter{w: bufio.NewWriterSize(w, 64*1024)}
+	bw := tokenWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return &tokenWriter{w: bw}
+}
+
+// release returns the writer's buffer to the pool. The caller must flush
+// first and must not use the tokenWriter afterwards.
+func (tw *tokenWriter) release() {
+	if tw.w == nil {
+		return
+	}
+	tw.w.Reset(io.Discard)
+	tokenWriterPool.Put(tw.w)
+	tw.w = nil
 }
 
 func (tw *tokenWriter) varint(v uint64) {
@@ -179,9 +205,23 @@ type tokenReader struct {
 }
 
 func newTokenReader(r io.Reader) *tokenReader {
-	tr := &tokenReader{r: bufio.NewReaderSize(r, 64*1024)}
+	br := tokenReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	tr := &tokenReader{r: br}
 	tr.next()
 	return tr
+}
+
+// release returns the reader's buffer to the pool; the tokenReader must
+// not be used afterwards.
+func (tr *tokenReader) release() {
+	if tr.r == nil {
+		return
+	}
+	tr.r.Reset(strings.NewReader(""))
+	tokenReaderPool.Put(tr.r)
+	tr.r = nil
+	tr.done = true
 }
 
 func (tr *tokenReader) varint() uint64 {
@@ -263,6 +303,81 @@ func (tr *tokenReader) next() {
 	if tr.err == nil && !tr.done {
 		tr.cur = t
 	}
+}
+
+// skipStr discards one length-prefixed string without materializing it.
+func (tr *tokenReader) skipStr() {
+	n := tr.varint()
+	if tr.err != nil || tr.done {
+		return
+	}
+	if _, err := tr.r.Discard(int(n)); err != nil {
+		tr.fail(err)
+	}
+}
+
+// discardSubtree skips the balance of an already-consumed open token
+// without materializing any tokens: payloads (text, key annotations,
+// timestamps) are discarded from the buffer instead of decoded into
+// strings. Queries use it for every subtree whose timestamp excludes the
+// requested version, so skipping dead parts of the archive allocates
+// nothing.
+func (tr *tokenReader) discardSubtree() error {
+	if tr.done {
+		return fmt.Errorf("extmem: truncated subtree")
+	}
+	depth := 1
+	// The lookahead token is already decoded; account for it first.
+	switch tr.cur.op {
+	case tokOpen:
+		depth++
+	case tokClose:
+		depth--
+	}
+	for depth > 0 && !tr.done {
+		op, err := tr.r.ReadByte()
+		if err != nil {
+			tr.fail(err)
+			break
+		}
+		switch op {
+		case tokOpen:
+			depth++
+			tr.varint() // tag id
+			flags, err := tr.r.ReadByte()
+			if err != nil {
+				tr.fail(err)
+				break
+			}
+			if flags&flagHasKey != 0 {
+				n := tr.varint()
+				for i := uint64(0); i < 2*n && !tr.done; i++ {
+					tr.skipStr()
+				}
+			}
+			if flags&flagHasTime != 0 {
+				tr.skipStr()
+			}
+		case tokText, tokTSOpen:
+			tr.skipStr()
+		case tokAttr:
+			tr.varint()
+			tr.skipStr()
+		case tokClose:
+			depth--
+		case tokTSClose:
+		default:
+			tr.fail(fmt.Errorf("extmem: unknown opcode %#x", op))
+		}
+	}
+	if tr.err != nil {
+		return tr.err
+	}
+	if depth > 0 {
+		return fmt.Errorf("extmem: truncated subtree")
+	}
+	tr.next() // re-prime the lookahead
+	return nil
 }
 
 // peek returns the current token; ok is false at end of stream.

@@ -7,7 +7,6 @@
 package keyindex
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -147,12 +146,12 @@ func (ix *Index) find(list []entry, step *core.SelectorStep, path string, search
 			continue
 		}
 		if found != nil {
-			return nil, fmt.Errorf("keyindex: selector ambiguous at %s: %w", path, core.ErrAmbiguousSelector)
+			return nil, core.AmbiguousSelectorError(path, found.node.Label(), list[i].node.Label())
 		}
 		found = &list[i]
 	}
 	if found == nil {
-		return nil, fmt.Errorf("keyindex: no element matches %s: %w", path, core.ErrNoSuchElement)
+		return nil, core.NoSuchElementError(path)
 	}
 	return found, nil
 }
@@ -176,23 +175,13 @@ func exactKey(step *core.SelectorStep) (string, bool) {
 	return strings.Join(vals, "\x00"), true
 }
 
+// matchesNode defers to the shared selector matcher in core, so the
+// indexed and scan paths can never disagree on predicate semantics.
 func matchesNode(n *anode.Node, step *core.SelectorStep) bool {
 	if n.Key == nil {
 		return len(step.Preds) == 0
 	}
-	for _, p := range step.Preds {
-		ok := false
-		for i := 0; i < n.Key.Len(); i++ {
-			if n.Key.Paths[i] == p.Path {
-				ok = n.Key.Disp[i] == p.Value
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	return true
+	return step.MatchesKey(n.Key.Paths, n.Key.Disp)
 }
 
 func less(tagA, keyA, tagB, keyB string) bool {

@@ -125,6 +125,108 @@ func WriteCanonicalTo(w CanonWriter, n *Node) {
 	}
 }
 
+// DisplayFromCanonical derives the human-readable display form of a value
+// from its canonical form: attribute values and text render as their data,
+// a text-only element renders as its concatenated text, and anything
+// structured falls back to the canonical form itself. It is the single
+// display derivation shared by key annotation (which holds the node) and
+// the external engine's streaming query path (which holds only the
+// canonical string), so history selectors match identically on both.
+func DisplayFromCanonical(canon string) string {
+	kind, inner, ok := splitCanonical(canon)
+	if !ok {
+		return canon
+	}
+	switch kind {
+	case 't':
+		return unescapeCanonical(inner)
+	case 'a':
+		if eq := unescapedIndex(inner, '='); eq >= 0 {
+			return unescapeCanonical(inner[eq+1:])
+		}
+		return canon
+	case 'e':
+		// e(NAME item...) — the name runs to the first unescaped '('
+		// minus its one-byte kind marker.
+		open := unescapedIndex(inner, '(')
+		if open <= 0 {
+			return canon // element with no children: structured fallback
+		}
+		items := inner[open-1:]
+		var b strings.Builder
+		for len(items) > 0 {
+			kind, body, rest, ok := takeCanonicalItem(items)
+			if !ok || kind != 't' {
+				return canon // attributes or element children: structured
+			}
+			b.WriteString(unescapeCanonical(body))
+			items = rest
+		}
+		return b.String()
+	}
+	return canon
+}
+
+// splitCanonical splits "k(inner)" into its kind byte and inner bytes.
+func splitCanonical(s string) (kind byte, inner string, ok bool) {
+	if len(s) < 3 || s[1] != '(' || s[len(s)-1] != ')' {
+		return 0, "", false
+	}
+	return s[0], s[2 : len(s)-1], true
+}
+
+// unescapedIndex returns the index of the first unescaped occurrence of c.
+func unescapedIndex(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case c:
+			return i
+		}
+	}
+	return -1
+}
+
+// takeCanonicalItem splits the first "k(...)" item off a canonical item
+// list, balancing unescaped parentheses.
+func takeCanonicalItem(s string) (kind byte, body, rest string, ok bool) {
+	if len(s) < 3 || s[1] != '(' {
+		return 0, "", "", false
+	}
+	depth := 0
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return s[0], s[2:i], s[i+1:], true
+			}
+		}
+	}
+	return 0, "", "", false
+}
+
+// unescapeCanonical reverses EscapeCanonical.
+func unescapeCanonical(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
 // EscapeCanonical writes s with the canonical structural bytes escaped, so
 // strings cannot forge structure. It is shared by every producer of
 // canonical bytes (xmltree, anode, extmem) so their forms stay identical.

@@ -28,6 +28,18 @@ func (n *Node) Write(w io.Writer, opts WriteOptions) error {
 	return bw.Flush()
 }
 
+// WriteDepth serializes the subtree rooted at n into an existing buffered
+// writer as if it sat at the given indentation depth of a larger
+// serialization. Streaming serializers (the external engine's query path)
+// use it to emit bounded subtrees byte-identically to a whole-tree Write,
+// without building the enclosing document.
+func (n *Node) WriteDepth(w *bufio.Writer, opts WriteOptions, depth int) {
+	if opts.IndentString == "" {
+		opts.IndentString = "  "
+	}
+	writeNode(w, n, opts, depth)
+}
+
 // XML returns the compact single-line serialization.
 func (n *Node) XML() string {
 	var b strings.Builder
@@ -49,7 +61,7 @@ func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int) {
 		if opts.Indent {
 			writeIndent(w, opts, depth)
 		}
-		escapeText(w, n.Data)
+		EscapeText(w, n.Data)
 		if opts.Indent {
 			w.WriteByte('\n')
 		}
@@ -60,7 +72,7 @@ func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int) {
 		w.WriteString("@")
 		w.WriteString(n.Name)
 		w.WriteString("=\"")
-		escapeAttr(w, n.Data)
+		EscapeAttr(w, n.Data)
 		w.WriteString("\"")
 		return
 	}
@@ -73,7 +85,7 @@ func writeNode(w *bufio.Writer, n *Node, opts WriteOptions, depth int) {
 		w.WriteByte(' ')
 		w.WriteString(a.Name)
 		w.WriteString(`="`)
-		escapeAttr(w, a.Data)
+		EscapeAttr(w, a.Data)
 		w.WriteByte('"')
 	}
 	if len(n.Children) == 0 {
@@ -130,7 +142,9 @@ func writeIndent(w *bufio.Writer, opts WriteOptions, depth int) {
 	}
 }
 
-func escapeText(w *bufio.Writer, s string) {
+// EscapeText writes s with XML character-data escaping. It is the single
+// text-escaping implementation shared by both engines' serializers.
+func EscapeText(w *bufio.Writer, s string) {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '&':
@@ -145,7 +159,9 @@ func escapeText(w *bufio.Writer, s string) {
 	}
 }
 
-func escapeAttr(w *bufio.Writer, s string) {
+// EscapeAttr writes s with XML attribute-value escaping (quotes, newlines
+// and tabs escaped so values round-trip); shared by both engines.
+func EscapeAttr(w *bufio.Writer, s string) {
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
 		case '&':

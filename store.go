@@ -12,12 +12,13 @@ import (
 // (§6, ExtStore). Every consumer — CLI, examples, benchmarks — can work
 // against either engine unchanged.
 //
-// A Store keeps its query structures fresh itself: Add invalidates them
-// and the next query rebuilds them (the §7 indexes on the in-memory
-// engine, the materialized view on the external engine), so a query
-// issued right after an Add sees the new version without any manual
-// rebuild step. All query methods are safe for concurrent use with each
-// other and with a concurrent Add.
+// A Store keeps its query structures fresh itself: the in-memory engine
+// invalidates its §7 indexes on Add and rebuilds them on the next query;
+// the external engine scans its token file directly, so every query sees
+// the archive as of the moment it started. A query issued right after an
+// Add therefore sees the new version without any manual rebuild step.
+// All query methods are safe for concurrent use with each other and with
+// a concurrent Add.
 type Store interface {
 	// Add archives doc as the next version. A nil doc archives an empty
 	// version. On error the store is unchanged. Add neither mutates nor
@@ -36,9 +37,11 @@ type Store interface {
 	// ErrNoSuchVersion if n is outside 1..Versions(). Keyed siblings come
 	// back in key order, not document order (§2).
 	Version(n int) (*Document, error)
-	// WriteVersion writes the indented XML of version n to w. The
-	// version is reconstructed in memory first and then serialized
-	// directly to w. An empty version writes nothing.
+	// WriteVersion writes the indented XML of version n to w, byte-
+	// identical across engines. The in-memory engine reconstructs the
+	// version and serializes it; the external engine streams it straight
+	// from the archive token file without building it in memory. An empty
+	// version writes nothing.
 	WriteVersion(n int, w io.Writer) error
 	// History returns the set of versions in which the element denoted by
 	// selector exists (§7.2), e.g.
@@ -72,7 +75,8 @@ type config struct {
 	compaction  bool
 	indexes     bool
 	validation  bool
-	budget      int // external-sort memory budget, in tokens
+	budget      int  // external-sort memory budget, in tokens
+	matview     bool // external engine answers queries from a materialized view
 }
 
 func defaultConfig() config {
@@ -125,6 +129,17 @@ func WithValidation(on bool) Option {
 // runs. The default is 1<<20.
 func WithMemoryBudget(tokens int) Option {
 	return func(c *config) { c.budget = tokens }
+}
+
+// WithMaterializedView makes the external engine answer queries from an
+// in-memory materialized view of the whole archive, rebuilt after every
+// Add, instead of the default streaming scans of the token file. The view
+// costs O(archive) memory and an O(archive) rebuild on the first query
+// after each Add, but then amortizes across a heavy read-mostly query
+// stream on an archive that fits in RAM. External engine only; off by
+// default.
+func WithMaterializedView(on bool) Option {
+	return func(c *config) { c.matview = on }
 }
 
 // writeVersion implements Store.WriteVersion on top of Version; both

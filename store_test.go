@@ -54,7 +54,10 @@ func bothEngines(t *testing.T, fn func(t *testing.T, s Store)) {
 }
 
 // TestEngineParity archives the same versions into both engines and
-// checks that every query answers identically.
+// checks that every query answers identically — byte-identically where
+// the answer is serialized: both engines order keyed siblings by the same
+// canonical key order, so the external engine's streaming scans must
+// reproduce the in-memory engine's output exactly.
 func TestEngineParity(t *testing.T) {
 	spec := mustSpec(t)
 	mem := NewStore(spec)
@@ -80,12 +83,21 @@ func TestEngineParity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		same, err := mem.SameVersion(mv, ev)
-		if err != nil {
+		if mv.IndentedXML() != ev.IndentedXML() {
+			t.Errorf("version %d trees differ across engines:\n%s\nvs\n%s", n, mv.IndentedXML(), ev.IndentedXML())
+		}
+		var mw, ew strings.Builder
+		if err := mem.WriteVersion(n, &mw); err != nil {
 			t.Fatal(err)
 		}
-		if !same {
-			t.Errorf("version %d differs across engines", n)
+		if err := ext.WriteVersion(n, &ew); err != nil {
+			t.Fatal(err)
+		}
+		if mw.String() != ew.String() {
+			t.Errorf("WriteVersion(%d) bytes differ across engines", n)
+		}
+		if ew.String() != ev.IndentedXML() {
+			t.Errorf("ext WriteVersion(%d) disagrees with ext Version", n)
 		}
 	}
 	for _, sel := range []string{"/db/dept[name=d1]", "/db/dept[name=d3]", "/db/dept[name=d2]/emp[fn=F2,ln=L2]"} {
@@ -101,6 +113,18 @@ func TestEngineParity(t *testing.T) {
 			t.Errorf("history %s: mem %q, ext %q", sel, mh, eh)
 		}
 	}
+	// Content history on frontier elements (sal is a frontier node).
+	for _, sel := range []string{"/db/dept[name=d1]/emp[fn=F1,ln=L1]/sal", "/db/dept[name=d2]/emp[fn=F2,ln=L2]"} {
+		mc, merr := mem.ContentHistory(sel)
+		ec, eerr := ext.ContentHistory(sel)
+		if (merr == nil) != (eerr == nil) {
+			t.Fatalf("ContentHistory(%s): mem err %v, ext err %v", sel, merr, eerr)
+		}
+		if fmt.Sprint(mc) != fmt.Sprint(ec) {
+			t.Errorf("ContentHistory(%s): mem %v, ext %v", sel, mc, ec)
+		}
+	}
+	// Full stats equality, including the serialized archive size.
 	ms, err := mem.Stats()
 	if err != nil {
 		t.Fatal(err)
@@ -109,8 +133,107 @@ func TestEngineParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ms.Versions != es.Versions || ms.KeyedNodes != es.KeyedNodes {
-		t.Errorf("stats differ: mem %+v, ext %+v", ms, es)
+	if ms != es {
+		t.Errorf("stats differ:\nmem %+v\next %+v", ms, es)
+	}
+	// Snapshots are byte-identical: same archive, same serialization.
+	var msnap, esnap strings.Builder
+	if err := mem.Snapshot(&msnap); err != nil {
+		t.Fatal(err)
+	}
+	if err := ext.Snapshot(&esnap); err != nil {
+		t.Fatal(err)
+	}
+	if msnap.String() != esnap.String() {
+		t.Errorf("snapshots differ across engines (%d vs %d bytes)", msnap.Len(), esnap.Len())
+	}
+}
+
+// TestStreamingQueryAfterAdd pins the ingest/query interleaving contract
+// on the streaming path: a query issued immediately after every Add sees
+// the new version, byte-identical to the in-memory engine, with no view
+// rebuild in between.
+func TestStreamingQueryAfterAdd(t *testing.T) {
+	mem := NewStore(mustSpec(t))
+	defer mem.Close()
+	ext, err := OpenStore(t.TempDir(), mustSpec(t), WithMemoryBudget(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ext.Close()
+	for n := 1; n <= 5; n++ {
+		addString(t, mem, deptVersion(n))
+		addString(t, ext, deptVersion(n))
+		var mw, ew strings.Builder
+		if err := mem.WriteVersion(n, &mw); err != nil {
+			t.Fatal(err)
+		}
+		if err := ext.WriteVersion(n, &ew); err != nil {
+			t.Fatalf("streaming WriteVersion right after Add %d: %v", n, err)
+		}
+		if mw.String() != ew.String() {
+			t.Fatalf("version %d bytes differ right after Add", n)
+		}
+		sel := fmt.Sprintf("/db/dept[name=d%d]", n)
+		h, err := ext.History(sel)
+		if err != nil {
+			t.Fatalf("History(%s) right after Add: %v", sel, err)
+		}
+		if h.String() != fmt.Sprint(n) {
+			t.Fatalf("History(%s) = %q right after Add, want %d", sel, h, n)
+		}
+	}
+}
+
+// TestWithMaterializedView checks the opt-in view path answers exactly
+// like the default streaming path.
+func TestWithMaterializedView(t *testing.T) {
+	stream, err := OpenStore(t.TempDir(), mustSpec(t), WithMemoryBudget(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	mat, err := OpenStore(t.TempDir(), mustSpec(t), WithMemoryBudget(64), WithMaterializedView(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mat.Close()
+	for n := 1; n <= 3; n++ {
+		addString(t, stream, deptVersion(n))
+		addString(t, mat, deptVersion(n))
+		// Query right after Add on both paths.
+		var sw, mw strings.Builder
+		if err := stream.WriteVersion(n, &sw); err != nil {
+			t.Fatal(err)
+		}
+		if err := mat.WriteVersion(n, &mw); err != nil {
+			t.Fatal(err)
+		}
+		if sw.String() != mw.String() {
+			t.Errorf("version %d differs between streaming and materialized view", n)
+		}
+	}
+	ss, err := stream.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := mat.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss != vs {
+		t.Errorf("stats differ:\nstreaming %+v\nmatview   %+v", ss, vs)
+	}
+	sh, err := stream.History("/db/dept[name=d2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vh, err := mat.History("/db/dept[name=d2]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sh.Equal(vh) {
+		t.Errorf("history differs: streaming %q, matview %q", sh, vh)
 	}
 }
 
@@ -178,8 +301,16 @@ func TestConcurrentReaders(t *testing.T) {
 						t.Errorf("reader %d: version %d wrong shape", r, n)
 						return
 					}
+					if err := s.WriteVersion(n, io.Discard); err != nil {
+						t.Errorf("reader %d: WriteVersion(%d): %v", r, n, err)
+						return
+					}
 					if _, err := s.History("/db/dept[name=d1]"); err != nil {
 						t.Errorf("reader %d: History: %v", r, err)
+						return
+					}
+					if _, err := s.ContentHistory("/db/dept[name=d1]/emp[fn=F1,ln=L1]/sal"); err != nil {
+						t.Errorf("reader %d: ContentHistory: %v", r, err)
 						return
 					}
 					if _, err := s.Stats(); err != nil {
