@@ -10,6 +10,8 @@ package xarch
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -442,6 +444,128 @@ func BenchmarkExtStoreQueryVersionScaling(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkExtStoreSelectiveQuery pins the key-directory claim: a
+// selective keyed History/ContentHistory reads a bounded fraction of the
+// archive. The seek variant resolves History from the directory alone
+// (zero archive bytes) and ContentHistory by reading one record; the
+// scan variant reads the whole archive stream. bytes_read/op reports the
+// archive bytes each query touched — flat across archive sizes for seek,
+// linear for scan.
+func BenchmarkExtStoreSelectiveQuery(b *testing.B) {
+	for _, records := range []int{100, 400} {
+		for _, v := range []struct {
+			name string
+			seek bool
+		}{{"seek", true}, {"scan", false}} {
+			b.Run(fmt.Sprintf("records=%d/%s", records, v.name), func(b *testing.B) {
+				dir := b.TempDir()
+				g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 83, Records: records,
+					InsertFrac: 0.02, ModifyFrac: 0.02})
+				s, err := OpenStore(dir, datagen.OMIMSpec(),
+					WithValidation(false), WithDirectorySeek(v.seek))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				doc := g.Next()
+				num := doc.Child("Record").ChildText("Num")
+				for i := 0; i < 3; i++ {
+					if err := s.Add(doc); err != nil {
+						b.Fatal(err)
+					}
+					doc = g.Next()
+				}
+				sel := "/ROOT/Record[Num=" + num + "]"
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := s.BytesRead()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.History(sel); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := s.ContentHistory(sel); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(s.BytesRead()-start)/float64(b.N), "bytes_read/op")
+			})
+		}
+	}
+}
+
+// copyFlatDir copies the regular files of one flat directory (an
+// external archive directory) into another.
+func copyFlatDir(b *testing.B, src, dst string) {
+	b.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentMerge measures a small Add into a large archive: the
+// segment-local merge links the segments the version's key range leaves
+// byte-identical and rewrites only the rest. segments_reused/op vs
+// segments_rewritten/op exposes the locality.
+func BenchmarkSegmentMerge(b *testing.B) {
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 84, Records: 300,
+		InsertFrac: 0.005, ModifyFrac: 0.005})
+	opts := []Option{WithValidation(false), WithSegmentTargetSize(16 * 1024)}
+	base := b.TempDir()
+	s, err := OpenStore(base, datagen.OMIMSpec(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Add(g.Next()); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	next := g.Next().IndentedXML()
+	b.SetBytes(int64(len(next)))
+	var reused, rewritten float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		copyFlatDir(b, base, dir)
+		s, err := OpenStore(dir, datagen.OMIMSpec(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.AddReader(strings.NewReader(next)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ss, err := s.StorageStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reused += float64(ss.LastAddReused)
+		rewritten += float64(ss.LastAddRewritten)
+		s.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(reused/float64(b.N), "segments_reused/op")
+	b.ReportMetric(rewritten/float64(b.N), "segments_rewritten/op")
 }
 
 // BenchmarkFingerprintMerge compares merge cost with FNV fingerprints

@@ -8,6 +8,7 @@
 //	xarch history  [-engine mem|ext] -spec keys.txt -archive PATH -selector /db/dept[name=finance] [-changes]
 //	xarch stats    [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch snapshot [-engine mem|ext] -spec keys.txt -archive PATH
+//	xarch inspect  -spec keys.txt -archive DIR
 //	xarch validate -spec keys.txt version.xml
 //
 // Every subcommand works against either engine of the xarch.Store
@@ -48,6 +49,8 @@ func main() {
 		err = cmdStats(args)
 	case "snapshot":
 		err = cmdSnapshot(args)
+	case "inspect":
+		err = cmdInspect(args)
 	default:
 		usage()
 	}
@@ -58,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect} [flags]")
 	os.Exit(2)
 }
 
@@ -313,6 +316,54 @@ func cmdStats(args []string) error {
 			return err
 		}
 		fmt.Printf("xmill-compressed      %d\n", n)
+	}
+	if es, ok := store.(*xarch.ExtStore); ok {
+		ss, err := es.StorageStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("segment files         %d\n", ss.Segments)
+		fmt.Printf("segment bytes         %d\n", ss.SegmentBytes)
+		fmt.Printf("directory entries     %d\n", ss.DirectoryEntries)
+		fmt.Printf("directory bytes       %d\n", ss.DirectoryBytes)
+	}
+	return nil
+}
+
+// cmdInspect dumps the external engine's segment map: every segment
+// file with its key range, entry count and checksum state.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	sf := addStoreFlags(fs)
+	fs.Parse(args)
+	*sf.engine = "ext" // the segment map only exists on the external engine
+	store, _, err := openStore(sf, false)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	es := store.(*xarch.ExtStore)
+	ss, err := es.StorageStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("versions %d, roots %d, segments %d (%d bytes), directory entries %d (%d bytes)\n",
+		store.Versions(), ss.Roots, ss.Segments, ss.SegmentBytes, ss.DirectoryEntries, ss.DirectoryBytes)
+	segs, err := es.Segments()
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		crc := "ok"
+		if !s.CRCOK {
+			crc = "CORRUPT"
+		}
+		if s.Raw {
+			fmt.Printf("%s  root=%s  raw  %d bytes  crc=%s\n", s.File, s.Root, s.Bytes, crc)
+			continue
+		}
+		fmt.Printf("%s  root=%s  %d entries  %d bytes  [%s .. %s]  crc=%s\n",
+			s.File, s.Root, s.Entries, s.Bytes, s.FirstLabel, s.LastLabel, crc)
 	}
 	return nil
 }

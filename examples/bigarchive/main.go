@@ -63,6 +63,15 @@ func main() {
 			rel, len(text), ar.SortRuns())
 	}
 
+	// The archive body is key-range-partitioned segment files plus a
+	// persistent key directory: an Add rewrites only the segments whose
+	// key ranges the release touches, and selective queries seek through
+	// the directory instead of scanning the archive.
+	if ss, err := ar.StorageStats(); err == nil {
+		fmt.Printf("storage: %d segments (%d bytes), %d directory entries; last add reused %d / rewrote %d segments\n",
+			ss.Segments, ss.SegmentBytes, ss.DirectoryEntries, ss.LastAddReused, ss.LastAddRewritten)
+	}
+
 	var b strings.Builder
 	if err := ar.Snapshot(&b); err != nil {
 		log.Fatal(err)

@@ -11,21 +11,26 @@ import (
 )
 
 // ExtStore is the external-memory engine of the Store interface: the
-// archiver of §6, maintaining the archive on disk as token files and
-// adding versions with bounded memory (decompose, external sort,
-// streaming merge).
+// archiver of §6, maintaining the archive on disk as key-range-
+// partitioned segment files plus a persistent key directory, and adding
+// versions with bounded memory (decompose, sharded external sort, and a
+// segment-local streaming merge that rewrites only the segments whose
+// key ranges the version touches).
 //
 // Queries stream too: Version, WriteVersion, History, ContentHistory and
-// Stats are answered by a single buffered scan of the archive token file,
-// evaluating timestamps against per-node intervals on the fly, so no
-// in-memory archive is ever materialized and peak query memory is
+// Stats never materialize an in-memory archive, so peak query memory is
 // O(document depth + dictionary + one frontier record) — independent of
-// archive and version count. Each query takes a consistent snapshot of
-// the token file under a read lock and then scans without holding any
-// lock, so any number of readers run alongside an Add: the Add replaces
-// the token file by rename while open snapshots keep reading their
-// version of the archive. WithMaterializedView(true) restores the
-// previous behavior of querying a cached in-memory view.
+// archive and version count. Selective keyed selectors resolve through
+// the key directory and seek straight to the matching subtrees (History
+// on a fully keyed selector reads no archive bytes at all); full scans
+// read the segments in key order, a stream byte-identical to the former
+// monolithic token file. Each query takes a consistent snapshot (the
+// directory generation plus the dictionary's point-in-time name table)
+// under a read lock and then reads without holding any lock, so any
+// number of readers run alongside an Add: the Add commits a fresh
+// directory by rename while open snapshots pin their generation's
+// segment files. WithMaterializedView(true) restores the previous
+// behavior of querying a cached in-memory view.
 type ExtStore struct {
 	mu     sync.RWMutex
 	cfg    config
@@ -42,7 +47,12 @@ func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ar, err := extmem.Open(dir, spec, cfg.budget)
+	ar, err := extmem.Open(dir, spec, extmem.Config{
+		Budget:          cfg.budget,
+		SegmentTarget:   cfg.segTarget,
+		Shards:          cfg.shards,
+		NoDirectorySeek: cfg.noSeek,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -294,15 +304,18 @@ func (s *ExtStore) CompressedSize() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer q.Close()
 	pr, pw := io.Pipe()
+	done := make(chan struct{})
 	go func() {
+		defer close(done)
 		pw.CloseWithError(q.WriteArchiveXML(pw, false))
 	}()
-	doc, err := xmltree.Parse(pr)
-	pr.Close()
-	if err != nil {
-		return 0, err
+	doc, perr := xmltree.Parse(pr)
+	pr.Close() // unblock the writer if the parse stopped early
+	<-done     // the view must not be closed under the writer
+	q.Close()
+	if perr != nil {
+		return 0, perr
 	}
 	return xmill.Size(doc), nil
 }
@@ -322,9 +335,42 @@ func (s *ExtStore) SameVersion(doc, other *Document) (bool, error) {
 }
 
 // SortRuns reports how many sorted runs the external sort of the most
-// recent Add produced (§6): 1 means the version fit the memory budget.
+// recent Add produced (§6): one run per ingest shard means the version
+// fit the memory budget.
 func (s *ExtStore) SortRuns() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ar.LastSort.Runs
+}
+
+// StorageStats reports the shape of the segmented on-disk layout: root
+// and segment counts, key-directory size, and how much segment reuse the
+// most recent Add achieved.
+func (s *ExtStore) StorageStats() (extmem.StorageStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return extmem.StorageStats{}, ErrClosed
+	}
+	return s.ar.StorageStats(), nil
+}
+
+// Segments lists every segment file with its key range, verifying each
+// payload checksum (reads the whole archive; meant for inspection
+// tooling such as `xarch inspect`).
+func (s *ExtStore) Segments() ([]extmem.SegmentInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.ar.Segments(), nil
+}
+
+// BytesRead returns the cumulative archive bytes read by queries and
+// merges since the store was opened — the telemetry behind the
+// directory-seek benchmarks (a selective query moves it by O(matched
+// bytes), a full scan by O(archive)).
+func (s *ExtStore) BytesRead() int64 {
+	return s.ar.BytesRead()
 }

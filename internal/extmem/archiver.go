@@ -1,113 +1,429 @@
 package extmem
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"xarch/internal/intervals"
 	"xarch/internal/keys"
 )
 
 // Archiver is the external-memory archiver of §6: it maintains an archive
-// in a directory as token files, adding versions with bounded memory.
-// Frontier strategy is the plain archiver (whole-content alternatives);
-// the in-memory archiver additionally offers the §4.2 weave.
+// in a directory, adding versions with bounded memory. The archive body
+// is stored as key-range-partitioned segment files indexed by a
+// persistent key directory (keydir.idx); see keydir.go and segment.go for
+// the on-disk format. Frontier strategy is the plain archiver
+// (whole-content alternatives); the in-memory archiver additionally
+// offers the §4.2 weave.
 type Archiver struct {
-	dir    string
-	spec   *keys.Spec
-	budget int // run-former memory budget, in tokens
+	dir  string
+	spec *keys.Spec
+	cfg  Config
 
-	dict     *dictionary
-	versions int
-	rootTime *intervals.Set
+	dict    *dictionary
+	curDir  *keyDirectory
+	nextSeg int
+
+	// genMu guards the generation table: every committed directory is a
+	// generation; open query views pin the generation they captured so
+	// its segment files are not deleted underneath them.
+	genMu sync.Mutex
+	gen   int
+	gens  map[int]*genState
+
+	bytesRead atomic.Int64
 
 	// LastSort reports the external sort of the most recent AddVersion.
 	LastSort SortStats
+	// LastMerge reports the segment work of the most recent AddVersion.
+	LastMerge MergeStats
+}
+
+// genState tracks one committed directory generation: how many open
+// views pin it and which segment files it references.
+type genState struct {
+	refs  int
+	files map[string]bool
+}
+
+// Config collects the archiver's tuning knobs.
+type Config struct {
+	// Budget caps the run former's in-memory partial trees, in tokens;
+	// small budgets force many sorted runs (useful to exercise the
+	// external path). Default 1<<20.
+	Budget int
+	// SegmentTarget is the segment file payload size the merge aims for,
+	// in bytes. Smaller targets mean more segments: finer-grained merge
+	// reuse and more selective seeks, at more files. Default 256 KiB.
+	SegmentTarget int
+	// Shards is the number of run-former workers ingest fans out to,
+	// splitting top-level subtrees across cores. Default
+	// min(4, GOMAXPROCS); 1 disables sharding.
+	Shards int
+	// NoDirectorySeek makes every query scan the full archive stream
+	// instead of seeking through the key directory (diagnostic knob; the
+	// two paths answer byte-identically).
+	NoDirectorySeek bool
+}
+
+const defaultSegmentTarget = 256 * 1024
+
+func (c *Config) setDefaults() {
+	if c.Budget <= 0 {
+		c.Budget = 1 << 20
+	}
+	if c.SegmentTarget <= 0 {
+		c.SegmentTarget = defaultSegmentTarget
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 4 {
+			c.Shards = 4
+		}
+	}
 }
 
 const (
 	metaFile    = "meta.txt"
 	dictFile    = "dict.txt"
-	archiveFile = "archive.tok"
+	archiveFile = "archive.tok" // legacy monolithic layout (migrated on open)
 )
 
-// Open creates or reopens an archiver rooted at dir. budget caps the run
-// former's in-memory partial tree, in tokens; small budgets force many
-// sorted runs (useful to exercise the external path).
-func Open(dir string, spec *keys.Spec, budget int) (*Archiver, error) {
+// Open creates or reopens an archiver rooted at dir. Single-file archives
+// from the monolithic layout are migrated to the segmented layout
+// transparently; a corrupt or truncated key directory is detected by
+// checksum and rebuilt by scanning the segment files.
+func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
+	cfg.setDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("extmem: %w", err)
 	}
 	ar := &Archiver{
-		dir: dir, spec: spec, budget: budget,
-		dict: newDictionary(), rootTime: intervals.New(),
+		dir: dir, spec: spec, cfg: cfg,
+		dict: newDictionary(), gens: map[int]*genState{},
 	}
-	if f, err := os.Open(filepath.Join(dir, metaFile)); err == nil {
-		defer f.Close()
-		var versions int
-		var timeStr string
-		if _, err := fmt.Fscanf(f, "versions %d\nroottime %q\n", &versions, &timeStr); err != nil {
-			return nil, fmt.Errorf("extmem: corrupt meta: %w", err)
+	ar.nextSeg = ar.maxSegID() + 1
+
+	metaData, metaErr := os.ReadFile(filepath.Join(dir, metaFile))
+	kdData, kdErr := os.ReadFile(filepath.Join(dir, keydirFile))
+	if os.IsNotExist(metaErr) && os.IsNotExist(kdErr) {
+		// Fresh archive.
+		ar.curDir = &keyDirectory{rootTime: intervals.New()}
+		if err := ar.commitState(ar.curDir); err != nil {
+			return nil, err
 		}
-		ts, err := intervals.Parse(timeStr)
+		ar.finishOpen()
+		return ar, nil
+	}
+	if metaErr != nil && kdErr != nil {
+		return nil, fmt.Errorf("extmem: corrupt archive directory: %v", metaErr)
+	}
+
+	// The dictionary precedes everything: segment payloads and the
+	// legacy token file reference names by id.
+	df, err := os.Open(filepath.Join(dir, dictFile))
+	if err != nil {
+		return nil, fmt.Errorf("extmem: missing dictionary: %w", err)
+	}
+	ar.dict, err = loadDictionary(df)
+	df.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// The key directory is authoritative: whenever it decodes, the
+	// archive is in the segmented layout regardless of what meta.txt
+	// looks like (a damaged meta backup must never reroute a healthy
+	// archive into migration or rebuild).
+	var d *keyDirectory
+	if kdErr == nil {
+		if dd, err := decodeKeyDirectory(kdData); err == nil {
+			d = dd
+		}
+	}
+	if d == nil && metaErr == nil && !strings.HasPrefix(string(metaData), "xarch-ext ") {
+		if _, err := os.Stat(filepath.Join(dir, archiveFile)); err == nil {
+			// Legacy v1 meta plus a monolithic token file: migrate.
+			if err := ar.migrateV1(metaData); err != nil {
+				return nil, err
+			}
+			ar.finishOpen()
+			return ar, nil
+		}
+	}
+	if d == nil {
+		// Corrupt, truncated or missing key directory: fall back to
+		// scanning the segment files meta.txt lists, using its root
+		// records for what the payloads cannot supply.
+		meta, err := parseMetaV2(bytes.NewReader(metaData))
 		if err != nil {
-			return nil, fmt.Errorf("extmem: corrupt meta timestamp: %w", err)
+			return nil, fmt.Errorf("extmem: key directory unreadable and %w", err)
 		}
-		ar.versions = versions
-		ar.rootTime = ts
-		df, err := os.Open(filepath.Join(dir, dictFile))
-		if err != nil {
-			return nil, fmt.Errorf("extmem: missing dictionary: %w", err)
-		}
-		defer df.Close()
-		ar.dict, err = loadDictionary(df)
+		d, err = ar.rebuildDirectory(meta)
 		if err != nil {
 			return nil, err
 		}
-	} else {
-		// Fresh archive: empty token file.
-		if err := os.WriteFile(filepath.Join(dir, archiveFile), nil, 0o644); err != nil {
-			return nil, fmt.Errorf("extmem: %w", err)
+		if err := ar.commitState(d); err != nil {
+			return nil, err
 		}
-		if err := ar.saveMeta(); err != nil {
+	} else if metaErr != nil || !metaMatches(metaData, d) {
+		// Self-heal a stale or missing meta backup from the directory.
+		if err := writeFileAtomic(filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
 			return nil, err
 		}
 	}
+	d.resolveTags(ar.dict)
+	ar.curDir = d
+	ar.finishOpen()
 	return ar, nil
 }
 
+// metaMatches reports whether the meta backup agrees with the directory.
+func metaMatches(metaData []byte, d *keyDirectory) bool {
+	meta, err := parseMetaV2(bytes.NewReader(metaData))
+	if err != nil {
+		return false
+	}
+	return meta.versions == d.versions && meta.rootTime.Equal(d.rootTime) && len(meta.roots) == len(d.roots)
+}
+
+// migrateV1 upgrades a monolithic archive.tok layout in place.
+func (ar *Archiver) migrateV1(metaData []byte) error {
+	var versions int
+	var timeStr string
+	if _, err := fmt.Fscanf(bytes.NewReader(metaData), "versions %d\nroottime %q\n", &versions, &timeStr); err != nil {
+		return fmt.Errorf("extmem: corrupt meta: %w", err)
+	}
+	ts, err := intervals.Parse(timeStr)
+	if err != nil {
+		return fmt.Errorf("extmem: corrupt meta timestamp: %w", err)
+	}
+	// Any seg-*.tok files predating a v1 layout are leftovers of an
+	// interrupted migration; the token file is still authoritative.
+	for _, p := range ar.globSegments() {
+		os.Remove(p)
+	}
+	d, newFiles, err := ar.migrateMonolithic(filepath.Join(ar.dir, archiveFile), versions, ts)
+	if err != nil {
+		for _, f := range newFiles {
+			os.Remove(filepath.Join(ar.dir, f))
+		}
+		return err
+	}
+	if err := ar.commitState(d); err != nil {
+		for _, f := range newFiles {
+			os.Remove(filepath.Join(ar.dir, f))
+		}
+		return err
+	}
+	os.Remove(filepath.Join(ar.dir, archiveFile))
+	d.resolveTags(ar.dict)
+	ar.curDir = d
+	return nil
+}
+
+// finishOpen installs generation 0 and garbage-collects files no
+// committed state references (crash leftovers: orphan segments, temp
+// files, a migrated token file).
+func (ar *Archiver) finishOpen() {
+	ar.gens[0] = &genState{files: ar.curDir.files()}
+	live := ar.curDir.files()
+	for _, p := range ar.globSegments() {
+		if !live[filepath.Base(p)] {
+			os.Remove(p)
+		}
+	}
+	// A leftover monolithic token file (crash between a migration's
+	// commit and its cleanup) is superseded by the committed segments.
+	os.Remove(filepath.Join(ar.dir, archiveFile))
+	if tmp, err := filepath.Glob(filepath.Join(ar.dir, "tmp-*")); err == nil {
+		for _, p := range tmp {
+			os.Remove(p)
+		}
+	}
+	if tmp, err := filepath.Glob(filepath.Join(ar.dir, "*.tmp")); err == nil {
+		for _, p := range tmp {
+			os.Remove(p)
+		}
+	}
+}
+
+func (ar *Archiver) globSegments() []string {
+	names, _ := filepath.Glob(filepath.Join(ar.dir, "seg-*.tok"))
+	return names
+}
+
+// maxSegID returns the highest segment file id on disk.
+func (ar *Archiver) maxSegID() int {
+	max := -1
+	for _, p := range ar.globSegments() {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(p), "seg-%d.tok", &id); err == nil && id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+// commitState persists the archive state crash-safely: dictionary and
+// meta backup first, then the key directory — whose rename is the commit
+// point for the segment layout.
+func (ar *Archiver) commitState(d *keyDirectory) error {
+	var db bytes.Buffer
+	if err := ar.dict.save(&db); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(ar.dir, dictFile), db.Bytes()); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(ar.dir, keydirFile), d.encode())
+}
+
+// installDir makes d the current directory generation and deletes the
+// files of unpinned generations that no live generation references.
+func (ar *Archiver) installDir(d *keyDirectory) {
+	ar.genMu.Lock()
+	defer ar.genMu.Unlock()
+	oldGen := ar.gen
+	old := ar.gens[oldGen]
+	ar.gen++
+	ar.gens[ar.gen] = &genState{files: d.files()}
+	ar.curDir = d
+	if old != nil && old.refs <= 0 {
+		delete(ar.gens, oldGen)
+		ar.sweepFiles(old.files)
+	}
+}
+
+// acquireGen pins the current generation for a query view.
+func (ar *Archiver) acquireGen() int {
+	ar.genMu.Lock()
+	defer ar.genMu.Unlock()
+	ar.gens[ar.gen].refs++
+	return ar.gen
+}
+
+// releaseGen unpins a generation; a fully released, superseded
+// generation has its exclusive segment files deleted.
+func (ar *Archiver) releaseGen(gen int) {
+	ar.genMu.Lock()
+	defer ar.genMu.Unlock()
+	g := ar.gens[gen]
+	if g == nil {
+		return
+	}
+	g.refs--
+	if g.refs <= 0 && gen != ar.gen {
+		delete(ar.gens, gen)
+		ar.sweepFiles(g.files)
+	}
+}
+
+// sweepFiles deletes candidate segment files no live generation
+// references. Callers hold genMu.
+func (ar *Archiver) sweepFiles(cand map[string]bool) {
+	for f := range cand {
+		live := false
+		for _, g := range ar.gens {
+			if g.files[f] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			os.Remove(filepath.Join(ar.dir, f))
+		}
+	}
+}
+
 // Versions returns the number of archived versions.
-func (ar *Archiver) Versions() int { return ar.versions }
+func (ar *Archiver) Versions() int { return ar.curDir.versions }
 
 // Spec returns the archiver's key specification.
 func (ar *Archiver) Spec() *keys.Spec { return ar.spec }
 
+// BytesRead returns the cumulative segment/archive bytes read by queries
+// and merges since the archiver was opened — the telemetry behind the
+// directory-seek benchmarks.
+func (ar *Archiver) BytesRead() int64 { return ar.bytesRead.Load() }
+
 // Close flushes the archive metadata. The archiver keeps no open file
 // handles between operations, so Close is cheap; it exists so the store
 // layer can offer one lifecycle across engines.
-func (ar *Archiver) Close() error { return ar.saveMeta() }
+func (ar *Archiver) Close() error { return ar.commitState(ar.curDir) }
 
-// ArchiveTokenPath returns the path of the current archive token file.
-func (ar *Archiver) ArchiveTokenPath() string { return filepath.Join(ar.dir, archiveFile) }
+// StorageStats summarizes the segmented layout.
+type StorageStats struct {
+	Roots            int
+	Segments         int
+	SegmentBytes     int64 // payload bytes across segments
+	DirectoryEntries int   // child entries in the key directory
+	DirectoryBytes   int   // encoded keydir.idx size
+	LastAddReused    int   // segments the last Add linked unchanged
+	LastAddRewritten int   // segments the last Add merged into new files
+}
 
-func (ar *Archiver) saveMeta() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "versions %d\nroottime %q\n", ar.versions, ar.rootTime.String())
-	if err := os.WriteFile(filepath.Join(ar.dir, metaFile), []byte(b.String()), 0o644); err != nil {
-		return fmt.Errorf("extmem: %w", err)
+// StorageStats reports the current segment and key-directory shape.
+func (ar *Archiver) StorageStats() StorageStats {
+	d := ar.curDir
+	st := StorageStats{
+		Roots:            len(d.roots),
+		DirectoryEntries: d.entryCount(),
+		DirectoryBytes:   d.encodedLen,
+		LastAddReused:    ar.LastMerge.SegmentsReused,
+		LastAddRewritten: ar.LastMerge.SegmentsRewritten,
 	}
-	df, err := os.Create(filepath.Join(ar.dir, dictFile))
-	if err != nil {
-		return fmt.Errorf("extmem: %w", err)
+	for _, r := range d.roots {
+		for _, s := range r.segs {
+			st.Segments++
+			st.SegmentBytes += s.payload
+		}
 	}
-	if err := ar.dict.save(df); err != nil {
-		df.Close()
-		return err
+	return st
+}
+
+// SegmentInfo describes one segment file for inspection tooling.
+type SegmentInfo struct {
+	Root       string // label of the owning top-level subtree
+	File       string
+	Bytes      int64 // payload bytes
+	Entries    int
+	FirstLabel string
+	LastLabel  string
+	Raw        bool
+	CRCOK      bool
+}
+
+// Segments lists every segment with its key range, verifying each
+// payload checksum (an O(archive) read; meant for the inspect tooling).
+func (ar *Archiver) Segments() []SegmentInfo {
+	var out []SegmentInfo
+	for _, r := range ar.curDir.roots {
+		for _, s := range r.segs {
+			info := SegmentInfo{
+				Root: keyLabel(r.name, r.key), File: s.file,
+				Bytes: s.payload, Entries: len(s.entries), Raw: r.raw,
+			}
+			if len(s.entries) > 0 {
+				first, last := &s.entries[0], &s.entries[len(s.entries)-1]
+				info.FirstLabel = keyLabel(first.name, first.key)
+				info.LastLabel = keyLabel(last.name, last.key)
+			}
+			info.CRCOK = verifySegment(filepath.Join(ar.dir, s.file), s) == nil
+			out = append(out, info)
+		}
 	}
-	return df.Close()
+	return out
 }
 
 // AddVersionFile archives the XML document in path as the next version.
@@ -124,9 +440,11 @@ func (ar *Archiver) AddVersionFile(path string) error {
 func (ar *Archiver) AddEmptyVersion() error { return ar.AddVersion(nil) }
 
 // AddVersion archives the XML document read from r as the next version,
-// running the three §6 phases: decompose, external sort, streaming merge.
+// running the §6 phases: decompose, external sort, and a segment-local
+// streaming merge that rewrites only the segments whose key ranges the
+// version touches.
 func (ar *Archiver) AddVersion(r io.Reader) error {
-	i := ar.versions + 1
+	i := ar.curDir.versions + 1
 	tmp := func(name string) string { return filepath.Join(ar.dir, fmt.Sprintf("tmp-%s", name)) }
 	var cleanup []string
 	defer func() {
@@ -138,11 +456,11 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 	sortedPath := tmp("sorted.tok")
 	if r != nil {
 		// Phases 1+2, pipelined: decompose streams the version into the
-		// token file and the per-pattern key files while a worker follows
-		// those files and forms the bounded-memory sorted runs, so run
+		// token file and the per-pattern key files while workers follow
+		// those files and form the bounded-memory sorted runs, so run
 		// forming's in-memory tree building overlaps decompose's parse and
 		// I/O. Key files are pre-created for every pattern of the spec
-		// (normalizing the spec here, before the worker shares it).
+		// (normalizing the spec here, before the workers share it).
 		tokPath := tmp("version.tok")
 		cleanup = append(cleanup, tokPath)
 		tokF, err := os.Create(tokPath)
@@ -218,7 +536,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 				return newRawReader(&followReader{f: f, p: kf.prog}), nil
 			}
 			tr := newTokenReader(&followReader{f: tokIn, p: progTok})
-			runs, stats, err := formRuns(tr, ar.dict, ar.spec, ar.budget, ar.dir, "tmp", openKeyReader)
+			runs, stats, err := formRunsSharded(tr, ar.dict, ar.spec, ar.cfg.Budget, ar.dir, "tmp", openKeyReader, ar.cfg.Shards)
 			tr.release()
 			resCh <- runResult{runs: runs, stats: stats, err: err}
 		}()
@@ -231,8 +549,8 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 			return kf.w, nil
 		}
 		// Periodically flushing the writers publishes their bytes to the
-		// following run former, keeping the pipeline overlapped instead of
-		// draining everything at end of document.
+		// following run formers, keeping the pipeline overlapped instead
+		// of draining everything at end of document.
 		syncWriters := func() error {
 			if err := tw.flush(); err != nil {
 				return err
@@ -279,49 +597,21 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 		}
 	}
 
-	// Phase 4: streaming nested merge of archive and sorted version.
-	newRoot := ar.rootTime.Clone()
-	newRoot.Add(i)
-	aF, err := os.Open(ar.ArchiveTokenPath())
-	if err != nil {
-		return fmt.Errorf("extmem: %w", err)
-	}
-	dF, err := os.Open(sortedPath)
-	if err != nil {
-		aF.Close()
-		return fmt.Errorf("extmem: %w", err)
-	}
-	outPath := tmp("archive.new")
-	outF, err := os.Create(outPath)
-	if err != nil {
-		aF.Close()
-		dF.Close()
-		return fmt.Errorf("extmem: %w", err)
-	}
-	sm := &streamMerger{dict: ar.dict, spec: ar.spec, out: newTokenWriter(outF), i: i}
-	aTR, dTR := newTokenReader(aF), newTokenReader(dF)
-	err = sm.mergeLevel(aTR, dTR, newRoot, nil)
-	aTR.release()
-	dTR.release()
-	aF.Close()
-	dF.Close()
+	// Phase 4: segment-local merge of the sorted version into the
+	// segmented archive, committed by the key directory replacement.
+	newDir, stats, newFiles, err := ar.mergeIntoSegments(sortedPath, i)
 	if err == nil {
-		err = sm.out.flush()
-	}
-	sm.out.release()
-	if cerr := outF.Close(); err == nil {
-		err = cerr
+		err = ar.commitState(newDir)
 	}
 	if err != nil {
-		os.Remove(outPath)
+		for _, f := range newFiles {
+			os.Remove(filepath.Join(ar.dir, f))
+		}
 		return err
 	}
-	if err := os.Rename(outPath, ar.ArchiveTokenPath()); err != nil {
-		return fmt.Errorf("extmem: %w", err)
-	}
-	ar.versions = i
-	ar.rootTime = newRoot
-	return ar.saveMeta()
+	ar.LastMerge = stats
+	ar.installDir(newDir)
+	return nil
 }
 
 func sanitize(s string) string {

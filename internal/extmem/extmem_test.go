@@ -54,11 +54,13 @@ func clip(s string) string {
 }
 
 // checkEquivalence verifies the external archive reproduces every version
-// identically to an in-memory archive of the same sequence.
-func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budget int) {
+// identically to an in-memory archive of the same sequence. segTarget
+// controls the segment granularity: tiny targets force many segments,
+// exercising the split/reuse machinery.
+func checkEquivalence(t *testing.T, spec *keys.Spec, docs []*xmltree.Node, budget, segTarget int) {
 	t.Helper()
 	dir := t.TempDir()
-	ar, err := Open(dir, spec, budget)
+	ar, err := Open(dir, spec, Config{Budget: budget, SegmentTarget: segTarget})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +158,9 @@ func TestCompanyEquivalence(t *testing.T) {
 	docs := datagen.CompanyVersions()
 	docs = append(docs, nil) // plus an empty version
 	for _, budget := range []int{16, 64, 1 << 20} {
-		checkEquivalence(t, datagen.CompanySpec(), docs, budget)
+		for _, segTarget := range []int{64, 1 << 20} {
+			checkEquivalence(t, datagen.CompanySpec(), docs, budget, segTarget)
+		}
 	}
 }
 
@@ -166,22 +170,23 @@ func TestOMIMEquivalenceTinyBudget(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		docs = append(docs, g.Next())
 	}
-	// A 100-token budget forces dozens of runs per version.
-	checkEquivalence(t, datagen.OMIMSpec(), docs, 100)
+	// A 100-token budget forces dozens of runs per version; a 512-byte
+	// segment target forces many segments.
+	checkEquivalence(t, datagen.OMIMSpec(), docs, 100, 512)
 }
 
 func TestXMarkEquivalence(t *testing.T) {
 	g := datagen.NewXMark(datagen.XMarkConfig{Seed: 41, Items: 25, People: 15, Categories: 8, OpenAucts: 10, ClosedAucts: 6})
 	doc := g.Document()
 	docs := []*xmltree.Node{doc, g.RandomChanges(doc, 0.1), g.KeyModChanges(doc, 0.1)}
-	checkEquivalence(t, datagen.XMarkSpec(), docs, 200)
+	checkEquivalence(t, datagen.XMarkSpec(), docs, 200, 2048)
 }
 
 func TestRunsFormedUnderBudget(t *testing.T) {
 	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 43, Records: 40})
 	doc := g.Next()
 	dir := t.TempDir()
-	ar, err := Open(dir, datagen.OMIMSpec(), 64)
+	ar, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 64, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +199,7 @@ func TestRunsFormedUnderBudget(t *testing.T) {
 	t.Logf("budget=64: runs=%d tokens=%d", ar.LastSort.Runs, ar.LastSort.RunTokens)
 
 	dir2 := t.TempDir()
-	ar2, err := Open(dir2, datagen.OMIMSpec(), 1<<20)
+	ar2, err := Open(dir2, datagen.OMIMSpec(), Config{Budget: 1 << 20, Shards: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,14 +215,14 @@ func TestReopenAndExtend(t *testing.T) {
 	spec := datagen.CompanySpec()
 	docs := datagen.CompanyVersions()
 	dir := t.TempDir()
-	ar, err := Open(dir, spec, 1<<16)
+	ar, err := Open(dir, spec, Config{Budget: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	addAll(t, ar, docs[:2])
 
 	// Re-open the directory and continue.
-	ar2, err := Open(dir, spec, 1<<16)
+	ar2, err := Open(dir, spec, Config{Budget: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +249,7 @@ func TestStreamingHistoryParity(t *testing.T) {
 	spec := datagen.CompanySpec()
 	docs := datagen.CompanyVersions()
 	dir := t.TempDir()
-	ar, err := Open(dir, spec, 32)
+	ar, err := Open(dir, spec, Config{Budget: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +310,7 @@ func TestStreamingHistoryParity(t *testing.T) {
 func TestDecomposeErrors(t *testing.T) {
 	spec := datagen.CompanySpec()
 	dir := t.TempDir()
-	ar, err := Open(dir, spec, 1<<16)
+	ar, err := Open(dir, spec, Config{Budget: 1 << 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +421,7 @@ func TestSwissProtEquivalence(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		docs = append(docs, g.Next())
 	}
-	checkEquivalence(t, datagen.SwissProtSpec(), docs, 150)
+	checkEquivalence(t, datagen.SwissProtSpec(), docs, 150, 4096)
 }
 
 func BenchmarkExternalAdd(b *testing.B) {
@@ -428,7 +433,7 @@ func BenchmarkExternalAdd(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		dir := b.TempDir()
-		ar, err := Open(dir, datagen.OMIMSpec(), 1<<16)
+		ar, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -441,7 +446,7 @@ func BenchmarkExternalAdd(b *testing.B) {
 
 func TestArchiveXMLWellFormed(t *testing.T) {
 	dir := t.TempDir()
-	ar, err := Open(dir, datagen.CompanySpec(), 32)
+	ar, err := Open(dir, datagen.CompanySpec(), Config{Budget: 32})
 	if err != nil {
 		t.Fatal(err)
 	}

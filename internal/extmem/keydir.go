@@ -1,0 +1,482 @@
+package extmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xarch/internal/intervals"
+)
+
+// The persistent key directory is the index of the segmented archive
+// layout: the archive body lives in key-range-partitioned segment files
+// (one contiguous run of top-level keyed subtrees each), and the
+// directory maps every canonical key value at the top two levels to its
+// location — (segment, byte offset, subtree size) — plus a version
+// interval summary, so selective queries seek straight to the matching
+// subtree and merges touch only the segments whose key ranges overlap
+// the incoming version.
+//
+// The directory is immutable once committed: every AddVersion builds a
+// fresh keyDirectory and installs it atomically (temp file + rename), so
+// open query views keep reading the directory — and the segment files —
+// they captured. keydir.idx carries a whole-file CRC32; a corrupt or
+// truncated directory is detected at Open and rebuilt by scanning the
+// segment files instead of failing the archive.
+
+const (
+	keydirFile   = "keydir.idx"
+	keydirMagic  = "XKD1"
+	keydirFormat = 1
+)
+
+// attrRec is one attribute of a top-level subtree, held in the directory
+// so query scans can synthesize the root's token prefix without touching
+// any segment.
+type attrRec struct {
+	name  string
+	tag   int // dictionary id, resolved in memory
+	value string
+}
+
+// childEntry locates one second-level subtree inside a segment payload.
+// timeStr is the node's explicit timestamp exactly as carried by its open
+// token ("" = inherited from the root's effective timestamp) — the
+// version interval summary that lets merges and version projections skip
+// the subtree without reading its bytes.
+type childEntry struct {
+	name    string
+	tag     int // dictionary id, resolved in memory
+	key     *tkey
+	timeStr string
+	offset  int64 // within the segment payload
+	size    int64
+}
+
+// segmentRecord describes one segment file: a contiguous key range of
+// second-level subtrees (or, for a raw root, a verbatim slice of the
+// root's whole subtree).
+type segmentRecord struct {
+	file    string // base name within the archive directory
+	dataOff int64  // payload start (after the segment header)
+	payload int64  // payload bytes
+	crc     uint32 // CRC32 (IEEE) of the payload
+	entries []childEntry
+}
+
+// firstLabel returns the label of the segment's first entry.
+func (sr *segmentRecord) firstLabel() (string, *tkey) {
+	e := &sr.entries[0]
+	return e.name, e.key
+}
+
+// rootRecord describes one top-level subtree of the archive. For
+// non-frontier roots the segments hold the children and the open/attrs
+// are synthesized from this record; a raw root (the degenerate case of a
+// frontier at depth 1) stores its whole subtree verbatim in one segment.
+type rootRecord struct {
+	name    string
+	tag     int // dictionary id, resolved in memory
+	key     *tkey
+	timeStr string // "" = inherited from the archive root timestamp
+	attrs   []attrRec
+	raw     bool
+	segs    []*segmentRecord
+}
+
+// keyDirectory is one immutable snapshot of the segmented layout plus
+// the archive-level metadata (version count, root timestamp).
+type keyDirectory struct {
+	versions   int
+	rootTime   *intervals.Set
+	roots      []*rootRecord
+	encodedLen int // size of the persisted form; set at encode/decode
+}
+
+// files returns the set of segment files the directory references.
+func (d *keyDirectory) files() map[string]bool {
+	m := map[string]bool{}
+	for _, r := range d.roots {
+		for _, s := range r.segs {
+			m[s.file] = true
+		}
+	}
+	return m
+}
+
+// entryCount returns the number of child entries across all segments.
+func (d *keyDirectory) entryCount() int {
+	n := 0
+	for _, r := range d.roots {
+		for _, s := range r.segs {
+			n += len(s.entries)
+		}
+	}
+	return n
+}
+
+// compareLabels orders two (tag name, key) labels exactly like the merge
+// pipeline: name first, then the canonical key order.
+func compareLabels(an string, ak *tkey, bn string, bk *tkey) int {
+	if c := strings.Compare(an, bn); c != 0 {
+		return c
+	}
+	return compareKeys(ak, bk)
+}
+
+// resolveTags fills the in-memory dictionary ids of every record so query
+// scans can synthesize tokens without name lookups.
+func (d *keyDirectory) resolveTags(dict *dictionary) {
+	for _, r := range d.roots {
+		r.tag = dict.id(r.name)
+		for i := range r.attrs {
+			r.attrs[i].tag = dict.id(r.attrs[i].name)
+		}
+		for _, s := range r.segs {
+			for i := range s.entries {
+				s.entries[i].tag = dict.id(s.entries[i].name)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding (keydir.idx)
+
+type kdWriter struct {
+	b bytes.Buffer
+}
+
+func (w *kdWriter) varint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.b.Write(buf[:n])
+}
+
+func (w *kdWriter) str(s string) {
+	w.varint(uint64(len(s)))
+	w.b.WriteString(s)
+}
+
+func (w *kdWriter) key(k *tkey) {
+	if k == nil {
+		w.b.WriteByte(0)
+		return
+	}
+	w.b.WriteByte(1)
+	w.varint(uint64(len(k.paths)))
+	for i := range k.paths {
+		w.str(k.paths[i])
+		w.str(k.canon[i])
+	}
+}
+
+// encode renders the directory with a trailing whole-file CRC32.
+func (d *keyDirectory) encode() []byte {
+	var w kdWriter
+	w.b.WriteString(keydirMagic)
+	w.varint(keydirFormat)
+	w.varint(uint64(d.versions))
+	w.str(d.rootTime.String())
+	w.varint(uint64(len(d.roots)))
+	for _, r := range d.roots {
+		w.str(r.name)
+		w.key(r.key)
+		w.str(r.timeStr)
+		w.varint(uint64(len(r.attrs)))
+		for _, a := range r.attrs {
+			w.str(a.name)
+			w.str(a.value)
+		}
+		if r.raw {
+			w.b.WriteByte(1)
+		} else {
+			w.b.WriteByte(0)
+		}
+		w.varint(uint64(len(r.segs)))
+		for _, s := range r.segs {
+			w.str(s.file)
+			w.varint(uint64(s.dataOff))
+			w.varint(uint64(s.payload))
+			w.varint(uint64(s.crc))
+			w.varint(uint64(len(s.entries)))
+			for i := range s.entries {
+				e := &s.entries[i]
+				w.str(e.name)
+				w.key(e.key)
+				w.str(e.timeStr)
+				w.varint(uint64(e.offset))
+				w.varint(uint64(e.size))
+			}
+		}
+	}
+	body := w.b.Bytes()
+	sum := crc32.ChecksumIEEE(body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	out := append(body, tail[:]...)
+	d.encodedLen = len(out)
+	return out
+}
+
+type kdReader struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (r *kdReader) varint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		r.err = err
+	}
+	return v
+}
+
+func (r *kdReader) str() string {
+	n := r.varint()
+	if r.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		r.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (r *kdReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.r.ReadByte()
+	if err != nil {
+		r.err = err
+	}
+	return b
+}
+
+func (r *kdReader) key() *tkey {
+	if r.byte() == 0 {
+		return nil
+	}
+	k := &tkey{}
+	n := r.varint()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k.paths = append(k.paths, r.str())
+		k.canon = append(k.canon, r.str())
+	}
+	return k
+}
+
+// decodeKeyDirectory parses keydir.idx bytes, verifying the CRC first.
+func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
+	if len(data) < len(keydirMagic)+4 {
+		return nil, fmt.Errorf("extmem: key directory truncated")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("extmem: key directory checksum mismatch")
+	}
+	if string(body[:len(keydirMagic)]) != keydirMagic {
+		return nil, fmt.Errorf("extmem: key directory bad magic")
+	}
+	r := &kdReader{r: bytes.NewReader(body[len(keydirMagic):])}
+	if f := r.varint(); f != keydirFormat {
+		return nil, fmt.Errorf("extmem: key directory format %d not supported", f)
+	}
+	d := &keyDirectory{}
+	d.versions = int(r.varint())
+	ts, err := intervals.Parse(r.str())
+	if err != nil {
+		return nil, fmt.Errorf("extmem: key directory root timestamp: %w", err)
+	}
+	d.rootTime = ts
+	nRoots := r.varint()
+	for i := uint64(0); i < nRoots && r.err == nil; i++ {
+		rr := &rootRecord{}
+		rr.name = r.str()
+		rr.key = r.key()
+		rr.timeStr = r.str()
+		nAttrs := r.varint()
+		for j := uint64(0); j < nAttrs && r.err == nil; j++ {
+			rr.attrs = append(rr.attrs, attrRec{name: r.str(), value: r.str()})
+		}
+		rr.raw = r.byte() != 0
+		nSegs := r.varint()
+		for j := uint64(0); j < nSegs && r.err == nil; j++ {
+			s := &segmentRecord{}
+			s.file = r.str()
+			s.dataOff = int64(r.varint())
+			s.payload = int64(r.varint())
+			s.crc = uint32(r.varint())
+			nEnt := r.varint()
+			for k := uint64(0); k < nEnt && r.err == nil; k++ {
+				e := childEntry{}
+				e.name = r.str()
+				e.key = r.key()
+				e.timeStr = r.str()
+				e.offset = int64(r.varint())
+				e.size = int64(r.varint())
+				s.entries = append(s.entries, e)
+			}
+			rr.segs = append(rr.segs, s)
+		}
+		d.roots = append(d.roots, rr)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("extmem: key directory: %w", r.err)
+	}
+	d.encodedLen = len(data)
+	return d, nil
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe file replacement
+
+// writeFileAtomic replaces path with data durably: the bytes go to a
+// sibling temp file which is fsynced, renamed over path, and the parent
+// directory fsynced, so a crash leaves either the old or the new file —
+// never a torn one.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("extmem: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable. Platforms
+// that cannot fsync directories are tolerated silently.
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer df.Close()
+	df.Sync()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// meta.txt (text, format 2) — versions, root timestamp and the root
+// records including each root's ordered segment file list. The records
+// are duplicated here (they are tiny) so a corrupt key directory can be
+// rebuilt from meta + exactly the committed segment files: crash
+// orphans lying around on disk are never consulted.
+
+// encodeMeta renders meta.txt format 2.
+func encodeMeta(d *keyDirectory) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "xarch-ext 2\nversions %d\nroottime %q\nroots %d\n",
+		d.versions, d.rootTime.String(), len(d.roots))
+	for _, r := range d.roots {
+		hasKey, nk := 0, 0
+		if r.key != nil {
+			hasKey, nk = 1, len(r.key.paths)
+		}
+		raw := 0
+		if r.raw {
+			raw = 1
+		}
+		fmt.Fprintf(&b, "root %q %q %d %d %d %d %d\n", r.name, r.timeStr, hasKey, nk, len(r.attrs), raw, len(r.segs))
+		if r.key != nil {
+			for i := range r.key.paths {
+				fmt.Fprintf(&b, "kp %q %q\n", r.key.paths[i], r.key.canon[i])
+			}
+		}
+		for _, a := range r.attrs {
+			fmt.Fprintf(&b, "attr %q %q\n", a.name, a.value)
+		}
+		for _, s := range r.segs {
+			fmt.Fprintf(&b, "seg %q\n", s.file)
+		}
+	}
+	return []byte(b.String())
+}
+
+// parseMetaV2 parses meta.txt format 2 into a directory skeleton:
+// version count, root timestamp, and root records whose segments carry
+// file names only (the rebuild fills in the rest from the files).
+func parseMetaV2(r io.Reader) (*keyDirectory, error) {
+	d := &keyDirectory{}
+	var format int
+	if _, err := fmt.Fscanf(r, "xarch-ext %d\n", &format); err != nil {
+		return nil, fmt.Errorf("extmem: corrupt meta: %w", err)
+	}
+	if format != 2 {
+		return nil, fmt.Errorf("extmem: meta format %d not supported", format)
+	}
+	var timeStr string
+	var nRoots int
+	if _, err := fmt.Fscanf(r, "versions %d\nroottime %q\nroots %d\n", &d.versions, &timeStr, &nRoots); err != nil {
+		return nil, fmt.Errorf("extmem: corrupt meta: %w", err)
+	}
+	ts, err := intervals.Parse(timeStr)
+	if err != nil {
+		return nil, fmt.Errorf("extmem: corrupt meta timestamp: %w", err)
+	}
+	d.rootTime = ts
+	for i := 0; i < nRoots; i++ {
+		rr := &rootRecord{}
+		var hasKey, nk, nAttrs, raw, nSegs int
+		if _, err := fmt.Fscanf(r, "root %q %q %d %d %d %d %d\n", &rr.name, &rr.timeStr, &hasKey, &nk, &nAttrs, &raw, &nSegs); err != nil {
+			return nil, fmt.Errorf("extmem: corrupt meta root: %w", err)
+		}
+		rr.raw = raw != 0
+		if hasKey != 0 {
+			rr.key = &tkey{}
+			for j := 0; j < nk; j++ {
+				var p, c string
+				if _, err := fmt.Fscanf(r, "kp %q %q\n", &p, &c); err != nil {
+					return nil, fmt.Errorf("extmem: corrupt meta key path: %w", err)
+				}
+				rr.key.paths = append(rr.key.paths, p)
+				rr.key.canon = append(rr.key.canon, c)
+			}
+		}
+		for j := 0; j < nAttrs; j++ {
+			var n, v string
+			if _, err := fmt.Fscanf(r, "attr %q %q\n", &n, &v); err != nil {
+				return nil, fmt.Errorf("extmem: corrupt meta attr: %w", err)
+			}
+			rr.attrs = append(rr.attrs, attrRec{name: n, value: v})
+		}
+		for j := 0; j < nSegs; j++ {
+			var f string
+			if _, err := fmt.Fscanf(r, "seg %q\n", &f); err != nil {
+				return nil, fmt.Errorf("extmem: corrupt meta segment list: %w", err)
+			}
+			rr.segs = append(rr.segs, &segmentRecord{file: f})
+		}
+		d.roots = append(d.roots, rr)
+	}
+	return d, nil
+}

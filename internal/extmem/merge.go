@@ -81,18 +81,9 @@ func (sm *streamMerger) mergeEqual(a, d *tokenReader, parentEff *intervals.Set, 
 	at, _ := a.take()
 	dt, _ := d.take()
 
-	eff := parentEff
-	timeStr := ""
-	if at.data != "" {
-		t, err := intervals.Parse(at.data)
-		if err != nil {
-			return fmt.Errorf("extmem: bad archive timestamp %q: %w", at.data, err)
-		}
-		t.Add(sm.i)
-		if !t.Equal(parentEff) {
-			eff = t
-			timeStr = t.String()
-		}
+	eff, timeStr, err := mergedTime(at.data, parentEff, sm.i)
+	if err != nil {
+		return err
 	}
 	sm.out.open(at.tag, at.key, timeStr)
 
@@ -160,26 +151,7 @@ func (sm *streamMerger) copyVersionChild(d *tokenReader) error {
 // copyBalanced copies tokens verbatim until the close that balances the
 // already-consumed open; the close is emitted when emitClose is set.
 func (sm *streamMerger) copyBalanced(r *tokenReader, emitClose bool) error {
-	depth := 1
-	for {
-		t, ok := r.take()
-		if !ok {
-			return fmt.Errorf("extmem: truncated subtree")
-		}
-		switch t.op {
-		case tokOpen:
-			depth++
-		case tokClose:
-			depth--
-			if depth == 0 {
-				if emitClose {
-					sm.out.close()
-				}
-				return nil
-			}
-		}
-		sm.out.writeToken(t)
-	}
+	return copyBalancedTo(r, sm.out, emitClose)
 }
 
 // fgroup is one timestamped content group of a frontier node.

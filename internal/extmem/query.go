@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 
 	"xarch/internal/anode"
 	"xarch/internal/core"
@@ -13,24 +12,34 @@ import (
 	"xarch/internal/xmltree"
 )
 
-// QueryView is the streaming query engine over the archive token file: a
-// consistent read view taken at open time, answering Version, WriteVersion,
-// History, ContentHistory and Stats with a single buffered scan. No
-// in-memory archive is ever materialized — peak memory is O(document depth
+// QueryView is the streaming query engine over the segmented archive: a
+// consistent read view taken at open time, answering Version,
+// WriteVersion, History, ContentHistory and Stats without ever
+// materializing an in-memory archive — peak memory is O(document depth
 // + dictionary + one frontier record), independent of how many versions
 // the archive holds.
 //
-// A view stays valid while later Adds run: an Add replaces the token file
-// by rename (the view's open handle keeps reading the old file) and only
-// appends to the shared dictionary (the view holds a point-in-time name
-// table). A QueryView answers one query at a time; open one view per
+// Full scans read the key directory's segments in order, a stream that is
+// byte-identical to the former monolithic token file. Selective queries
+// resolve keyed selector steps against the in-memory key directory and
+// seek straight to the matching subtree, reading O(matched bytes) instead
+// of the whole archive.
+//
+// A view stays valid while later Adds run: it pins the directory
+// generation it captured (so its segment files are not deleted
+// underneath it) and holds a point-in-time snapshot of the append-only
+// dictionary. A QueryView answers one query at a time; open one view per
 // concurrent query.
 type QueryView struct {
-	f        *os.File
+	ar       *Archiver
+	d        *keyDirectory
+	gen      int
 	names    []string
 	spec     *keys.Spec
 	rootTime *intervals.Set
 	versions int
+	seek     bool
+	cur      *dirStream // the live stream of the current query, if any
 }
 
 // OpenQuery opens a consistent read view of the archive. The caller must
@@ -38,21 +47,32 @@ type QueryView struct {
 // layer serializes them); the returned view, however, may be used freely
 // while later Adds proceed.
 func (ar *Archiver) OpenQuery() (*QueryView, error) {
-	f, err := os.Open(ar.ArchiveTokenPath())
-	if err != nil {
-		return nil, fmt.Errorf("extmem: %w", err)
-	}
 	return &QueryView{
-		f:        f,
+		ar:       ar,
+		d:        ar.curDir,
+		gen:      ar.acquireGen(),
 		names:    ar.dict.snapshot(),
 		spec:     ar.spec,
-		rootTime: ar.rootTime.Clone(),
-		versions: ar.versions,
+		rootTime: ar.curDir.rootTime.Clone(),
+		versions: ar.curDir.versions,
+		seek:     !ar.cfg.NoDirectorySeek,
 	}, nil
 }
 
-// Close releases the view's file handle.
-func (q *QueryView) Close() error { return q.f.Close() }
+// Close releases the view: any open segment stream is closed and the
+// pinned directory generation is unpinned (letting a superseded
+// generation's segment files be deleted).
+func (q *QueryView) Close() error {
+	if q.cur != nil {
+		q.cur.Close()
+		q.cur = nil
+	}
+	if q.ar != nil {
+		q.ar.releaseGen(q.gen)
+		q.ar = nil
+	}
+	return nil
+}
 
 // Versions returns the number of versions visible in this view.
 func (q *QueryView) Versions() int { return q.versions }
@@ -64,12 +84,44 @@ func (q *QueryView) name(id int) (string, error) {
 	return q.names[id], nil
 }
 
-// reader rewinds the token file and returns a pooled token reader over it.
-func (q *QueryView) reader() (*tokenReader, error) {
-	if _, err := q.f.Seek(0, io.SeekStart); err != nil {
-		return nil, fmt.Errorf("extmem: %w", err)
+// stream opens a pooled token reader over the given stream parts,
+// closing the previous query's stream if one is still open.
+func (q *QueryView) stream(parts []streamPart) *tokenReader {
+	if q.cur != nil {
+		q.cur.Close()
 	}
-	return newTokenReader(q.f), nil
+	q.cur = &dirStream{dir: q.ar.dir, parts: parts, counter: &q.ar.bytesRead}
+	return newTokenReader(q.cur)
+}
+
+// reader returns a pooled token reader over the whole archive stream —
+// byte-identical to the former monolithic token file.
+func (q *QueryView) reader() (*tokenReader, error) {
+	return q.stream(archiveParts(q.d)), nil
+}
+
+// rootEff returns a root's effective timestamp.
+func (q *QueryView) rootEff(r *rootRecord) (*intervals.Set, error) {
+	if r.timeStr == "" {
+		return q.rootTime, nil
+	}
+	ts, err := intervals.Parse(r.timeStr)
+	if err != nil {
+		return nil, corruptf("bad timestamp %q", r.timeStr)
+	}
+	return ts, nil
+}
+
+// entryEff returns a child entry's effective timestamp under its root's.
+func entryEff(e *childEntry, rootEff *intervals.Set) (*intervals.Set, error) {
+	if e.timeStr == "" {
+		return rootEff, nil
+	}
+	ts, err := intervals.Parse(e.timeStr)
+	if err != nil {
+		return nil, corruptf("bad timestamp %q", e.timeStr)
+	}
+	return ts, nil
 }
 
 func corruptf(format string, args ...any) error {
@@ -110,14 +162,86 @@ type versionSink interface {
 	close(name string)
 }
 
-// streamVersion scans the token file once, evaluating each node's
-// effective timestamp against v on the fly: dead subtrees are skipped,
-// live ones are projected into the sink. Memory is O(depth + one frontier
-// record).
+// streamVersion projects version v into the sink: dead subtrees are
+// skipped, live ones are emitted. Memory is O(depth + one frontier
+// record). With the key directory available, top-level children whose
+// interval summary excludes v are skipped without reading a single byte
+// of them; the output is byte-identical to the full scan.
 func (q *QueryView) streamVersion(v int, sink versionSink) error {
 	if v < 1 || v > q.versions {
 		return fmt.Errorf("extmem: version %d out of range 1..%d: %w", v, q.versions, core.ErrNoSuchVersion)
 	}
+	if q.seek {
+		return q.streamVersionSeek(v, sink)
+	}
+	return q.streamVersionScan(v, sink)
+}
+
+// streamVersionSeek walks the key directory, reading only the subtrees
+// alive at v.
+func (q *QueryView) streamVersionSeek(v int, sink versionSink) error {
+	emitted := false
+	for _, r := range q.d.roots {
+		eff, err := q.rootEff(r)
+		if err != nil {
+			return err
+		}
+		if !eff.Contains(v) {
+			continue
+		}
+		if emitted {
+			return fmt.Errorf("extmem: multiple roots at version %d: %w", v, core.ErrCorruptArchive)
+		}
+		emitted = true
+		if r.raw {
+			tr := q.stream(rootParts(r))
+			t, ok := tr.take()
+			if !ok || t.op != tokOpen {
+				tr.release()
+				return corruptf("raw root %s has no open token", r.name)
+			}
+			err := q.emitNode(tr, r.name, v, []string{r.name}, sink)
+			tr.release()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		sink.open(r.name)
+		for _, a := range r.attrs {
+			sink.attr(a.name, a.value)
+		}
+		for _, s := range r.segs {
+			for i := range s.entries {
+				e := &s.entries[i]
+				ceff, err := entryEff(e, eff)
+				if err != nil {
+					return err
+				}
+				if !ceff.Contains(v) {
+					continue // skipped without any I/O
+				}
+				tr := q.stream(entryParts(s, e))
+				t, ok := tr.take()
+				if !ok || t.op != tokOpen {
+					tr.release()
+					return corruptf("entry %s has no open token", e.name)
+				}
+				err = q.emitNode(tr, e.name, v, []string{r.name, e.name}, sink)
+				tr.release()
+				if err != nil {
+					return err
+				}
+			}
+		}
+		sink.close(r.name)
+	}
+	return nil
+}
+
+// streamVersionScan is the directory-free path: one scan of the whole
+// archive stream.
+func (q *QueryView) streamVersionScan(v int, sink versionSink) error {
 	tr, err := q.reader()
 	if err != nil {
 		return err
@@ -465,13 +589,13 @@ func (q *QueryView) ContentHistory(selector string) ([]int, error) {
 }
 
 func (q *QueryView) resolveSelector(steps []core.SelectorStep, wantBody bool) (*resolved, error) {
-	tr, err := q.reader()
-	if err != nil {
-		return nil, err
+	var res *resolved
+	var err error
+	if q.seek {
+		res, err = q.resolveViaDirectory(steps, wantBody)
+	} else {
+		res, err = q.resolveViaScan(steps, wantBody)
 	}
-	defer tr.release()
-	segs := make([]string, 0, 16)
-	res, err := q.resolveLevel(tr, steps, q.rootTime, "", segs, wantBody)
 	if err != nil {
 		return nil, err
 	}
@@ -479,6 +603,172 @@ func (q *QueryView) resolveSelector(steps []core.SelectorStep, wantBody bool) (*
 		return nil, res.err
 	}
 	return res, nil
+}
+
+// resolveViaScan resolves the selector with one scan of the whole
+// archive stream (the directory-free path).
+func (q *QueryView) resolveViaScan(steps []core.SelectorStep, wantBody bool) (*resolved, error) {
+	tr, err := q.reader()
+	if err != nil {
+		return nil, err
+	}
+	defer tr.release()
+	segs := make([]string, 0, 16)
+	return q.resolveLevel(tr, steps, q.rootTime, "", segs, wantBody)
+}
+
+// resolveViaDirectory resolves the top two selector steps against the
+// in-memory key directory — no I/O at all — and descends into at most
+// one matched subtree by seeking straight to its bytes. Match order,
+// ambiguity handling and error texts mirror resolveLevel exactly, so the
+// two paths are indistinguishable to callers.
+func (q *QueryView) resolveViaDirectory(steps []core.SelectorStep, wantBody bool) (*resolved, error) {
+	step := &steps[0]
+	stepPath := "/" + step.Tag
+	var res *resolved
+	var foundLabel string
+	ambiguous := false
+	for _, r := range q.d.roots {
+		if ambiguous || r.name != step.Tag || !entryMatches(step, r.key) {
+			continue
+		}
+		label := keyLabel(r.name, r.key)
+		if res != nil {
+			res = &resolved{err: core.AmbiguousSelectorError(stepPath, foundLabel, label)}
+			ambiguous = true
+			continue
+		}
+		foundLabel = label
+		eff, err := q.rootEff(r)
+		if err != nil {
+			return nil, err
+		}
+		res, err = q.resolveRoot(r, eff, steps, stepPath, wantBody)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res == nil {
+		return &resolved{err: core.NoSuchElementError(stepPath)}, nil
+	}
+	return res, nil
+}
+
+// resolveRoot resolves the remaining steps inside a matched root record.
+func (q *QueryView) resolveRoot(r *rootRecord, eff *intervals.Set, steps []core.SelectorStep, stepPath string, wantBody bool) (*resolved, error) {
+	last := len(steps) == 1
+	if r.raw {
+		// Frontier root: its body must be read from the segment bytes.
+		if last && !wantBody {
+			return &resolved{eff: eff}, nil
+		}
+		tr := q.stream(rootParts(r))
+		defer tr.release()
+		if t, ok := tr.take(); !ok || t.op != tokOpen {
+			return nil, corruptf("raw root %s has no open token", r.name)
+		}
+		body, err := readFrontierBody(tr)
+		if err != nil {
+			return nil, err
+		}
+		node, err := q.bodyToANode(r.name, body)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			return &resolved{eff: eff, node: node}, nil
+		}
+		n, eff2, serr := core.ResolveFrom(node, eff, steps[1:], stepPath)
+		if serr != nil {
+			return &resolved{err: serr}, nil
+		}
+		return &resolved{eff: eff2, node: n}, nil
+	}
+	if last {
+		return &resolved{eff: eff, node: &anode.Node{Kind: xmltree.Element, Name: r.name}}, nil
+	}
+	// Level 2: match the child entries of the directory in key order.
+	step := &steps[1]
+	childPath := stepPath + "/" + step.Tag
+	var res *resolved
+	var foundLabel string
+	ambiguous := false
+	for _, s := range r.segs {
+		for i := range s.entries {
+			e := &s.entries[i]
+			if ambiguous || e.name != step.Tag || !entryMatches(step, e.key) {
+				continue
+			}
+			label := keyLabel(e.name, e.key)
+			if res != nil {
+				res = &resolved{err: core.AmbiguousSelectorError(childPath, foundLabel, label)}
+				ambiguous = true
+				continue
+			}
+			foundLabel = label
+			ceff, err := entryEff(e, eff)
+			if err != nil {
+				return nil, err
+			}
+			res, err = q.resolveEntry(r, s, e, ceff, steps[1:], childPath, wantBody)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if res == nil {
+		return &resolved{err: core.NoSuchElementError(childPath)}, nil
+	}
+	return res, nil
+}
+
+// resolveEntry resolves the remaining steps inside one matched child
+// entry, reading the child's bytes only when the answer needs them:
+// History on a selective two-step selector is answered from the
+// directory alone.
+func (q *QueryView) resolveEntry(r *rootRecord, s *segmentRecord, e *childEntry, eff *intervals.Set, steps []core.SelectorStep, stepPath string, wantBody bool) (*resolved, error) {
+	last := len(steps) == 1
+	if last && !wantBody {
+		return &resolved{eff: eff}, nil
+	}
+	frontier := q.spec.IsFrontier(keys.Path([]string{r.name, e.name}))
+	if last && !frontier {
+		// Above-frontier nodes have no content groups; ContentHistory
+		// reports their first version.
+		return &resolved{eff: eff, node: &anode.Node{Kind: xmltree.Element, Name: e.name}}, nil
+	}
+	tr := q.stream(entryParts(s, e))
+	defer tr.release()
+	if t, ok := tr.take(); !ok || t.op != tokOpen {
+		return nil, corruptf("entry %s has no open token", e.name)
+	}
+	if frontier {
+		body, err := readFrontierBody(tr)
+		if err != nil {
+			return nil, err
+		}
+		node, err := q.bodyToANode(e.name, body)
+		if err != nil {
+			return nil, err
+		}
+		if last {
+			return &resolved{eff: eff, node: node}, nil
+		}
+		n, eff2, serr := core.ResolveFrom(node, eff, steps[1:], stepPath)
+		if serr != nil {
+			return &resolved{err: serr}, nil
+		}
+		return &resolved{eff: eff2, node: n}, nil
+	}
+	drainAttrs(tr)
+	sub, err := q.resolveLevel(tr, steps[1:], eff, stepPath, []string{r.name, e.name}, wantBody)
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := tr.take(); !ok || t.op != tokClose {
+		return nil, corruptf("missing close at %s", stepPath)
+	}
+	return sub, nil
 }
 
 // resolveLevel scans the sibling sequence at the cursor (stopping at the
@@ -671,6 +961,29 @@ func (q *QueryView) tokensToANodes(toks []token) ([]*anode.Node, error) {
 	return items, nil
 }
 
+// entryMatches evaluates a selector step's predicates against a key
+// annotation, deriving display values only for the paths the predicates
+// name — semantically identical to SelectorStep.MatchesKey over
+// keyDisplay (the randomized seek-vs-scan property test pins this), but
+// without materializing a display slice per directory entry.
+func entryMatches(step *core.SelectorStep, k *tkey) bool {
+	for _, p := range step.Preds {
+		ok := false
+		if k != nil {
+			for i := range k.paths {
+				if k.paths[i] == p.Path {
+					ok = xmltree.DisplayFromCanonical(k.canon[i]) == p.Value
+					break
+				}
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // keyDisplay derives the key annotation's path names and display values
 // from the canonical forms carried in the token stream, using the same
 // derivation the in-memory annotator applies, so selectors match
@@ -711,90 +1024,62 @@ type countWriter struct{ n int }
 
 func (w *countWriter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
 
-// Stats summarizes the archive's structure with two scans: one over the
-// tokens for the structural counters, one through the XML emitter for the
-// serialized size — never holding more than a frontier record in memory.
+// Stats summarizes the archive's structure with one streaming pass: the
+// indented archive emitter runs over a counting writer (yielding the
+// serialized XML size) while the structural counters ride along on the
+// same token walk — never holding more than a frontier record in memory
+// and never scanning the archive twice.
 func (q *QueryView) Stats() (core.Stats, error) {
 	s := core.Stats{Versions: q.versions, Elements: 1} // the synthetic root
-	tr, err := q.reader()
-	if err != nil {
-		return core.Stats{}, err
-	}
-	segs := make([]string, 0, 16)
-	inFrontier := 0
-	for {
-		t, ok := tr.take()
-		if !ok {
-			break
-		}
-		switch t.op {
-		case tokOpen:
-			s.Elements++
-			if inFrontier > 0 {
-				inFrontier++
-				continue
-			}
-			if t.key != nil {
-				s.KeyedNodes++
-				if t.data != "" {
-					ts, err := intervals.Parse(t.data)
-					if err != nil {
-						tr.release()
-						return core.Stats{}, corruptf("bad timestamp %q", t.data)
-					}
-					s.ExplicitTimestamps++
-					s.TimestampRuns += ts.RunCount()
-				} else {
-					s.InheritedTimestamps++
-				}
-			}
-			name, err := q.name(t.tag)
-			if err != nil {
-				tr.release()
-				return core.Stats{}, err
-			}
-			segs = append(segs, name)
-			if q.spec.IsFrontier(keys.Path(segs)) {
-				s.FrontierNodes++
-				inFrontier = 1
-			}
-		case tokClose:
-			if inFrontier > 0 {
-				inFrontier--
-				if inFrontier > 0 {
-					continue
-				}
-			}
-			if len(segs) == 0 {
-				tr.release()
-				return core.Stats{}, corruptf("unbalanced archive tokens")
-			}
-			segs = segs[:len(segs)-1]
-		case tokText:
-			s.TextNodes++
-		case tokAttr:
-			s.Attributes++
-		case tokTSOpen:
-			s.Groups++
-			ts, err := intervals.Parse(t.data)
-			if err != nil {
-				tr.release()
-				return core.Stats{}, corruptf("bad group timestamp %q", t.data)
-			}
-			s.TimestampRuns += ts.RunCount()
-		}
-	}
-	err = tr.err
-	tr.release()
-	if err != nil {
-		return core.Stats{}, err
-	}
 	var cw countWriter
-	if err := q.WriteArchiveXML(&cw, true); err != nil {
+	if err := q.writeArchiveIndented(&cw, &s); err != nil {
 		return core.Stats{}, err
 	}
 	s.XMLBytes = cw.n
 	return s, nil
+}
+
+// countNodeOpen accumulates the keyed-level counters of one open token.
+func countNodeOpen(t token, s *core.Stats) error {
+	s.Elements++
+	if t.key == nil {
+		return nil
+	}
+	s.KeyedNodes++
+	if t.data == "" {
+		s.InheritedTimestamps++
+		return nil
+	}
+	ts, err := intervals.Parse(t.data)
+	if err != nil {
+		return corruptf("bad timestamp %q", t.data)
+	}
+	s.ExplicitTimestamps++
+	s.TimestampRuns += ts.RunCount()
+	return nil
+}
+
+// countFrontierBody accumulates the counters of one frontier body.
+func countFrontierBody(body *fbody, s *core.Stats) {
+	countToks := func(toks []token) {
+		for _, t := range toks {
+			switch t.op {
+			case tokOpen:
+				s.Elements++
+			case tokText:
+				s.TextNodes++
+			case tokAttr:
+				s.Attributes++
+			}
+		}
+	}
+	countToks(body.shared)
+	for i := range body.groups {
+		g := &body.groups[i]
+		s.Groups++
+		s.TimestampRuns += g.time.RunCount()
+		countToks(g.tokens)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -809,6 +1094,13 @@ func (q *QueryView) WriteArchiveXML(w io.Writer, indent bool) error {
 	if !indent {
 		return q.writeArchiveCompact(w)
 	}
+	return q.writeArchiveIndented(w, nil)
+}
+
+// writeArchiveIndented emits the indented archive form; with a non-nil
+// stats, the structural counters are accumulated on the same walk (the
+// counting emitter behind Stats).
+func (q *QueryView) writeArchiveIndented(w io.Writer, stats *core.Stats) error {
 	bw, done := pooledWriter(w)
 	defer done()
 	opts := xmltree.WriteOptions{Indent: true, IndentString: "  "}
@@ -832,7 +1124,7 @@ func (q *QueryView) WriteArchiveXML(w io.Writer, indent bool) error {
 			if t.op != tokOpen {
 				return corruptf("unexpected token %#x at archive root", t.op)
 			}
-			if err := q.writeArchiveNode(tr, t, bw, opts, 2, segs); err != nil {
+			if err := q.writeArchiveNode(tr, t, bw, opts, 2, segs, stats); err != nil {
 				return err
 			}
 		}
@@ -847,10 +1139,15 @@ func (q *QueryView) WriteArchiveXML(w io.Writer, indent bool) error {
 
 // writeArchiveNode emits one keyed-level node (whose open token t has been
 // consumed) in the indented archive form.
-func (q *QueryView) writeArchiveNode(tr *tokenReader, t token, bw *bufio.Writer, opts xmltree.WriteOptions, depth int, segs []string) error {
+func (q *QueryView) writeArchiveNode(tr *tokenReader, t token, bw *bufio.Writer, opts xmltree.WriteOptions, depth int, segs []string, stats *core.Stats) error {
 	name, err := q.name(t.tag)
 	if err != nil {
 		return err
+	}
+	if stats != nil {
+		if err := countNodeOpen(t, stats); err != nil {
+			return err
+		}
 	}
 	segs = append(segs, name)
 	indent := func(d int) {
@@ -868,6 +1165,10 @@ func (q *QueryView) writeArchiveNode(tr *tokenReader, t token, bw *bufio.Writer,
 		if err != nil {
 			return err
 		}
+		if stats != nil {
+			stats.FrontierNodes++
+			countFrontierBody(body, stats)
+		}
 		el, err := q.bodyToArchiveXML(name, body)
 		if err != nil {
 			return err
@@ -884,6 +1185,9 @@ func (q *QueryView) writeArchiveNode(tr *tokenReader, t token, bw *bufio.Writer,
 				return corruptf("truncated archive at %s", name)
 			}
 			if ct.op == tokAttr {
+				if stats != nil {
+					stats.Attributes++
+				}
 				an, err := q.name(ct.tag)
 				if err != nil {
 					return err
@@ -913,7 +1217,7 @@ func (q *QueryView) writeArchiveNode(tr *tokenReader, t token, bw *bufio.Writer,
 				bw.WriteString(">\n")
 				started = true
 			}
-			if err := q.writeArchiveNode(tr, ct, bw, opts, depth+1, segs); err != nil {
+			if err := q.writeArchiveNode(tr, ct, bw, opts, depth+1, segs, stats); err != nil {
 				return err
 			}
 		}

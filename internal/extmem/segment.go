@@ -1,0 +1,459 @@
+package extmem
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Segment files hold the archive body. Each file starts with a versioned
+// header (magic, format, flags, payload length, payload CRC32, and the
+// owning root's immutable label) followed by the payload: a contiguous
+// run of second-level subtree token streams, or — for a raw root — a
+// verbatim slice of the root's whole subtree. The root label in the
+// header lets a directory rebuild cross-check that each file meta.txt
+// lists really belongs to the root it is listed under.
+//
+// Segment files are never modified in place: rewrites produce fresh
+// files (monotonic ids) and the key directory rename is the commit
+// point, so a crash leaves either layout intact and at worst some
+// orphan files, which Open garbage-collects.
+
+const (
+	segMagic  = "XSG1"
+	segFormat = 1
+)
+
+const segFlagRaw = 0x01
+
+// segmentHeader is the decoded fixed+variable header of one segment file.
+type segmentHeader struct {
+	raw      bool
+	payload  int64
+	crc      uint32
+	rootName string
+	rootKey  *tkey
+	dataOff  int64
+}
+
+// encodeSegmentHeader renders the header; the payload length and CRC may
+// be placeholders to be patched by patchSegmentHeader.
+func encodeSegmentHeader(h *segmentHeader) []byte {
+	var w kdWriter
+	w.b.WriteString(segMagic)
+	w.b.WriteByte(segFormat)
+	var flags byte
+	if h.raw {
+		flags |= segFlagRaw
+	}
+	w.b.WriteByte(flags)
+	var fixed [12]byte
+	binary.LittleEndian.PutUint64(fixed[:8], uint64(h.payload))
+	binary.LittleEndian.PutUint32(fixed[8:], h.crc)
+	w.b.Write(fixed[:])
+	w.str(h.rootName)
+	w.key(h.rootKey)
+	return w.b.Bytes()
+}
+
+// fixedOff is the offset of the payload-length/CRC fields in the header.
+const segFixedOff = len(segMagic) + 2
+
+// readSegmentHeader parses the header at the start of f. The variable
+// tail (the root label) is read through a position-tracking reader, so
+// arbitrarily large root keys parse back exactly as written.
+func readSegmentHeader(f io.ReadSeeker) (*segmentHeader, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("extmem: %w", err)
+	}
+	fixed := make([]byte, segFixedOff+12)
+	if _, err := io.ReadFull(f, fixed); err != nil {
+		return nil, fmt.Errorf("extmem: not a segment file: %w", err)
+	}
+	if string(fixed[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("extmem: not a segment file")
+	}
+	if fixed[len(segMagic)] != segFormat {
+		return nil, fmt.Errorf("extmem: segment format %d not supported", fixed[len(segMagic)])
+	}
+	h := &segmentHeader{raw: fixed[len(segMagic)+1]&segFlagRaw != 0}
+	h.payload = int64(binary.LittleEndian.Uint64(fixed[segFixedOff : segFixedOff+8]))
+	h.crc = binary.LittleEndian.Uint32(fixed[segFixedOff+8 : segFixedOff+12])
+	pr := &posReader{br: bufio.NewReaderSize(f, 4096)}
+	var err error
+	if h.rootName, err = pr.str(); err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	hasKey, err := pr.byte()
+	if err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	if hasKey != 0 {
+		k := &tkey{}
+		n, err := pr.varint()
+		if err != nil {
+			return nil, fmt.Errorf("extmem: segment header: %w", err)
+		}
+		for i := uint64(0); i < n; i++ {
+			kp, err := pr.str()
+			if err != nil {
+				return nil, fmt.Errorf("extmem: segment header: %w", err)
+			}
+			kc, err := pr.str()
+			if err != nil {
+				return nil, fmt.Errorf("extmem: segment header: %w", err)
+			}
+			k.paths = append(k.paths, kp)
+			k.canon = append(k.canon, kc)
+		}
+		h.rootKey = k
+	}
+	h.dataOff = int64(len(fixed)) + pr.pos
+	return h, nil
+}
+
+// verifySegment recomputes the payload CRC of a segment file against its
+// header and the directory record.
+func verifySegment(path string, sr *segmentRecord) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	h, err := readSegmentHeader(f)
+	if err != nil {
+		return err
+	}
+	if h.payload != sr.payload || h.crc != sr.crc || h.dataOff != sr.dataOff {
+		return fmt.Errorf("extmem: segment %s header disagrees with directory", sr.file)
+	}
+	crc := crc32.NewIEEE()
+	if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if _, err := io.CopyN(crc, f, h.payload); err != nil {
+		return fmt.Errorf("extmem: segment %s truncated: %w", sr.file, err)
+	}
+	if crc.Sum32() != sr.crc {
+		return fmt.Errorf("extmem: segment %s payload checksum mismatch", sr.file)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Segment writing
+
+// segPayloadWriter counts and checksums the payload bytes of one segment
+// file as they pass through to disk.
+type segPayloadWriter struct {
+	f   *os.File
+	crc hash.Hash32
+	n   int64
+}
+
+func (w *segPayloadWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	if n > 0 {
+		w.crc.Write(p[:n])
+		w.n += int64(n)
+	}
+	return n, err
+}
+
+// segmentSetWriter streams merged subtrees into a sequence of segment
+// files, rolling to a fresh file whenever the current payload passes the
+// target size at a child boundary, and recording one directory entry per
+// child. The embedded tokenWriter is stable across rolls, so a merge can
+// keep one output handle for the whole pass.
+type segmentSetWriter struct {
+	ar     *Archiver
+	root   *rootRecord
+	raw    bool
+	target int64
+
+	tw   *tokenWriter
+	cur  *segmentRecord
+	pw   *segPayloadWriter
+	f    *os.File
+	head int64 // header length of the current file
+
+	pending  childEntry
+	emit     func(*segmentRecord)
+	onCreate func(name string)
+	err      error
+}
+
+// newSegmentSetWriter returns a writer emitting completed segment
+// records through emit (in output order, so reused segments can be
+// interleaved by the caller). onCreate fires as soon as a file exists on
+// disk — before it is complete — so failed merges can remove every file
+// they created, not only the finished ones.
+func newSegmentSetWriter(ar *Archiver, root *rootRecord, raw bool, emit func(*segmentRecord), onCreate func(name string)) *segmentSetWriter {
+	return &segmentSetWriter{
+		ar: ar, root: root, raw: raw, target: int64(ar.cfg.SegmentTarget),
+		tw: newTokenWriter(io.Discard), emit: emit, onCreate: onCreate,
+	}
+}
+
+func (sw *segmentSetWriter) fail(err error) {
+	if sw.err == nil {
+		sw.err = err
+	}
+}
+
+// open starts a fresh segment file.
+func (sw *segmentSetWriter) open() {
+	if sw.err != nil {
+		return
+	}
+	name := fmt.Sprintf("seg-%08d.tok", sw.ar.nextSeg)
+	sw.ar.nextSeg++
+	f, err := os.Create(filepath.Join(sw.ar.dir, name))
+	if err != nil {
+		sw.fail(fmt.Errorf("extmem: create segment: %w", err))
+		return
+	}
+	if sw.onCreate != nil {
+		sw.onCreate(name)
+	}
+	head := encodeSegmentHeader(&segmentHeader{raw: sw.raw, rootName: sw.root.name, rootKey: sw.root.key})
+	if _, err := f.Write(head); err != nil {
+		f.Close()
+		sw.fail(fmt.Errorf("extmem: %w", err))
+		return
+	}
+	sw.f = f
+	sw.head = int64(len(head))
+	sw.pw = &segPayloadWriter{f: f, crc: crc32.NewIEEE()}
+	sw.cur = &segmentRecord{file: name, dataOff: sw.head}
+	sw.tw.w.Reset(sw.pw)
+}
+
+// closeCurrent finishes the open segment file, patching the header with
+// the payload length and CRC, fsyncing, and emitting its record.
+func (sw *segmentSetWriter) closeCurrent() {
+	if sw.cur == nil || sw.err != nil {
+		if sw.cur != nil && sw.err != nil && sw.f != nil {
+			sw.f.Close()
+			sw.f = nil
+			sw.cur = nil
+		}
+		return
+	}
+	if err := sw.tw.flush(); err != nil {
+		sw.fail(err)
+		sw.f.Close()
+		sw.cur = nil
+		return
+	}
+	sw.cur.payload = sw.pw.n
+	sw.cur.crc = sw.pw.crc.Sum32()
+	var fixed [12]byte
+	binary.LittleEndian.PutUint64(fixed[:8], uint64(sw.cur.payload))
+	binary.LittleEndian.PutUint32(fixed[8:], sw.cur.crc)
+	if _, err := sw.f.WriteAt(fixed[:], int64(segFixedOff)); err != nil {
+		sw.fail(fmt.Errorf("extmem: %w", err))
+	} else if err := sw.f.Sync(); err != nil {
+		sw.fail(fmt.Errorf("extmem: %w", err))
+	}
+	if err := sw.f.Close(); err != nil {
+		sw.fail(fmt.Errorf("extmem: %w", err))
+	}
+	if sw.err == nil {
+		sw.emit(sw.cur)
+	}
+	sw.f, sw.cur, sw.pw = nil, nil, nil
+}
+
+// beginChild notes the subtree about to be written; its entry is
+// completed by endChild. For raw roots the entry metadata is ignored.
+func (sw *segmentSetWriter) beginChild(name string, tag int, key *tkey, timeStr string) {
+	if sw.err != nil {
+		return
+	}
+	if sw.cur == nil {
+		sw.open()
+		if sw.err != nil {
+			return
+		}
+	}
+	if err := sw.tw.flush(); err != nil {
+		sw.fail(err)
+		return
+	}
+	sw.pending = childEntry{name: name, tag: tag, key: key, timeStr: timeStr, offset: sw.pw.n}
+}
+
+// endChild completes the pending entry and rolls the file when the
+// payload passed the target size.
+func (sw *segmentSetWriter) endChild() {
+	if sw.err != nil || sw.cur == nil {
+		return
+	}
+	if err := sw.tw.flush(); err != nil {
+		sw.fail(err)
+		return
+	}
+	sw.pending.size = sw.pw.n - sw.pending.offset
+	sw.cur.entries = append(sw.cur.entries, sw.pending)
+	if sw.pw.n >= sw.target {
+		sw.closeCurrent()
+	}
+}
+
+// finish closes any open file and releases the token writer buffer.
+func (sw *segmentSetWriter) finish() error {
+	sw.closeCurrent()
+	sw.tw.release()
+	return sw.err
+}
+
+// ---------------------------------------------------------------------------
+// Reading: the concatenated archive stream and per-entry sections
+
+// streamPart is one piece of a dirStream: either literal bytes
+// (synthesized tokens) or a section of a segment file.
+type streamPart struct {
+	data []byte
+	file string
+	off  int64
+	n    int64
+}
+
+// dirStream reads the segmented archive as one contiguous token stream —
+// byte-identical to the former monolithic archive.tok — opening at most
+// one segment file at a time. Reads are counted into the archiver's
+// bytes-read telemetry.
+type dirStream struct {
+	dir     string
+	parts   []streamPart
+	i       int
+	f       *os.File
+	rem     int64
+	buf     *bytes.Reader
+	counter *atomic.Int64
+}
+
+func (s *dirStream) Read(p []byte) (int, error) {
+	for {
+		if s.buf != nil {
+			if s.buf.Len() > 0 {
+				n, _ := s.buf.Read(p)
+				if s.counter != nil {
+					s.counter.Add(int64(n))
+				}
+				return n, nil
+			}
+			s.buf = nil
+		}
+		if s.f != nil {
+			if s.rem > 0 {
+				if int64(len(p)) > s.rem {
+					p = p[:s.rem]
+				}
+				n, err := s.f.Read(p)
+				s.rem -= int64(n)
+				if s.counter != nil && n > 0 {
+					s.counter.Add(int64(n))
+				}
+				if n > 0 {
+					return n, nil
+				}
+				if err != nil {
+					s.f.Close()
+					s.f = nil
+					if err == io.EOF {
+						err = io.ErrUnexpectedEOF
+					}
+					return 0, err
+				}
+				continue
+			}
+			s.f.Close()
+			s.f = nil
+		}
+		if s.i >= len(s.parts) {
+			return 0, io.EOF
+		}
+		part := s.parts[s.i]
+		s.i++
+		if part.data != nil {
+			s.buf = bytes.NewReader(part.data)
+			continue
+		}
+		f, err := os.Open(filepath.Join(s.dir, part.file))
+		if err != nil {
+			return 0, fmt.Errorf("extmem: %w", err)
+		}
+		if _, err := f.Seek(part.off, io.SeekStart); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("extmem: %w", err)
+		}
+		s.f = f
+		s.rem = part.n
+	}
+}
+
+// Close releases the stream's open file, if any.
+func (s *dirStream) Close() error {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	s.i = len(s.parts)
+	s.buf = nil
+	return nil
+}
+
+// synthRootPrefix renders the open token (with key and timestamp) and
+// attribute tokens of a non-raw root, exactly as the monolithic merge
+// used to write them.
+func synthRootPrefix(r *rootRecord) []byte {
+	var b bytes.Buffer
+	tw := newTokenWriter(&b)
+	tw.open(r.tag, r.key, r.timeStr)
+	for _, a := range r.attrs {
+		tw.attr(a.tag, a.value)
+	}
+	tw.flush()
+	tw.release()
+	return b.Bytes()
+}
+
+// archiveParts lays out the whole archive as stream parts.
+func archiveParts(d *keyDirectory) []streamPart {
+	var parts []streamPart
+	for _, r := range d.roots {
+		parts = append(parts, rootParts(r)...)
+	}
+	return parts
+}
+
+// rootParts lays out one root subtree as stream parts.
+func rootParts(r *rootRecord) []streamPart {
+	var parts []streamPart
+	if r.raw {
+		for _, s := range r.segs {
+			parts = append(parts, streamPart{file: s.file, off: s.dataOff, n: s.payload})
+		}
+		return parts
+	}
+	parts = append(parts, streamPart{data: synthRootPrefix(r)})
+	for _, s := range r.segs {
+		parts = append(parts, streamPart{file: s.file, off: s.dataOff, n: s.payload})
+	}
+	parts = append(parts, streamPart{data: []byte{tokClose}})
+	return parts
+}
+
+// entryParts lays out one second-level subtree as stream parts.
+func entryParts(s *segmentRecord, e *childEntry) []streamPart {
+	return []streamPart{{file: s.file, off: s.dataOff + e.offset, n: e.size}}
+}

@@ -1,0 +1,666 @@
+package extmem
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"xarch/internal/core"
+	"xarch/internal/datagen"
+	"xarch/internal/keys"
+	"xarch/internal/xmltree"
+)
+
+// archiveStreamBytes reads the whole concatenated archive token stream —
+// the byte-identical replacement of the old monolithic archive.tok.
+func archiveStreamBytes(t *testing.T, ar *Archiver) []byte {
+	t.Helper()
+	ds := &dirStream{dir: ar.dir, parts: archiveParts(ar.curDir)}
+	defer ds.Close()
+	data, err := io.ReadAll(ds)
+	if err != nil {
+		t.Fatalf("read archive stream: %v", err)
+	}
+	return data
+}
+
+func buildOMIMArchive(t *testing.T, dir string, cfg Config, versions int) *Archiver {
+	t.Helper()
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 91, Records: 30, DeleteFrac: 0.05, InsertFrac: 0.1, ModifyFrac: 0.1})
+	ar, err := Open(dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < versions; i++ {
+		if err := ar.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+			t.Fatalf("add v%d: %v", i+1, err)
+		}
+	}
+	return ar
+}
+
+func snapshotXML(t *testing.T, ar *Archiver) string {
+	t.Helper()
+	var b strings.Builder
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if err := q.WriteArchiveXML(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSegmentLocalMerge pins the tentpole claim: a small Add into a
+// many-segment archive reuses the segments its key range does not touch,
+// and an empty version touches no segments at all.
+func TestSegmentLocalMerge(t *testing.T) {
+	dir := t.TempDir()
+	// ~30 records with a 2 KiB target yields a healthy number of segments.
+	ar := buildOMIMArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: 2048}, 1)
+	st := ar.StorageStats()
+	if st.Segments < 4 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+
+	// Version 2 inserts/modifies a few records: most segments must
+	// survive untouched.
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 91, Records: 30, DeleteFrac: 0, InsertFrac: 0.03, ModifyFrac: 0.03})
+	v1 := g.Next()
+	dir2 := t.TempDir()
+	ar2, err := Open(dir2, datagen.OMIMSpec(), Config{Budget: 1 << 16, SegmentTarget: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar2.AddVersion(strings.NewReader(v1.IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]bool{}
+	for f := range ar2.curDir.files() {
+		before[f] = true
+	}
+	if err := ar2.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	if ar2.LastMerge.SegmentsReused == 0 {
+		t.Errorf("small add reused no segments: %+v", ar2.LastMerge)
+	}
+	if ar2.LastMerge.SegmentsRewritten >= len(before) {
+		t.Errorf("small add rewrote every one of the %d segments: %+v", len(before), ar2.LastMerge)
+	}
+	reusedOnDisk := 0
+	for f := range ar2.curDir.files() {
+		if before[f] {
+			reusedOnDisk++
+		}
+	}
+	if reusedOnDisk != ar2.LastMerge.SegmentsReused {
+		t.Errorf("reused-on-disk %d != reported reused %d", reusedOnDisk, ar2.LastMerge.SegmentsReused)
+	}
+
+	// An empty version is a directory-only commit: zero segment I/O.
+	if err := ar2.AddEmptyVersion(); err != nil {
+		t.Fatal(err)
+	}
+	if ar2.LastMerge.SegmentsRewritten != 0 || ar2.LastMerge.SegmentsCreated != 0 {
+		t.Errorf("empty version touched segments: %+v", ar2.LastMerge)
+	}
+}
+
+// TestCorruptKeyDirectoryRebuild pins the crash-safety satellite: a
+// truncated or bit-flipped key directory is detected by checksum and the
+// store rebuilds it from the segment files instead of erroring.
+func TestCorruptKeyDirectoryRebuild(t *testing.T) {
+	dir := t.TempDir()
+	ar := buildOMIMArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: 2048}, 3)
+	want := snapshotXML(t, ar)
+	wantStream := archiveStreamBytes(t, ar)
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kdPath := filepath.Join(dir, keydirFile)
+	orig, err := os.ReadFile(kdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string]func() []byte{
+		"truncated": func() []byte { return orig[:len(orig)/2] },
+		"bitflip": func() []byte {
+			c := append([]byte(nil), orig...)
+			c[len(c)/3] ^= 0x40
+			return c
+		},
+		"missing": nil,
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			// A crash-orphan segment (a valid file the directory never
+			// committed) must not be woven into the rebuilt archive.
+			segs, err := filepath.Glob(filepath.Join(dir, "seg-*.tok"))
+			if err != nil || len(segs) == 0 {
+				t.Fatalf("segments: %v %v", segs, err)
+			}
+			orphanData, err := os.ReadFile(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			orphan := filepath.Join(dir, "seg-00009999.tok")
+			if err := os.WriteFile(orphan, orphanData, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if corrupt == nil {
+				if err := os.Remove(kdPath); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := os.WriteFile(kdPath, corrupt(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ar2, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16, SegmentTarget: 2048})
+			if err != nil {
+				t.Fatalf("open with corrupt keydir: %v", err)
+			}
+			if ar2.Versions() != 3 {
+				t.Fatalf("rebuilt archive has %d versions, want 3", ar2.Versions())
+			}
+			if got := snapshotXML(t, ar2); got != want {
+				t.Errorf("rebuilt archive XML differs")
+			}
+			if got := archiveStreamBytes(t, ar2); string(got) != string(wantStream) {
+				t.Errorf("rebuilt archive token stream differs")
+			}
+			// The rebuild must have re-persisted a valid directory.
+			data, err := os.ReadFile(kdPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := decodeKeyDirectory(data); err != nil {
+				t.Errorf("rebuilt keydir does not decode: %v", err)
+			}
+			if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+				t.Errorf("orphan segment survived the rebuild's GC")
+			}
+			if err := ar2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStaleMetaSelfHeal: a crash between the meta backup and the key
+// directory commit leaves a newer meta than directory; the directory is
+// authoritative and the stale backup is rewritten at open.
+func TestStaleMetaSelfHeal(t *testing.T) {
+	dir := t.TempDir()
+	ar := buildOMIMArchive(t, dir, Config{Budget: 1 << 16}, 2)
+	want := snapshotXML(t, ar)
+	ar.Close()
+	// Fake a stale meta: bump its version count.
+	meta := ar.curDir
+	fake := &keyDirectory{versions: meta.versions + 7, rootTime: meta.rootTime, roots: meta.roots}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), encodeMeta(fake), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ar2, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar2.Versions() != 2 {
+		t.Fatalf("versions = %d, want 2 (keydir authoritative)", ar2.Versions())
+	}
+	if got := snapshotXML(t, ar2); got != want {
+		t.Errorf("archive XML changed after self-heal")
+	}
+	meta2, err := parseMetaV2(strings.NewReader(readFileString(t, filepath.Join(dir, metaFile))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.versions != 2 {
+		t.Errorf("meta backup not healed: versions %d", meta2.versions)
+	}
+	ar2.Close()
+
+	// A corrupt meta prefix must not reroute a healthy archive into the
+	// legacy-migration or rebuild paths: the key directory decides.
+	garbled := []byte(readFileString(t, filepath.Join(dir, metaFile)))
+	garbled[0] ^= 0x20
+	if err := os.WriteFile(filepath.Join(dir, metaFile), garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ar3, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16})
+	if err != nil {
+		t.Fatalf("open with garbled meta: %v", err)
+	}
+	if ar3.Versions() != 2 {
+		t.Fatalf("versions = %d after garbled meta, want 2", ar3.Versions())
+	}
+	if got := snapshotXML(t, ar3); got != want {
+		t.Errorf("archive XML changed after garbled-meta open")
+	}
+	meta3, err := parseMetaV2(strings.NewReader(readFileString(t, filepath.Join(dir, metaFile))))
+	if err != nil || meta3.versions != 2 {
+		t.Errorf("garbled meta not healed: %v, %+v", err, meta3)
+	}
+}
+
+func readFileString(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMigrationFromMonolithic: a v1 archive (meta v1 + archive.tok) is
+// upgraded transparently on open, answering every query identically.
+func TestMigrationFromMonolithic(t *testing.T) {
+	dir := t.TempDir()
+	ar := buildOMIMArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: 2048}, 3)
+	want := snapshotXML(t, ar)
+	stream := archiveStreamBytes(t, ar)
+	versions := ar.Versions()
+	rootTime := ar.curDir.rootTime.String()
+	ar.Close()
+
+	// Reconstruct the v1 layout: monolithic token file + v1 meta, no
+	// key directory, no segments.
+	if err := os.WriteFile(filepath.Join(dir, archiveFile), stream, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile),
+		[]byte(fmt.Sprintf("versions %d\nroottime %q\n", versions, rootTime)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, keydirFile))
+	for _, p := range ar.globSegments() {
+		os.Remove(p)
+	}
+
+	ar2, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16, SegmentTarget: 2048})
+	if err != nil {
+		t.Fatalf("migration open: %v", err)
+	}
+	if ar2.Versions() != versions {
+		t.Fatalf("migrated versions = %d, want %d", ar2.Versions(), versions)
+	}
+	if got := archiveStreamBytes(t, ar2); string(got) != string(stream) {
+		t.Fatalf("migrated token stream differs from monolithic file")
+	}
+	if got := snapshotXML(t, ar2); got != want {
+		t.Errorf("migrated archive XML differs")
+	}
+	if _, err := os.Stat(filepath.Join(dir, archiveFile)); !os.IsNotExist(err) {
+		t.Errorf("archive.tok not removed after migration")
+	}
+	if ar2.StorageStats().Segments < 2 {
+		t.Errorf("migration produced %d segments, expected several", ar2.StorageStats().Segments)
+	}
+	// The migrated archive keeps working: extend it and query.
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 91, Records: 30})
+	if err := ar2.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+		t.Fatalf("add after migration: %v", err)
+	}
+	if err := ar2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectorySeekParityRandomized is the randomized property test:
+// directory-seek answers must be byte-identical to full-scan answers —
+// History sets, ContentHistory change lists, WriteVersion bytes and
+// error texts — on archives with random change histories.
+func TestDirectorySeekParityRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		g := datagen.NewOMIM(datagen.OMIMConfig{
+			Seed: int64(100 + trial), Records: 12 + trial*7,
+			DeleteFrac: 0.1, InsertFrac: 0.15, ModifyFrac: 0.15,
+		})
+		dir := t.TempDir()
+		ar, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 200, SegmentTarget: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions := 2 + trial
+		var nums []string
+		for v := 0; v < versions; v++ {
+			doc := g.Next()
+			for _, rec := range doc.ChildrenNamed("Record") {
+				nums = append(nums, rec.ChildText("Num"))
+			}
+			if err := ar.AddVersion(strings.NewReader(doc.IndentedXML())); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sort.Strings(nums)
+		nums = dedup(nums)
+
+		qSeek, err := ar.OpenQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qScan, err := ar.OpenQuery()
+		if err != nil {
+			t.Fatal(err)
+		}
+		qScan.seek = false
+
+		var selectors []string
+		for i := 0; i < 10 && len(nums) > 0; i++ {
+			selectors = append(selectors, "/ROOT/Record[Num="+nums[rng.Intn(len(nums))]+"]")
+		}
+		selectors = append(selectors,
+			"/ROOT",
+			"/ROOT/Record",                  // ambiguous
+			"/ROOT/Record[Num=nosuch]",      // no match
+			"/nosuch",                       // no root match
+			"/ROOT/Record[Num=nosuch]/deep", // miss below a miss
+		)
+		if len(nums) > 0 {
+			selectors = append(selectors, "/ROOT/Record[Num="+nums[0]+"]/Title")
+		}
+		for _, sel := range selectors {
+			hSeek, eSeek := qSeek.History(sel)
+			hScan, eScan := qScan.History(sel)
+			if (eSeek == nil) != (eScan == nil) {
+				t.Fatalf("History(%s): seek err %v, scan err %v", sel, eSeek, eScan)
+			}
+			if eSeek != nil {
+				if eSeek.Error() != eScan.Error() {
+					t.Errorf("History(%s) error text differs:\n  seek: %v\n  scan: %v", sel, eSeek, eScan)
+				}
+			} else if !hSeek.Equal(hScan) {
+				t.Errorf("History(%s): seek %q, scan %q", sel, hSeek, hScan)
+			}
+			cSeek, eSeek := qSeek.ContentHistory(sel)
+			cScan, eScan := qScan.ContentHistory(sel)
+			if (eSeek == nil) != (eScan == nil) {
+				t.Fatalf("ContentHistory(%s): seek err %v, scan err %v", sel, eSeek, eScan)
+			}
+			if eSeek == nil && fmt.Sprint(cSeek) != fmt.Sprint(cScan) {
+				t.Errorf("ContentHistory(%s): seek %v, scan %v", sel, cSeek, cScan)
+			}
+		}
+		for v := 1; v <= versions; v++ {
+			var a, b strings.Builder
+			if err := qSeek.WriteVersion(v, &a, xmltree.WriteOptions{Indent: true}); err != nil {
+				t.Fatal(err)
+			}
+			if err := qScan.WriteVersion(v, &b, xmltree.WriteOptions{Indent: true}); err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Errorf("WriteVersion(%d): seek and scan bytes differ", v)
+			}
+		}
+		qSeek.Close()
+		qScan.Close()
+		ar.Close()
+	}
+}
+
+func dedup(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// TestSelectorSpecialCharacterKeys: key values containing the selector
+// grammar's separator and escape characters resolve through the
+// directory path (quoted selector values), matching the in-memory
+// resolver.
+func TestSelectorSpecialCharacterKeys(t *testing.T) {
+	spec, err := keys.ParseSpecString(`
+(/, (db, {}))
+(/db, (item, {name}))
+(/db/item, (name, {}))
+(/db/item, (val, {}))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weird := []string{
+		`a/b`, `a]b`, `a,b`, `a=b`, `a b`, `<&>`, `quote'q`,
+	}
+	var b strings.Builder
+	b.WriteString("<db>")
+	for i, w := range weird {
+		fmt.Fprintf(&b, "<item><name>%s</name><val>v%d</val></item>",
+			xmlEscape(w), i)
+	}
+	b.WriteString("</db>")
+
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, Config{Budget: 64, SegmentTarget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddVersion(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	ext := loadExternal(t, ar, spec)
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	for _, w := range weird {
+		sel := `/db/item[name="` + w + `"]`
+		want, werr := ext.History(sel)
+		got, gerr := q.History(sel)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("History(%s): view err %v, streaming err %v", sel, werr, gerr)
+		}
+		if werr != nil {
+			if werr.Error() != gerr.Error() {
+				t.Errorf("History(%s) error text differs: %v vs %v", sel, werr, gerr)
+			}
+			continue
+		}
+		if !want.Equal(got) {
+			t.Errorf("History(%s): view %q, streaming %q", sel, want, got)
+		}
+	}
+	if _, err := q.History(`/db/item[name="no/such"]`); !errors.Is(err, core.ErrNoSuchElement) {
+		t.Errorf("miss on special-char key: %v", err)
+	}
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	xmltree.EscapeText(bw, s)
+	bw.Flush()
+	return b.String()
+}
+
+// TestEmptyArchiveQueries: a freshly created archive answers every query
+// sensibly through the directory path.
+func TestEmptyArchiveQueries(t *testing.T) {
+	dir := t.TempDir()
+	ar, err := Open(dir, datagen.CompanySpec(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, err := q.Version(1); !errors.Is(err, core.ErrNoSuchVersion) {
+		t.Errorf("Version(1) on empty archive: %v", err)
+	}
+	if _, err := q.History("/db"); !errors.Is(err, core.ErrNoSuchElement) {
+		t.Errorf("History on empty archive: %v", err)
+	}
+	st, err := q.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elements != 1 || st.Versions != 0 {
+		t.Errorf("empty archive stats: %+v", st)
+	}
+	// Reopen: the empty state round-trips.
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar2, err := Open(dir, datagen.CompanySpec(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar2.Versions() != 0 {
+		t.Errorf("reopened empty archive has %d versions", ar2.Versions())
+	}
+}
+
+// TestViewSurvivesAdds: an open query view keeps answering from its
+// generation while later Adds rewrite and delete segments under it.
+func TestViewSurvivesAdds(t *testing.T) {
+	dir := t.TempDir()
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 77, Records: 20, ModifyFrac: 0.4, InsertFrac: 0.2})
+	ar, err := Open(dir, datagen.OMIMSpec(), Config{Budget: 1 << 16, SegmentTarget: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before strings.Builder
+	if err := q.WriteVersion(1, &before, xmltree.WriteOptions{Indent: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy churn: several adds rewrite most segments.
+	for i := 0; i < 3; i++ {
+		if err := ar.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var after strings.Builder
+	if err := q.WriteVersion(1, &after, xmltree.WriteOptions{Indent: true}); err != nil {
+		t.Fatalf("old view failed after adds: %v", err)
+	}
+	if before.String() != after.String() {
+		t.Errorf("old view's answer changed under later adds")
+	}
+	if q.Versions() != 1 {
+		t.Errorf("old view sees %d versions", q.Versions())
+	}
+	q.Close()
+	// After the view closes, its superseded segment files are swept.
+	live := ar.curDir.files()
+	for _, p := range ar.globSegments() {
+		if !live[filepath.Base(p)] {
+			t.Errorf("unswept segment file %s after view close", filepath.Base(p))
+		}
+	}
+}
+
+// TestRootAttributesAndEmptyFirstVersion: root attributes round-trip
+// through the directory's synthesized prefix, and an archive whose
+// first version is empty stays consistent.
+func TestRootAttributesAndEmptyFirstVersion(t *testing.T) {
+	spec := datagen.CompanySpec()
+	dir := t.TempDir()
+	ar, err := Open(dir, spec, Config{Budget: 64, SegmentTarget: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddEmptyVersion(); err != nil {
+		t.Fatal(err)
+	}
+	doc := `<db org="acme"><dept><name>finance</name></dept></db>`
+	if err := ar.AddVersion(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ar.AddVersion(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ar.OpenQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if v1, err := q.Version(1); err != nil || v1 != nil {
+		t.Fatalf("empty first version: %v, %v", v1, err)
+	}
+	var out strings.Builder
+	if err := q.WriteVersion(2, &out, xmltree.WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `org="acme"`) {
+		t.Errorf("root attribute lost: %s", out.String())
+	}
+	h, err := q.History("/db/dept[name=finance]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.String() != "2-3" {
+		t.Errorf("history = %q, want 2-3", h)
+	}
+	// Reopen (exercising keydir round-trip of root attrs) and extend
+	// with mismatching root attributes: the merge must reject it.
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ar2, err := Open(dir, spec, Config{Budget: 64, SegmentTarget: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ar2.AddVersion(strings.NewReader(`<db org="other"><dept><name>finance</name></dept></db>`))
+	if err == nil || !strings.Contains(err.Error(), "attributes of /db differ") {
+		t.Errorf("mismatching root attributes accepted: %v", err)
+	}
+	if ar2.Versions() != 3 {
+		t.Errorf("failed add advanced versions to %d", ar2.Versions())
+	}
+}
+
+// TestSegmentsVerify: the inspect path verifies checksums and flags
+// corruption.
+func TestSegmentsVerify(t *testing.T) {
+	dir := t.TempDir()
+	ar := buildOMIMArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: 2048}, 2)
+	infos := ar.Segments()
+	if len(infos) == 0 {
+		t.Fatal("no segments")
+	}
+	for _, info := range infos {
+		if !info.CRCOK {
+			t.Errorf("segment %s reported corrupt", info.File)
+		}
+	}
+	// Flip a payload byte: the checksum must catch it.
+	victim := infos[0].File
+	path := filepath.Join(dir, victim)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range ar.Segments() {
+		if info.File == victim && info.CRCOK {
+			t.Errorf("corrupted segment %s passed verification", victim)
+		}
+	}
+}

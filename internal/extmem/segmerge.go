@@ -1,0 +1,1096 @@
+package extmem
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"xarch/internal/intervals"
+	"xarch/internal/keys"
+)
+
+// Segment-local merge (phase 4 of AddVersion): instead of rewriting one
+// monolithic archive file end-to-end, the sorted version is merged into
+// the segmented layout root by root. Segments whose key range does not
+// overlap the incoming children — and which carry no inherited
+// timestamps that the new version would terminate — are left untouched
+// on disk and re-linked into the fresh key directory; only overlapping
+// segments are stream-merged into new files. An Add that changes a small
+// key range therefore rewrites O(overlap) bytes, not O(archive).
+
+// MergeStats reports the segment work of the most recent AddVersion.
+type MergeStats struct {
+	SegmentsReused    int // linked into the new directory unchanged
+	SegmentsRewritten int // old segments stream-merged into new files
+	SegmentsCreated   int // new segment files written
+}
+
+// segMerge carries the state of one segmented merge pass.
+type segMerge struct {
+	ar       *Archiver
+	i        int
+	newRoot  *intervals.Set
+	stats    MergeStats
+	newFiles []string
+	plans    map[*segmentRecord]*segPlan
+}
+
+// segPlan is the planning pass's verdict for one segment: whether the
+// incoming version forces a rewrite, and how many of the segment's
+// inherited-timestamp entries were matched by byte-identical incoming
+// children (a segment is reusable only when that covers all of them —
+// any unmatched inherited entry needs its timestamp terminated).
+type segPlan struct {
+	dirty        bool
+	cleanMatched int
+}
+
+func segInherited(seg *segmentRecord) int {
+	n := 0
+	for i := range seg.entries {
+		if seg.entries[i].timeStr == "" {
+			n++
+		}
+	}
+	return n
+}
+
+// reusable reports whether the planning pass cleared the segment: every
+// incoming child in its range is byte-identical to its stored subtree
+// (so the merged output equals the stored bytes), no child is inserted
+// or deleted in the range, and no timestamp changes.
+func (m *segMerge) reusable(seg *segmentRecord) bool {
+	pl := m.plans[seg]
+	if pl == nil {
+		// No incoming child touched this range: reusable unless an
+		// inherited timestamp must be terminated.
+		return segInherited(seg) == 0
+	}
+	return !pl.dirty && pl.cleanMatched == segInherited(seg)
+}
+
+// mergedTime applies the §4.2 timestamp rule for a node present in both
+// archive and version: an explicit archive timestamp gains version i and
+// collapses back to inherited ("") when it catches up with the parent's
+// effective timestamp. It returns the node's new effective timestamp and
+// its stored form.
+func mergedTime(atData string, parentEff *intervals.Set, i int) (*intervals.Set, string, error) {
+	if atData == "" {
+		return parentEff, "", nil
+	}
+	t, err := intervals.Parse(atData)
+	if err != nil {
+		return nil, "", fmt.Errorf("extmem: bad archive timestamp %q: %w", atData, err)
+	}
+	t.Add(i)
+	if t.Equal(parentEff) {
+		return parentEff, "", nil
+	}
+	return t, t.String(), nil
+}
+
+// mergeIntoSegments merges the sorted version in sortedPath as version i,
+// returning the fresh directory, the merge stats and the list of segment
+// files created (for cleanup if the commit fails).
+func (ar *Archiver) mergeIntoSegments(sortedPath string, i int) (*keyDirectory, MergeStats, []string, error) {
+	old := ar.curDir
+	newRoot := old.rootTime.Clone()
+	newRoot.Add(i)
+	m := &segMerge{ar: ar, i: i, newRoot: newRoot}
+
+	if err := m.planReuse(sortedPath); err != nil {
+		return nil, m.stats, nil, err
+	}
+
+	df, err := os.Open(sortedPath)
+	if err != nil {
+		return nil, m.stats, nil, fmt.Errorf("extmem: %w", err)
+	}
+	defer df.Close()
+	d := newTokenReader(df)
+	defer d.release()
+
+	out := &keyDirectory{versions: i, rootTime: newRoot}
+	oi := 0
+	for {
+		var dt token
+		dOK := false
+		if t, ok := d.peek(); ok {
+			if t.op != tokOpen {
+				return nil, m.stats, m.newFiles, fmt.Errorf("extmem: unexpected token %#x at version root", t.op)
+			}
+			dt, dOK = t, true
+		}
+		aOK := oi < len(old.roots)
+		var rec *rootRecord
+		switch {
+		case aOK && dOK:
+			r := old.roots[oi]
+			dn, nerr := ar.dict.name(dt.tag)
+			if nerr != nil {
+				return nil, m.stats, m.newFiles, nerr
+			}
+			switch cmp := compareLabels(r.name, r.key, dn, dt.key); {
+			case cmp == 0:
+				rec, err = m.mergeRoot(r, d)
+				oi++
+			case cmp < 0:
+				rec, err = m.terminateRoot(r)
+				oi++
+			default:
+				rec, err = m.newRootFromVersion(d, dn, dt)
+			}
+		case aOK:
+			rec, err = m.terminateRoot(old.roots[oi])
+			oi++
+		case dOK:
+			dn, nerr := ar.dict.name(dt.tag)
+			if nerr != nil {
+				return nil, m.stats, m.newFiles, nerr
+			}
+			rec, err = m.newRootFromVersion(d, dn, dt)
+		default:
+			if d.err != nil {
+				return nil, m.stats, m.newFiles, d.err
+			}
+			return out, m.stats, m.newFiles, nil
+		}
+		if err != nil {
+			return nil, m.stats, m.newFiles, err
+		}
+		out.roots = append(out.roots, rec)
+	}
+}
+
+// newWriter returns a segment-set writer for rec that records every
+// created file for cleanup (at creation, so failed merges remove
+// partial files too) and appends finished segments to rec.
+func (m *segMerge) newWriter(rec *rootRecord, raw bool) *segmentSetWriter {
+	return newSegmentSetWriter(m.ar, rec, raw,
+		func(sr *segmentRecord) {
+			rec.segs = append(rec.segs, sr)
+			m.stats.SegmentsCreated++
+		},
+		func(name string) {
+			m.newFiles = append(m.newFiles, name)
+		})
+}
+
+// terminateRoot handles a root absent from the new version: an inherited
+// timestamp becomes explicit at newRoot−{i} (§4.2 step (b)). Non-raw
+// roots change only in the directory — every segment is reused; a raw
+// root with an inherited timestamp must be rewritten because its open
+// token (and timestamp) live in the segment bytes.
+func (m *segMerge) terminateRoot(r *rootRecord) (*rootRecord, error) {
+	out := &rootRecord{name: r.name, tag: r.tag, key: r.key, timeStr: r.timeStr, attrs: r.attrs, raw: r.raw}
+	if r.timeStr == "" {
+		out.timeStr = m.newRoot.Without(m.i).String()
+	}
+	if !r.raw || r.timeStr != "" {
+		out.segs = r.segs
+		m.stats.SegmentsReused += len(r.segs)
+		return out, nil
+	}
+	// Raw root gaining an explicit timestamp: re-emit the stored subtree
+	// with the new open token.
+	ds := &dirStream{dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+	defer ds.Close()
+	a := newTokenReader(ds)
+	defer a.release()
+	at, ok := a.take()
+	if !ok || at.op != tokOpen {
+		return nil, corruptf("raw root %s has no open token", r.name)
+	}
+	sw := m.newWriter(out, true)
+	sw.open()
+	sw.tw.open(at.tag, at.key, out.timeStr)
+	if err := copyBalancedTo(a, sw.tw, true); err != nil {
+		sw.finish()
+		return nil, err
+	}
+	m.stats.SegmentsRewritten += len(r.segs)
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// newRootFromVersion copies a version-only root: the root's timestamp is
+// {i}, its children are copied verbatim (inheriting it), exactly like
+// the monolithic merge's copyVersionChild at the top level.
+func (m *segMerge) newRootFromVersion(d *tokenReader, dn string, dt token) (*rootRecord, error) {
+	out := &rootRecord{
+		name: dn, tag: dt.tag, key: dt.key,
+		timeStr: intervals.New(m.i).String(),
+		raw:     m.ar.spec.IsFrontier(keys.Path([]string{dn})),
+	}
+	d.take() // the root open
+	if out.raw {
+		sw := m.newWriter(out, true)
+		sw.open()
+		sw.tw.open(dt.tag, dt.key, out.timeStr)
+		if err := copyBalancedTo(d, sw.tw, true); err != nil {
+			sw.finish()
+			return nil, err
+		}
+		return out, sw.finish()
+	}
+	for _, t := range drainAttrs(d) {
+		an, err := m.ar.dict.name(t.tag)
+		if err != nil {
+			return nil, err
+		}
+		out.attrs = append(out.attrs, attrRec{name: an, tag: t.tag, value: t.data})
+	}
+	sw := m.newWriter(out, false)
+	if err := m.copyChildrenVerbatim(sw, d); err != nil {
+		sw.finish()
+		return nil, err
+	}
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	if t, ok := d.take(); !ok || t.op != tokClose {
+		return nil, fmt.Errorf("extmem: version stream missing close at /%s", dn)
+	}
+	return out, nil
+}
+
+// copyChildrenVerbatim copies the sibling subtrees at the cursor into sw
+// unchanged (stopping at the balancing close, which it does not
+// consume), recording one entry per subtree.
+func (m *segMerge) copyChildrenVerbatim(sw *segmentSetWriter, tr *tokenReader) error {
+	for {
+		t, ok := tr.peek()
+		if !ok || t.op == tokClose {
+			return tr.err
+		}
+		if t.op != tokOpen {
+			return corruptf("unexpected token %#x at keyed level", t.op)
+		}
+		tr.take()
+		name, err := m.ar.dict.name(t.tag)
+		if err != nil {
+			return err
+		}
+		sw.beginChild(name, t.tag, t.key, t.data)
+		sw.tw.open(t.tag, t.key, t.data)
+		if err := copyBalancedTo(tr, sw.tw, true); err != nil {
+			return err
+		}
+		sw.endChild()
+		if sw.err != nil {
+			return sw.err
+		}
+	}
+}
+
+// mergeRoot merges a root present in both archive and version.
+func (m *segMerge) mergeRoot(r *rootRecord, d *tokenReader) (*rootRecord, error) {
+	eff, timeStr, err := mergedTime(r.timeStr, m.newRoot, m.i)
+	if err != nil {
+		return nil, err
+	}
+	out := &rootRecord{name: r.name, tag: r.tag, key: r.key, timeStr: timeStr, attrs: r.attrs, raw: r.raw}
+	sm := &streamMerger{dict: m.ar.dict, spec: m.ar.spec, i: m.i}
+
+	if r.raw {
+		// Frontier root: record-sized by the §6 contract — merge the two
+		// bodies with the standard frontier rules into one fresh segment.
+		ds := &dirStream{dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+		defer ds.Close()
+		a := newTokenReader(ds)
+		defer a.release()
+		sw := m.newWriter(out, true)
+		sw.open()
+		sm.out = sw.tw
+		if err := sm.mergeEqual(a, d, m.newRoot, []string{r.name}); err != nil {
+			sw.finish()
+			return nil, err
+		}
+		m.stats.SegmentsRewritten += len(r.segs)
+		return out, sw.finish()
+	}
+
+	d.take() // the version root open
+	dAttrs := drainAttrs(d)
+	if !attrRecsEqual(r.attrs, dAttrs) {
+		return nil, fmt.Errorf("extmem: attributes of /%s differ between archive and version %d", r.name, m.i)
+	}
+	sw := m.newWriter(out, false)
+	sm.out = sw.tw
+	if err := m.mergeChildren(sw, sm, r, out, d, eff); err != nil {
+		sw.finish()
+		return nil, err
+	}
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	if t, ok := d.take(); !ok || t.op != tokClose {
+		return nil, fmt.Errorf("extmem: version stream missing close at /%s", r.name)
+	}
+	return out, nil
+}
+
+// mergeChildren merges the version's children (up to the root's close)
+// into the root's segments, reusing every segment whose key range the
+// version does not touch.
+func (m *segMerge) mergeChildren(sw *segmentSetWriter, sm *streamMerger, r, out *rootRecord, d *tokenReader, eff *intervals.Set) error {
+	path := []string{out.name}
+	dPeek := func() (string, token, bool, error) {
+		t, ok := d.peek()
+		if !ok || t.op != tokOpen {
+			return "", token{}, false, d.err
+		}
+		n, err := m.ar.dict.name(t.tag)
+		return n, t, err == nil, err
+	}
+	for si := 0; si < len(r.segs); si++ {
+		seg := r.segs[si]
+		hasHi := si+1 < len(r.segs)
+		var hiName string
+		var hiKey *tkey
+		if hasHi {
+			hiName, hiKey = r.segs[si+1].firstLabel()
+		}
+		inRange := func(n string, k *tkey) bool {
+			return !hasHi || compareLabels(n, k, hiName, hiKey) < 0
+		}
+		if m.reusable(seg) {
+			// The planning pass proved the merged output would equal the
+			// stored bytes: consume the (byte-identical) incoming
+			// children of this range and link the segment unchanged.
+			// Close any partial output first so the directory keeps the
+			// key order.
+			sw.closeCurrent()
+			if sw.err != nil {
+				return sw.err
+			}
+			for {
+				dn, dt, dOK, err := dPeek()
+				if err != nil {
+					return err
+				}
+				if !dOK || !inRange(dn, dt.key) {
+					break
+				}
+				d.take()
+				if err := d.discardSubtree(); err != nil {
+					return err
+				}
+			}
+			out.segs = append(out.segs, seg)
+			m.stats.SegmentsReused++
+			continue
+		}
+		m.stats.SegmentsRewritten++
+		ds := &dirStream{dir: m.ar.dir, parts: []streamPart{{file: seg.file, off: seg.dataOff, n: seg.payload}}, counter: &m.ar.bytesRead}
+		a := newTokenReader(ds)
+		err := m.mergeChildLevel(sw, sm, a, d, inRange, eff, path)
+		a.release()
+		ds.Close()
+		if err != nil {
+			return err
+		}
+	}
+	// Children arriving after the last segment's range (only possible
+	// when the root had no segments at all).
+	return m.mergeChildLevel(sw, sm, nil, d, func(string, *tkey) bool { return true }, eff, path)
+}
+
+// mergeChildLevel is the bounded sibling merge of one segment's subtrees
+// (a; nil for none) with the version children d accepts by inRange. It
+// brackets every emitted child with entry recording on sw.
+func (m *segMerge) mergeChildLevel(sw *segmentSetWriter, sm *streamMerger, a, d *tokenReader, inRange func(string, *tkey) bool, eff *intervals.Set, path []string) error {
+	for {
+		var at token
+		aOK := false
+		var an string
+		if a != nil {
+			if t, ok := a.peek(); ok && t.op == tokOpen {
+				n, err := m.ar.dict.name(t.tag)
+				if err != nil {
+					return err
+				}
+				at, an, aOK = t, n, true
+			} else if a.err != nil {
+				return a.err
+			}
+		}
+		var dt token
+		dOK := false
+		var dn string
+		if t, ok := d.peek(); ok && t.op == tokOpen {
+			n, err := m.ar.dict.name(t.tag)
+			if err != nil {
+				return err
+			}
+			if inRange(n, t.key) {
+				dt, dn, dOK = t, n, true
+			}
+		} else if d.err != nil {
+			return d.err
+		}
+		var err error
+		switch {
+		case aOK && dOK:
+			switch cmp := compareLabels(an, at.key, dn, dt.key); {
+			case cmp == 0:
+				_, ts, terr := mergedTime(at.data, eff, m.i)
+				if terr != nil {
+					return terr
+				}
+				sw.beginChild(an, at.tag, at.key, ts)
+				err = sm.mergeEqual(a, d, eff, append(path, an))
+			case cmp < 0:
+				err = m.copyArchiveChildEntry(sw, sm, a, at, an, eff)
+			default:
+				sw.beginChild(dn, dt.tag, dt.key, intervals.New(m.i).String())
+				err = sm.copyVersionChild(d)
+			}
+		case aOK:
+			err = m.copyArchiveChildEntry(sw, sm, a, at, an, eff)
+		case dOK:
+			sw.beginChild(dn, dt.tag, dt.key, intervals.New(m.i).String())
+			err = sm.copyVersionChild(d)
+		default:
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		sw.endChild()
+		if sw.err != nil {
+			return sw.err
+		}
+	}
+}
+
+func (m *segMerge) copyArchiveChildEntry(sw *segmentSetWriter, sm *streamMerger, a *tokenReader, at token, an string, eff *intervals.Set) error {
+	ts := at.data
+	if ts == "" {
+		ts = eff.Without(m.i).String()
+	}
+	sw.beginChild(an, at.tag, at.key, ts)
+	return sm.copyArchiveChild(a, eff)
+}
+
+// attrRecsEqual compares the root's recorded attributes with the
+// version's attribute tokens.
+func attrRecsEqual(a []attrRec, b []token) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].tag != b[i].tag || a[i].value != b[i].data {
+			return false
+		}
+	}
+	return true
+}
+
+// copyBalancedTo copies tokens verbatim until the close balancing the
+// already-consumed open; the close is emitted when emitClose is set.
+func copyBalancedTo(r *tokenReader, tw *tokenWriter, emitClose bool) error {
+	depth := 1
+	for {
+		t, ok := r.take()
+		if !ok {
+			return fmt.Errorf("extmem: truncated subtree")
+		}
+		switch t.op {
+		case tokOpen:
+			depth++
+		case tokClose:
+			depth--
+			if depth == 0 {
+				if emitClose {
+					tw.close()
+				}
+				return nil
+			}
+		}
+		tw.writeToken(t)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Planning pass: which segments can the merge reuse?
+
+// planReuse scans the sorted version once, classifying every segment of
+// every matched root: an incoming child that is byte-identical to its
+// stored subtree (same label, inherited timestamp, same bytes) leaves
+// the stored bytes untouched by the §4.2 merge rules, so a segment whose
+// range sees only such children — and whose inherited timestamps are all
+// covered by them — can be linked into the new directory without being
+// read again or rewritten. The comparison is exact (stream compare of
+// the two byte ranges), never a fingerprint.
+func (m *segMerge) planReuse(sortedPath string) error {
+	m.plans = map[*segmentRecord]*segPlan{}
+	f, err := os.Open(sortedPath)
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	cmpF, err := os.Open(sortedPath) // random-access handle for compares
+	if err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	defer cmpF.Close()
+	pr := &posReader{br: bufio.NewReaderSize(f, tokenBufSize)}
+	roots := m.ar.curDir.roots
+	oi := 0
+	for {
+		op, ok, err := pr.peekByte()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if op != tokOpen {
+			return corruptf("unexpected token %#x at version root", op)
+		}
+		pr.byte()
+		tag, key, _, err := pr.openPayload(true)
+		if err != nil {
+			return err
+		}
+		name, err := m.ar.dict.name(tag)
+		if err != nil {
+			return err
+		}
+		for oi < len(roots) && compareLabels(roots[oi].name, roots[oi].key, name, key) < 0 {
+			oi++
+		}
+		if oi < len(roots) && !roots[oi].raw && compareLabels(roots[oi].name, roots[oi].key, name, key) == 0 {
+			err = m.planRoot(pr, cmpF, roots[oi])
+			oi++
+		} else {
+			if oi < len(roots) && compareLabels(roots[oi].name, roots[oi].key, name, key) == 0 {
+				oi++ // raw root: always rewritten, nothing to plan
+			}
+			err = pr.skipBalanced(1)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// planRoot classifies the children of one matched, non-raw root. The
+// cursor stands right after the root's open token; planRoot consumes
+// attributes, every child subtree and the root's close.
+func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error {
+	plan := func(s *segmentRecord) *segPlan {
+		p := m.plans[s]
+		if p == nil {
+			p = &segPlan{}
+			m.plans[s] = p
+		}
+		return p
+	}
+	// Attributes of the root.
+	for {
+		op, ok, err := pr.peekByte()
+		if err != nil {
+			return err
+		}
+		if !ok || op != tokAttr {
+			break
+		}
+		pr.byte()
+		if _, err := pr.varint(); err != nil {
+			return err
+		}
+		if err := pr.skipStr(); err != nil {
+			return err
+		}
+	}
+	segs := r.segs
+	si, ei := 0, 0
+	var segF *os.File
+	defer func() {
+		if segF != nil {
+			segF.Close()
+		}
+	}()
+	for {
+		op, ok, err := pr.peekByte()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return corruptf("version stream ends inside /%s", r.name)
+		}
+		if op == tokClose {
+			pr.byte()
+			return nil
+		}
+		if op != tokOpen {
+			return corruptf("unexpected token %#x at keyed level", op)
+		}
+		start := pr.pos
+		pr.byte()
+		tag, key, _, err := pr.openPayload(true)
+		if err != nil {
+			return err
+		}
+		name, err := m.ar.dict.name(tag)
+		if err != nil {
+			return err
+		}
+		if err := pr.skipBalanced(1); err != nil {
+			return err
+		}
+		end := pr.pos
+		if len(segs) == 0 {
+			continue // fresh root level: no segments to classify
+		}
+		// Ownership: the child belongs to the last segment whose first
+		// label does not exceed it (mirroring the merge's ranges).
+		for si+1 < len(segs) {
+			fn, fk := segs[si+1].firstLabel()
+			if compareLabels(name, key, fn, fk) >= 0 {
+				si++
+				ei = 0
+				if segF != nil {
+					segF.Close()
+					segF = nil
+				}
+			} else {
+				break
+			}
+		}
+		seg := segs[si]
+		for ei < len(seg.entries) && compareLabels(seg.entries[ei].name, seg.entries[ei].key, name, key) < 0 {
+			ei++
+		}
+		if ei >= len(seg.entries) || compareLabels(seg.entries[ei].name, seg.entries[ei].key, name, key) != 0 {
+			plan(seg).dirty = true // inserted child in this range
+			continue
+		}
+		e := &seg.entries[ei]
+		ei++
+		if e.timeStr != "" || e.size != end-start {
+			plan(seg).dirty = true // timestamp change, or content of a different size
+			continue
+		}
+		if segF == nil {
+			segF, err = os.Open(filepath.Join(m.ar.dir, seg.file))
+			if err != nil {
+				return fmt.Errorf("extmem: %w", err)
+			}
+		}
+		same, err := sectionsEqual(sorted, start, segF, seg.dataOff+e.offset, e.size)
+		if err != nil {
+			return err
+		}
+		m.ar.bytesRead.Add(e.size)
+		if same {
+			plan(seg).cleanMatched++
+		} else {
+			plan(seg).dirty = true
+		}
+	}
+}
+
+// sectionsEqual stream-compares two file sections of equal length.
+func sectionsEqual(a *os.File, aOff int64, b *os.File, bOff, n int64) (bool, error) {
+	const chunk = 32 * 1024
+	var ab, bb [chunk]byte
+	for n > 0 {
+		c := int64(chunk)
+		if c > n {
+			c = n
+		}
+		if _, err := a.ReadAt(ab[:c], aOff); err != nil {
+			return false, fmt.Errorf("extmem: %w", err)
+		}
+		if _, err := b.ReadAt(bb[:c], bOff); err != nil {
+			return false, fmt.Errorf("extmem: %w", err)
+		}
+		if !bytes.Equal(ab[:c], bb[:c]) {
+			return false, nil
+		}
+		aOff += c
+		bOff += c
+		n -= c
+	}
+	return true, nil
+}
+
+// ---------------------------------------------------------------------------
+// One-time migration from the monolithic archive.tok layout
+
+// migrateMonolithic splits a v1 archive token file into the segmented
+// layout, preserving the token bytes exactly: the concatenated segment
+// stream reproduces the old file byte for byte.
+func (ar *Archiver) migrateMonolithic(tokPath string, versions int, rootTime *intervals.Set) (*keyDirectory, []string, error) {
+	m := &segMerge{ar: ar, i: versions, newRoot: rootTime}
+	f, err := os.Open(tokPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	tr := newTokenReader(f)
+	defer tr.release()
+
+	out := &keyDirectory{versions: versions, rootTime: rootTime}
+	for {
+		t, ok := tr.take()
+		if !ok {
+			break
+		}
+		if t.op != tokOpen {
+			return nil, m.newFiles, corruptf("unexpected token %#x at archive root", t.op)
+		}
+		name, err := ar.dict.name(t.tag)
+		if err != nil {
+			return nil, m.newFiles, err
+		}
+		rec := &rootRecord{
+			name: name, tag: t.tag, key: t.key, timeStr: t.data,
+			raw: ar.spec.IsFrontier(keys.Path([]string{name})),
+		}
+		if rec.raw {
+			sw := m.newWriter(rec, true)
+			sw.open()
+			sw.tw.open(t.tag, t.key, t.data)
+			if err := copyBalancedTo(tr, sw.tw, true); err != nil {
+				sw.finish()
+				return nil, m.newFiles, err
+			}
+			if err := sw.finish(); err != nil {
+				return nil, m.newFiles, err
+			}
+		} else {
+			for _, a := range drainAttrs(tr) {
+				an, err := ar.dict.name(a.tag)
+				if err != nil {
+					return nil, m.newFiles, err
+				}
+				rec.attrs = append(rec.attrs, attrRec{name: an, tag: a.tag, value: a.data})
+			}
+			sw := m.newWriter(rec, false)
+			if err := m.copyChildrenVerbatim(sw, tr); err != nil {
+				sw.finish()
+				return nil, m.newFiles, err
+			}
+			if err := sw.finish(); err != nil {
+				return nil, m.newFiles, err
+			}
+			if t, ok := tr.take(); !ok || t.op != tokClose {
+				return nil, m.newFiles, corruptf("missing close at /%s", name)
+			}
+		}
+		out.roots = append(out.roots, rec)
+	}
+	if tr.err != nil {
+		return nil, m.newFiles, tr.err
+	}
+	return out, m.newFiles, nil
+}
+
+// ---------------------------------------------------------------------------
+// Directory rebuild from segment files (corrupt keydir.idx fallback)
+
+// rebuildDirectory reconstructs the segment and entry tables by reading
+// exactly the segment files the meta backup lists for each root — never
+// globbing the directory, so crash orphans lying on disk cannot be
+// woven into the rebuilt archive — and re-deriving entries (offsets,
+// sizes, timestamps) from the payload tokens. meta also supplies the
+// root records, which the payloads cannot (a root's timestamp lives
+// only in the directory).
+func (ar *Archiver) rebuildDirectory(meta *keyDirectory) (*keyDirectory, error) {
+	out := &keyDirectory{versions: meta.versions, rootTime: meta.rootTime}
+	for _, r := range meta.roots {
+		rec := &rootRecord{name: r.name, key: r.key, timeStr: r.timeStr, attrs: r.attrs, raw: r.raw}
+		for _, skel := range r.segs {
+			si, hname, hkey, err := scanSegment(filepath.Join(ar.dir, skel.file), ar.dict)
+			if err != nil {
+				return nil, fmt.Errorf("extmem: rebuild %s: %w", skel.file, err)
+			}
+			if si.raw != r.raw || hname != r.name || compareKeys(hkey, r.key) != 0 {
+				return nil, fmt.Errorf("extmem: rebuild: segment %s belongs to root %s, not %s", skel.file, hname, r.name)
+			}
+			rec.segs = append(rec.segs, si.rec)
+		}
+		out.roots = append(out.roots, rec)
+	}
+	return out, nil
+}
+
+// scanSegment reads one segment file end to end: header, payload CRC,
+// and the entry table re-derived from the payload tokens. It returns the
+// record plus the root label from the header.
+func scanSegment(path string, dict *dictionary) (*segInfoResult, string, *tkey, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	defer f.Close()
+	h, err := readSegmentHeader(f)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
+		return nil, "", nil, err
+	}
+	crc := crc32.NewIEEE()
+	rec := &segmentRecord{file: filepath.Base(path), dataOff: h.dataOff, payload: h.payload, crc: h.crc}
+	body := io.TeeReader(io.LimitReader(f, h.payload), crc)
+	res := &segInfoResult{rec: rec, raw: h.raw}
+	if h.raw {
+		if _, err := io.Copy(io.Discard, body); err != nil {
+			return nil, "", nil, err
+		}
+	} else {
+		entries, err := scanEntries(body)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if len(entries) == 0 {
+			return nil, "", nil, fmt.Errorf("segment has no entries")
+		}
+		for i := range entries {
+			name, err := dict.name(entries[i].tag)
+			if err != nil {
+				return nil, "", nil, err
+			}
+			entries[i].name = name
+		}
+		rec.entries = entries
+	}
+	if crc.Sum32() != h.crc {
+		return nil, "", nil, fmt.Errorf("payload checksum mismatch")
+	}
+	return res, h.rootName, h.rootKey, nil
+}
+
+type segInfoResult = struct {
+	rec *segmentRecord
+	raw bool
+}
+
+// scanEntries walks a non-raw segment payload, recording each top-level
+// subtree's label, timestamp, offset and size (names resolved by the
+// caller through the dictionary).
+func scanEntries(r io.Reader) ([]childEntry, error) {
+	pr := &posReader{br: bufio.NewReaderSize(r, tokenBufSize)}
+	var entries []childEntry
+	depth := 0
+	for {
+		start := pr.pos
+		op, err := pr.byte()
+		if err == io.EOF {
+			if depth != 0 {
+				return nil, fmt.Errorf("unbalanced segment payload")
+			}
+			return entries, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case tokOpen:
+			if depth == 0 {
+				tag, key, timeStr, err := pr.openPayload(true)
+				if err != nil {
+					return nil, err
+				}
+				entries = append(entries, childEntry{tag: tag, key: key, timeStr: timeStr, offset: start})
+			} else {
+				if _, _, _, err := pr.openPayload(false); err != nil {
+					return nil, err
+				}
+			}
+			depth++
+		case tokClose:
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced segment payload")
+			}
+			if depth == 0 {
+				entries[len(entries)-1].size = pr.pos - entries[len(entries)-1].offset
+			}
+		case tokText, tokTSOpen:
+			if err := pr.skipStr(); err != nil {
+				return nil, err
+			}
+		case tokAttr:
+			if _, err := pr.varint(); err != nil {
+				return nil, err
+			}
+			if err := pr.skipStr(); err != nil {
+				return nil, err
+			}
+		case tokTSClose:
+		default:
+			return nil, fmt.Errorf("unknown opcode %#x", op)
+		}
+	}
+}
+
+// posReader is a byte-position-tracking token scanner used by the
+// directory rebuild, where exact payload offsets matter and the pooled
+// lookahead reader cannot provide them.
+type posReader struct {
+	br  *bufio.Reader
+	pos int64
+}
+
+func (p *posReader) byte() (byte, error) {
+	b, err := p.br.ReadByte()
+	if err == nil {
+		p.pos++
+	}
+	return b, err
+}
+
+// peekByte looks at the next opcode without consuming it; ok is false at
+// end of stream.
+func (p *posReader) peekByte() (byte, bool, error) {
+	b, err := p.br.Peek(1)
+	if err == io.EOF {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return b[0], true, nil
+}
+
+// skipBalanced consumes tokens until the opens and closes balance out at
+// the given starting depth.
+func (p *posReader) skipBalanced(depth int) error {
+	for depth > 0 {
+		op, err := p.byte()
+		if err != nil {
+			return err
+		}
+		switch op {
+		case tokOpen:
+			if _, _, _, err := p.openPayload(false); err != nil {
+				return err
+			}
+			depth++
+		case tokClose:
+			depth--
+		case tokText, tokTSOpen:
+			if err := p.skipStr(); err != nil {
+				return err
+			}
+		case tokAttr:
+			if _, err := p.varint(); err != nil {
+				return err
+			}
+			if err := p.skipStr(); err != nil {
+				return err
+			}
+		case tokTSClose:
+		default:
+			return fmt.Errorf("extmem: unknown opcode %#x", op)
+		}
+	}
+	return nil
+}
+
+func (p *posReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := p.byte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (p *posReader) str() (string, error) {
+	n, err := p.varint()
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(p.br, buf); err != nil {
+		return "", err
+	}
+	p.pos += int64(n)
+	return string(buf), nil
+}
+
+func (p *posReader) skipStr() error {
+	n, err := p.varint()
+	if err != nil {
+		return err
+	}
+	if _, err := io.CopyN(io.Discard, p.br, int64(n)); err != nil {
+		return err
+	}
+	p.pos += int64(n)
+	return nil
+}
+
+// openPayload consumes the payload of an open token (after its opcode).
+// With capture, the key and timestamp are materialized.
+func (p *posReader) openPayload(capture bool) (tag int, key *tkey, timeStr string, err error) {
+	t, err := p.varint()
+	if err != nil {
+		return 0, nil, "", err
+	}
+	flags, err := p.byte()
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if flags&flagHasKey != 0 {
+		n, err := p.varint()
+		if err != nil {
+			return 0, nil, "", err
+		}
+		if capture {
+			key = &tkey{}
+		}
+		for i := uint64(0); i < n; i++ {
+			if capture {
+				kp, err := p.str()
+				if err != nil {
+					return 0, nil, "", err
+				}
+				kc, err := p.str()
+				if err != nil {
+					return 0, nil, "", err
+				}
+				key.paths = append(key.paths, kp)
+				key.canon = append(key.canon, kc)
+			} else {
+				if err := p.skipStr(); err != nil {
+					return 0, nil, "", err
+				}
+				if err := p.skipStr(); err != nil {
+					return 0, nil, "", err
+				}
+			}
+		}
+	}
+	if flags&flagHasTime != 0 {
+		if capture {
+			timeStr, err = p.str()
+		} else {
+			err = p.skipStr()
+		}
+		if err != nil {
+			return 0, nil, "", err
+		}
+	}
+	return int(t), key, timeStr, nil
+}

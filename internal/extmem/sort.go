@@ -71,18 +71,23 @@ func formRuns(tr *tokenReader, dict *dictionary, spec *keys.Spec, budget int,
 			break
 		}
 		if err := rf.feed(t); err != nil {
-			return nil, rf.stats, err
+			return rf.runs, rf.stats, err
 		}
 	}
 	if tr.err != nil {
-		return nil, rf.stats, tr.err
+		return rf.runs, rf.stats, tr.err
 	}
+	return rf.finish()
+}
+
+// finish flushes the final partial tree and reports the runs formed.
+func (rf *runFormer) finish() ([]string, SortStats, error) {
 	if len(rf.stack) != 0 {
-		return nil, rf.stats, fmt.Errorf("extmem: token stream ends inside an element")
+		return rf.runs, rf.stats, fmt.Errorf("extmem: token stream ends inside an element")
 	}
 	if rf.root != nil {
 		if err := rf.flushRun(nil); err != nil {
-			return nil, rf.stats, err
+			return rf.runs, rf.stats, err
 		}
 	}
 	rf.stats.Runs = len(rf.runs)

@@ -77,6 +77,9 @@ type config struct {
 	validation  bool
 	budget      int  // external-sort memory budget, in tokens
 	matview     bool // external engine answers queries from a materialized view
+	segTarget   int  // external engine segment payload target, in bytes
+	shards      int  // external engine run-forming shards (0 = auto)
+	noSeek      bool // external engine: disable key-directory seeks
 }
 
 func defaultConfig() config {
@@ -129,6 +132,33 @@ func WithValidation(on bool) Option {
 // runs. The default is 1<<20.
 func WithMemoryBudget(tokens int) Option {
 	return func(c *config) { c.budget = tokens }
+}
+
+// WithSegmentTargetSize sets the payload size, in bytes, that the
+// external engine's segment files aim for. Smaller targets mean more
+// segments: finer-grained merge reuse (a small Add rewrites less) and
+// more selective seeks, at the cost of more files and directory entries.
+// External engine only; the default is 256 KiB.
+func WithSegmentTargetSize(bytes int) Option {
+	return func(c *config) { c.segTarget = bytes }
+}
+
+// WithIngestShards sets how many run-former workers the external
+// engine's ingest fans out to, splitting top-level subtrees across
+// cores. 1 disables sharding; the default (0) uses min(4, GOMAXPROCS).
+// External engine only.
+func WithIngestShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithDirectorySeek toggles the external engine's key-directory seeks:
+// on (the default), selective keyed queries resolve through the
+// persistent key directory and read only the matching subtrees; off,
+// every query scans the full archive stream. The two paths answer
+// byte-identically — turning seeks off is a diagnostic/benchmark knob.
+// External engine only.
+func WithDirectorySeek(on bool) Option {
+	return func(c *config) { c.noSeek = !on }
 }
 
 // WithMaterializedView makes the external engine answer queries from an
