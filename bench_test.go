@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -613,6 +614,128 @@ func BenchmarkWeaveAblation(b *testing.B) {
 				size = bench.Last(lines.Archive)
 			}
 			b.ReportMetric(float64(size), "archive_bytes")
+		})
+	}
+}
+
+// fragmentXML renders one version of a growing OMIM-shaped database
+// whose inserted records interleave the existing key space — the
+// workload that strands undersized segment tails (see the compaction
+// tests in internal/extmem).
+func fragmentXML(base, grown int) string {
+	nums := make([]int, 0, base+grown)
+	for k := 0; k < base; k++ {
+		nums = append(nums, 10_000_000+k*1000)
+	}
+	for r := 0; r < grown; r++ {
+		nums = append(nums, 10_000_000+((r*7)%base)*1000+800-(r/base)*100)
+	}
+	sort.Ints(nums)
+	var sb strings.Builder
+	sb.WriteString("<ROOT>")
+	for _, n := range nums {
+		fmt.Fprintf(&sb, "<Record><Num>%08d</Num><Title>record %08d</Title><Text>%s</Text></Record>",
+			n, n, strings.Repeat(fmt.Sprintf("body of record %08d. ", n), 55))
+	}
+	sb.WriteString("</ROOT>")
+	return sb.String()
+}
+
+// BenchmarkSegmentCompaction measures one full compaction pass over a
+// fragmented archive: 30 small interleaving Adds strand undersized
+// tails, and Compact coalesces them back to a right-sized layout.
+// segments_before/op vs segments_after/op exposes the shrink;
+// bytes_rewritten/op the maintenance cost.
+func BenchmarkSegmentCompaction(b *testing.B) {
+	opts := []Option{WithValidation(false), WithSegmentTargetSize(4096)}
+	base := b.TempDir()
+	s, err := OpenStore(base, datagen.OMIMSpec(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for v := 0; v <= 30; v++ {
+		if err := s.AddReader(strings.NewReader(fragmentXML(100, v))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	var before, after, rewritten float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		copyFlatDir(b, base, dir)
+		s, err := OpenStore(dir, datagen.OMIMSpec(), opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss, err := s.StorageStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		before += float64(ss.Segments)
+		b.StartTimer()
+		st, err := s.Compact()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ss, err = s.StorageStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		after += float64(ss.Segments)
+		rewritten += float64(st.BytesRewritten)
+		s.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(before/float64(b.N), "segments_before/op")
+	b.ReportMetric(after/float64(b.N), "segments_after/op")
+	b.ReportMetric(rewritten/float64(b.N), "bytes_rewritten/op")
+}
+
+// BenchmarkExtStoreDirectoryLookup pins the scalable-directory claim: a
+// fully keyed History resolves through binary search over the level-2
+// entries, so the lookup cost stays near-flat as the root's child count
+// grows (the pre-PR5 linear scan grew with it).
+func BenchmarkExtStoreDirectoryLookup(b *testing.B) {
+	for _, records := range []int{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			var sb strings.Builder
+			sb.WriteString("<ROOT>")
+			for k := 0; k < records; k++ {
+				fmt.Fprintf(&sb, "<Record><Num>%08d</Num><Title>record %08d</Title></Record>", k, k)
+			}
+			sb.WriteString("</ROOT>")
+			dir := b.TempDir()
+			s, err := OpenStore(dir, datagen.OMIMSpec(), WithValidation(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.AddReader(strings.NewReader(sb.String())); err != nil {
+				b.Fatal(err)
+			}
+			sels := make([]string, 16)
+			for i := range sels {
+				sels[i] = fmt.Sprintf("/ROOT/Record[Num=%08d]", (i*records)/len(sels))
+			}
+			// Warm the lazily-built index so the steady-state lookup is
+			// what the benchmark times.
+			if _, err := s.History(sels[0]); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.History(sels[i%len(sels)]); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,180 @@
+// Command benchdiff compares a fresh benchmark run against committed
+// baseline files and fails when a gated metric regresses past the
+// threshold — the CI perf-regression gate.
+//
+// Inputs are the JSON documents cmd/benchjson emits. When a benchmark
+// name appears several times in one file (a `go test -count=N` run),
+// the per-metric minimum is used, damping scheduler and warm-up noise.
+//
+// Usage:
+//
+//	benchdiff -current NEW.json [flags] BASELINE.json...
+//
+//	-bench regex      gate only benchmark names matching regex (default all)
+//	-threshold 0.25   relative regression that fails the gate (0.25 = +25%)
+//	-metrics list     comma-separated metrics to gate (default ns/op,allocs/op)
+//
+// Exit status: 0 when every gated metric of every named benchmark is
+// within threshold of its baseline (improvements always pass), 1 on any
+// regression, 2 on usage or input errors. Benchmarks present in a
+// baseline but missing from the current run are reported as warnings,
+// not failures, so retired benchmarks do not wedge CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type benchFile struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// load reads one benchjson file into name -> metric -> min value.
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]map[string]float64{}
+	for _, b := range f.Benchmarks {
+		name := trimProcCount(b.Name)
+		m := out[name]
+		if m == nil {
+			m = map[string]float64{}
+			out[name] = m
+		}
+		for unit, v := range b.Metrics {
+			if cur, ok := m[unit]; !ok || v < cur {
+				m[unit] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// trimProcCount drops the -<GOMAXPROCS> suffix go test appends, so runs
+// on machines with different core counts still line up.
+func trimProcCount(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// delta is one gated comparison.
+type delta struct {
+	bench, metric  string
+	base, cur, rel float64
+}
+
+// compare gates current against one baseline, returning regressions
+// beyond threshold, all deltas (for the report), and baseline
+// benchmarks missing from current.
+func compare(baseline, current map[string]map[string]float64, namePat *regexp.Regexp, metrics []string, threshold float64) (regressions, all []delta, missing []string) {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !namePat.MatchString(name) {
+			continue
+		}
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		for _, metric := range metrics {
+			bv, okB := baseline[name][metric]
+			cv, okC := cur[metric]
+			if !okB || !okC || bv == 0 {
+				continue
+			}
+			d := delta{bench: name, metric: metric, base: bv, cur: cv, rel: cv/bv - 1}
+			all = append(all, d)
+			if d.rel > threshold {
+				regressions = append(regressions, d)
+			}
+		}
+	}
+	return regressions, all, missing
+}
+
+func main() {
+	currentPath := flag.String("current", "", "benchjson file of the fresh run to gate")
+	benchPat := flag.String("bench", ".", "regex of benchmark names to gate")
+	threshold := flag.Float64("threshold", 0.25, "relative regression that fails the gate")
+	metricsFlag := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to gate")
+	verbose := flag.Bool("v", false, "print every gated comparison, not only regressions")
+	flag.Parse()
+	if *currentPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -current NEW.json [flags] BASELINE.json...")
+		os.Exit(2)
+	}
+	namePat, err := regexp.Compile(*benchPat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: bad -bench regex:", err)
+		os.Exit(2)
+	}
+	metrics := strings.Split(*metricsFlag, ",")
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	failed := false
+	for _, basePath := range flag.Args() {
+		baseline, err := load(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		regs, all, missing := compare(baseline, current, namePat, metrics, *threshold)
+		for _, name := range missing {
+			fmt.Printf("WARN  %s: %s missing from current run\n", basePath, name)
+		}
+		if *verbose {
+			for _, d := range all {
+				fmt.Printf("      %s %s: %.4g -> %.4g (%+.1f%%) vs %s\n",
+					d.bench, d.metric, d.base, d.cur, d.rel*100, basePath)
+			}
+		}
+		for _, d := range regs {
+			fmt.Printf("FAIL  %s %s: %.4g -> %.4g (%+.1f%%, limit +%.0f%%) vs %s\n",
+				d.bench, d.metric, d.base, d.cur, d.rel*100, *threshold*100, basePath)
+			failed = true
+		}
+		if len(regs) == 0 {
+			fmt.Printf("ok    %s: %d comparisons within +%.0f%%\n", basePath, len(all), *threshold*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

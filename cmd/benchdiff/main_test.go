@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadTakesMinAcrossRepeats(t *testing.T) {
+	p := writeBench(t, t.TempDir(), "b.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 120, "allocs/op": 10}},
+	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 100, "allocs/op": 12}}
+	  ]
+	}`)
+	got, err := load(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkX"]
+	if m == nil {
+		t.Fatalf("proc-count suffix not trimmed: %v", got)
+	}
+	if m["ns/op"] != 100 || m["allocs/op"] != 10 {
+		t.Errorf("per-metric min not taken: %v", m)
+	}
+}
+
+func TestTrimProcCount(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-8":                "BenchmarkX",
+		"BenchmarkX/records=100-16":   "BenchmarkX/records=100",
+		"BenchmarkX/records=100":      "BenchmarkX/records=100", // =100 is not a -N suffix
+		"BenchmarkX":                  "BenchmarkX",
+		"BenchmarkX-":                 "BenchmarkX-",
+		"BenchmarkSegmentMerge-4":     "BenchmarkSegmentMerge",
+		"BenchmarkX/sub-case/leaf-12": "BenchmarkX/sub-case/leaf",
+	}
+	for in, want := range cases {
+		if got := trimProcCount(in); got != want {
+			t.Errorf("trimProcCount(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	baseline := map[string]map[string]float64{
+		"BenchmarkFast":    {"ns/op": 100, "allocs/op": 10, "bytes_read/op": 5000},
+		"BenchmarkSlow":    {"ns/op": 100, "allocs/op": 10},
+		"BenchmarkRetired": {"ns/op": 100},
+		"BenchmarkOther":   {"ns/op": 100},
+	}
+	current := map[string]map[string]float64{
+		"BenchmarkFast":  {"ns/op": 50, "allocs/op": 10},   // improvement
+		"BenchmarkSlow":  {"ns/op": 130, "allocs/op": 12},  // +30% ns, +20% allocs
+		"BenchmarkOther": {"ns/op": 1000, "allocs/op": 10}, // regressed but filtered out
+	}
+	pat := regexp.MustCompile("BenchmarkFast|BenchmarkSlow|BenchmarkRetired")
+	regs, all, missing := compare(baseline, current, pat, []string{"ns/op", "allocs/op"}, 0.25)
+	if len(missing) != 1 || missing[0] != "BenchmarkRetired" {
+		t.Errorf("missing = %v", missing)
+	}
+	if len(regs) != 1 || regs[0].bench != "BenchmarkSlow" || regs[0].metric != "ns/op" {
+		t.Errorf("regressions = %+v", regs)
+	}
+	// bytes_read/op is not a gated metric; 4 gated comparisons total.
+	if len(all) != 4 {
+		t.Errorf("gated %d comparisons, want 4: %+v", len(all), all)
+	}
+	// Exactly at the threshold passes; just past it fails.
+	baseline2 := map[string]map[string]float64{"B": {"ns/op": 100}}
+	at := map[string]map[string]float64{"B": {"ns/op": 125}}
+	past := map[string]map[string]float64{"B": {"ns/op": 125.1}}
+	if regs, _, _ := compare(baseline2, at, regexp.MustCompile("."), []string{"ns/op"}, 0.25); len(regs) != 0 {
+		t.Errorf("exactly-at-threshold failed the gate: %+v", regs)
+	}
+	if regs, _, _ := compare(baseline2, past, regexp.MustCompile("."), []string{"ns/op"}, 0.25); len(regs) != 1 {
+		t.Errorf("past-threshold passed the gate")
+	}
+}

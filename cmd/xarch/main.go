@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	xarch add      [-engine mem|ext] -spec keys.txt -archive PATH [-compact] [-budget N] [-novalidate] version.xml
+//	xarch add      [-engine mem|ext] -spec keys.txt -archive PATH [-compact] [-budget N] [-novalidate] [-segtarget N] [-compactbudget N] version.xml
 //	xarch get      [-engine mem|ext] -spec keys.txt -archive PATH -version N
 //	xarch history  [-engine mem|ext] -spec keys.txt -archive PATH -selector /db/dept[name=finance] [-changes]
 //	xarch stats    [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch snapshot [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch inspect  -spec keys.txt -archive DIR
+//	xarch compact  -spec keys.txt -archive DIR [-dry-run]
 //	xarch validate -spec keys.txt version.xml
 //
 // Every subcommand works against either engine of the xarch.Store
@@ -51,6 +52,8 @@ func main() {
 		err = cmdSnapshot(args)
 	case "inspect":
 		err = cmdInspect(args)
+	case "compact":
+		err = cmdCompact(args)
 	default:
 		usage()
 	}
@@ -61,28 +64,32 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact} [flags]")
 	os.Exit(2)
 }
 
 // storeFlags holds the flags shared by every store-backed subcommand.
 type storeFlags struct {
-	engine     *string
-	spec       *string
-	archive    *string
-	budget     *int
-	compact    *bool
-	novalidate *bool
+	engine        *string
+	spec          *string
+	archive       *string
+	budget        *int
+	compact       *bool
+	novalidate    *bool
+	compactBudget *int
+	segTarget     *int
 }
 
 func addStoreFlags(fs *flag.FlagSet) *storeFlags {
 	return &storeFlags{
-		engine:     fs.String("engine", "mem", "archiver engine: mem (in-memory) or ext (external-memory)"),
-		spec:       fs.String("spec", "", "key specification file"),
-		archive:    fs.String("archive", "", "archive XML file (mem) or archive directory (ext)"),
-		budget:     fs.Int("budget", 1<<20, "external-sort memory budget in tokens (ext engine)"),
-		compact:    fs.Bool("compact", false, "further compaction below frontier nodes (mem engine)"),
-		novalidate: fs.Bool("novalidate", false, "skip the key-specification check on add; with -engine ext the version streams without being parsed into a tree"),
+		engine:        fs.String("engine", "mem", "archiver engine: mem (in-memory) or ext (external-memory)"),
+		spec:          fs.String("spec", "", "key specification file"),
+		archive:       fs.String("archive", "", "archive XML file (mem) or archive directory (ext)"),
+		budget:        fs.Int("budget", 1<<20, "external-sort memory budget in tokens (ext engine)"),
+		compact:       fs.Bool("compact", false, "further compaction below frontier nodes (mem engine)"),
+		novalidate:    fs.Bool("novalidate", false, "skip the key-specification check on add; with -engine ext the version streams without being parsed into a tree"),
+		compactBudget: fs.Int("compactbudget", 0, "segment-compaction byte budget after each add; 0 disables (ext engine)"),
+		segTarget:     fs.Int("segtarget", 0, "segment payload target size in bytes; 0 uses the default (ext engine)"),
 	}
 }
 
@@ -112,6 +119,8 @@ func openStore(sf *storeFlags, create bool) (xarch.Store, func() error, error) {
 		xarch.WithCompaction(*sf.compact),
 		xarch.WithMemoryBudget(*sf.budget),
 		xarch.WithValidation(!*sf.novalidate),
+		xarch.WithCompactionBudget(*sf.compactBudget),
+		xarch.WithSegmentTargetSize(*sf.segTarget),
 		// One-shot commands issue at most one query, so the store-owned
 		// indexes would cost a full archive scan without ever paying off.
 		xarch.WithIndexes(false),
@@ -353,18 +362,65 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return err
 	}
+	candidates := 0
 	for _, s := range segs {
 		crc := "ok"
 		if !s.CRCOK {
 			crc = "CORRUPT"
 		}
+		mark := ""
+		if s.Compactable {
+			mark = "  COMPACTABLE"
+			candidates++
+		}
 		if s.Raw {
-			fmt.Printf("%s  root=%s  raw  %d bytes  crc=%s\n", s.File, s.Root, s.Bytes, crc)
+			fmt.Printf("%s  root=%s  raw  %d bytes  fill=%.2f  crc=%s%s\n",
+				s.File, s.Root, s.Bytes, s.Fill, crc, mark)
 			continue
 		}
-		fmt.Printf("%s  root=%s  %d entries  %d bytes  [%s .. %s]  crc=%s\n",
-			s.File, s.Root, s.Entries, s.Bytes, s.FirstLabel, s.LastLabel, crc)
+		fmt.Printf("%s  root=%s  %d entries  %d bytes  fill=%.2f  [%s .. %s]  crc=%s%s\n",
+			s.File, s.Root, s.Entries, s.Bytes, s.Fill, s.FirstLabel, s.LastLabel, crc, mark)
 	}
+	if candidates > 0 {
+		fmt.Printf("%d segments in coalesce runs; run `xarch compact` to merge them\n", candidates)
+	}
+	return nil
+}
+
+// cmdCompact coalesces runs of undersized adjacent segments of an
+// external archive; with -dry-run it only reports what a pass would do.
+func cmdCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	sf := addStoreFlags(fs)
+	dryRun := fs.Bool("dry-run", false, "report the planned coalesce runs without rewriting anything")
+	fs.Parse(args)
+	*sf.engine = "ext" // segment compaction only exists on the external engine
+	store, _, err := openStore(sf, false)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	es := store.(*xarch.ExtStore)
+	if *dryRun {
+		plan, err := es.CompactionPlan()
+		if err != nil {
+			return err
+		}
+		if len(plan) == 0 {
+			fmt.Println("nothing to compact")
+			return nil
+		}
+		for _, run := range plan {
+			fmt.Printf("root=%s  %d segments, %d bytes: %v\n", run.Root, run.Segments, run.Bytes, run.Files)
+		}
+		return nil
+	}
+	st, err := es.Compact()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %d of %d runs: %d segments -> %d (%d bytes rewritten)\n",
+		st.Executed, st.Planned, st.Coalesced, st.Created, st.BytesRewritten)
 	return nil
 }
 

@@ -48,10 +48,12 @@ func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
 		o(&cfg)
 	}
 	ar, err := extmem.Open(dir, spec, extmem.Config{
-		Budget:          cfg.budget,
-		SegmentTarget:   cfg.segTarget,
-		Shards:          cfg.shards,
-		NoDirectorySeek: cfg.noSeek,
+		Budget:           cfg.budget,
+		SegmentTarget:    cfg.segTarget,
+		Shards:           cfg.shards,
+		NoDirectorySeek:  cfg.noSeek,
+		CompactTarget:    cfg.compTarget,
+		CompactionBudget: cfg.compBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -355,9 +357,9 @@ func (s *ExtStore) StorageStats() (extmem.StorageStats, error) {
 	return s.ar.StorageStats(), nil
 }
 
-// Segments lists every segment file with its key range, verifying each
-// payload checksum (reads the whole archive; meant for inspection
-// tooling such as `xarch inspect`).
+// Segments lists every segment file with its key range and fill ratio,
+// verifying each payload checksum (reads the whole archive; meant for
+// inspection tooling such as `xarch inspect`).
 func (s *ExtStore) Segments() ([]extmem.SegmentInfo, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -365,6 +367,42 @@ func (s *ExtStore) Segments() ([]extmem.SegmentInfo, error) {
 		return nil, ErrClosed
 	}
 	return s.ar.Segments(), nil
+}
+
+// Compact coalesces every run of adjacent undersized segments (see
+// WithCompactTargetSize) into right-sized segment files. The archive
+// stream — and every query answer — is byte-identical before and after;
+// only the file layout changes. Compact serializes with Add; open query
+// views keep answering from the layout they captured, and superseded
+// segment files are deleted when the last such view closes.
+func (s *ExtStore) Compact() (extmem.CompactStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return extmem.CompactStats{}, ErrClosed
+	}
+	return s.ar.Compact()
+}
+
+// CompactionPlan reports the coalesce runs a Compact call would rewrite,
+// without touching any file (the `xarch compact -dry-run` view).
+func (s *ExtStore) CompactionPlan() ([]extmem.CompactionRun, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.ar.CompactionPlan(), nil
+}
+
+// CompactionErr reports the error of the opportunistic post-Add
+// compaction pass of the most recent Add, if any. The Add itself is
+// unaffected — the version is durable before the pass starts and a
+// failed pass leaves the committed layout untouched.
+func (s *ExtStore) CompactionErr() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ar.CompactErr
 }
 
 // BytesRead returns the cumulative archive bytes read by queries and

@@ -195,4 +195,3 @@ func (in *Interner) ID(n *Node) int32 {
 	in.buckets[fp] = append(in.buckets[fp], internEntry{n, id})
 	return id
 }
-

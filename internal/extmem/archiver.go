@@ -44,6 +44,15 @@ type Archiver struct {
 	LastSort SortStats
 	// LastMerge reports the segment work of the most recent AddVersion.
 	LastMerge MergeStats
+	// LastCompact reports the most recent compaction pass (explicit or
+	// the opportunistic post-Add pass).
+	LastCompact CompactStats
+	// CompactErr holds the error of the last opportunistic post-Add
+	// compaction pass, if any. Add itself still succeeds — the version
+	// is durable before compaction starts and a failed pass leaves the
+	// committed layout untouched — but the store surfaces the condition
+	// here rather than silently dropping it.
+	CompactErr error
 }
 
 // genState tracks one committed directory generation: how many open
@@ -71,6 +80,13 @@ type Config struct {
 	// instead of seeking through the key directory (diagnostic knob; the
 	// two paths answer byte-identically).
 	NoDirectorySeek bool
+	// CompactTarget is the payload size below which a segment counts as
+	// undersized for the compaction planner. Default SegmentTarget/2.
+	CompactTarget int
+	// CompactionBudget caps the payload bytes an opportunistic post-Add
+	// compaction pass may rewrite. 0 (the default) disables the
+	// opportunistic pass; explicit Compact calls are never budgeted.
+	CompactionBudget int
 }
 
 const defaultSegmentTarget = 256 * 1024
@@ -87,6 +103,16 @@ func (c *Config) setDefaults() {
 		if c.Shards > 4 {
 			c.Shards = 4
 		}
+	}
+	if c.CompactTarget <= 0 {
+		c.CompactTarget = c.SegmentTarget / 2
+	}
+	// The undersized threshold must not exceed the roll target: the
+	// coalescer's output files land at about the segment target, so a
+	// larger threshold would mark them undersized again and compaction
+	// could never converge.
+	if c.CompactTarget > c.SegmentTarget {
+		c.CompactTarget = c.SegmentTarget
 	}
 }
 
@@ -396,23 +422,38 @@ func (ar *Archiver) StorageStats() StorageStats {
 type SegmentInfo struct {
 	Root       string // label of the owning top-level subtree
 	File       string
-	Bytes      int64 // payload bytes
+	Bytes      int64   // payload bytes
+	Fill       float64 // payload bytes / segment target size
 	Entries    int
 	FirstLabel string
 	LastLabel  string
 	Raw        bool
 	CRCOK      bool
+	// Compactable marks a segment that sits inside a planned coalesce
+	// run: undersized (below the compaction target) with at least one
+	// undersized neighbor in the same root.
+	Compactable bool
 }
 
-// Segments lists every segment with its key range, verifying each
-// payload checksum (an O(archive) read; meant for the inspect tooling).
+// Segments lists every segment with its key range and fill ratio,
+// verifying each payload checksum (an O(archive) read; meant for the
+// inspect tooling). Segments a compaction pass would coalesce are
+// flagged.
 func (ar *Archiver) Segments() []SegmentInfo {
+	candidates := map[string]bool{}
+	for _, run := range ar.CompactionPlan() {
+		for _, f := range run.Files {
+			candidates[f] = true
+		}
+	}
 	var out []SegmentInfo
 	for _, r := range ar.curDir.roots {
 		for _, s := range r.segs {
 			info := SegmentInfo{
 				Root: keyLabel(r.name, r.key), File: s.file,
 				Bytes: s.payload, Entries: len(s.entries), Raw: r.raw,
+				Fill:        float64(s.payload) / float64(ar.cfg.SegmentTarget),
+				Compactable: candidates[s.file],
 			}
 			if len(s.entries) > 0 {
 				first, last := &s.entries[0], &s.entries[len(s.entries)-1]
@@ -611,6 +652,16 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 	}
 	ar.LastMerge = stats
 	ar.installDir(newDir)
+	// Opportunistic maintenance: coalesce undersized neighbor segments
+	// under the configured byte budget. The version is already durable;
+	// a compaction failure leaves the committed layout intact and is
+	// reported through CompactErr instead of failing the Add.
+	ar.CompactErr = nil
+	if ar.cfg.CompactionBudget > 0 {
+		if _, cerr := ar.compact(int64(ar.cfg.CompactionBudget)); cerr != nil {
+			ar.CompactErr = cerr
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,273 @@
+package extmem
+
+import (
+	"sort"
+	"strings"
+
+	"xarch/internal/core"
+	"xarch/internal/xmltree"
+)
+
+// dirIndex is the lazily-built lookup index over one root's level-2
+// child entries. The entries themselves are kept sorted by
+// (name, canonical key) across a root's segments — the merge emits them
+// in that order and the rebuild re-derives it from the payloads — so
+// the index can binary-search instead of walking every entry:
+//
+//   - the contiguous run of entries with a given tag name is found by
+//     binary search over the flat (segment, entry) space;
+//   - a fully-keyed selector step (its predicates name exactly the key
+//     paths the entries of that name carry) resolves with one binary
+//     search over a display-ordered permutation, because canonical
+//     order and display order need not agree while selector predicates
+//     compare display values.
+//
+// Under-specified steps fall back to a linear scan of the name run,
+// and an unsorted directory (which a healthy archive never produces)
+// disables the index entirely — both fallbacks reproduce the exact
+// scan semantics, ambiguity detection included, which the randomized
+// seek-vs-scan property test pins.
+//
+// A dirIndex belongs to an immutable rootRecord and is built at most
+// once per directory generation (sync.Once), shared by every query
+// view that captured the generation. Roots below dirIndexMinEntries
+// skip the build entirely: at that size the plain scan beats the
+// O(n log n) construction it would amortize.
+type dirIndex struct {
+	segs   []*segmentRecord
+	cum    []int             // cum[i] = entries before segs[i]; len(segs)+1 entries
+	names  []string          // entry tag name per flat physical position
+	disp   []string          // joined display key per flat physical position
+	byDisp []int32           // physical positions sorted by (name, disp, position)
+	shapes map[string]string // name -> uniform joined key-path shape
+	mixed  map[string]bool   // name -> entries disagree on key-path shape
+	sorted bool              // entries verified (name, canonical key)-sorted
+	small  bool              // below dirIndexMinEntries: no index built
+}
+
+// dirIndexMinEntries is the root size below which lookups stay on the
+// plain linear scan instead of building the index. A variable so tests
+// can exercise the indexed path on small fixtures.
+var dirIndexMinEntries = 512
+
+// segEntry addresses one child entry inside its segment.
+type segEntry struct {
+	seg *segmentRecord
+	e   *childEntry
+}
+
+// index returns the root's entry index, building it on first use.
+func (r *rootRecord) index() *dirIndex {
+	r.idxOnce.Do(func() { r.idx = buildDirIndex(r) })
+	return r.idx
+}
+
+func buildDirIndex(r *rootRecord) *dirIndex {
+	ix := &dirIndex{
+		segs: r.segs, shapes: map[string]string{}, mixed: map[string]bool{},
+		sorted: true,
+	}
+	n := 0
+	ix.cum = make([]int, len(r.segs)+1)
+	for i, s := range r.segs {
+		ix.cum[i] = n
+		n += len(s.entries)
+	}
+	ix.cum[len(r.segs)] = n
+	if n < dirIndexMinEntries {
+		ix.small = true
+		return ix
+	}
+	ix.names = make([]string, n)
+	ix.disp = make([]string, n)
+	ix.byDisp = make([]int32, n)
+	var prevName string
+	var prevKey *tkey
+	flat := 0
+	for _, s := range r.segs {
+		for ei := range s.entries {
+			e := &s.entries[ei]
+			if flat > 0 && compareLabels(prevName, prevKey, e.name, e.key) > 0 {
+				ix.sorted = false
+			}
+			prevName, prevKey = e.name, e.key
+			ix.names[flat] = e.name
+			ix.disp[flat] = joinedDisplay(e.key)
+			ix.byDisp[flat] = int32(flat)
+			shape := joinedPaths(e.key)
+			if cur, ok := ix.shapes[e.name]; !ok {
+				ix.shapes[e.name] = shape
+			} else if cur != shape {
+				ix.mixed[e.name] = true
+			}
+			flat++
+		}
+	}
+	sort.Slice(ix.byDisp, func(i, j int) bool {
+		a, b := ix.byDisp[i], ix.byDisp[j]
+		if ix.names[a] != ix.names[b] {
+			return ix.names[a] < ix.names[b]
+		}
+		if ix.disp[a] != ix.disp[b] {
+			return ix.disp[a] < ix.disp[b]
+		}
+		return a < b
+	})
+	return ix
+}
+
+// at resolves a flat physical position to its segment and entry.
+func (ix *dirIndex) at(flat int) segEntry {
+	si := sort.Search(len(ix.cum), func(i int) bool { return ix.cum[i] > flat }) - 1
+	s := ix.segs[si]
+	return segEntry{seg: s, e: &s.entries[flat-ix.cum[si]]}
+}
+
+// joinedDisplay renders a key annotation's display values as one
+// comparable string. XML text cannot contain NUL, so the separator is
+// unambiguous.
+func joinedDisplay(k *tkey) string {
+	if k == nil || len(k.canon) == 0 {
+		return ""
+	}
+	if len(k.canon) == 1 {
+		return xmltree.DisplayFromCanonical(k.canon[0])
+	}
+	parts := make([]string, len(k.canon))
+	for i, c := range k.canon {
+		parts[i] = xmltree.DisplayFromCanonical(c)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// joinedPaths renders a key annotation's path names (already sorted by
+// path, §4.2) as one comparable shape string.
+func joinedPaths(k *tkey) string {
+	if k == nil {
+		return ""
+	}
+	return strings.Join(k.paths, "\x00")
+}
+
+// lookup returns the first two child entries of r matching the step, in
+// physical (name, canonical key) order — the order the linear scan
+// would discover them in. Callers resolve the first and report
+// ambiguity with the second; nothing past the second match can change
+// either outcome, so the search stops there.
+func (r *rootRecord) lookup(step *core.SelectorStep) []segEntry {
+	ix := r.index()
+	if ix.small {
+		return scanEntriesLinear(r, step)
+	}
+	if !ix.sorted {
+		// A directory that violates the sort invariant (never produced
+		// by a healthy archive) gets the plain linear scan.
+		return ix.scanRange(step, 0, len(ix.names))
+	}
+	lo := sort.SearchStrings(ix.names, step.Tag)
+	hi := lo + sort.SearchStrings(ix.names[lo:], step.Tag+"\x00")
+	if lo == hi {
+		return nil
+	}
+	if len(step.Preds) == 0 {
+		out := []segEntry{ix.at(lo)}
+		if hi-lo > 1 {
+			out = append(out, ix.at(lo+1))
+		}
+		return out
+	}
+	if target, ok := ix.exactTarget(step); ok {
+		// Fully-keyed step over a uniform key shape: every entry of this
+		// name carries exactly the predicate paths, so predicate
+		// matching reduces to display-key equality — one binary search
+		// over the display-ordered permutation.
+		dLo := sort.Search(len(ix.byDisp), func(i int) bool {
+			p := ix.byDisp[i]
+			if ix.names[p] != step.Tag {
+				return ix.names[p] > step.Tag
+			}
+			return ix.disp[p] >= target
+		})
+		var out []segEntry
+		for i := dLo; i < len(ix.byDisp) && len(out) < 2; i++ {
+			p := ix.byDisp[i]
+			if ix.names[p] != step.Tag || ix.disp[p] != target {
+				break
+			}
+			se := ix.at(int(p))
+			if !entryMatches(step, se.e.key) {
+				// Cannot happen while the uniformity invariant holds;
+				// re-derive the answer the slow way rather than trust it.
+				return ix.scanRange(step, lo, hi)
+			}
+			out = append(out, se)
+		}
+		return out
+	}
+	return ix.scanRange(step, lo, hi)
+}
+
+// exactTarget reports whether the step's predicates name exactly the
+// (uniform) key paths of the entries with the step's tag, returning the
+// joined display target for the binary search.
+func (ix *dirIndex) exactTarget(step *core.SelectorStep) (string, bool) {
+	if ix.mixed[step.Tag] {
+		return "", false
+	}
+	shape, ok := ix.shapes[step.Tag]
+	if !ok {
+		return "", false
+	}
+	preds := step.Preds
+	if !sort.SliceIsSorted(preds, func(i, j int) bool { return preds[i].Path < preds[j].Path }) {
+		sorted := append([]core.Predicate(nil), preds...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+		preds = sorted
+	}
+	paths := make([]string, len(preds))
+	vals := make([]string, len(preds))
+	for i, p := range preds {
+		paths[i] = p.Path
+		vals[i] = p.Value
+	}
+	if strings.Join(paths, "\x00") != shape {
+		return "", false
+	}
+	return strings.Join(vals, "\x00"), true
+}
+
+// scanRange is the linear fallback over the flat positions [lo, hi):
+// exactly the pre-index scan, returning the first two matches.
+func (ix *dirIndex) scanRange(step *core.SelectorStep, lo, hi int) []segEntry {
+	var out []segEntry
+	for flat := lo; flat < hi && len(out) < 2; flat++ {
+		if ix.names[flat] != step.Tag {
+			continue
+		}
+		se := ix.at(flat)
+		if entryMatches(step, se.e.key) {
+			out = append(out, se)
+		}
+	}
+	return out
+}
+
+// scanEntriesLinear is the index-free scan small roots use: the
+// original entry walk, returning the first two matches in physical
+// order.
+func scanEntriesLinear(r *rootRecord, step *core.SelectorStep) []segEntry {
+	var out []segEntry
+	for _, s := range r.segs {
+		for i := range s.entries {
+			e := &s.entries[i]
+			if e.name != step.Tag || !entryMatches(step, e.key) {
+				continue
+			}
+			out = append(out, segEntry{seg: s, e: e})
+			if len(out) == 2 {
+				return out
+			}
+		}
+	}
+	return out
+}

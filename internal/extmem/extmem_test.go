@@ -266,8 +266,8 @@ func TestStreamingHistoryParity(t *testing.T) {
 		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]",
 		"/db/dept[name=research]",
 		"/db/dept[name=nosuch]",
-		"/db/dept",    // ambiguous
-		"/nosuch",     // no match at root
+		"/db/dept",                                        // ambiguous
+		"/nosuch",                                         // no match at root
 		"/db/dept[name=finance]/emp[fn=Jane,ln=Smith]/fn", // below the frontier
 		// Both the dept level and (inside the first dept) the emp level
 		// are ambiguous: the in-memory resolver reports the shallower

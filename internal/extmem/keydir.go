@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"xarch/internal/intervals"
 )
@@ -79,6 +80,9 @@ func (sr *segmentRecord) firstLabel() (string, *tkey) {
 // non-frontier roots the segments hold the children and the open/attrs
 // are synthesized from this record; a raw root (the degenerate case of a
 // frontier at depth 1) stores its whole subtree verbatim in one segment.
+// A record is immutable once its directory is installed; the lazily
+// built entry index (dirindex.go) is therefore shared by every query
+// view of the generation.
 type rootRecord struct {
 	name    string
 	tag     int // dictionary id, resolved in memory
@@ -87,6 +91,9 @@ type rootRecord struct {
 	attrs   []attrRec
 	raw     bool
 	segs    []*segmentRecord
+
+	idxOnce sync.Once
+	idx     *dirIndex
 }
 
 // keyDirectory is one immutable snapshot of the segmented layout plus

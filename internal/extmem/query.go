@@ -687,37 +687,29 @@ func (q *QueryView) resolveRoot(r *rootRecord, eff *intervals.Set, steps []core.
 	if last {
 		return &resolved{eff: eff, node: &anode.Node{Kind: xmltree.Element, Name: r.name}}, nil
 	}
-	// Level 2: match the child entries of the directory in key order.
+	// Level 2: look the step up in the key directory. The entries are
+	// sorted by (name, canonical key) across the root's segments, so the
+	// lookup binary-searches instead of walking every entry; the first
+	// match is resolved and a second match overrides the outcome with an
+	// ambiguity error, exactly like the linear scan it replaces.
 	step := &steps[1]
 	childPath := stepPath + "/" + step.Tag
-	var res *resolved
-	var foundLabel string
-	ambiguous := false
-	for _, s := range r.segs {
-		for i := range s.entries {
-			e := &s.entries[i]
-			if ambiguous || e.name != step.Tag || !entryMatches(step, e.key) {
-				continue
-			}
-			label := keyLabel(e.name, e.key)
-			if res != nil {
-				res = &resolved{err: core.AmbiguousSelectorError(childPath, foundLabel, label)}
-				ambiguous = true
-				continue
-			}
-			foundLabel = label
-			ceff, err := entryEff(e, eff)
-			if err != nil {
-				return nil, err
-			}
-			res, err = q.resolveEntry(r, s, e, ceff, steps[1:], childPath, wantBody)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	if res == nil {
+	matches := r.lookup(step)
+	if len(matches) == 0 {
 		return &resolved{err: core.NoSuchElementError(childPath)}, nil
+	}
+	m := matches[0]
+	ceff, err := entryEff(m.e, eff)
+	if err != nil {
+		return nil, err
+	}
+	res, err := q.resolveEntry(r, m.seg, m.e, ceff, steps[1:], childPath, wantBody)
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) > 1 {
+		res = &resolved{err: core.AmbiguousSelectorError(childPath,
+			keyLabel(m.e.name, m.e.key), keyLabel(matches[1].e.name, matches[1].e.key))}
 	}
 	return res, nil
 }

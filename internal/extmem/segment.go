@@ -172,11 +172,20 @@ func (w *segPayloadWriter) Write(p []byte) (int, error) {
 // target size at a child boundary, and recording one directory entry per
 // child. The embedded tokenWriter is stable across rolls, so a merge can
 // keep one output handle for the whole pass.
+//
+// When the caller knows the total payload it will write (the compactor
+// does), planned/minTail arm tail absorption: a roll is suppressed when
+// the bytes still to come would leave a final file smaller than minTail,
+// so repacking can never end in a fresh undersized tail.
 type segmentSetWriter struct {
 	ar     *Archiver
 	root   *rootRecord
 	raw    bool
 	target int64
+
+	planned int64 // total payload the caller will write; 0 = unknown
+	minTail int64 // smallest acceptable final file under planned
+	written int64 // payload completed in already-closed files
 
 	tw   *tokenWriter
 	cur  *segmentRecord
@@ -267,6 +276,7 @@ func (sw *segmentSetWriter) closeCurrent() {
 		sw.fail(fmt.Errorf("extmem: %w", err))
 	}
 	if sw.err == nil {
+		sw.written += sw.cur.payload
 		sw.emit(sw.cur)
 	}
 	sw.f, sw.cur, sw.pw = nil, nil, nil
@@ -292,7 +302,8 @@ func (sw *segmentSetWriter) beginChild(name string, tag int, key *tkey, timeStr 
 }
 
 // endChild completes the pending entry and rolls the file when the
-// payload passed the target size.
+// payload passed the target size — unless the caller declared its total
+// payload and the remainder would land in a file smaller than minTail.
 func (sw *segmentSetWriter) endChild() {
 	if sw.err != nil || sw.cur == nil {
 		return
@@ -304,6 +315,9 @@ func (sw *segmentSetWriter) endChild() {
 	sw.pending.size = sw.pw.n - sw.pending.offset
 	sw.cur.entries = append(sw.cur.entries, sw.pending)
 	if sw.pw.n >= sw.target {
+		if sw.planned > 0 && sw.planned-(sw.written+sw.pw.n) < sw.minTail {
+			return // absorb the tail instead of rolling a tiny file
+		}
 		sw.closeCurrent()
 	}
 }

@@ -527,8 +527,10 @@ func copyBalancedTo(r *tokenReader, tw *tokenWriter, emitClose bool) error {
 // the stored bytes untouched by the §4.2 merge rules, so a segment whose
 // range sees only such children — and whose inherited timestamps are all
 // covered by them — can be linked into the new directory without being
-// read again or rewritten. The comparison is exact (stream compare of
-// the two byte ranges), never a fingerprint.
+// read again or rewritten. The comparison is exact (a compare-tee rides
+// the scan, checking each child's bytes against the stored section as
+// they stream past), never a fingerprint; the sorted version is read
+// exactly once.
 func (m *segMerge) planReuse(sortedPath string) error {
 	m.plans = map[*segmentRecord]*segPlan{}
 	f, err := os.Open(sortedPath)
@@ -536,11 +538,6 @@ func (m *segMerge) planReuse(sortedPath string) error {
 		return fmt.Errorf("extmem: %w", err)
 	}
 	defer f.Close()
-	cmpF, err := os.Open(sortedPath) // random-access handle for compares
-	if err != nil {
-		return fmt.Errorf("extmem: %w", err)
-	}
-	defer cmpF.Close()
 	pr := &posReader{br: bufio.NewReaderSize(f, tokenBufSize)}
 	roots := m.ar.curDir.roots
 	oi := 0
@@ -568,7 +565,7 @@ func (m *segMerge) planReuse(sortedPath string) error {
 			oi++
 		}
 		if oi < len(roots) && !roots[oi].raw && compareLabels(roots[oi].name, roots[oi].key, name, key) == 0 {
-			err = m.planRoot(pr, cmpF, roots[oi])
+			err = m.planRoot(pr, roots[oi])
 			oi++
 		} else {
 			if oi < len(roots) && compareLabels(roots[oi].name, roots[oi].key, name, key) == 0 {
@@ -584,8 +581,11 @@ func (m *segMerge) planReuse(sortedPath string) error {
 
 // planRoot classifies the children of one matched, non-raw root. The
 // cursor stands right after the root's open token; planRoot consumes
-// attributes, every child subtree and the root's close.
-func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error {
+// attributes, every child subtree and the root's close. Each candidate
+// child is byte-compared against its stored subtree by arming the
+// scanner's compare-tee, so the child's bytes are consumed and compared
+// in the same pass.
+func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 	plan := func(s *segmentRecord) *segPlan {
 		p := m.plans[s]
 		if p == nil {
@@ -619,6 +619,11 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 			segF.Close()
 		}
 	}()
+	cmp := &sectionComparer{scratch: make([]byte, 32*1024)}
+	// The scanner hands the comparer many one-byte writes (opcodes);
+	// buffering batches them into chunked ReadAt compares.
+	cmpBuf := bufio.NewWriterSize(cmp, 32*1024)
+	var openBuf bytes.Buffer
 	for {
 		op, ok, err := pr.peekByte()
 		if err != nil {
@@ -634,9 +639,13 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 		if op != tokOpen {
 			return corruptf("unexpected token %#x at keyed level", op)
 		}
-		start := pr.pos
+		// Record the open token's bytes: whether (and against what) to
+		// compare is known only once the child's label is parsed.
+		openBuf.Reset()
+		pr.sink = &openBuf
 		pr.byte()
 		tag, key, _, err := pr.openPayload(true)
+		pr.sink = nil
 		if err != nil {
 			return err
 		}
@@ -644,12 +653,12 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 		if err != nil {
 			return err
 		}
-		if err := pr.skipBalanced(1); err != nil {
-			return err
-		}
-		end := pr.pos
 		if len(segs) == 0 {
-			continue // fresh root level: no segments to classify
+			// Fresh root level: no segments to classify.
+			if err := pr.skipBalanced(1); err != nil {
+				return err
+			}
+			continue
 		}
 		// Ownership: the child belongs to the last segment whose first
 		// label does not exceed it (mirroring the merge's ranges).
@@ -672,12 +681,18 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 		}
 		if ei >= len(seg.entries) || compareLabels(seg.entries[ei].name, seg.entries[ei].key, name, key) != 0 {
 			plan(seg).dirty = true // inserted child in this range
+			if err := pr.skipBalanced(1); err != nil {
+				return err
+			}
 			continue
 		}
 		e := &seg.entries[ei]
 		ei++
-		if e.timeStr != "" || e.size != end-start {
-			plan(seg).dirty = true // timestamp change, or content of a different size
+		if e.timeStr != "" {
+			plan(seg).dirty = true // the merge will restamp this child
+			if err := pr.skipBalanced(1); err != nil {
+				return err
+			}
 			continue
 		}
 		if segF == nil {
@@ -686,12 +701,22 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 				return fmt.Errorf("extmem: %w", err)
 			}
 		}
-		same, err := sectionsEqual(sorted, start, segF, seg.dataOff+e.offset, e.size)
+		cmp.reset(segF, seg.dataOff+e.offset, e.size)
+		cmpBuf.Reset(cmp)
+		if _, err := cmpBuf.Write(openBuf.Bytes()); err != nil {
+			return err
+		}
+		pr.sink = cmpBuf
+		err = pr.skipBalanced(1)
+		pr.sink = nil
 		if err != nil {
 			return err
 		}
-		m.ar.bytesRead.Add(e.size)
-		if same {
+		if err := cmpBuf.Flush(); err != nil {
+			return err
+		}
+		m.ar.bytesRead.Add(e.size - cmp.rem)
+		if cmp.equal() {
 			plan(seg).cleanMatched++
 		} else {
 			plan(seg).dirty = true
@@ -699,29 +724,51 @@ func (m *segMerge) planRoot(pr *posReader, sorted *os.File, r *rootRecord) error
 	}
 }
 
-// sectionsEqual stream-compares two file sections of equal length.
-func sectionsEqual(a *os.File, aOff int64, b *os.File, bOff, n int64) (bool, error) {
-	const chunk = 32 * 1024
-	var ab, bb [chunk]byte
-	for n > 0 {
-		c := int64(chunk)
-		if c > n {
-			c = n
-		}
-		if _, err := a.ReadAt(ab[:c], aOff); err != nil {
-			return false, fmt.Errorf("extmem: %w", err)
-		}
-		if _, err := b.ReadAt(bb[:c], bOff); err != nil {
-			return false, fmt.Errorf("extmem: %w", err)
-		}
-		if !bytes.Equal(ab[:c], bb[:c]) {
-			return false, nil
-		}
-		aOff += c
-		bOff += c
-		n -= c
+// sectionComparer is the planning pass's armed compare-tee: the bytes of
+// one incoming child subtree are checked, as the scanner consumes them,
+// against a stored section of a segment file. Any length or content
+// difference flips mismatch; equality holds only when the section was
+// consumed exactly.
+type sectionComparer struct {
+	f        *os.File
+	off      int64
+	rem      int64
+	mismatch bool
+	scratch  []byte
+}
+
+func (c *sectionComparer) reset(f *os.File, off, n int64) {
+	c.f, c.off, c.rem, c.mismatch = f, off, n, false
+}
+
+func (c *sectionComparer) equal() bool { return !c.mismatch && c.rem == 0 }
+
+func (c *sectionComparer) Write(p []byte) (int, error) {
+	n := len(p)
+	if c.mismatch {
+		return n, nil
 	}
-	return true, nil
+	if int64(n) > c.rem {
+		c.mismatch = true // incoming subtree outgrew the stored section
+		return n, nil
+	}
+	for len(p) > 0 {
+		chunk := len(p)
+		if chunk > len(c.scratch) {
+			chunk = len(c.scratch)
+		}
+		if _, err := c.f.ReadAt(c.scratch[:chunk], c.off); err != nil {
+			return n, fmt.Errorf("extmem: %w", err)
+		}
+		if !bytes.Equal(c.scratch[:chunk], p[:chunk]) {
+			c.mismatch = true
+			return n, nil
+		}
+		c.off += int64(chunk)
+		c.rem -= int64(chunk)
+		p = p[chunk:]
+	}
+	return n, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -937,17 +984,28 @@ func scanEntries(r io.Reader) ([]childEntry, error) {
 }
 
 // posReader is a byte-position-tracking token scanner used by the
-// directory rebuild, where exact payload offsets matter and the pooled
-// lookahead reader cannot provide them.
+// directory rebuild and the merge planning pass, where exact payload
+// offsets matter and the pooled lookahead reader cannot provide them.
+// When sink is set, every consumed byte is forwarded to it — the
+// planning pass arms it with a sectionComparer so scanning a subtree
+// and comparing its bytes is one pass.
 type posReader struct {
-	br  *bufio.Reader
-	pos int64
+	br   *bufio.Reader
+	pos  int64
+	sink io.Writer
+	one  [1]byte
 }
 
 func (p *posReader) byte() (byte, error) {
 	b, err := p.br.ReadByte()
 	if err == nil {
 		p.pos++
+		if p.sink != nil {
+			p.one[0] = b
+			if _, werr := p.sink.Write(p.one[:]); werr != nil {
+				return b, werr
+			}
+		}
 	}
 	return b, err
 }
@@ -1026,6 +1084,11 @@ func (p *posReader) str() (string, error) {
 		return "", err
 	}
 	p.pos += int64(n)
+	if p.sink != nil {
+		if _, err := p.sink.Write(buf); err != nil {
+			return "", err
+		}
+	}
 	return string(buf), nil
 }
 
@@ -1034,7 +1097,11 @@ func (p *posReader) skipStr() error {
 	if err != nil {
 		return err
 	}
-	if _, err := io.CopyN(io.Discard, p.br, int64(n)); err != nil {
+	dst := io.Discard
+	if p.sink != nil {
+		dst = p.sink
+	}
+	if _, err := io.CopyN(dst, p.br, int64(n)); err != nil {
 		return err
 	}
 	p.pos += int64(n)

@@ -77,7 +77,7 @@ func formRunsSharded(tr *tokenReader, dict *dictionary, spec *keys.Spec, budget 
 	d := &shardDispatcher{
 		dict: dict, spec: spec, shards: shards,
 		keyReaders: map[string]*rawReader{}, openKeys: openKeys,
-		batches:    make([][]token, shards),
+		batches: make([][]token, shards),
 	}
 	derr := d.run(tr, ws, &failed)
 	for w, st := range ws {

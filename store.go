@@ -80,6 +80,8 @@ type config struct {
 	segTarget   int  // external engine segment payload target, in bytes
 	shards      int  // external engine run-forming shards (0 = auto)
 	noSeek      bool // external engine: disable key-directory seeks
+	compTarget  int  // external engine: undersized-segment threshold, in bytes
+	compBudget  int  // external engine: opportunistic compaction budget per Add, in bytes
 }
 
 func defaultConfig() config {
@@ -141,6 +143,28 @@ func WithMemoryBudget(tokens int) Option {
 // External engine only; the default is 256 KiB.
 func WithSegmentTargetSize(bytes int) Option {
 	return func(c *config) { c.segTarget = bytes }
+}
+
+// WithCompactTargetSize sets the payload size, in bytes, below which the
+// external engine's compaction planner counts a segment as undersized:
+// runs of two or more adjacent undersized segments are coalesced into
+// right-sized segments by ExtStore.Compact and by the opportunistic
+// post-Add pass (see WithCompactionBudget). External engine only; the
+// default is half the segment target size.
+func WithCompactTargetSize(bytes int) Option {
+	return func(c *config) { c.compTarget = bytes }
+}
+
+// WithCompactionBudget makes the external engine run a background-style
+// compaction pass after every Add, coalescing runs of undersized
+// neighbor segments while rewriting at most the given payload bytes per
+// pass. The pass is crash-safe (fresh segments first, key directory
+// rename as the commit point) and never disturbs open query views:
+// superseded segments are deleted only when the last pinned view
+// closes. 0 (the default) disables the opportunistic pass; explicit
+// ExtStore.Compact calls are never budgeted. External engine only.
+func WithCompactionBudget(bytes int) Option {
+	return func(c *config) { c.compBudget = bytes }
 }
 
 // WithIngestShards sets how many run-former workers the external
