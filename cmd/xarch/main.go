@@ -8,8 +8,9 @@
 //	xarch history  [-engine mem|ext] -spec keys.txt -archive PATH -selector /db/dept[name=finance] [-changes]
 //	xarch stats    [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch snapshot [-engine mem|ext] -spec keys.txt -archive PATH
-//	xarch inspect  -spec keys.txt -archive DIR
+//	xarch inspect  -spec keys.txt -archive DIR [-verify]
 //	xarch compact  -spec keys.txt -archive DIR [-dry-run]
+//	xarch fsck     -spec keys.txt -archive DIR [-repair]
 //	xarch validate -spec keys.txt version.xml
 //
 // Every subcommand works against either engine of the xarch.Store
@@ -54,6 +55,8 @@ func main() {
 		err = cmdInspect(args)
 	case "compact":
 		err = cmdCompact(args)
+	case "fsck":
+		err = cmdFsck(args)
 	default:
 		usage()
 	}
@@ -64,7 +67,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck} [flags]")
 	os.Exit(2)
 }
 
@@ -344,8 +347,18 @@ func cmdStats(args []string) error {
 func cmdInspect(args []string) error {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	sf := addStoreFlags(fs)
+	verify := fs.Bool("verify", false, "run the fsck checker first: per-file checksum status and degraded/clean state")
 	fs.Parse(args)
 	*sf.engine = "ext" // the segment map only exists on the external engine
+	if *verify {
+		// Check before opening: opening the store already sweeps crash
+		// leftovers, which would hide exactly what -verify reports.
+		report, err := xarch.CheckStore(*sf.archive)
+		if err != nil {
+			return err
+		}
+		printCheckReport(report)
+	}
 	store, _, err := openStore(sf, false)
 	if err != nil {
 		return err
@@ -422,6 +435,69 @@ func cmdCompact(args []string) error {
 	fmt.Printf("compacted %d of %d runs: %d segments -> %d (%d bytes rewritten)\n",
 		st.Executed, st.Planned, st.Coalesced, st.Created, st.BytesRewritten)
 	return nil
+}
+
+// cmdFsck verifies an external archive directory offline; with -repair
+// it rebuilds the key directory, sweeps crash leftovers and clears the
+// degraded-writer marker, then verifies again.
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	sf := addStoreFlags(fs)
+	repair := fs.Bool("repair", false, "repair the archive: rebuild metadata, sweep crash leftovers, clear the degraded marker")
+	fs.Parse(args)
+	if *sf.archive == "" {
+		return fmt.Errorf("need -archive")
+	}
+	var report *xarch.CheckReport
+	var err error
+	if *repair {
+		if *sf.spec == "" {
+			return fmt.Errorf("need -spec to repair")
+		}
+		spec, serr := loadSpec(*sf.spec)
+		if serr != nil {
+			return serr
+		}
+		report, err = xarch.RepairStore(*sf.archive, spec,
+			xarch.WithMemoryBudget(*sf.budget), xarch.WithSegmentTargetSize(*sf.segTarget))
+	} else {
+		report, err = xarch.CheckStore(*sf.archive)
+	}
+	if err != nil {
+		return err
+	}
+	printCheckReport(report)
+	if !report.Clean {
+		if *repair {
+			return fmt.Errorf("archive not clean after repair")
+		}
+		return fmt.Errorf("archive not clean; run `xarch fsck -repair`")
+	}
+	return nil
+}
+
+// printCheckReport renders one fsck report, problems last so they are
+// visible above the prompt.
+func printCheckReport(r *xarch.CheckReport) {
+	okCount := 0
+	for _, it := range r.Items {
+		if it.OK {
+			okCount++
+		}
+	}
+	fmt.Printf("versions %d, %d checks, %d ok\n", r.Versions, len(r.Items), okCount)
+	for _, it := range r.Items {
+		status := "ok"
+		if !it.OK {
+			status = "PROBLEM"
+		}
+		fmt.Printf("%-8s %-14s %s  %s\n", status, it.Kind, it.File, it.Detail)
+	}
+	if r.Clean {
+		fmt.Println("clean")
+	} else {
+		fmt.Println("NOT CLEAN")
+	}
 }
 
 func cmdSnapshot(args []string) error {

@@ -1,0 +1,92 @@
+package xarch
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+
+	"xarch/internal/datagen"
+	"xarch/internal/fsio"
+)
+
+// The public degradation surface: WithFS injects a fault filesystem,
+// a failed commit fsync poisons the writer behind ErrDegraded, reads
+// keep serving, and CheckStore/RepairStore restore a clean directory.
+func TestStoreDegradedAndFsck(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.OMIMSpec()
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 11, Records: 10})
+	docs := []string{g.Next().IndentedXML(), g.Next().IndentedXML()}
+
+	ffs := fsio.NewFaultFS(nil)
+	s, err := OpenStore(dir, spec, WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddReader(strings.NewReader(docs[0])); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := s.Snapshot(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetFault("keydir.sync", fsio.Fault{Err: syscall.EIO})
+	err = s.AddReader(strings.NewReader(docs[1]))
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Add under commit-fsync fault: got %v, want ErrDegraded", err)
+	}
+	if s.Degraded() == nil {
+		t.Fatal("Degraded() = nil after commit fault")
+	}
+	// Reads keep serving the committed generation; writes fail fast even
+	// with the fault lifted.
+	ffs.ClearFaults()
+	if got := s.Versions(); got != 1 {
+		t.Fatalf("Versions() = %d on degraded store, want 1", got)
+	}
+	var after bytes.Buffer
+	if err := s.Snapshot(&after); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if after.String() != before.String() {
+		t.Error("degraded snapshot differs from committed generation")
+	}
+	if err := s.AddReader(strings.NewReader(docs[1])); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Add on poisoned store: got %v, want fast ErrDegraded", err)
+	}
+
+	// Offline: fsck sees the marker, repair clears it.
+	r, err := CheckStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean {
+		t.Fatal("CheckStore clean despite DEGRADED marker")
+	}
+	r, err = RepairStore(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean {
+		t.Fatalf("RepairStore left problems: %+v", r.Problems())
+	}
+
+	// A fresh open restores full service.
+	s2, err := OpenStore(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Degraded() != nil {
+		t.Fatal("reopened store still degraded")
+	}
+	if err := s2.AddReader(strings.NewReader(docs[1])); err != nil {
+		t.Fatalf("reopened store cannot write: %v", err)
+	}
+	if got := s2.Versions(); got != 2 {
+		t.Fatalf("Versions() = %d after recovery add, want 2", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"xarch/internal/core"
+	"xarch/internal/extmem"
 	"xarch/internal/keys"
 )
 
@@ -26,6 +27,11 @@ var (
 	ErrCorruptArchive = core.ErrCorruptArchive
 	// ErrClosed reports a call on a closed Store.
 	ErrClosed = errors.New("xarch: store is closed")
+	// ErrDegraded reports that the external engine's writer has been
+	// poisoned by a failed durability-critical commit step (a failed
+	// fsync or rename): reads keep serving the last committed
+	// generation, writes fail fast until the store is reopened.
+	ErrDegraded = extmem.ErrDegraded
 )
 
 // KeyViolationError aggregates every violation of a key specification

@@ -54,6 +54,7 @@ func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
 		NoDirectorySeek:  cfg.noSeek,
 		CompactTarget:    cfg.compTarget,
 		CompactionBudget: cfg.compBudget,
+		FS:               cfg.fs,
 	})
 	if err != nil {
 		return nil, err
@@ -403,6 +404,21 @@ func (s *ExtStore) CompactionErr() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.ar.CompactErr
+}
+
+// Degraded reports whether the store's writer has been poisoned by a
+// failed durability-critical commit step (fsync or rename): nil while
+// healthy, otherwise an error satisfying errors.Is(err, ErrDegraded)
+// naming the failed step. A degraded store keeps answering queries from
+// the last committed generation but refuses further writes; reopening
+// the directory (after `xarch fsck`) restores write service.
+func (s *ExtStore) Degraded() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.ar.Degraded()
 }
 
 // BytesRead returns the cumulative archive bytes read by queries and

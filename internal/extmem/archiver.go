@@ -2,15 +2,17 @@ package extmem
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
-	"os"
+	iofs "io/fs"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"xarch/internal/fsio"
 	"xarch/internal/intervals"
 	"xarch/internal/keys"
 )
@@ -26,10 +28,19 @@ type Archiver struct {
 	dir  string
 	spec *keys.Spec
 	cfg  Config
+	// fs is the filesystem seam every I/O of the archiver goes through:
+	// fsio.OS in production, a fsio.FaultFS under the crash-consistency
+	// harness.
+	fs fsio.FS
 
 	dict    *dictionary
 	curDir  *keyDirectory
 	nextSeg int
+
+	// degraded is the poisoned-writer flag: set by the first commit
+	// fault (failed fsync/rename), checked by every write entry point.
+	// See degrade.go.
+	degraded degradedState
 
 	// genMu guards the generation table: every committed directory is a
 	// generation; open query views pin the generation they captured so
@@ -87,6 +98,10 @@ type Config struct {
 	// compaction pass may rewrite. 0 (the default) disables the
 	// opportunistic pass; explicit Compact calls are never budgeted.
 	CompactionBudget int
+	// FS is the filesystem all archive I/O goes through. Nil means the
+	// real filesystem (fsio.OS); the crash-consistency harness injects a
+	// fsio.FaultFS here.
+	FS fsio.FS
 }
 
 const defaultSegmentTarget = 256 * 1024
@@ -114,6 +129,9 @@ func (c *Config) setDefaults() {
 	if c.CompactTarget > c.SegmentTarget {
 		c.CompactTarget = c.SegmentTarget
 	}
+	if c.FS == nil {
+		c.FS = fsio.OS
+	}
 }
 
 const (
@@ -128,18 +146,18 @@ const (
 // checksum and rebuilt by scanning the segment files.
 func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 	cfg.setDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("extmem: %w", err)
 	}
 	ar := &Archiver{
-		dir: dir, spec: spec, cfg: cfg,
+		dir: dir, spec: spec, cfg: cfg, fs: cfg.FS,
 		dict: newDictionary(), gens: map[int]*genState{},
 	}
 	ar.nextSeg = ar.maxSegID() + 1
 
-	metaData, metaErr := os.ReadFile(filepath.Join(dir, metaFile))
-	kdData, kdErr := os.ReadFile(filepath.Join(dir, keydirFile))
-	if os.IsNotExist(metaErr) && os.IsNotExist(kdErr) {
+	metaData, metaErr := ar.fs.ReadFile(filepath.Join(dir, metaFile))
+	kdData, kdErr := ar.fs.ReadFile(filepath.Join(dir, keydirFile))
+	if errors.Is(metaErr, iofs.ErrNotExist) && errors.Is(kdErr, iofs.ErrNotExist) {
 		// Fresh archive.
 		ar.curDir = &keyDirectory{rootTime: intervals.New()}
 		if err := ar.commitState(ar.curDir); err != nil {
@@ -154,7 +172,7 @@ func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 
 	// The dictionary precedes everything: segment payloads and the
 	// legacy token file reference names by id.
-	df, err := os.Open(filepath.Join(dir, dictFile))
+	df, err := ar.fs.Open(filepath.Join(dir, dictFile))
 	if err != nil {
 		return nil, fmt.Errorf("extmem: missing dictionary: %w", err)
 	}
@@ -175,7 +193,7 @@ func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 		}
 	}
 	if d == nil && metaErr == nil && !strings.HasPrefix(string(metaData), "xarch-ext ") {
-		if _, err := os.Stat(filepath.Join(dir, archiveFile)); err == nil {
+		if _, err := ar.fs.Stat(filepath.Join(dir, archiveFile)); err == nil {
 			// Legacy v1 meta plus a monolithic token file: migrate.
 			if err := ar.migrateV1(metaData); err != nil {
 				return nil, err
@@ -201,7 +219,7 @@ func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 		}
 	} else if metaErr != nil || !metaMatches(metaData, d) {
 		// Self-heal a stale or missing meta backup from the directory.
-		if err := writeFileAtomic(filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
+		if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
 			return nil, err
 		}
 	}
@@ -234,22 +252,22 @@ func (ar *Archiver) migrateV1(metaData []byte) error {
 	// Any seg-*.tok files predating a v1 layout are leftovers of an
 	// interrupted migration; the token file is still authoritative.
 	for _, p := range ar.globSegments() {
-		os.Remove(p)
+		ar.fs.Remove(p)
 	}
 	d, newFiles, err := ar.migrateMonolithic(filepath.Join(ar.dir, archiveFile), versions, ts)
 	if err != nil {
 		for _, f := range newFiles {
-			os.Remove(filepath.Join(ar.dir, f))
+			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 		return err
 	}
 	if err := ar.commitState(d); err != nil {
 		for _, f := range newFiles {
-			os.Remove(filepath.Join(ar.dir, f))
+			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 		return err
 	}
-	os.Remove(filepath.Join(ar.dir, archiveFile))
+	ar.fs.Remove(filepath.Join(ar.dir, archiveFile))
 	d.resolveTags(ar.dict)
 	ar.curDir = d
 	return nil
@@ -263,26 +281,60 @@ func (ar *Archiver) finishOpen() {
 	live := ar.curDir.files()
 	for _, p := range ar.globSegments() {
 		if !live[filepath.Base(p)] {
-			os.Remove(p)
+			ar.fs.Remove(p)
 		}
 	}
 	// A leftover monolithic token file (crash between a migration's
 	// commit and its cleanup) is superseded by the committed segments.
-	os.Remove(filepath.Join(ar.dir, archiveFile))
-	if tmp, err := filepath.Glob(filepath.Join(ar.dir, "tmp-*")); err == nil {
-		for _, p := range tmp {
-			os.Remove(p)
+	ar.fs.Remove(filepath.Join(ar.dir, archiveFile))
+	ar.sweepTmp()
+}
+
+// sweepTmp removes the transient files a crashed operation can strand:
+// "tmp-*" scratch files (version/key/run/sorted files of an Add) and
+// "*.tmp" atomic-replace siblings (a commit killed between tmp-create
+// and rename). Only committed state survives a reopen, so anything
+// matching these patterns is garbage by construction. It returns what
+// it removed (for fsck reporting).
+func (ar *Archiver) sweepTmp() []string {
+	var removed []string
+	for _, name := range listTransient(ar.fs, ar.dir) {
+		if ar.fs.Remove(filepath.Join(ar.dir, name)) == nil {
+			removed = append(removed, name)
 		}
 	}
-	if tmp, err := filepath.Glob(filepath.Join(ar.dir, "*.tmp")); err == nil {
-		for _, p := range tmp {
-			os.Remove(p)
+	return removed
+}
+
+// listTransient lists the transient crash-leftover files in dir:
+// scratch files ("tmp-*") and atomic-replace siblings ("*.tmp").
+func listTransient(fs fsio.FS, dir string) []string {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "tmp-") || strings.HasSuffix(n, ".tmp") {
+			names = append(names, n)
 		}
 	}
+	return names
 }
 
 func (ar *Archiver) globSegments() []string {
-	names, _ := filepath.Glob(filepath.Join(ar.dir, "seg-*.tok"))
+	ents, err := ar.fs.ReadDir(ar.dir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".tok") {
+			names = append(names, filepath.Join(ar.dir, n))
+		}
+	}
 	return names
 }
 
@@ -302,17 +354,20 @@ func (ar *Archiver) maxSegID() int {
 // meta backup first, then the key directory — whose rename is the commit
 // point for the segment layout.
 func (ar *Archiver) commitState(d *keyDirectory) error {
+	if err := ar.writable(); err != nil {
+		return err
+	}
 	var db bytes.Buffer
 	if err := ar.dict.save(&db); err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(ar.dir, dictFile), db.Bytes()); err != nil {
+	if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, dictFile), db.Bytes()); err != nil {
 		return err
 	}
-	if err := writeFileAtomic(filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
+	if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(ar.dir, keydirFile), d.encode())
+	return writeFileAtomic(ar.fs, filepath.Join(ar.dir, keydirFile), d.encode())
 }
 
 // installDir makes d the current directory generation and deletes the
@@ -367,7 +422,7 @@ func (ar *Archiver) sweepFiles(cand map[string]bool) {
 			}
 		}
 		if !live {
-			os.Remove(filepath.Join(ar.dir, f))
+			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 	}
 }
@@ -385,8 +440,15 @@ func (ar *Archiver) BytesRead() int64 { return ar.bytesRead.Load() }
 
 // Close flushes the archive metadata. The archiver keeps no open file
 // handles between operations, so Close is cheap; it exists so the store
-// layer can offer one lifecycle across engines.
-func (ar *Archiver) Close() error { return ar.commitState(ar.curDir) }
+// layer can offer one lifecycle across engines. A degraded archiver
+// refuses the flush — its committed on-disk state is already
+// authoritative and must not be touched by a poisoned writer.
+func (ar *Archiver) Close() error {
+	if err := ar.writable(); err != nil {
+		return err
+	}
+	return ar.noteFatal(ar.commitState(ar.curDir))
+}
 
 // StorageStats summarizes the segmented layout.
 type StorageStats struct {
@@ -460,7 +522,7 @@ func (ar *Archiver) Segments() []SegmentInfo {
 				info.FirstLabel = keyLabel(first.name, first.key)
 				info.LastLabel = keyLabel(last.name, last.key)
 			}
-			info.CRCOK = verifySegment(filepath.Join(ar.dir, s.file), s) == nil
+			info.CRCOK = verifySegment(ar.fs, filepath.Join(ar.dir, s.file), s) == nil
 			out = append(out, info)
 		}
 	}
@@ -469,7 +531,7 @@ func (ar *Archiver) Segments() []SegmentInfo {
 
 // AddVersionFile archives the XML document in path as the next version.
 func (ar *Archiver) AddVersionFile(path string) error {
-	f, err := os.Open(path)
+	f, err := ar.fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("extmem: %w", err)
 	}
@@ -483,14 +545,24 @@ func (ar *Archiver) AddEmptyVersion() error { return ar.AddVersion(nil) }
 // AddVersion archives the XML document read from r as the next version,
 // running the §6 phases: decompose, external sort, and a segment-local
 // streaming merge that rewrites only the segments whose key ranges the
-// version touches.
+// version touches. A failed fsync or rename in the commit protocol
+// poisons the writer: the error satisfies errors.Is(err, ErrDegraded),
+// every later write fails fast, and readers keep serving the last
+// committed generation (see degrade.go).
 func (ar *Archiver) AddVersion(r io.Reader) error {
+	if err := ar.writable(); err != nil {
+		return err
+	}
+	return ar.noteFatal(ar.addVersion(r))
+}
+
+func (ar *Archiver) addVersion(r io.Reader) error {
 	i := ar.curDir.versions + 1
 	tmp := func(name string) string { return filepath.Join(ar.dir, fmt.Sprintf("tmp-%s", name)) }
 	var cleanup []string
 	defer func() {
 		for _, p := range cleanup {
-			os.Remove(p)
+			ar.fs.Remove(p)
 		}
 	}()
 
@@ -504,7 +576,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 		// (normalizing the spec here, before the workers share it).
 		tokPath := tmp("version.tok")
 		cleanup = append(cleanup, tokPath)
-		tokF, err := os.Create(tokPath)
+		tokF, err := ar.fs.Create(tokPath)
 		if err != nil {
 			return fmt.Errorf("extmem: %w", err)
 		}
@@ -513,7 +585,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 
 		type keyFile struct {
 			path string
-			f    *os.File
+			f    fsio.File
 			w    *tokenWriter
 			prog *progress
 		}
@@ -525,7 +597,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 			}
 			p := tmp("keys-" + sanitize(pattern) + ".key")
 			cleanup = append(cleanup, p)
-			f, err := os.Create(p)
+			f, err := ar.fs.Create(p)
 			if err != nil {
 				tw.release()
 				tokF.Close()
@@ -552,13 +624,13 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 		}
 		resCh := make(chan runResult, 1)
 		go func() {
-			tokIn, err := os.Open(tokPath)
+			tokIn, err := ar.fs.Open(tokPath)
 			if err != nil {
 				resCh <- runResult{err: fmt.Errorf("extmem: %w", err)}
 				return
 			}
 			defer tokIn.Close()
-			var keyReaders []*os.File
+			var keyReaders []fsio.File
 			defer func() {
 				for _, f := range keyReaders {
 					f.Close()
@@ -569,7 +641,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 				if !ok {
 					return nil, fmt.Errorf("extmem: no key file for pattern %s", pattern)
 				}
-				f, err := os.Open(kf.path)
+				f, err := ar.fs.Open(kf.path)
 				if err != nil {
 					return nil, fmt.Errorf("extmem: %w", err)
 				}
@@ -577,7 +649,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 				return newRawReader(&followReader{f: f, p: kf.prog}), nil
 			}
 			tr := newTokenReader(&followReader{f: tokIn, p: progTok})
-			runs, stats, err := formRunsSharded(tr, ar.dict, ar.spec, ar.cfg.Budget, ar.dir, "tmp", openKeyReader, ar.cfg.Shards)
+			runs, stats, err := formRunsSharded(ar.fs, tr, ar.dict, ar.spec, ar.cfg.Budget, ar.dir, "tmp", openKeyReader, ar.cfg.Shards)
 			tr.release()
 			resCh <- runResult{runs: runs, stats: stats, err: err}
 		}()
@@ -628,12 +700,12 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 
 		// Phase 3: merge the runs into one sorted version.
 		cleanup = append(cleanup, sortedPath)
-		if err := mergeRunFiles(res.runs, ar.dict, sortedPath); err != nil {
+		if err := mergeRunFiles(ar.fs, res.runs, ar.dict, sortedPath); err != nil {
 			return err
 		}
 	} else {
 		cleanup = append(cleanup, sortedPath)
-		if err := os.WriteFile(sortedPath, nil, 0o644); err != nil {
+		if err := ar.fs.WriteFile(sortedPath, nil, 0o644); err != nil {
 			return fmt.Errorf("extmem: %w", err)
 		}
 	}
@@ -646,7 +718,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 	}
 	if err != nil {
 		for _, f := range newFiles {
-			os.Remove(filepath.Join(ar.dir, f))
+			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 		return err
 	}
@@ -659,7 +731,7 @@ func (ar *Archiver) AddVersion(r io.Reader) error {
 	ar.CompactErr = nil
 	if ar.cfg.CompactionBudget > 0 {
 		if _, cerr := ar.compact(int64(ar.cfg.CompactionBudget)); cerr != nil {
-			ar.CompactErr = cerr
+			ar.CompactErr = ar.noteFatal(cerr)
 		}
 	}
 	return nil

@@ -3,7 +3,6 @@ package extmem
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 )
 
@@ -144,7 +143,11 @@ func (ar *Archiver) CompactionPlan() []CompactionRun {
 // the current directory generation. It blocks until done; the store
 // layer serializes it with Add.
 func (ar *Archiver) Compact() (CompactStats, error) {
-	return ar.compact(0)
+	if err := ar.writable(); err != nil {
+		return CompactStats{}, err
+	}
+	st, err := ar.compact(0)
+	return st, ar.noteFatal(err)
 }
 
 // compact executes one compaction pass. A positive budget caps the
@@ -176,7 +179,7 @@ func (ar *Archiver) compact(budget int64) (CompactStats, error) {
 	onCreate := func(name string) { newFiles = append(newFiles, name) }
 	fail := func(err error) (CompactStats, error) {
 		for _, f := range newFiles {
-			os.Remove(filepath.Join(ar.dir, f))
+			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 		return st, err
 	}
@@ -213,29 +216,12 @@ func (ar *Archiver) compact(budget int64) (CompactStats, error) {
 		out.roots = append(out.roots, nr)
 	}
 
-	if err := compactTestHook(ar); err != nil {
-		// Simulated crash between segment writes and the directory
-		// commit: leave the new files on disk, exactly as a kill would.
-		return st, err
-	}
 	if err := ar.commitState(out); err != nil {
 		return fail(err)
 	}
 	ar.installDir(out)
 	ar.LastCompact = st
 	return st, nil
-}
-
-// compactTestHookFn, when set by a test, runs right before the key
-// directory commit of a compaction pass — the injection point for
-// crash simulation.
-var compactTestHookFn func(*Archiver) error
-
-func compactTestHook(ar *Archiver) error {
-	if compactTestHookFn != nil {
-		return compactTestHookFn(ar)
-	}
-	return nil
 }
 
 // coalesceRun copies the child subtrees of segments old.segs[lo:hi]
@@ -254,7 +240,7 @@ func (ar *Archiver) coalesceRun(newRoot, old *rootRecord, lo, hi int, onCreate f
 	var copied int64
 	for si := lo; si < hi; si++ {
 		seg := old.segs[si]
-		f, err := os.Open(filepath.Join(ar.dir, seg.file))
+		f, err := ar.fs.Open(filepath.Join(ar.dir, seg.file))
 		if err != nil {
 			sw.finish()
 			return nil, copied, fmt.Errorf("extmem: compact: %w", err)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"xarch/internal/datagen"
+	"xarch/internal/fsio"
 	"xarch/internal/xmltree"
 )
 
@@ -80,6 +81,25 @@ func fragmentedArchive(t *testing.T, dir string, cfg Config, adds int) *Archiver
 		}
 	}
 	return ar
+}
+
+// diskSegments lists the segment files actually present in dir, reading
+// the directory with the plain os package so a crashed FaultFS cannot
+// hide what is really on disk.
+func diskSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "seg-") && strings.HasSuffix(n, ".tok") {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 func segmentFiles(t *testing.T, ar *Archiver) []string {
@@ -240,12 +260,13 @@ func TestCompactionConvergesWithOversizedThreshold(t *testing.T) {
 }
 
 // TestCompactionCrashInjection simulates a kill between the compaction's
-// segment writes and the key directory rename: on reopen the archive is
+// segment writes and the key directory commit: on reopen the archive is
 // byte-identical with the pre-compaction segment set and the orphan
 // files are collected.
 func TestCompactionCrashInjection(t *testing.T) {
 	dir := t.TempDir()
-	ar := fragmentedArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: fragTarget}, 30)
+	ffs := fsio.NewFaultFS(nil)
+	ar := fragmentedArchive(t, dir, Config{Budget: 1 << 16, SegmentTarget: fragTarget, FS: ffs}, 30)
 	wantStream := archiveStreamBytes(t, ar)
 	wantXML := snapshotXML(t, ar)
 	wantFiles := segmentFiles(t, ar)
@@ -253,13 +274,18 @@ func TestCompactionCrashInjection(t *testing.T) {
 		t.Fatal("nothing planned; fixture too small")
 	}
 
-	crash := errors.New("simulated crash before keydir commit")
-	compactTestHookFn = func(*Archiver) error { return crash }
-	defer func() { compactTestHookFn = nil }()
-	if _, err := ar.Compact(); !errors.Is(err, crash) {
-		t.Fatalf("Compact under crash hook: %v", err)
+	// Crash at the first rename of the directory commit: the coalesced
+	// segment files are on disk but no committed state points at them —
+	// and, because a crashed FaultFS fails the cleanup removes too, they
+	// stay there exactly as a real kill would leave them.
+	ffs.SetFault("dict.rename", fsio.Fault{Crash: true})
+	_, err := ar.Compact()
+	if !errors.Is(err, fsio.ErrCrashed) {
+		t.Fatalf("Compact under crash fault: %v", err)
 	}
-	compactTestHookFn = nil
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("crashed commit did not degrade the writer: %v", err)
+	}
 
 	// The "kill" left freshly written segment files on disk but no
 	// directory pointing at them.
@@ -268,8 +294,8 @@ func TestCompactionCrashInjection(t *testing.T) {
 	for _, f := range wantFiles {
 		live[f] = true
 	}
-	for _, p := range ar.globSegments() {
-		if !live[filepath.Base(p)] {
+	for _, name := range diskSegments(t, dir) {
+		if !live[name] {
 			orphans++
 		}
 	}

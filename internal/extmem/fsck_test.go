@@ -1,0 +1,186 @@
+package extmem
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"xarch/internal/datagen"
+	"xarch/internal/fsio"
+)
+
+func checkKinds(r *CheckReport) map[string]int {
+	kinds := map[string]int{}
+	for _, p := range r.Problems() {
+		kinds[p.Kind]++
+	}
+	return kinds
+}
+
+func TestFsckCleanArchive(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	ar := buildOMIMArchive(t, dir, cfg, 3)
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean {
+		t.Fatalf("fresh archive not clean: %+v", r.Problems())
+	}
+	if r.Versions != 3 {
+		t.Fatalf("Versions = %d, want 3", r.Versions)
+	}
+}
+
+func TestFsckDetectsCorruptKeydirAndRepairs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	ar := buildOMIMArchive(t, dir, cfg, 2)
+	want := archiveStreamBytes(t, ar)
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := filepath.Join(dir, keydirFile)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean {
+		t.Fatal("corrupt keydir not detected")
+	}
+	if checkKinds(r)["keydir"] == 0 {
+		t.Fatalf("no keydir problem in %+v", r.Problems())
+	}
+
+	r, err = RepairArchive(nil, dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean {
+		t.Fatalf("not clean after repair: %+v", r.Problems())
+	}
+	ar2, err := Open(dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ar2.Close()
+	if got := archiveStreamBytes(t, ar2); !bytes.Equal(got, want) {
+		t.Error("repair did not preserve the archive stream")
+	}
+}
+
+func TestFsckDetectsCorruptSegment(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	ar := buildOMIMArchive(t, dir, cfg, 2)
+	segs := ar.globSegments()
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-8] ^= 0xff // payload tail: past the header, before EOF
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean {
+		t.Fatal("corrupt segment not detected")
+	}
+	if checkKinds(r)["segment"] == 0 {
+		t.Fatalf("no segment problem in %+v", r.Problems())
+	}
+}
+
+func TestFsckDetectsLeftoversAndRepairSweeps(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	ar := buildOMIMArchive(t, dir, cfg, 2)
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"seg-999999.tok", "tmp-sort-run-0", "keydir.idx.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := checkKinds(r)
+	if kinds["orphan"] != 1 || kinds["transient"] != 2 {
+		t.Fatalf("problem kinds %v, want 1 orphan + 2 transient", kinds)
+	}
+	r, err = RepairArchive(nil, dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean {
+		t.Fatalf("not clean after repair: %+v", r.Problems())
+	}
+}
+
+func TestFsckRepairClearsDegradedMarker(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsio.NewFaultFS(nil)
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	fcfg := cfg
+	fcfg.FS = ffs
+	ar, err := Open(dir, datagen.OMIMSpec(), fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := datagen.NewOMIM(datagen.OMIMConfig{Seed: 7, Records: 10})
+	if err := ar.AddVersion(strings.NewReader(g.Next().IndentedXML())); err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetFault("keydir.sync", fsio.Fault{Err: syscall.EIO})
+	if err := ar.AddVersion(strings.NewReader(g.Next().IndentedXML())); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("got %v, want ErrDegraded", err)
+	}
+	// The process is abandoned degraded; the marker stays behind.
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean || checkKinds(r)["marker"] != 1 {
+		t.Fatalf("marker not reported: %+v", r.Problems())
+	}
+	r, err = RepairArchive(nil, dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Clean {
+		t.Fatalf("not clean after repair: %+v", r.Problems())
+	}
+	if _, err := os.Stat(filepath.Join(dir, degradedMarker)); err == nil {
+		t.Fatal("DEGRADED marker survived repair")
+	}
+}

@@ -6,11 +6,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 
+	"xarch/internal/fsio"
 	"xarch/internal/intervals"
 )
 
@@ -352,43 +352,40 @@ func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
 // writeFileAtomic replaces path with data durably: the bytes go to a
 // sibling temp file which is fsynced, renamed over path, and the parent
 // directory fsynced, so a crash leaves either the old or the new file —
-// never a torn one.
-func writeFileAtomic(path string, data []byte) error {
+// never a torn one. Failures of the durability-critical steps (fsync,
+// rename, directory fsync) are marked as commit faults: after one of
+// those the state of the page cache is unknowable, so the caller must
+// poison the writer rather than silently retry (the fsyncgate lesson).
+// fs.SyncDir itself tolerates only the benign "directory fsync
+// unsupported" errors; everything else surfaces here as a commit
+// failure.
+func writeFileAtomic(fs fsio.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("extmem: %w", err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("extmem: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("extmem: %w", err)
+		fs.Remove(tmp)
+		return commitFaultf("fsync "+filepath.Base(tmp), err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("extmem: %w", err)
+		fs.Remove(tmp)
+		return commitFaultf("close "+filepath.Base(tmp), err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("extmem: %w", err)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return commitFaultf("rename "+filepath.Base(path), err)
 	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a preceding rename is durable. Platforms
-// that cannot fsync directories are tolerated silently.
-func syncDir(dir string) error {
-	df, err := os.Open(dir)
-	if err != nil {
-		return nil
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
+		return commitFaultf("fsync dir", err)
 	}
-	defer df.Close()
-	df.Sync()
 	return nil
 }
 

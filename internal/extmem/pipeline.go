@@ -2,8 +2,9 @@ package extmem
 
 import (
 	"io"
-	"os"
 	"sync"
+
+	"xarch/internal/fsio"
 )
 
 // The ingest pipeline overlaps §6.1 (decompose) with §6.2 (run forming):
@@ -62,7 +63,7 @@ func (p *progress) wait(off int64) (flushed int64, done bool, err error) {
 
 // progressWriter publishes every durable write to a progress tracker.
 type progressWriter struct {
-	f *os.File
+	f fsio.File
 	p *progress
 }
 
@@ -78,7 +79,7 @@ func (w *progressWriter) Write(b []byte) (int, error) {
 // past the writer's published frontier and blocking at it until the
 // writer advances or finishes.
 type followReader struct {
-	f   *os.File
+	f   fsio.File
 	p   *progress
 	off int64
 }

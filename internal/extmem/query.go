@@ -90,7 +90,7 @@ func (q *QueryView) stream(parts []streamPart) *tokenReader {
 	if q.cur != nil {
 		q.cur.Close()
 	}
-	q.cur = &dirStream{dir: q.ar.dir, parts: parts, counter: &q.ar.bytesRead}
+	q.cur = &dirStream{fs: q.ar.fs, dir: q.ar.dir, parts: parts, counter: &q.ar.bytesRead}
 	return newTokenReader(q.cur)
 }
 

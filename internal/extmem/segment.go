@@ -8,9 +8,10 @@ import (
 	"hash"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"xarch/internal/fsio"
 )
 
 // Segment files hold the archive body. Each file starts with a versioned
@@ -121,8 +122,8 @@ func readSegmentHeader(f io.ReadSeeker) (*segmentHeader, error) {
 
 // verifySegment recomputes the payload CRC of a segment file against its
 // header and the directory record.
-func verifySegment(path string, sr *segmentRecord) error {
-	f, err := os.Open(path)
+func verifySegment(fs fsio.FS, path string, sr *segmentRecord) error {
+	f, err := fs.Open(path)
 	if err != nil {
 		return fmt.Errorf("extmem: %w", err)
 	}
@@ -153,7 +154,7 @@ func verifySegment(path string, sr *segmentRecord) error {
 // segPayloadWriter counts and checksums the payload bytes of one segment
 // file as they pass through to disk.
 type segPayloadWriter struct {
-	f   *os.File
+	f   fsio.File
 	crc hash.Hash32
 	n   int64
 }
@@ -190,7 +191,7 @@ type segmentSetWriter struct {
 	tw   *tokenWriter
 	cur  *segmentRecord
 	pw   *segPayloadWriter
-	f    *os.File
+	f    fsio.File
 	head int64 // header length of the current file
 
 	pending  childEntry
@@ -224,7 +225,7 @@ func (sw *segmentSetWriter) open() {
 	}
 	name := fmt.Sprintf("seg-%08d.tok", sw.ar.nextSeg)
 	sw.ar.nextSeg++
-	f, err := os.Create(filepath.Join(sw.ar.dir, name))
+	f, err := sw.ar.fs.Create(filepath.Join(sw.ar.dir, name))
 	if err != nil {
 		sw.fail(fmt.Errorf("extmem: create segment: %w", err))
 		return
@@ -270,10 +271,14 @@ func (sw *segmentSetWriter) closeCurrent() {
 	if _, err := sw.f.WriteAt(fixed[:], int64(segFixedOff)); err != nil {
 		sw.fail(fmt.Errorf("extmem: %w", err))
 	} else if err := sw.f.Sync(); err != nil {
-		sw.fail(fmt.Errorf("extmem: %w", err))
+		// A failed segment fsync is durability-critical: the file may be
+		// referenced by the directory about to be committed while its
+		// pages were silently dropped (fsyncgate), so it must poison the
+		// writer rather than be retried.
+		sw.fail(commitFaultf("fsync segment "+sw.cur.file, err))
 	}
 	if err := sw.f.Close(); err != nil {
-		sw.fail(fmt.Errorf("extmem: %w", err))
+		sw.fail(commitFaultf("close segment "+sw.cur.file, err))
 	}
 	if sw.err == nil {
 		sw.written += sw.cur.payload
@@ -346,10 +351,11 @@ type streamPart struct {
 // one segment file at a time. Reads are counted into the archiver's
 // bytes-read telemetry.
 type dirStream struct {
+	fs      fsio.FS
 	dir     string
 	parts   []streamPart
 	i       int
-	f       *os.File
+	f       fsio.File
 	rem     int64
 	buf     *bytes.Reader
 	counter *atomic.Int64
@@ -402,7 +408,7 @@ func (s *dirStream) Read(p []byte) (int, error) {
 			s.buf = bytes.NewReader(part.data)
 			continue
 		}
-		f, err := os.Open(filepath.Join(s.dir, part.file))
+		f, err := s.openPart(filepath.Join(s.dir, part.file))
 		if err != nil {
 			return 0, fmt.Errorf("extmem: %w", err)
 		}
@@ -413,6 +419,16 @@ func (s *dirStream) Read(p []byte) (int, error) {
 		s.f = f
 		s.rem = part.n
 	}
+}
+
+// openPart opens one segment file through the stream's FS; a stream
+// built without one (tests, ad-hoc scans) falls back to the plain OS.
+func (s *dirStream) openPart(path string) (fsio.File, error) {
+	fs := s.fs
+	if fs == nil {
+		fs = fsio.OS
+	}
+	return fs.Open(path)
 }
 
 // Close releases the stream's open file, if any.

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 
+	"xarch/internal/fsio"
 	"xarch/internal/intervals"
 	"xarch/internal/keys"
 )
@@ -106,7 +106,7 @@ func (ar *Archiver) mergeIntoSegments(sortedPath string, i int) (*keyDirectory, 
 		return nil, m.stats, nil, err
 	}
 
-	df, err := os.Open(sortedPath)
+	df, err := ar.fs.Open(sortedPath)
 	if err != nil {
 		return nil, m.stats, nil, fmt.Errorf("extmem: %w", err)
 	}
@@ -197,7 +197,7 @@ func (m *segMerge) terminateRoot(r *rootRecord) (*rootRecord, error) {
 	}
 	// Raw root gaining an explicit timestamp: re-emit the stored subtree
 	// with the new open token.
-	ds := &dirStream{dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+	ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
 	defer ds.Close()
 	a := newTokenReader(ds)
 	defer a.release()
@@ -301,7 +301,7 @@ func (m *segMerge) mergeRoot(r *rootRecord, d *tokenReader) (*rootRecord, error)
 	if r.raw {
 		// Frontier root: record-sized by the §6 contract — merge the two
 		// bodies with the standard frontier rules into one fresh segment.
-		ds := &dirStream{dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
 		defer ds.Close()
 		a := newTokenReader(ds)
 		defer a.release()
@@ -388,7 +388,7 @@ func (m *segMerge) mergeChildren(sw *segmentSetWriter, sm *streamMerger, r, out 
 			continue
 		}
 		m.stats.SegmentsRewritten++
-		ds := &dirStream{dir: m.ar.dir, parts: []streamPart{{file: seg.file, off: seg.dataOff, n: seg.payload}}, counter: &m.ar.bytesRead}
+		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: []streamPart{{file: seg.file, off: seg.dataOff, n: seg.payload}}, counter: &m.ar.bytesRead}
 		a := newTokenReader(ds)
 		err := m.mergeChildLevel(sw, sm, a, d, inRange, eff, path)
 		a.release()
@@ -533,7 +533,7 @@ func copyBalancedTo(r *tokenReader, tw *tokenWriter, emitClose bool) error {
 // exactly once.
 func (m *segMerge) planReuse(sortedPath string) error {
 	m.plans = map[*segmentRecord]*segPlan{}
-	f, err := os.Open(sortedPath)
+	f, err := m.ar.fs.Open(sortedPath)
 	if err != nil {
 		return fmt.Errorf("extmem: %w", err)
 	}
@@ -613,7 +613,7 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 	}
 	segs := r.segs
 	si, ei := 0, 0
-	var segF *os.File
+	var segF fsio.File
 	defer func() {
 		if segF != nil {
 			segF.Close()
@@ -696,7 +696,7 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 			continue
 		}
 		if segF == nil {
-			segF, err = os.Open(filepath.Join(m.ar.dir, seg.file))
+			segF, err = m.ar.fs.Open(filepath.Join(m.ar.dir, seg.file))
 			if err != nil {
 				return fmt.Errorf("extmem: %w", err)
 			}
@@ -730,14 +730,14 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 // difference flips mismatch; equality holds only when the section was
 // consumed exactly.
 type sectionComparer struct {
-	f        *os.File
+	f        fsio.File
 	off      int64
 	rem      int64
 	mismatch bool
 	scratch  []byte
 }
 
-func (c *sectionComparer) reset(f *os.File, off, n int64) {
+func (c *sectionComparer) reset(f fsio.File, off, n int64) {
 	c.f, c.off, c.rem, c.mismatch = f, off, n, false
 }
 
@@ -779,7 +779,7 @@ func (c *sectionComparer) Write(p []byte) (int, error) {
 // stream reproduces the old file byte for byte.
 func (ar *Archiver) migrateMonolithic(tokPath string, versions int, rootTime *intervals.Set) (*keyDirectory, []string, error) {
 	m := &segMerge{ar: ar, i: versions, newRoot: rootTime}
-	f, err := os.Open(tokPath)
+	f, err := ar.fs.Open(tokPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("extmem: %w", err)
 	}
@@ -858,7 +858,7 @@ func (ar *Archiver) rebuildDirectory(meta *keyDirectory) (*keyDirectory, error) 
 	for _, r := range meta.roots {
 		rec := &rootRecord{name: r.name, key: r.key, timeStr: r.timeStr, attrs: r.attrs, raw: r.raw}
 		for _, skel := range r.segs {
-			si, hname, hkey, err := scanSegment(filepath.Join(ar.dir, skel.file), ar.dict)
+			si, hname, hkey, err := scanSegment(ar.fs, filepath.Join(ar.dir, skel.file), ar.dict)
 			if err != nil {
 				return nil, fmt.Errorf("extmem: rebuild %s: %w", skel.file, err)
 			}
@@ -875,8 +875,8 @@ func (ar *Archiver) rebuildDirectory(meta *keyDirectory) (*keyDirectory, error) 
 // scanSegment reads one segment file end to end: header, payload CRC,
 // and the entry table re-derived from the payload tokens. It returns the
 // record plus the root label from the header.
-func scanSegment(path string, dict *dictionary) (*segInfoResult, string, *tkey, error) {
-	f, err := os.Open(path)
+func scanSegment(fs fsio.FS, path string, dict *dictionary) (*segInfoResult, string, *tkey, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, "", nil, err
 	}

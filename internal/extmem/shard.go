@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xarch/internal/fsio"
 	"xarch/internal/keys"
 )
 
@@ -28,11 +29,11 @@ const shardBatch = 512
 // shards <= 1 it degrades to the sequential former. The returned run
 // list is ordered worker by worker, preserving each worker's creation
 // order (which frontier-content concatenation relies on).
-func formRunsSharded(tr *tokenReader, dict *dictionary, spec *keys.Spec, budget int,
+func formRunsSharded(fs fsio.FS, tr *tokenReader, dict *dictionary, spec *keys.Spec, budget int,
 	dir, prefix string, openKeys func(pattern string) (*rawReader, error), shards int) ([]string, SortStats, error) {
 
 	if shards <= 1 {
-		return formRuns(tr, dict, spec, budget, dir, prefix, openKeys)
+		return formRuns(fs, tr, dict, spec, budget, dir, prefix, openKeys)
 	}
 	perBudget := budget / shards
 	if perBudget < 16 {
@@ -48,7 +49,7 @@ func formRunsSharded(tr *tokenReader, dict *dictionary, spec *keys.Spec, budget 
 		wg.Add(1)
 		go func(st *shardWorker, w int) {
 			defer wg.Done()
-			rf := &runFormer{dict: dict, spec: spec, budget: perBudget, dir: dir,
+			rf := &runFormer{fs: fs, dict: dict, spec: spec, budget: perBudget, dir: dir,
 				prefix:     fmt.Sprintf("%s-w%d", prefix, w),
 				keyReaders: map[string]*rawReader{}}
 			for batch := range st.ch {

@@ -2,10 +2,10 @@ package extmem
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
+	"xarch/internal/fsio"
 	"xarch/internal/keys"
 )
 
@@ -37,6 +37,7 @@ type stemInfo struct {
 // runFormer builds bounded-memory sorted runs from the internal token
 // stream, attaching composite key values read from the §6.1 key files.
 type runFormer struct {
+	fs     fsio.FS
 	dict   *dictionary
 	spec   *keys.Spec
 	budget int // max tokens held in a partial tree
@@ -57,13 +58,13 @@ type runFormer struct {
 
 // formRuns streams tokens into sorted run files, reading key values from
 // the per-pattern key files via openKeys.
-func formRuns(tr *tokenReader, dict *dictionary, spec *keys.Spec, budget int,
+func formRuns(fs fsio.FS, tr *tokenReader, dict *dictionary, spec *keys.Spec, budget int,
 	dir, prefix string, openKeys func(pattern string) (*rawReader, error)) ([]string, SortStats, error) {
 
 	if budget < 16 {
 		budget = 16
 	}
-	rf := &runFormer{dict: dict, spec: spec, budget: budget, dir: dir, prefix: prefix,
+	rf := &runFormer{fs: fs, dict: dict, spec: spec, budget: budget, dir: dir, prefix: prefix,
 		keyReaders: map[string]*rawReader{}, openKeys: openKeys}
 	for {
 		t, ok := tr.take()
@@ -209,7 +210,7 @@ func (rf *runFormer) flushRun(openStack []*pnode) error {
 		return nil
 	}
 	path := filepath.Join(rf.dir, fmt.Sprintf("%s-run%04d.tok", rf.prefix, len(rf.runs)))
-	f, err := os.Create(path)
+	f, err := rf.fs.Create(path)
 	if err != nil {
 		return fmt.Errorf("extmem: create run: %w", err)
 	}
@@ -287,11 +288,11 @@ func lessPNode(a, b *pnode) bool {
 // mergeRunFiles merges sorted runs into one sorted token file (§6.2's
 // multi-way merge; all runs are merged in one pass, which matches the
 // paper's (M/B)-1 fan-in for the file counts arising at these scales).
-func mergeRunFiles(runPaths []string, dict *dictionary, outPath string) error {
-	var files []*os.File
+func mergeRunFiles(fs fsio.FS, runPaths []string, dict *dictionary, outPath string) error {
+	var files []fsio.File
 	var cursors []*tokenReader
 	for _, p := range runPaths {
-		f, err := os.Open(p)
+		f, err := fs.Open(p)
 		if err != nil {
 			return fmt.Errorf("extmem: open run: %w", err)
 		}
@@ -307,7 +308,7 @@ func mergeRunFiles(runPaths []string, dict *dictionary, outPath string) error {
 		}
 	}()
 
-	out, err := os.Create(outPath)
+	out, err := fs.Create(outPath)
 	if err != nil {
 		return fmt.Errorf("extmem: create sorted file: %w", err)
 	}

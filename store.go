@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"xarch/internal/core"
+	"xarch/internal/fsio"
 	"xarch/internal/xmltree"
 )
 
@@ -75,13 +76,14 @@ type config struct {
 	compaction  bool
 	indexes     bool
 	validation  bool
-	budget      int  // external-sort memory budget, in tokens
-	matview     bool // external engine answers queries from a materialized view
-	segTarget   int  // external engine segment payload target, in bytes
-	shards      int  // external engine run-forming shards (0 = auto)
-	noSeek      bool // external engine: disable key-directory seeks
-	compTarget  int  // external engine: undersized-segment threshold, in bytes
-	compBudget  int  // external engine: opportunistic compaction budget per Add, in bytes
+	budget      int     // external-sort memory budget, in tokens
+	matview     bool    // external engine answers queries from a materialized view
+	segTarget   int     // external engine segment payload target, in bytes
+	shards      int     // external engine run-forming shards (0 = auto)
+	noSeek      bool    // external engine: disable key-directory seeks
+	compTarget  int     // external engine: undersized-segment threshold, in bytes
+	compBudget  int     // external engine: opportunistic compaction budget per Add, in bytes
+	fs          fsio.FS // external engine filesystem (nil = the real one)
 }
 
 func defaultConfig() config {
@@ -183,6 +185,15 @@ func WithIngestShards(n int) Option {
 // External engine only.
 func WithDirectorySeek(on bool) Option {
 	return func(c *config) { c.noSeek = !on }
+}
+
+// WithFS routes every filesystem operation of the external engine
+// through fs instead of the real filesystem. The seam exists for fault
+// injection and crash-consistency testing (internal/fsio.FaultFS wraps
+// the real filesystem with failpoints and an operation trace); nil (the
+// default) uses the real filesystem directly. External engine only.
+func WithFS(fs fsio.FS) Option {
+	return func(c *config) { c.fs = fs }
 }
 
 // WithMaterializedView makes the external engine answer queries from an
