@@ -4,7 +4,9 @@
 //
 // Inputs are the JSON documents cmd/benchjson emits. When a benchmark
 // name appears several times in one file (a `go test -count=N` run),
-// the per-metric minimum is used, damping scheduler and warm-up noise.
+// the repeats are aggregated per metric: -agg min (the default) damps
+// scheduler and warm-up noise, -agg median resists one unluckily fast
+// outlier run making the baseline unbeatable.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	-bench regex      gate only benchmark names matching regex (default all)
 //	-threshold 0.25   relative regression that fails the gate (0.25 = +25%)
 //	-metrics list     comma-separated metrics to gate (default ns/op,allocs/op)
+//	-agg min|median   aggregation across -count repeats (default min)
 //
 // Exit status: 0 when every gated metric of every named benchmark is
 // within threshold of its baseline (improvements always pass), 1 on any
@@ -41,8 +44,10 @@ type benchFile struct {
 	Benchmarks []result `json:"benchmarks"`
 }
 
-// load reads one benchjson file into name -> metric -> min value.
-func load(path string) (map[string]map[string]float64, error) {
+// load reads one benchjson file into name -> metric -> value, with
+// repeated runs of the same benchmark reduced by agg ("min" or
+// "median").
+func load(path, agg string) (map[string]map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -51,21 +56,47 @@ func load(path string) (map[string]map[string]float64, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := map[string]map[string]float64{}
+	samples := map[string]map[string][]float64{}
 	for _, b := range f.Benchmarks {
 		name := trimProcCount(b.Name)
-		m := out[name]
+		m := samples[name]
 		if m == nil {
-			m = map[string]float64{}
-			out[name] = m
+			m = map[string][]float64{}
+			samples[name] = m
 		}
 		for unit, v := range b.Metrics {
-			if cur, ok := m[unit]; !ok || v < cur {
-				m[unit] = v
-			}
+			m[unit] = append(m[unit], v)
 		}
 	}
+	out := map[string]map[string]float64{}
+	for name, m := range samples {
+		agged := map[string]float64{}
+		for unit, vs := range m {
+			agged[unit] = aggregate(vs, agg)
+		}
+		out[name] = agged
+	}
 	return out, nil
+}
+
+// aggregate reduces one metric's repeated samples to the gated value.
+func aggregate(vs []float64, agg string) float64 {
+	if agg == "median" {
+		sorted := append([]float64(nil), vs...)
+		sort.Float64s(sorted)
+		n := len(sorted)
+		if n%2 == 1 {
+			return sorted[n/2]
+		}
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	min := vs[0]
+	for _, v := range vs[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
 }
 
 // trimProcCount drops the -<GOMAXPROCS> suffix go test appends, so runs
@@ -131,10 +162,15 @@ func main() {
 	benchPat := flag.String("bench", ".", "regex of benchmark names to gate")
 	threshold := flag.Float64("threshold", 0.25, "relative regression that fails the gate")
 	metricsFlag := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to gate")
+	agg := flag.String("agg", "min", "aggregation across -count repeats: min or median")
 	verbose := flag.Bool("v", false, "print every gated comparison, not only regressions")
 	flag.Parse()
 	if *currentPath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -current NEW.json [flags] BASELINE.json...")
+		os.Exit(2)
+	}
+	if *agg != "min" && *agg != "median" {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -agg %q (want min or median)\n", *agg)
 		os.Exit(2)
 	}
 	namePat, err := regexp.Compile(*benchPat)
@@ -143,14 +179,14 @@ func main() {
 		os.Exit(2)
 	}
 	metrics := strings.Split(*metricsFlag, ",")
-	current, err := load(*currentPath)
+	current, err := load(*currentPath, *agg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
 	failed := false
 	for _, basePath := range flag.Args() {
-		baseline, err := load(basePath)
+		baseline, err := load(basePath, *agg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)

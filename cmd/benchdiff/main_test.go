@@ -23,7 +23,7 @@ func TestLoadTakesMinAcrossRepeats(t *testing.T) {
 	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 100, "allocs/op": 12}}
 	  ]
 	}`)
-	got, err := load(p)
+	got, err := load(p, "min")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,6 +33,45 @@ func TestLoadTakesMinAcrossRepeats(t *testing.T) {
 	}
 	if m["ns/op"] != 100 || m["allocs/op"] != 10 {
 		t.Errorf("per-metric min not taken: %v", m)
+	}
+}
+
+func TestLoadMedianAcrossRepeats(t *testing.T) {
+	p := writeBench(t, t.TempDir(), "b.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 300, "allocs/op": 10}},
+	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 100, "allocs/op": 30}},
+	    {"name": "BenchmarkX-8", "iterations": 1, "metrics": {"ns/op": 120, "allocs/op": 20}}
+	  ]
+	}`)
+	got, err := load(p, "median")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkX"]
+	if m["ns/op"] != 120 || m["allocs/op"] != 20 {
+		t.Errorf("per-metric median not taken: %v", m)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	if got := aggregate([]float64{3, 1, 2}, "min"); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := aggregate([]float64{3, 1, 2}, "median"); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := aggregate([]float64{40, 10, 20, 30}, "median"); got != 25 {
+		t.Errorf("even median = %v, want 25 (mean of middles)", got)
+	}
+	if got := aggregate([]float64{7}, "median"); got != 7 {
+		t.Errorf("single-sample median = %v, want 7", got)
+	}
+	// aggregate must not reorder the caller's slice.
+	vs := []float64{3, 1, 2}
+	aggregate(vs, "median")
+	if vs[0] != 3 || vs[1] != 1 || vs[2] != 2 {
+		t.Errorf("caller slice mutated: %v", vs)
 	}
 }
 

@@ -12,6 +12,7 @@
 //	xarch compact  -spec keys.txt -archive DIR [-dry-run]
 //	xarch fsck     -spec keys.txt -archive DIR [-repair]
 //	xarch validate -spec keys.txt version.xml
+//	xarch serve    -spec keys.txt -archive DIR [-addr HOST:PORT] [-queue N] [-batch N] [-linger D] [-maxbody N] [-timeout D]
 //
 // Every subcommand works against either engine of the xarch.Store
 // interface: with -engine mem (the default) PATH is an archive XML file,
@@ -21,6 +22,17 @@
 // bounded-memory pipeline without ever parsing it into a tree, so
 // documents larger than RAM can be archived. Selectors
 // name elements by key, e.g. /db/dept[name=finance]/emp[fn=John,ln=Doe].
+//
+// "serve" keeps one external archive open as an HTTP/JSON service
+// (POST /v1/add, GET /v1/version/{n}, /v1/history, /v1/snapshot,
+// /v1/stats, /v1/healthz). Concurrent adds are group-committed: one
+// durable keydir commit per batch, each response reporting the exact
+// version its document landed in. SIGINT/SIGTERM drain admitted adds
+// before exiting.
+//
+// Exit codes: 0 success, 1 failure, 2 usage, 3 degraded archive
+// (poisoned writer; run `xarch fsck -repair`), 4 no such version or
+// element.
 package main
 
 import (
@@ -57,17 +69,35 @@ func main() {
 		err = cmdCompact(args)
 	case "fsck":
 		err = cmdFsck(args)
+	case "serve":
+		err = cmdServe(args)
 	default:
 		usage()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xarch:", err)
-		os.Exit(1)
+		if errors.Is(err, xarch.ErrDegraded) {
+			fmt.Fprintln(os.Stderr, "xarch: the archive writer is poisoned; reads still serve — run `xarch fsck -repair`")
+		}
+		os.Exit(exitCode(err))
 	}
 }
 
+// exitCode maps error classes to stable exit codes so scripts dispatch
+// on $? instead of parsing messages: 1 generic failure, 2 usage (flag
+// package and usage()), 3 degraded archive, 4 missing version/element.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, xarch.ErrDegraded):
+		return 3
+	case errors.Is(err, xarch.ErrNoSuchVersion), errors.Is(err, xarch.ErrNoSuchElement):
+		return 4
+	}
+	return 1
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck|serve} [flags]")
 	os.Exit(2)
 }
 
@@ -220,7 +250,8 @@ func cmdGet(args []string) error {
 	doc, err := store.Version(*version)
 	if err != nil {
 		if errors.Is(err, xarch.ErrNoSuchVersion) {
-			return fmt.Errorf("version %d does not exist (archive has %d)", *version, store.Versions())
+			// %w keeps the sentinel, so exitCode still answers 4.
+			return fmt.Errorf("version %d does not exist (archive has %d): %w", *version, store.Versions(), xarch.ErrNoSuchVersion)
 		}
 		return err
 	}
@@ -247,7 +278,7 @@ func cmdHistory(args []string) error {
 	if err != nil {
 		switch {
 		case errors.Is(err, xarch.ErrNoSuchElement):
-			return fmt.Errorf("no archived element matches %s", *selector)
+			return fmt.Errorf("no archived element matches %s: %w", *selector, xarch.ErrNoSuchElement)
 		case errors.Is(err, xarch.ErrAmbiguousSelector):
 			return fmt.Errorf("selector %s is ambiguous; add key predicates", *selector)
 		}

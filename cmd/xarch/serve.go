@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xarch"
+	"xarch/internal/server"
+)
+
+// cmdServe runs the long-lived archive service over one external-memory
+// store: concurrent reads against pinned view generations, writes
+// group-committed by a single committer goroutine (one keydir commit per
+// batch). SIGINT/SIGTERM shut it down gracefully: the HTTP listener
+// stops, every admitted add still gets its durable commit and response,
+// and the store is closed.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	specPath := fs.String("spec", "", "key specification file")
+	archive := fs.String("archive", "", "archive directory (external engine; created if missing)")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	queue := fs.Int("queue", 64, "ingest queue depth; a full queue answers 429")
+	batch := fs.Int("batch", 16, "max documents per group commit")
+	linger := fs.Duration("linger", 0, "how long a batch waits for more submissions (0: batch only under load)")
+	maxBody := fs.Int64("maxbody", 8<<20, "max /v1/add body bytes")
+	timeout := fs.Duration("timeout", 60*time.Second, "max wait for a group commit before a request gives up")
+	budget := fs.Int("budget", 1<<20, "external-sort memory budget in tokens")
+	segTarget := fs.Int("segtarget", 0, "segment payload target size in bytes; 0 uses the default")
+	compactBudget := fs.Int("compactbudget", 0, "segment-compaction byte budget after each commit; 0 disables")
+	fs.Parse(args)
+	if *specPath == "" || *archive == "" {
+		return fmt.Errorf("serve needs -spec and -archive")
+	}
+	spec, err := loadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+	store, err := xarch.OpenStore(*archive, spec,
+		xarch.WithMemoryBudget(*budget),
+		xarch.WithSegmentTargetSize(*segTarget),
+		xarch.WithCompactionBudget(*compactBudget))
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "xarch serve: ", log.LstdFlags)
+	srv := server.New(store, server.Options{
+		QueueDepth:   *queue,
+		MaxBatch:     *batch,
+		Linger:       *linger,
+		MaxBodyBytes: *maxBody,
+		AddTimeout:   *timeout,
+		Logger:       logger,
+	})
+	// From here on srv owns the store: srv.Shutdown closes it.
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	logger.Printf("serving archive %s (%d versions) on http://%s", *archive, store.Versions(), ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-serveErr:
+		srv.Shutdown(context.Background())
+		return err
+	case s := <-sig:
+		logger.Printf("received %v; draining", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	logger.Printf("shutdown complete")
+	return nil
+}

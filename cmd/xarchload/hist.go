@@ -1,0 +1,71 @@
+package main
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// hist is a log2-bucketed latency histogram over microseconds: bucket b
+// counts latencies in [2^b, 2^(b+1)) µs. Each worker goroutine owns one
+// and the results are merged at the end, so recording is contention-free.
+type hist struct {
+	n      int64
+	counts [48]int64
+}
+
+func (h *hist) record(d time.Duration) {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us)) - 1
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+	h.n++
+}
+
+func (h *hist) merge(o *hist) {
+	h.n += o.n
+	for b := range h.counts {
+		h.counts[b] += o.counts[b]
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// latency (conservative: the true latency is at most the reported one).
+func (h *hist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return time.Duration(1<<uint(b+1)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<uint(len(h.counts))) * time.Microsecond
+}
+
+// histBucket is one non-empty bucket in the JSON artifact.
+type histBucket struct {
+	LeUS  int64 `json:"le_us"` // bucket upper bound, µs
+	Count int64 `json:"count"`
+}
+
+func (h *hist) buckets() []histBucket {
+	var out []histBucket
+	for b, c := range h.counts {
+		if c > 0 {
+			out = append(out, histBucket{LeUS: 1 << uint(b+1), Count: c})
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	if q := h.quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 90 fast requests in [8µs,16µs), 10 slow in [1024µs,2048µs): p50
+	// lands in the fast bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.record(10 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.record(1500 * time.Microsecond)
+	}
+	if h.n != 100 {
+		t.Fatalf("n = %d, want 100", h.n)
+	}
+	if q := h.quantile(0.50); q != 16*time.Microsecond {
+		t.Errorf("p50 = %v, want 16µs", q)
+	}
+	if q := h.quantile(0.90); q != 16*time.Microsecond {
+		t.Errorf("p90 = %v, want 16µs (90 of 100 are fast)", q)
+	}
+	if q := h.quantile(0.99); q != 2048*time.Microsecond {
+		t.Errorf("p99 = %v, want 2048µs", q)
+	}
+	if h.quantile(0.50) > h.quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistMergeAndBuckets(t *testing.T) {
+	var a, b hist
+	a.record(10 * time.Microsecond)
+	b.record(10 * time.Microsecond)
+	b.record(3 * time.Millisecond)
+	a.merge(&b)
+	if a.n != 3 {
+		t.Fatalf("merged n = %d, want 3", a.n)
+	}
+	buckets := a.buckets()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %v, want 2 non-empty", buckets)
+	}
+	if buckets[0].LeUS != 16 || buckets[0].Count != 2 {
+		t.Errorf("fast bucket = %+v, want le_us=16 count=2", buckets[0])
+	}
+	if buckets[1].LeUS != 4096 || buckets[1].Count != 1 {
+		t.Errorf("slow bucket = %+v, want le_us=4096 count=1", buckets[1])
+	}
+	// Sub-microsecond latencies clamp into the first bucket, not a panic.
+	var c hist
+	c.record(0)
+	if got := c.quantile(1.0); got != 2*time.Microsecond {
+		t.Errorf("clamped quantile = %v, want 2µs", got)
+	}
+}

@@ -1,0 +1,342 @@
+// Command xarchload drives a running `xarch serve` with mixed traffic
+// and reports throughput and a latency histogram — the load harness for
+// the always-on archive service.
+//
+// Usage:
+//
+//	xarchload -print-spec > keys.txt
+//	xarch serve -spec keys.txt -archive DIR &
+//	xarchload [-addr URL] [-duration D] [-writers N] [-readers N] [-wait D] [-out hist.json]
+//
+// Writers mutate a small shared record universe and POST each full
+// database snapshot to /v1/add; 429 backpressure answers are honored
+// (wait Retry-After, retry) and not counted as failures. Readers GET
+// committed versions, element histories and stats concurrently. At the
+// end xarchload prints per-class QPS with p50/p90/p99 latency and, with
+// -out, writes the full histograms as JSON. Any failed request makes
+// the exit status 1, so CI can assert a clean run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// loadSpec is the key specification matching the documents xarchload
+// generates; -print-spec emits it for `xarch serve -spec`.
+const loadSpec = `(/, (db, {}))
+(/db, (rec, {id}))
+(/db/rec, (v, {}))
+`
+
+const recordUniverse = 32 // distinct record ids writers mutate
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xarchload:", err)
+		os.Exit(1)
+	}
+}
+
+// model is the writers' shared ground truth: a fixed universe of
+// records, each holding a bump counter. A mutation bumps one record and
+// snapshots the whole database as the next version's document.
+type model struct {
+	mu   sync.Mutex
+	vals [recordUniverse]int64
+}
+
+func (m *model) mutate(rng *rand.Rand) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vals[rng.Intn(recordUniverse)]++
+	var b strings.Builder
+	b.WriteString("<db>")
+	for id, v := range m.vals {
+		if v == 0 {
+			continue // not yet created
+		}
+		fmt.Fprintf(&b, "<rec><id>r%02d</id><v>%d</v></rec>", id, v)
+	}
+	b.WriteString("</db>")
+	return b.String()
+}
+
+// counters is one worker class's tally; each goroutine owns one.
+type counters struct {
+	ok      int64
+	retried int64
+	failed  int64
+	lat     hist
+}
+
+func (c *counters) merge(o *counters) {
+	c.ok += o.ok
+	c.retried += o.retried
+	c.failed += o.failed
+	c.lat.merge(&o.lat)
+}
+
+type classReport struct {
+	Requests int64        `json:"requests"`
+	Retried  int64        `json:"retried_429"`
+	Failed   int64        `json:"failed"`
+	QPS      float64      `json:"qps"`
+	P50US    int64        `json:"p50_us"`
+	P90US    int64        `json:"p90_us"`
+	P99US    int64        `json:"p99_us"`
+	Buckets  []histBucket `json:"buckets"`
+}
+
+func report(c *counters, elapsed time.Duration) classReport {
+	return classReport{
+		Requests: c.ok,
+		Retried:  c.retried,
+		Failed:   c.failed,
+		QPS:      float64(c.ok) / elapsed.Seconds(),
+		P50US:    c.lat.quantile(0.50).Microseconds(),
+		P90US:    c.lat.quantile(0.90).Microseconds(),
+		P99US:    c.lat.quantile(0.99).Microseconds(),
+		Buckets:  c.lat.buckets(),
+	}
+}
+
+func (r classReport) String() string {
+	return fmt.Sprintf("%d ok, %d retried(429), %d failed, %.1f qps, p50=%v p90=%v p99=%v",
+		r.Requests, r.Retried, r.Failed, r.QPS,
+		time.Duration(r.P50US)*time.Microsecond,
+		time.Duration(r.P90US)*time.Microsecond,
+		time.Duration(r.P99US)*time.Microsecond)
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "base URL of the running xarch serve")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	writers := flag.Int("writers", 4, "concurrent writer goroutines")
+	readers := flag.Int("readers", 4, "concurrent reader goroutines")
+	wait := flag.Duration("wait", 0, "wait up to this long for the server to answer before starting")
+	out := flag.String("out", "", "write the JSON report to this file")
+	printSpec := flag.Bool("print-spec", false, "print the key spec matching generated documents and exit")
+	flag.Parse()
+	if *printSpec {
+		fmt.Print(loadSpec)
+		return nil
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 2 * time.Minute}
+	if *wait > 0 {
+		if err := waitUp(client, base, *wait); err != nil {
+			return err
+		}
+	}
+
+	var (
+		m         model
+		maxSeen   atomic.Int64 // highest version a write response reported
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		writeTot  counters
+		readTot   counters
+		firstErrs []string
+	)
+	noteErr := func(s string) {
+		mu.Lock()
+		if len(firstErrs) < 5 {
+			firstErrs = append(firstErrs, s)
+		}
+		mu.Unlock()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			var c counters
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				writeOnce(ctx, client, base, &m, rng, &c, &maxSeen, noteErr)
+			}
+			mu.Lock()
+			writeTot.merge(&c)
+			mu.Unlock()
+		}(int64(w))
+	}
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			var c counters
+			rng := rand.New(rand.NewSource(^seed))
+			for ctx.Err() == nil {
+				readOnce(ctx, client, base, rng, &c, &maxSeen, noteErr)
+			}
+			mu.Lock()
+			readTot.merge(&c)
+			mu.Unlock()
+		}(int64(r))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	wr, rr := report(&writeTot, elapsed), report(&readTot, elapsed)
+	fmt.Printf("writes: %v\n", wr)
+	fmt.Printf("reads:  %v\n", rr)
+	fmt.Printf("versions committed: %d\n", maxSeen.Load())
+	for _, e := range firstErrs {
+		fmt.Fprintln(os.Stderr, "xarchload: sample failure:", e)
+	}
+	if *out != "" {
+		full := map[string]any{
+			"duration_s": elapsed.Seconds(),
+			"writers":    *writers,
+			"readers":    *readers,
+			"versions":   maxSeen.Load(),
+			"writes":     wr,
+			"reads":      rr,
+		}
+		data, err := json.MarshalIndent(full, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if n := wr.Failed + rr.Failed; n > 0 {
+		return fmt.Errorf("%d requests failed", n)
+	}
+	if wr.Requests == 0 {
+		return fmt.Errorf("no write ever succeeded")
+	}
+	return nil
+}
+
+// waitUp polls the server until any HTTP response arrives: the server
+// is listening, degraded or not.
+func waitUp(client *http.Client, base string, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not answering after %v: %v", base, limit, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// writeOnce mutates the model and posts the snapshot. 429 answers honor
+// Retry-After and count as retries, not failures; the same snapshot is
+// NOT retried (the model has moved on — the next mutation supersedes it).
+func writeOnce(ctx context.Context, client *http.Client, base string, m *model,
+	rng *rand.Rand, c *counters, maxSeen *atomic.Int64, noteErr func(string)) {
+	body := m.mutate(rng)
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/add", strings.NewReader(body))
+	if err != nil {
+		c.failed++
+		noteErr(err.Error())
+		return
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil { // deadline-cancelled requests are not failures
+			c.failed++
+			noteErr("add: " + err.Error())
+		}
+		return
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		c.lat.record(time.Since(t0))
+		c.ok++
+		var added struct {
+			Version int64 `json:"version"`
+		}
+		if json.Unmarshal(payload, &added) == nil {
+			for {
+				cur := maxSeen.Load()
+				if added.Version <= cur || maxSeen.CompareAndSwap(cur, added.Version) {
+					break
+				}
+			}
+		}
+	case http.StatusTooManyRequests:
+		c.retried++
+		backoff := 50 * time.Millisecond
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				backoff = time.Duration(secs) * time.Second
+			}
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(backoff):
+		}
+	default:
+		c.failed++
+		noteErr(fmt.Sprintf("add: status %d: %.200s", resp.StatusCode, payload))
+	}
+}
+
+// readOnce issues one random read — a committed version, an element
+// history, or the stats page — and demands a 200.
+func readOnce(ctx context.Context, client *http.Client, base string,
+	rng *rand.Rand, c *counters, maxSeen *atomic.Int64, noteErr func(string)) {
+	var url string
+	max := maxSeen.Load()
+	switch op := rng.Intn(3); {
+	case op == 0 && max > 0:
+		url = fmt.Sprintf("%s/v1/version/%d", base, 1+rng.Int63n(max))
+	case op == 1 && max > 0:
+		// The whole universe may not have landed yet; history of the
+		// database root always exists once any version does.
+		url = base + "/v1/history?selector=/db"
+	default:
+		url = base + "/v1/stats"
+	}
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		c.failed++
+		noteErr(err.Error())
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.failed++
+			noteErr("read: " + err.Error())
+		}
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || n == 0 {
+		c.failed++
+		noteErr(fmt.Sprintf("read %s: status %d, %d bytes", url, resp.StatusCode, n))
+		return
+	}
+	c.lat.record(time.Since(t0))
+	c.ok++
+}

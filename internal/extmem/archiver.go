@@ -50,6 +50,10 @@ type Archiver struct {
 	gens  map[int]*genState
 
 	bytesRead atomic.Int64
+	// commits counts durable key-directory commits (commitState runs
+	// whose rename succeeded) — the group-commit tests' evidence that a
+	// batch of Adds shares one commit.
+	commits atomic.Int64
 
 	// LastSort reports the external sort of the most recent AddVersion.
 	LastSort SortStats
@@ -367,7 +371,11 @@ func (ar *Archiver) commitState(d *keyDirectory) error {
 	if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, metaFile), encodeMeta(d)); err != nil {
 		return err
 	}
-	return writeFileAtomic(ar.fs, filepath.Join(ar.dir, keydirFile), d.encode())
+	if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, keydirFile), d.encode()); err != nil {
+		return err
+	}
+	ar.commits.Add(1)
+	return nil
 }
 
 // installDir makes d the current directory generation and deletes the
@@ -550,23 +558,154 @@ func (ar *Archiver) AddEmptyVersion() error { return ar.AddVersion(nil) }
 // every later write fails fast, and readers keep serving the last
 // committed generation (see degrade.go).
 func (ar *Archiver) AddVersion(r io.Reader) error {
-	if err := ar.writable(); err != nil {
+	items, err := ar.AddVersionBatch([]io.Reader{r})
+	if err != nil {
 		return err
 	}
-	return ar.noteFatal(ar.addVersion(r))
+	return items[0].Err
 }
 
-func (ar *Archiver) addVersion(r io.Reader) error {
-	i := ar.curDir.versions + 1
-	tmp := func(name string) string { return filepath.Join(ar.dir, fmt.Sprintf("tmp-%s", name)) }
-	var cleanup []string
+// BatchItem reports the outcome of one document of an AddVersionBatch
+// call: the version number it landed in, or its own failure.
+type BatchItem struct {
+	// Version is the version number assigned to the document; valid only
+	// when Err is nil and the batch call itself returned no error.
+	Version int
+	// Err is the document's own failure (a parse, decompose or merge
+	// error). A document that fails is skipped — it consumes no version
+	// number — and the rest of the batch still commits.
+	Err error
+}
+
+// AddVersionBatch archives each reader as the next consecutive version
+// with ONE durability commit for the whole group: every document runs
+// the full decompose/sort/merge pipeline, each merging against the
+// uncommitted directory of its predecessor, and only the final directory
+// goes through the tmp+fsync+rename commit protocol — the group-commit
+// amortization behind the archive server's ingest path. A nil reader
+// archives an empty version.
+//
+// The returned slice has one BatchItem per reader: a document whose own
+// pipeline fails gets its error there, consumes no version number, and
+// does not disturb the rest of the batch. A non-nil error return means
+// the batch as a whole failed — NOTHING was committed (the archive is
+// unchanged, every per-item Version is void) and, when the failure was a
+// durability-critical commit step, the writer is now poisoned
+// (errors.Is(err, ErrDegraded)). Until the final commit succeeds no
+// reader observes any of the batch's versions.
+func (ar *Archiver) AddVersionBatch(readers []io.Reader) ([]BatchItem, error) {
+	if err := ar.writable(); err != nil {
+		return nil, err
+	}
+	if len(readers) == 0 {
+		return nil, nil
+	}
+	return ar.addBatch(readers)
+}
+
+// CommitCount returns the number of durable key-directory commits
+// (tmp+fsync+rename protocol runs) since the archiver was opened,
+// including the open itself. The archive server's group-commit tests
+// compare it against submitter counts.
+func (ar *Archiver) CommitCount() int64 { return ar.commits.Load() }
+
+func (ar *Archiver) addBatch(readers []io.Reader) ([]BatchItem, error) {
+	items := make([]BatchItem, len(readers))
+	base := ar.curDir
+	staged := base
+	var stagedFiles []string // segments written by the batch, uncommitted
+	committed := false
 	defer func() {
-		for _, p := range cleanup {
-			ar.fs.Remove(p)
+		if !committed {
+			for _, f := range stagedFiles {
+				ar.fs.Remove(filepath.Join(ar.dir, f))
+			}
 		}
 	}()
+	// fatal aborts the whole batch: poison the writer if the error was a
+	// commit fault; the deferred sweep removes every staged segment.
+	fatal := func(err error) ([]BatchItem, error) {
+		return items, ar.noteFatal(err)
+	}
+	isCommitFault := func(err error) bool {
+		var cf *commitFault
+		return errors.As(err, &cf)
+	}
+	for k, r := range readers {
+		sortedPath, scratch, err := ar.prepareSorted(r)
+		if err != nil {
+			removePaths(ar.fs, scratch)
+			items[k].Err = err
+			if isCommitFault(err) {
+				return fatal(err)
+			}
+			continue
+		}
+		vnum := staged.versions + 1
+		newDir, stats, newFiles, err := ar.mergeIntoSegments(staged, sortedPath, vnum)
+		removePaths(ar.fs, scratch)
+		if err != nil {
+			for _, f := range newFiles {
+				ar.fs.Remove(filepath.Join(ar.dir, f))
+			}
+			items[k].Err = err
+			if isCommitFault(err) {
+				return fatal(err)
+			}
+			continue
+		}
+		staged = newDir
+		stagedFiles = append(stagedFiles, newFiles...)
+		items[k].Version = vnum
+		ar.LastMerge = stats
+	}
+	if staged == base {
+		// Every document failed its own pipeline: nothing to commit.
+		return items, nil
+	}
+	if err := ar.commitState(staged); err != nil {
+		return fatal(err)
+	}
+	committed = true
+	ar.installDir(staged)
+	// Segments written for early batch members and already superseded
+	// within the same batch belong to no committed generation (the batch
+	// commits only its final directory): delete them now.
+	live := staged.files()
+	for _, f := range stagedFiles {
+		if !live[f] {
+			ar.fs.Remove(filepath.Join(ar.dir, f))
+		}
+	}
+	// Opportunistic maintenance: coalesce undersized neighbor segments
+	// under the configured byte budget. The batch is already durable; a
+	// compaction failure leaves the committed layout intact and is
+	// reported through CompactErr instead of failing the batch.
+	ar.CompactErr = nil
+	if ar.cfg.CompactionBudget > 0 {
+		if _, cerr := ar.compact(int64(ar.cfg.CompactionBudget)); cerr != nil {
+			ar.CompactErr = ar.noteFatal(cerr)
+		}
+	}
+	return items, nil
+}
 
-	sortedPath := tmp("sorted.tok")
+// removePaths removes a set of absolute scratch paths, best-effort.
+func removePaths(fs fsio.FS, paths []string) {
+	for _, p := range paths {
+		fs.Remove(p)
+	}
+}
+
+// prepareSorted runs phases 1–3 of the §6 pipeline for one version —
+// decompose, sharded run forming, run merge — and returns the path of
+// the sorted version file plus every scratch file created (sortedPath
+// included). The caller removes the scratch files when done with them;
+// a nil reader produces an empty sorted file (an empty version).
+func (ar *Archiver) prepareSorted(r io.Reader) (sortedPath string, scratch []string, err error) {
+	tmp := func(name string) string { return filepath.Join(ar.dir, fmt.Sprintf("tmp-%s", name)) }
+
+	sortedPath = tmp("sorted.tok")
 	if r != nil {
 		// Phases 1+2, pipelined: decompose streams the version into the
 		// token file and the per-pattern key files while workers follow
@@ -575,10 +714,10 @@ func (ar *Archiver) addVersion(r io.Reader) error {
 		// I/O. Key files are pre-created for every pattern of the spec
 		// (normalizing the spec here, before the workers share it).
 		tokPath := tmp("version.tok")
-		cleanup = append(cleanup, tokPath)
+		scratch = append(scratch, tokPath)
 		tokF, err := ar.fs.Create(tokPath)
 		if err != nil {
-			return fmt.Errorf("extmem: %w", err)
+			return "", scratch, fmt.Errorf("extmem: %w", err)
 		}
 		progTok := newProgress()
 		tw := newTokenWriter(&progressWriter{f: tokF, p: progTok})
@@ -596,7 +735,7 @@ func (ar *Archiver) addVersion(r io.Reader) error {
 				continue
 			}
 			p := tmp("keys-" + sanitize(pattern) + ".key")
-			cleanup = append(cleanup, p)
+			scratch = append(scratch, p)
 			f, err := ar.fs.Create(p)
 			if err != nil {
 				tw.release()
@@ -605,7 +744,7 @@ func (ar *Archiver) addVersion(r io.Reader) error {
 					kf.w.release()
 					kf.f.Close()
 				}
-				return fmt.Errorf("extmem: %w", err)
+				return "", scratch, fmt.Errorf("extmem: %w", err)
 			}
 			prog := newProgress()
 			keyFiles[pattern] = &keyFile{path: p, f: f, w: newTokenWriter(&progressWriter{f: f, p: prog}), prog: prog}
@@ -681,7 +820,7 @@ func (ar *Archiver) addVersion(r io.Reader) error {
 		}
 		finishAll(derr)
 		res := <-resCh
-		cleanup = append(cleanup, res.runs...)
+		scratch = append(scratch, res.runs...)
 		tw.release()
 		for _, kf := range keyFiles {
 			kf.w.release()
@@ -691,50 +830,25 @@ func (ar *Archiver) addVersion(r io.Reader) error {
 			derr = cerr
 		}
 		if derr != nil {
-			return derr
+			return "", scratch, derr
 		}
 		if res.err != nil {
-			return res.err
+			return "", scratch, res.err
 		}
 		ar.LastSort = res.stats
 
 		// Phase 3: merge the runs into one sorted version.
-		cleanup = append(cleanup, sortedPath)
+		scratch = append(scratch, sortedPath)
 		if err := mergeRunFiles(ar.fs, res.runs, ar.dict, sortedPath); err != nil {
-			return err
+			return "", scratch, err
 		}
 	} else {
-		cleanup = append(cleanup, sortedPath)
+		scratch = append(scratch, sortedPath)
 		if err := ar.fs.WriteFile(sortedPath, nil, 0o644); err != nil {
-			return fmt.Errorf("extmem: %w", err)
+			return "", scratch, fmt.Errorf("extmem: %w", err)
 		}
 	}
-
-	// Phase 4: segment-local merge of the sorted version into the
-	// segmented archive, committed by the key directory replacement.
-	newDir, stats, newFiles, err := ar.mergeIntoSegments(sortedPath, i)
-	if err == nil {
-		err = ar.commitState(newDir)
-	}
-	if err != nil {
-		for _, f := range newFiles {
-			ar.fs.Remove(filepath.Join(ar.dir, f))
-		}
-		return err
-	}
-	ar.LastMerge = stats
-	ar.installDir(newDir)
-	// Opportunistic maintenance: coalesce undersized neighbor segments
-	// under the configured byte budget. The version is already durable;
-	// a compaction failure leaves the committed layout intact and is
-	// reported through CompactErr instead of failing the Add.
-	ar.CompactErr = nil
-	if ar.cfg.CompactionBudget > 0 {
-		if _, cerr := ar.compact(int64(ar.cfg.CompactionBudget)); cerr != nil {
-			ar.CompactErr = ar.noteFatal(cerr)
-		}
-	}
-	return nil
+	return sortedPath, scratch, nil
 }
 
 func sanitize(s string) string {

@@ -32,6 +32,7 @@ type MergeStats struct {
 // segMerge carries the state of one segmented merge pass.
 type segMerge struct {
 	ar       *Archiver
+	base     *keyDirectory // directory the version merges against
 	i        int
 	newRoot  *intervals.Set
 	stats    MergeStats
@@ -93,14 +94,17 @@ func mergedTime(atData string, parentEff *intervals.Set, i int) (*intervals.Set,
 	return t, t.String(), nil
 }
 
-// mergeIntoSegments merges the sorted version in sortedPath as version i,
-// returning the fresh directory, the merge stats and the list of segment
-// files created (for cleanup if the commit fails).
-func (ar *Archiver) mergeIntoSegments(sortedPath string, i int) (*keyDirectory, MergeStats, []string, error) {
-	old := ar.curDir
+// mergeIntoSegments merges the sorted version in sortedPath as version i
+// against the base directory — usually the committed ar.curDir, but a
+// group commit (AddVersionBatch) chains the uncommitted directory of the
+// previous batch member through here. It returns the fresh directory,
+// the merge stats and the list of segment files created (for cleanup if
+// the commit fails).
+func (ar *Archiver) mergeIntoSegments(base *keyDirectory, sortedPath string, i int) (*keyDirectory, MergeStats, []string, error) {
+	old := base
 	newRoot := old.rootTime.Clone()
 	newRoot.Add(i)
-	m := &segMerge{ar: ar, i: i, newRoot: newRoot}
+	m := &segMerge{ar: ar, base: base, i: i, newRoot: newRoot}
 
 	if err := m.planReuse(sortedPath); err != nil {
 		return nil, m.stats, nil, err
@@ -539,7 +543,7 @@ func (m *segMerge) planReuse(sortedPath string) error {
 	}
 	defer f.Close()
 	pr := &posReader{br: bufio.NewReaderSize(f, tokenBufSize)}
-	roots := m.ar.curDir.roots
+	roots := m.base.roots
 	oi := 0
 	for {
 		op, ok, err := pr.peekByte()

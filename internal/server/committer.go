@@ -1,0 +1,123 @@
+package server
+
+import (
+	"errors"
+	"time"
+
+	"xarch"
+)
+
+// The committer is the single writer of the served store. HTTP add
+// handlers parse their documents concurrently and enqueue submissions;
+// the committer collects a batch per round and runs one Store.AddBatch —
+// one merge/commit for the whole group. While a commit's fsyncs are in
+// flight, new submissions pile up in the queue and form the next batch,
+// so batching emerges from load without any configured delay (Linger
+// adds an explicit collection window on top for sparse traffic).
+
+// submission is one queued document with its response channel.
+type submission struct {
+	doc  *xarch.Document
+	done chan addOutcome // buffered(1): the committer never blocks on it
+}
+
+// addOutcome is what the committer reports back to one submitter.
+type addOutcome struct {
+	version int
+	err     error
+}
+
+var (
+	errQueueFull = errors.New("server: ingest queue full")
+	errClosing   = errors.New("server: shutting down")
+)
+
+// submit enqueues one submission without blocking: a full queue is the
+// admission-control signal (429), not a reason to hold the request.
+func (s *Server) submit(sub *submission) error {
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed {
+		return errClosing
+	}
+	select {
+	case s.submitCh <- sub:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// runCommitter drains the ingest queue until Shutdown closes it,
+// grouping submissions into batches. After the channel closes it keeps
+// collecting until the queue is empty, so every admitted submission
+// still commits.
+func (s *Server) runCommitter() {
+	defer close(s.done)
+	for sub := range s.submitCh {
+		s.commitBatch(s.collectBatch(sub))
+	}
+}
+
+// collectBatch grows a batch from the queue: up to MaxBatch
+// submissions, waiting at most Linger (total) for stragglers. With
+// Linger 0 it takes only what is already queued.
+func (s *Server) collectBatch(first *submission) []*submission {
+	batch := []*submission{first}
+	var lingerC <-chan time.Time
+	if s.opts.Linger > 0 {
+		timer := time.NewTimer(s.opts.Linger)
+		defer timer.Stop()
+		lingerC = timer.C
+	}
+	for len(batch) < s.opts.MaxBatch {
+		if lingerC != nil {
+			select {
+			case sub, ok := <-s.submitCh:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, sub)
+			case <-lingerC:
+				return batch
+			}
+			continue
+		}
+		select {
+		case sub, ok := <-s.submitCh:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, sub)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// commitBatch runs one group commit and fans the per-document outcomes
+// back to the submitters. A batch-level error (nothing committed) goes
+// to every submitter of the batch.
+func (s *Server) commitBatch(batch []*submission) {
+	docs := make([]*xarch.Document, len(batch))
+	for k, sub := range batch {
+		docs[k] = sub.doc
+	}
+	results, err := s.store.AddBatch(docs)
+	s.batches.Add(1)
+	s.batchedDocs.Add(int64(len(batch)))
+	if n := int64(len(batch)); n > s.largestBatch.Load() {
+		s.largestBatch.Store(n) // single writer: no CAS loop needed
+	}
+	if err != nil {
+		s.logf("group commit of %d failed: %v", len(batch), err)
+		for _, sub := range batch {
+			sub.done <- addOutcome{err: err}
+		}
+		return
+	}
+	for k, sub := range batch {
+		sub.done <- addOutcome{version: results[k].Version, err: results[k].Err}
+	}
+}

@@ -1,0 +1,80 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"xarch"
+	"xarch/internal/server"
+)
+
+// Example runs the archive service programmatically: open a persistent
+// store, mount the server's handler, ingest a version over HTTP, ask
+// for its history, and shut down cleanly (draining any queued adds and
+// closing the store).
+func Example() {
+	dir, err := os.MkdirTemp("", "xarch-server-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec, err := xarch.ParseKeySpec(`
+		(/, (db, {}))
+		(/db, (dept, {name}))
+	`)
+	if err != nil {
+		panic(err)
+	}
+	store, err := xarch.OpenStore(dir, spec)
+	if err != nil {
+		panic(err)
+	}
+
+	// New starts the committer goroutine; Shutdown owns store.Close.
+	srv := server.New(store, server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/add", "application/xml",
+		strings.NewReader("<db><dept><name>physics</name></dept></db>"))
+	if err != nil {
+		panic(err)
+	}
+	var added struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&added); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("committed as version", added.Version)
+
+	resp, err = http.Get(ts.URL + "/v1/history?selector=/db/dept[name=physics]")
+	if err != nil {
+		panic(err)
+	}
+	var hist struct {
+		Versions []int `json:"versions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hist); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	fmt.Println("seen in versions", hist.Versions)
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		panic(err)
+	}
+	fmt.Println("shut down")
+
+	// Output:
+	// committed as version 1
+	// seen in versions [1]
+	// shut down
+}

@@ -97,6 +97,30 @@ func (s *MemStore) Add(doc *Document) error {
 	return nil
 }
 
+// AddBatch archives docs as consecutive versions under one write lock.
+// The in-memory engine has no durability protocol to amortize, so the
+// batch is simply a sequence of Adds that readers observe atomically:
+// every query issued during the batch sees either the state before it or
+// a prefix of it, never a half-applied document. Per-document failures
+// land in the matching AddResult and the rest of the batch proceeds.
+func (s *MemStore) AddBatch(docs []*Document) ([]AddResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]AddResult, len(docs))
+	for k, doc := range docs {
+		if err := s.a.Add(doc); err != nil {
+			out[k].Err = err
+			continue
+		}
+		out[k].Version = s.a.Versions()
+	}
+	s.tix, s.hix = nil, nil
+	return out, nil
+}
+
 // AddReader parses the document from r and archives it.
 func (s *MemStore) AddReader(r io.Reader) error {
 	doc, err := xmltree.Parse(r)

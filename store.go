@@ -30,6 +30,20 @@ type Store interface {
 	// document streams through the §6 pipeline without ever being held
 	// in memory as a tree.
 	AddReader(r io.Reader) error
+	// AddBatch archives docs as consecutive versions in one write
+	// transaction — the group-commit primitive behind the archive
+	// server's ingest path. On the external engine the whole batch
+	// shares ONE durable commit (one tmp+fsync+keydir-rename run),
+	// amortizing the commit protocol and segment rewrites across
+	// submitters; no reader observes any of the batch's versions until
+	// that commit lands. A nil document archives an empty version.
+	//
+	// The returned slice has one AddResult per document: a document that
+	// fails its own validation or pipeline gets its error there,
+	// consumes no version number, and does not disturb the rest of the
+	// batch. A non-nil error return means the batch as a whole failed
+	// and nothing was committed.
+	AddBatch(docs []*Document) ([]AddResult, error)
 	// Versions returns the number of archived versions, numbered
 	// 1..Versions().
 	Versions() int
@@ -68,6 +82,16 @@ type Store interface {
 // Stats summarizes an archive's structure; see the field docs in
 // internal/core.
 type Stats = core.Stats
+
+// AddResult reports the outcome of one document of an AddBatch call.
+type AddResult struct {
+	// Version is the version number the document landed in; valid only
+	// when Err is nil and the AddBatch call itself returned no error.
+	Version int
+	// Err is the document's own failure (a key violation, parse or merge
+	// error). Dispatch with errors.Is / errors.As like any Store error.
+	Err error
+}
 
 // config collects the knobs shared by both engines; it is populated by
 // the functional Options.
