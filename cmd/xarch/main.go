@@ -12,7 +12,10 @@
 //	xarch compact  -spec keys.txt -archive DIR [-dry-run]
 //	xarch fsck     -spec keys.txt -archive DIR [-repair]
 //	xarch validate -spec keys.txt version.xml
-//	xarch serve    -spec keys.txt -archive DIR [-addr HOST:PORT] [-queue N] [-batch N] [-linger D] [-maxbody N] [-timeout D]
+//	xarch serve    -spec keys.txt -archive DIR [-addr HOST:PORT] [-queue N] [-batch N] [-linger D] [-maxbody N] [-timeout D] [-readtimeout D]
+//	xarch serve    -replica -archive DIR [-addr HOST:PORT] [-readtimeout D]
+//	xarch push     -archive DIR -to URL [-retries N] [-timeout D] [-q]
+//	xarch pull     -from URL -archive DIR [-verify] [-retries N] [-timeout D] [-q]
 //
 // Every subcommand works against either engine of the xarch.Store
 // interface: with -engine mem (the default) PATH is an archive XML file,
@@ -29,6 +32,16 @@
 // durable keydir commit per batch, each response reporting the exact
 // version its document landed in. SIGINT/SIGTERM drain admitted adds
 // before exiting.
+//
+// "push" and "pull" replicate an external archive between a directory
+// and a server (the same sync with the roles swapped): only missing
+// segments travel, each verified against the key directory's checksums
+// before installing, and the key-directory commit is the last step —
+// an interrupted transfer leaves the replica on its previous committed
+// generation, and a re-run resumes from the staged blobs. "serve
+// -replica" exposes a bare directory as a push target; a full "serve"
+// doubles as a pull source, serving each pull out of a pinned
+// generation so it never observes a half-installed commit.
 //
 // Exit codes: 0 success, 1 failure, 2 usage, 3 degraded archive
 // (poisoned writer; run `xarch fsck -repair`), 4 no such version or
@@ -71,6 +84,10 @@ func main() {
 		err = cmdFsck(args)
 	case "serve":
 		err = cmdServe(args)
+	case "push":
+		err = cmdPush(args)
+	case "pull":
+		err = cmdPull(args)
 	default:
 		usage()
 	}
@@ -97,7 +114,7 @@ func exitCode(err error) int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck|serve} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck|serve|push|pull} [flags]")
 	os.Exit(2)
 }
 

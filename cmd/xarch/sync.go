@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xarch/internal/repl"
+	"xarch/internal/segstore"
+)
+
+// pullRestarts bounds how many times a pull chases a source that keeps
+// committing new generations out from under it (each restart syncs
+// against the fresh manifest, so convergence only needs the source to
+// pause for one sync's length).
+const pullRestarts = 3
+
+// syncFlags are the knobs push and pull share: the retry schedule and
+// per-operation bound every remote call runs under.
+type syncFlags struct {
+	retries *int
+	timeout *time.Duration
+	quiet   *bool
+}
+
+func addSyncFlags(fs *flag.FlagSet) *syncFlags {
+	return &syncFlags{
+		retries: fs.Int("retries", 5, "attempts per remote operation before giving up"),
+		timeout: fs.Duration("timeout", 30*time.Second, "per-attempt bound for self-contained remote operations (streams size their own time)"),
+		quiet:   fs.Bool("q", false, "suppress per-segment progress lines"),
+	}
+}
+
+func (sf *syncFlags) policy() segstore.RetryPolicy {
+	return segstore.RetryPolicy{MaxAttempts: *sf.retries, OpTimeout: *sf.timeout}
+}
+
+func (sf *syncFlags) options() repl.Options {
+	opts := repl.Options{Retry: sf.policy()}
+	if !*sf.quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "xarch: "+format+"\n", args...)
+		}
+	}
+	return opts
+}
+
+// syncContext is cancelled by SIGINT/SIGTERM, so an interrupted
+// transfer stops cleanly — the replica stays on its previous committed
+// generation and a re-run resumes from the staged blobs.
+func syncContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// cmdPush replicates a local external archive onto a remote replica
+// server (`xarch serve -replica` on the target host). Only segments the
+// replica is missing travel; the remote commit is the last step, so a
+// push killed at any point leaves the replica serving its previous
+// generation and a re-run resumes from whatever already made it.
+func cmdPush(args []string) error {
+	fs := flag.NewFlagSet("push", flag.ExitOnError)
+	archive := fs.String("archive", "", "local archive directory to push from (external engine)")
+	to := fs.String("to", "", "replica server base URL, e.g. http://standby:8080")
+	sf := addSyncFlags(fs)
+	fs.Parse(args)
+	if *archive == "" || *to == "" {
+		return fmt.Errorf("push needs -archive and -to")
+	}
+	if _, err := os.Stat(*archive); err != nil {
+		return fmt.Errorf("archive directory %s: %w", *archive, err)
+	}
+	src, err := segstore.NewLocal(nil, *archive)
+	if err != nil {
+		return err
+	}
+	dst := segstore.NewHTTP(*to, nil, sf.policy())
+	ctx, stop := syncContext()
+	defer stop()
+	st, err := repl.Sync(ctx, src, dst, sf.options())
+	if err != nil {
+		return fmt.Errorf("push: %w", err)
+	}
+	fmt.Printf("push: %s\n", st)
+	return nil
+}
+
+// cmdPull replicates a remote archive (an `xarch serve` primary or
+// another replica) into a local directory. The source serves each pull
+// out of a pinned generation, so a pull never observes a half-installed
+// commit; if the source advances between the manifest fetch and a
+// segment fetch, the pull restarts against the new generation. -verify
+// additionally re-reads every local segment against the manifest's
+// checksums, re-fetching any that rotted — the bitflip repair path.
+func cmdPull(args []string) error {
+	fs := flag.NewFlagSet("pull", flag.ExitOnError)
+	from := fs.String("from", "", "source server base URL, e.g. http://primary:8080")
+	archive := fs.String("archive", "", "local replica directory to pull into (created if missing)")
+	verify := fs.Bool("verify", false, "re-verify every local segment against the source manifest, re-fetching corrupted ones")
+	sf := addSyncFlags(fs)
+	fs.Parse(args)
+	if *archive == "" || *from == "" {
+		return fmt.Errorf("pull needs -from and -archive")
+	}
+	src := segstore.NewHTTP(*from, nil, sf.policy())
+	dst, err := segstore.NewLocal(nil, *archive)
+	if err != nil {
+		return err
+	}
+	opts := sf.options()
+	opts.VerifyAll = *verify
+	ctx, stop := syncContext()
+	defer stop()
+	var st *repl.Stats
+	for attempt := 1; ; attempt++ {
+		st, err = repl.Sync(ctx, src, dst, opts)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, repl.ErrSourceChanged) || attempt >= pullRestarts {
+			return fmt.Errorf("pull: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "xarch: source moved on (%v); restarting pull (%d/%d)\n", err, attempt+1, pullRestarts)
+	}
+	fmt.Printf("pull: %s\n", st)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strconv"
+	"time"
+)
+
+// backoff429 computes how long a writer sleeps after its n-th
+// consecutive 429 (1-based). Without a Retry-After header the wait
+// grows exponentially from 50ms per consecutive rejection, capped at
+// 5s; a Retry-After hint replaces the computed base — the server knows
+// its queue better than the client's guess. Either way the wait is
+// jittered upward by up to half itself, so a herd of writers all told
+// the same hint does not retry in lockstep and re-create the very
+// queue-full condition it is backing off from. jitter yields a value
+// in [0,1); tests pin it.
+func backoff429(consecutive int, retryAfter string, jitter func() float64) time.Duration {
+	const (
+		floor   = 50 * time.Millisecond
+		ceiling = 5 * time.Second
+	)
+	d := floor
+	for i := 1; i < consecutive && d < ceiling; i++ {
+		d *= 2
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	return d + time.Duration(jitter()*float64(d)/2)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func noJitter() float64 { return 0 }
+
+func TestBackoff429GrowsAndCaps(t *testing.T) {
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		3200 * time.Millisecond,
+		5 * time.Second, // capped
+		5 * time.Second, // stays capped
+	}
+	for i, w := range want {
+		if got := backoff429(i+1, "", noJitter); got != w {
+			t.Errorf("streak %d: backoff = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoff429HonorsRetryAfter(t *testing.T) {
+	// The server's hint replaces the computed base at any streak depth.
+	for _, streak := range []int{1, 4, 20} {
+		if got := backoff429(streak, "2", noJitter); got != 2*time.Second {
+			t.Errorf("streak %d with Retry-After 2: backoff = %v, want 2s", streak, got)
+		}
+	}
+	// Junk or non-positive hints fall back to the schedule.
+	for _, h := range []string{"", "soon", "-3", "0"} {
+		if got := backoff429(2, h, noJitter); got != 100*time.Millisecond {
+			t.Errorf("streak 2 with Retry-After %q: backoff = %v, want 100ms", h, got)
+		}
+	}
+}
+
+func TestBackoff429JitterBounds(t *testing.T) {
+	// Jitter spreads the wait upward by up to half itself: [d, 1.5d).
+	base := backoff429(3, "", noJitter)
+	for _, j := range []float64{0, 0.25, 0.5, 0.999} {
+		j := j
+		got := backoff429(3, "", func() float64 { return j })
+		if got < base || got >= base+base/2+time.Millisecond {
+			t.Errorf("jitter %v: backoff = %v, want within [%v, %v)", j, got, base, base+base/2)
+		}
+		if want := base + time.Duration(j*float64(base)/2); got != want {
+			t.Errorf("jitter %v: backoff = %v, want exactly %v", j, got, want)
+		}
+	}
+}

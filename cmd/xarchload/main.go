@@ -26,7 +26,6 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -79,6 +78,9 @@ type counters struct {
 	retried int64
 	failed  int64
 	lat     hist
+	// streak429 counts consecutive 429 answers, driving the writer's
+	// exponential backoff; any other outcome resets it.
+	streak429 int
 }
 
 func (c *counters) merge(o *counters) {
@@ -268,6 +270,7 @@ func writeOnce(ctx context.Context, client *http.Client, base string, m *model,
 	resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
+		c.streak429 = 0
 		c.lat.record(time.Since(t0))
 		c.ok++
 		var added struct {
@@ -283,17 +286,13 @@ func writeOnce(ctx context.Context, client *http.Client, base string, m *model,
 		}
 	case http.StatusTooManyRequests:
 		c.retried++
-		backoff := 50 * time.Millisecond
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-				backoff = time.Duration(secs) * time.Second
-			}
-		}
+		c.streak429++
 		select {
 		case <-ctx.Done():
-		case <-time.After(backoff):
+		case <-time.After(backoff429(c.streak429, resp.Header.Get("Retry-After"), rng.Float64)):
 		}
 	default:
+		c.streak429 = 0
 		c.failed++
 		noteErr(fmt.Sprintf("add: status %d: %.200s", resp.StatusCode, payload))
 	}

@@ -480,3 +480,20 @@ func (s *ExtStore) Degraded() error {
 func (s *ExtStore) BytesRead() int64 {
 	return s.ar.BytesRead()
 }
+
+// OpenReplicaView pins the current committed generation and returns a
+// replication view over it: the exact state-file bytes on disk plus
+// streaming access to the segment files the key directory references.
+// The pin keeps those files alive while a pull copies them, even as
+// concurrent Adds commit newer generations; the caller must Close the
+// view. The read lock matters beyond the closed check — it serializes
+// with Add's write lock, so the three state files are never read
+// mid-commit.
+func (s *ExtStore) OpenReplicaView() (*extmem.ReplicaView, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	return s.ar.OpenReplicaView()
+}

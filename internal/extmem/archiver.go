@@ -295,9 +295,10 @@ func (ar *Archiver) finishOpen() {
 }
 
 // sweepTmp removes the transient files a crashed operation can strand:
-// "tmp-*" scratch files (version/key/run/sorted files of an Add) and
+// "tmp-*" scratch files (version/key/run/sorted files of an Add),
 // "*.tmp" atomic-replace siblings (a commit killed between tmp-create
-// and rename). Only committed state survives a reopen, so anything
+// and rename), and "*.part" replication staging files (a pull killed
+// mid-transfer). Only committed state survives a reopen, so anything
 // matching these patterns is garbage by construction. It returns what
 // it removed (for fsck reporting).
 func (ar *Archiver) sweepTmp() []string {
@@ -311,7 +312,8 @@ func (ar *Archiver) sweepTmp() []string {
 }
 
 // listTransient lists the transient crash-leftover files in dir:
-// scratch files ("tmp-*") and atomic-replace siblings ("*.tmp").
+// scratch files ("tmp-*"), atomic-replace siblings ("*.tmp"), and
+// replication staging files ("*.part").
 func listTransient(fs fsio.FS, dir string) []string {
 	ents, err := fs.ReadDir(dir)
 	if err != nil {
@@ -320,7 +322,7 @@ func listTransient(fs fsio.FS, dir string) []string {
 	var names []string
 	for _, e := range ents {
 		n := e.Name()
-		if strings.HasPrefix(n, "tmp-") || strings.HasSuffix(n, ".tmp") {
+		if strings.HasPrefix(n, "tmp-") || strings.HasSuffix(n, ".tmp") || strings.HasSuffix(n, ".part") {
 			names = append(names, n)
 		}
 	}

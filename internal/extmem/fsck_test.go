@@ -147,6 +147,50 @@ func TestFsckDetectsLeftoversAndRepairSweeps(t *testing.T) {
 	}
 }
 
+// TestOpenSweepsStagedPartFiles: *.part staging leftovers — an
+// interrupted replication pull's half-transferred blobs — are flagged
+// by fsck as transients and swept by a plain reopen, exactly like the
+// engine's own *.tmp scratch files.
+func TestOpenSweepsStagedPartFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	ar := buildOMIMArchive(t, dir, cfg, 2)
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	parts := []string{"seg-00000042.tok.part", "keydir.idx.part"}
+	for _, f := range parts {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("half-transferred"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := CheckArchive(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clean || checkKinds(r)["transient"] != len(parts) {
+		t.Fatalf("stale parts not flagged: clean=%v kinds=%v", r.Clean, checkKinds(r))
+	}
+	ar, err = Open(dir, datagen.OMIMSpec(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Versions() != 2 {
+		t.Fatalf("Versions = %d after reopen, want 2", ar.Versions())
+	}
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range parts {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Errorf("%s survived reopen", f)
+		}
+	}
+	if r, err = CheckArchive(nil, dir); err != nil || !r.Clean {
+		t.Fatalf("archive not clean after the sweep: %v %+v", err, r.Problems())
+	}
+}
+
 func TestFsckRepairClearsDegradedMarker(t *testing.T) {
 	dir := t.TempDir()
 	ffs := fsio.NewFaultFS(nil)

@@ -100,10 +100,12 @@ func NewFaultFS(inner FS) *FaultFS {
 // external archive's file names: keydir.idx → "keydir", meta.txt →
 // "meta", dict.txt → "dict", archive.tok → "legacy", seg-*.tok →
 // "segment", tmp-* scratch files → "scratch". A trailing ".tmp" (the
-// atomic-replace sibling) is stripped first, so keydir.idx.tmp shares
-// the "keydir" class with its target.
+// atomic-replace sibling) or ".part" (a replication staging file) is
+// stripped first, so keydir.idx.tmp and seg-00000001.tok.part share
+// the class of their target.
 func ClassifyArchivePath(path string) string {
 	base := strings.TrimSuffix(filepath.Base(path), ".tmp")
+	base = strings.TrimSuffix(base, ".part")
 	switch {
 	case base == "keydir.idx":
 		return "keydir"

@@ -1,0 +1,162 @@
+package segstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrRetriesExhausted marks an operation that failed on every allowed
+// attempt. The wrapper error also carries the last underlying failure,
+// so both errors.Is(err, ErrRetriesExhausted) and errors.Is against the
+// root cause hold.
+var ErrRetriesExhausted = errors.New("segstore: retries exhausted")
+
+// transientErr marks an error worth retrying, optionally carrying a
+// server-provided backoff hint (Retry-After).
+type transientErr struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *transientErr) Error() string { return e.err.Error() }
+func (e *transientErr) Unwrap() error { return e.err }
+
+// MarkTransient wraps err as retryable for RetryPolicy.Do; hint (0 for
+// none) is a server-provided minimum backoff (Retry-After).
+func MarkTransient(err error, hint time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err, hint: hint}
+}
+
+// IsTransient reports whether err is marked retryable, and any backoff
+// hint it carries.
+func IsTransient(err error) (time.Duration, bool) {
+	var te *transientErr
+	if errors.As(err, &te) {
+		return te.hint, true
+	}
+	return 0, false
+}
+
+// RetryPolicy is the capped-exponential-backoff-with-jitter schedule
+// every remote replication call runs under. The zero value uses the
+// documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first attempt included).
+	// Default 5.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per failure. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (a larger Retry-After hint
+	// still wins — the server knows better). Default 5s.
+	MaxDelay time.Duration
+	// OpTimeout bounds each attempt of a self-contained operation via a
+	// derived context; 0 means no per-attempt deadline (streaming
+	// transfers size their own time). Default is no deadline.
+	OpTimeout time.Duration
+	// Sleep waits between attempts; tests stub it to run the schedule
+	// without wall-clock delay. Nil sleeps for real, honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand yields the jitter fraction in [0,1); nil uses a seeded
+	// shared source. Tests pin it for a deterministic schedule.
+	Rand func() float64
+}
+
+// jitterRand is the default jitter source, guarded because policies are
+// shared across sync goroutines.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func defaultJitter() float64 {
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return jitterRand.Float64()
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if p.Rand == nil {
+		p.Rand = defaultJitter
+	}
+	return p
+}
+
+// delay computes the backoff after the attempt-th failure (1-based):
+// capped exponential growth from BaseDelay, equal-jittered into
+// [d/2, d), with a server hint raising the floor.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(p.Rand()*float64(d/2))
+	if hint > 0 && d < hint {
+		// Honor Retry-After as a floor, jittered upward so a herd of
+		// clients told the same hint does not retry in lockstep.
+		d = hint + time.Duration(p.Rand()*float64(hint/2))
+	}
+	return d
+}
+
+// Do runs op under the policy: transient failures (MarkTransient) are
+// retried with backoff until MaxAttempts, everything else returns
+// immediately. Errors already wrapped by a nested Do (errors.Is
+// ErrRetriesExhausted) are not retried again, so layered policies do
+// not multiply attempts. Each attempt gets a context bounded by
+// OpTimeout when set.
+func (p RetryPolicy) Do(ctx context.Context, what string, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		octx, cancel := ctx, context.CancelFunc(func() {})
+		if p.OpTimeout > 0 {
+			octx, cancel = context.WithTimeout(ctx, p.OpTimeout)
+		}
+		err := op(octx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		hint, transient := IsTransient(err)
+		if !transient || errors.Is(err, ErrRetriesExhausted) || ctx.Err() != nil {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return fmt.Errorf("%w: %s failed after %d attempts: %w", ErrRetriesExhausted, what, attempt, err)
+		}
+		if serr := p.Sleep(ctx, p.delay(attempt, hint)); serr != nil {
+			return fmt.Errorf("%s: %w (last attempt: %w)", what, serr, err)
+		}
+	}
+}

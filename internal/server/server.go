@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
@@ -36,6 +37,8 @@ import (
 	"time"
 
 	"xarch"
+	"xarch/internal/extmem"
+	"xarch/internal/segstore"
 )
 
 // Options tunes the server; zero values mean the documented defaults.
@@ -91,6 +94,14 @@ type degrader interface{ Degraded() error }
 // opportunistic compaction pass; *xarch.ExtStore implements it.
 type compactionReporter interface{ CompactionErr() error }
 
+// replicaSource is the optional store facet handing out pinned
+// generation views for replication; *xarch.ExtStore implements it.
+// Stores without it (the in-memory engine) answer the replication
+// endpoints 404.
+type replicaSource interface {
+	OpenReplicaView() (*extmem.ReplicaView, error)
+}
+
 // Metrics is a point-in-time snapshot of the server's counters,
 // reported by /v1/stats.
 type Metrics struct {
@@ -128,6 +139,13 @@ type Server struct {
 	largestBatch   atomic.Int64
 	queries        atomic.Int64
 	readOnlyDenied atomic.Int64
+
+	// replMu guards the cached pinned view the replication source
+	// endpoints serve from: a pull that fetched /v1/keydir reads its
+	// segments out of exactly that committed generation, even while
+	// concurrent adds commit newer ones and sweep rewritten files.
+	replMu   sync.Mutex
+	replView *extmem.ReplicaView
 }
 
 // New starts the committer goroutine and returns a server over store.
@@ -147,6 +165,8 @@ func New(store xarch.Store, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/keydir", s.handleReplKeydir)
+	s.mux.HandleFunc("GET /v1/segments/{name}", s.handleReplSegment)
 	go s.runCommitter()
 	return s
 }
@@ -169,6 +189,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.done:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	s.replMu.Lock()
+	v := s.replView
+	s.replView = nil
+	s.replMu.Unlock()
+	if v != nil {
+		v.Close()
 	}
 	return s.store.Close()
 }
@@ -388,6 +415,96 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleReplKeydir serves the committed state bundle for a pull. It
+// opens a fresh pinned view of the current generation and caches it —
+// the pinning keeps every segment file of that generation on disk, so
+// the pull's subsequent /v1/segments/{name} fetches see exactly the
+// manifest they were promised even while concurrent adds commit newer
+// generations and compaction rewrites segments.
+func (s *Server) handleReplKeydir(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	rs, ok := s.store.(replicaSource)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "this store does not serve replication (external engine required)")
+		return
+	}
+	v, err := rs.OpenReplicaView()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "replication view: %v", err)
+		return
+	}
+	s.replMu.Lock()
+	old := s.replView
+	s.replView = v
+	s.replMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	// The bundle bytes and manifest stay valid even if a concurrent
+	// request swaps the cached view out from under us: Close only
+	// releases the generation pin, it does not reclaim the copies.
+	kd, dict, meta := v.Bundle()
+	man := v.Manifest()
+	writeJSON(w, segstore.WireBundle{
+		Generation: man.Generation, Versions: man.Versions,
+		Keydir: kd, Dict: dict, Meta: meta,
+	})
+}
+
+// handleReplSegment streams one segment blob out of the cached pinned
+// view. Only names the pinned manifest lists are served — the live
+// store writes new segments under their final names, and those must
+// never leak to a puller mid-commit.
+func (s *Server) handleReplSegment(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	rs, ok := s.store.(replicaSource)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "this store does not serve replication (external engine required)")
+		return
+	}
+	name := r.PathValue("name")
+	if !segstore.ValidBlobName(name) {
+		jsonError(w, http.StatusBadRequest, "invalid blob name %q", name)
+		return
+	}
+	rc, size, err := s.openPinnedSegment(rs, name)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, "no segment %s in the current generation: %v", name, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	if _, err := io.Copy(w, rc); err != nil {
+		s.logf("stream %s: %v", name, err)
+	}
+}
+
+// openPinnedSegment opens name from the cached view, refreshing the
+// view once if it is missing or stale (a pull hitting segments before
+// /v1/keydir, or after the primary moved on). The open happens under
+// replMu so a concurrent refresh cannot release the generation between
+// the manifest check and the open; the returned fd then outlives any
+// sweep of the file.
+func (s *Server) openPinnedSegment(rs replicaSource, name string) (io.ReadCloser, int64, error) {
+	s.replMu.Lock()
+	if s.replView == nil || !s.replView.HasSegment(name) {
+		v, err := rs.OpenReplicaView()
+		if err != nil {
+			s.replMu.Unlock()
+			return nil, 0, err
+		}
+		old := s.replView
+		s.replView = v
+		if old != nil {
+			defer old.Close()
+		}
+	}
+	rc, size, err := s.replView.OpenSegment(name)
+	s.replMu.Unlock()
+	return rc, size, err
 }
 
 func (s *Server) logf(format string, args ...any) {
