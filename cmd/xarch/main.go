@@ -370,13 +370,11 @@ func cmdStats(args []string) error {
 	fmt.Printf("timestamp intervals   %d\n", s.TimestampRuns)
 	fmt.Printf("content groups        %d\n", s.Groups)
 	fmt.Printf("archive XML bytes     %d\n", s.XMLBytes)
-	if cs, ok := store.(interface{ CompressedSize() (int, error) }); ok {
-		n, err := cs.CompressedSize()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("xmill-compressed      %d\n", n)
+	n, err := store.CompressedSize()
+	if err != nil {
+		return err
 	}
+	fmt.Printf("compressed bytes      %d\n", n)
 	if es, ok := store.(*xarch.ExtStore); ok {
 		ss, err := es.StorageStats()
 		if err != nil {
@@ -384,6 +382,7 @@ func cmdStats(args []string) error {
 		}
 		fmt.Printf("segment files         %d\n", ss.Segments)
 		fmt.Printf("segment bytes         %d\n", ss.SegmentBytes)
+		fmt.Printf("stored bytes          %d\n", ss.StoredBytes)
 		fmt.Printf("directory entries     %d\n", ss.DirectoryEntries)
 		fmt.Printf("directory bytes       %d\n", ss.DirectoryBytes)
 	}
@@ -417,8 +416,8 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("versions %d, roots %d, segments %d (%d bytes), directory entries %d (%d bytes)\n",
-		store.Versions(), ss.Roots, ss.Segments, ss.SegmentBytes, ss.DirectoryEntries, ss.DirectoryBytes)
+	fmt.Printf("versions %d, roots %d, segments %d (%d bytes, %d stored), directory entries %d (%d bytes)\n",
+		store.Versions(), ss.Roots, ss.Segments, ss.SegmentBytes, ss.StoredBytes, ss.DirectoryEntries, ss.DirectoryBytes)
 	segs, err := es.Segments()
 	if err != nil {
 		return err
@@ -429,18 +428,23 @@ func cmdInspect(args []string) error {
 		if !s.CRCOK {
 			crc = "CORRUPT"
 		}
+		// stored/uncompressed bytes plus dictionary overhead; the ratio is
+		// on-disk bytes per decoded payload byte.
+		size := fmt.Sprintf("%d bytes (v%d: %d stored + %d dict, ratio %.2f)",
+			s.Bytes, s.Format, s.Stored, s.DictBytes,
+			float64(s.Stored+s.DictBytes)/float64(max(s.Bytes, 1)))
 		mark := ""
 		if s.Compactable {
 			mark = "  COMPACTABLE"
 			candidates++
 		}
 		if s.Raw {
-			fmt.Printf("%s  root=%s  raw  %d bytes  fill=%.2f  crc=%s%s\n",
-				s.File, s.Root, s.Bytes, s.Fill, crc, mark)
+			fmt.Printf("%s  root=%s  raw  %s  fill=%.2f  crc=%s%s\n",
+				s.File, s.Root, size, s.Fill, crc, mark)
 			continue
 		}
-		fmt.Printf("%s  root=%s  %d entries  %d bytes  fill=%.2f  [%s .. %s]  crc=%s%s\n",
-			s.File, s.Root, s.Entries, s.Bytes, s.Fill, s.FirstLabel, s.LastLabel, crc, mark)
+		fmt.Printf("%s  root=%s  %d entries  %s  fill=%.2f  [%s .. %s]  crc=%s%s\n",
+			s.File, s.Root, s.Entries, size, s.Fill, s.FirstLabel, s.LastLabel, crc, mark)
 	}
 	if candidates > 0 {
 		fmt.Printf("%d segments in coalesce runs; run `xarch compact` to merge them\n", candidates)

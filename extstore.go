@@ -6,7 +6,6 @@ import (
 
 	"xarch/internal/core"
 	"xarch/internal/extmem"
-	"xarch/internal/xmill"
 	"xarch/internal/xmltree"
 )
 
@@ -54,6 +53,9 @@ func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
 		NoDirectorySeek:  cfg.noSeek,
 		CompactTarget:    cfg.compTarget,
 		CompactionBudget: cfg.compBudget,
+		SegmentFormat:    cfg.segFormat,
+		NoMigrate:        cfg.noMigrate,
+		Compression:      cfg.segCompress,
 		FS:               cfg.fs,
 	})
 	if err != nil {
@@ -343,36 +345,18 @@ func (s *ExtStore) Close() error {
 	return s.ar.Close()
 }
 
-// CompressedSize returns the XMill-compressed size of the archive (§5.4).
-// The compressor needs the whole document, so this is the one query that
-// parses the archive XML into a tree — streamed through a pipe rather
-// than buffered twice.
+// CompressedSize returns the archive's compressed on-disk size (§5.4):
+// the stored segment payloads (compressed when WithSegmentCompression is
+// on) plus the per-segment dictionaries. Unlike the in-memory engine's
+// XMill figure this is a metadata walk over the key directory — no
+// archive bytes are read.
 func (s *ExtStore) CompressedSize() (int, error) {
-	if s.cfg.matview {
-		v, err := s.acquireView()
-		if err != nil {
-			return 0, err
-		}
-		return xmill.Size(v.ToXMLTree()), nil
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
 	}
-	q, err := s.query()
-	if err != nil {
-		return 0, err
-	}
-	pr, pw := io.Pipe()
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		pw.CloseWithError(q.WriteArchiveXML(pw, false))
-	}()
-	doc, perr := xmltree.Parse(pr)
-	pr.Close() // unblock the writer if the parse stopped early
-	<-done     // the view must not be closed under the writer
-	q.Close()
-	if perr != nil {
-		return 0, perr
-	}
-	return xmill.Size(doc), nil
+	return int(s.ar.CompressedSize()), nil
 }
 
 // SameVersion reports whether doc is archive-equivalent to other under

@@ -37,6 +37,14 @@ type Archiver struct {
 	curDir  *keyDirectory
 	nextSeg int
 
+	// segDicts caches decoded v2 segment dictionaries per segment file;
+	// entries are evicted when the file is swept.
+	segDicts *dictCache
+
+	// fastco is the byte-level coalescer's scratch state, allocated on
+	// the first compaction that can use it (see compactfast.go).
+	fastco *fastCoalescer
+
 	// degraded is the poisoned-writer flag: set by the first commit
 	// fault (failed fsync/rename), checked by every write entry point.
 	// See degrade.go.
@@ -102,6 +110,28 @@ type Config struct {
 	// compaction pass may rewrite. 0 (the default) disables the
 	// opportunistic pass; explicit Compact calls are never budgeted.
 	CompactionBudget int
+	// SegmentFormat selects the on-disk encoding of newly written
+	// segment files: 2 (the default) writes dictionary-interned v2
+	// segments (see segdict.go), 1 the legacy inline-string format.
+	// Existing v1 segments are rewritten to the v2 format at Open unless
+	// NoMigrate is set.
+	SegmentFormat int
+	// NoMigrate suppresses the open-time rewrite of legacy format-1
+	// segments. The archive then runs mixed-format: queries and merges
+	// read both encodings, new writes use SegmentFormat. Mostly a
+	// testing knob.
+	NoMigrate bool
+	// Compression block-compresses v2 segment payloads (64 KiB deflate
+	// blocks with a per-block index, so directory seeks still land
+	// mid-segment). Off by default: interning alone shrinks segments and
+	// raw payloads keep scans cheapest; enable it where disk bytes
+	// dominate.
+	Compression bool
+	// NoDictPreload leaves segment dictionaries to load lazily on first
+	// query reference instead of being warmed at Open. Open becomes
+	// O(1) in the segment count again, at the price of the first query
+	// into each segment paying its dictionary decode.
+	NoDictPreload bool
 	// FS is the filesystem all archive I/O goes through. Nil means the
 	// real filesystem (fsio.OS); the crash-consistency harness injects a
 	// fsio.FaultFS here.
@@ -133,6 +163,9 @@ func (c *Config) setDefaults() {
 	if c.CompactTarget > c.SegmentTarget {
 		c.CompactTarget = c.SegmentTarget
 	}
+	if c.SegmentFormat == 0 {
+		c.SegmentFormat = segFormatV2
+	}
 	if c.FS == nil {
 		c.FS = fsio.OS
 	}
@@ -153,10 +186,14 @@ func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 	if err := cfg.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("extmem: %w", err)
 	}
+	if cfg.SegmentFormat != segFormat && cfg.SegmentFormat != segFormatV2 {
+		return nil, fmt.Errorf("extmem: unsupported segment format %d", cfg.SegmentFormat)
+	}
 	ar := &Archiver{
 		dir: dir, spec: spec, cfg: cfg, fs: cfg.FS,
 		dict: newDictionary(), gens: map[int]*genState{},
 	}
+	ar.segDicts = &dictCache{fs: ar.fs, dir: dir, counter: &ar.bytesRead}
 	ar.nextSeg = ar.maxSegID() + 1
 
 	metaData, metaErr := ar.fs.ReadFile(filepath.Join(dir, metaFile))
@@ -229,6 +266,14 @@ func Open(dir string, spec *keys.Spec, cfg Config) (*Archiver, error) {
 	}
 	d.resolveTags(ar.dict)
 	ar.curDir = d
+	// Transparent format upgrade: rewrite any legacy format-1 segments
+	// before the orphan sweep, so a crash mid-migration strands only
+	// files finishOpen removes on the next open.
+	if ar.cfg.SegmentFormat == segFormatV2 && !ar.cfg.NoMigrate {
+		if err := ar.migrateSegmentsV2(); err != nil {
+			return nil, err
+		}
+	}
 	ar.finishOpen()
 	return ar, nil
 }
@@ -292,6 +337,26 @@ func (ar *Archiver) finishOpen() {
 	// commit and its cleanup) is superseded by the committed segments.
 	ar.fs.Remove(filepath.Join(ar.dir, archiveFile))
 	ar.sweepTmp()
+	ar.preloadDicts()
+}
+
+// preloadDicts warms the dictionary cache for every committed v2
+// segment. The dictionaries are immutable per-segment metadata — the
+// same class of state as the key directory loaded above — so paying
+// their decode once at open keeps it off every query's first token.
+// Best-effort: a segment that fails to load here surfaces its error on
+// the query that actually touches it, exactly as without preloading.
+func (ar *Archiver) preloadDicts() {
+	if ar.cfg.NoDictPreload {
+		return
+	}
+	for _, r := range ar.curDir.roots {
+		for _, s := range r.segs {
+			if s.format == segFormatV2 {
+				ar.segDicts.get(s)
+			}
+		}
+	}
 }
 
 // sweepTmp removes the transient files a crashed operation can strand:
@@ -433,6 +498,7 @@ func (ar *Archiver) sweepFiles(cand map[string]bool) {
 		}
 		if !live {
 			ar.fs.Remove(filepath.Join(ar.dir, f))
+			ar.segDicts.evict(f)
 		}
 	}
 }
@@ -464,7 +530,8 @@ func (ar *Archiver) Close() error {
 type StorageStats struct {
 	Roots            int
 	Segments         int
-	SegmentBytes     int64 // payload bytes across segments
+	SegmentBytes     int64 // decoded payload bytes across segments
+	StoredBytes      int64 // on-disk bytes (stored payloads + dictionaries)
 	DirectoryEntries int   // child entries in the key directory
 	DirectoryBytes   int   // encoded keydir.idx size
 	LastAddReused    int   // segments the last Add linked unchanged
@@ -485,16 +552,35 @@ func (ar *Archiver) StorageStats() StorageStats {
 		for _, s := range r.segs {
 			st.Segments++
 			st.SegmentBytes += s.payload
+			st.StoredBytes += s.stored + s.dictLen
 		}
 	}
 	return st
+}
+
+// CompressedSize returns the archive's on-disk token bytes: the stored
+// (for compressed segments: compressed) payloads plus the per-segment
+// dictionaries. Headers and the state files are excluded, mirroring how
+// the in-memory engine's compressed-size figure counts only encoded
+// document bytes.
+func (ar *Archiver) CompressedSize() int64 {
+	var n int64
+	for _, r := range ar.curDir.roots {
+		for _, s := range r.segs {
+			n += s.stored + s.dictLen
+		}
+	}
+	return n
 }
 
 // SegmentInfo describes one segment file for inspection tooling.
 type SegmentInfo struct {
 	Root       string // label of the owning top-level subtree
 	File       string
-	Bytes      int64   // payload bytes
+	Bytes      int64   // decoded payload bytes
+	Stored     int64   // on-disk payload bytes (compressed when the flag is set)
+	DictBytes  int64   // encoded dictionary section size (v2)
+	Format     int     // segment format version (1 or 2)
 	Fill       float64 // payload bytes / segment target size
 	Entries    int
 	FirstLabel string
@@ -523,7 +609,8 @@ func (ar *Archiver) Segments() []SegmentInfo {
 		for _, s := range r.segs {
 			info := SegmentInfo{
 				Root: keyLabel(r.name, r.key), File: s.file,
-				Bytes: s.payload, Entries: len(s.entries), Raw: r.raw,
+				Bytes: s.payload, Stored: s.stored, DictBytes: s.dictLen,
+				Format: s.format, Entries: len(s.entries), Raw: r.raw,
 				Fill:        float64(s.payload) / float64(ar.cfg.SegmentTarget),
 				Compactable: candidates[s.file],
 			}

@@ -2,7 +2,6 @@ package extmem
 
 import (
 	"fmt"
-	"io"
 	"path/filepath"
 )
 
@@ -225,11 +224,18 @@ func (ar *Archiver) compact(budget int64) (CompactStats, error) {
 }
 
 // coalesceRun copies the child subtrees of segments old.segs[lo:hi]
-// verbatim into fresh right-sized segment files, re-deriving the entry
-// table with rebased offsets. The payload bytes are untouched, so the
-// concatenated archive stream — and every query answer — is identical
-// before and after.
+// token for token into fresh right-sized segment files, re-deriving the
+// entry table with rebased offsets. The token stream is unchanged — the
+// concatenated archive stream, and every query answer, is identical
+// before and after — though the encoded bytes may differ: the output is
+// written in the configured segment format, so compaction also carries
+// mixed-format runs across the version boundary.
 func (ar *Archiver) coalesceRun(newRoot, old *rootRecord, lo, hi int, onCreate func(string)) ([]*segmentRecord, int64, error) {
+	// All-format-2 uncompressed runs coalesce at the byte level — id
+	// remapping instead of token decoding; see compactfast.go.
+	if segs, copied, ok, err := ar.coalesceFast(newRoot, old, lo, hi, onCreate); ok {
+		return segs, copied, err
+	}
 	var out []*segmentRecord
 	sw := newSegmentSetWriter(ar, newRoot, false,
 		func(sr *segmentRecord) { out = append(out, sr) }, onCreate)
@@ -240,31 +246,37 @@ func (ar *Archiver) coalesceRun(newRoot, old *rootRecord, lo, hi int, onCreate f
 	var copied int64
 	for si := lo; si < hi; si++ {
 		seg := old.segs[si]
-		f, err := ar.fs.Open(filepath.Join(ar.dir, seg.file))
-		if err != nil {
-			sw.finish()
-			return nil, copied, fmt.Errorf("extmem: compact: %w", err)
-		}
+		ds := &dirStream{fs: ar.fs, dir: ar.dir, parts: []streamPart{{seg: seg, off: 0, n: seg.payload}}, dicts: ar.segDicts, counter: &ar.bytesRead}
+		tr := newDirTokenReader(ds)
 		for ei := range seg.entries {
 			e := &seg.entries[ei]
+			t, ok := tr.take()
+			if !ok || t.op != tokOpen {
+				err := tr.err
+				if err == nil {
+					err = corruptf("compact %s: entry %d has no open token", seg.file, ei)
+				}
+				sw.fail(err)
+				break
+			}
 			sw.beginChild(e.name, e.tag, e.key, e.timeStr)
 			if sw.err != nil {
 				break
 			}
-			n, err := io.Copy(sw.tw.w, io.NewSectionReader(f, seg.dataOff+e.offset, e.size))
-			copied += n
-			if err != nil {
+			sw.out.open(t.tag, t.key, t.data)
+			if err := copyBalancedTo(tr, sw.out, true); err != nil {
 				sw.fail(fmt.Errorf("extmem: compact %s: %w", seg.file, err))
 				break
 			}
+			copied += e.size
 			sw.endChild()
 		}
-		f.Close()
+		tr.release()
+		ds.Close()
 		if sw.err != nil {
 			break
 		}
 	}
-	ar.bytesRead.Add(copied)
 	if err := sw.finish(); err != nil {
 		return nil, copied, err
 	}

@@ -319,3 +319,72 @@ func TestCrashMatrixMigration(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashMatrixFormatMigration crashes the transparent format-1 →
+// format-2 segment upgrade after every op k. Like the monolithic
+// migration, the upgrade runs inside Open, so the crashed call is Open
+// itself. A crash prefix must leave either the committed v1 layout or
+// the committed v2 layout (never a hybrid the directory references),
+// strand no transient files, and preserve the archive stream exactly;
+// the recovery reopen finishes the upgrade.
+func TestCrashMatrixFormatMigration(t *testing.T) {
+	cfgV1 := Config{Budget: 1 << 16, SegmentTarget: 2048, SegmentFormat: segFormat}
+	cfg := Config{Budget: 1 << 16, SegmentTarget: 2048}
+	base := t.TempDir()
+	ar := buildOMIMArchive(t, base, cfgV1, 2)
+	want := archiveStreamBytes(t, ar)
+	versions := ar.Versions()
+	if f := segFormats(ar); f[segFormat] == 0 || f[segFormatV2] != 0 {
+		t.Fatalf("fixture not pure v1: %v", f)
+	}
+	if err := ar.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean traced run: the whole upgrade — segment rewrites through the
+	// key-directory commit and the removal of the superseded v1 files —
+	// happens inside this one Open.
+	traceDir := t.TempDir()
+	copyDir(t, base, traceDir)
+	ffs := fsio.NewFaultFS(nil)
+	tcfg := cfg
+	tcfg.FS = ffs
+	tar, err := Open(traceDir, datagen.OMIMSpec(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ffs.OpCount()
+	if f := segFormats(tar); f[segFormat] != 0 {
+		t.Fatalf("traced open left v1 segments: %v", f)
+	}
+	if got := archiveStreamBytes(t, tar); !bytes.Equal(got, want) {
+		t.Fatal("format migration changed the archive stream; fixture broken")
+	}
+	tar.Close()
+	if n < 5 {
+		t.Fatalf("suspiciously short format-migration trace (%d ops)", n)
+	}
+	t.Logf("format-migration trace: %d mutating ops", n)
+
+	for _, torn := range []bool{false, true} {
+		for k := 0; k < n; k++ {
+			label := fmt.Sprintf("k=%d torn=%v", k, torn)
+			dir := t.TempDir()
+			copyDir(t, base, dir)
+			cfs := fsio.NewFaultFS(nil)
+			ccfg := cfg
+			ccfg.FS = cfs
+			cfs.CrashAfter(k, torn)
+			if car, err := Open(dir, datagen.OMIMSpec(), ccfg); err == nil {
+				_ = car // dropped without Close: the "process" died
+			}
+			if !cfs.Crashed() {
+				t.Fatalf("%s: crash point never hit; matrix does not cover the migration", label)
+			}
+			// assertRecovered reopens with the default (v2) config, which
+			// finishes the interrupted upgrade and must still sweep every
+			// transient and orphan file the crash stranded.
+			assertRecovered(t, dir, cfg, label, versions, versions, want, want)
+		}
+	}
+}

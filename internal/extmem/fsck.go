@@ -140,10 +140,17 @@ func CheckArchive(fs fsio.FS, dir string) (*CheckReport, error) {
 		for _, root := range d.roots {
 			for _, seg := range root.segs {
 				live[seg.file] = true
+				// For format-2 segments verifySegment also decodes the
+				// dictionary and walks every token, so a dangling
+				// dictionary id fails here like a bad checksum.
+				detail := "payload checksum valid"
+				if seg.format == segFormatV2 {
+					detail = "payload checksum and dictionary ids valid"
+				}
 				if err := verifySegment(fs, filepath.Join(dir, seg.file), seg); err != nil {
 					r.add(seg.file, "segment", false, err.Error())
 				} else {
-					r.add(seg.file, "segment", true, "payload checksum valid")
+					r.add(seg.file, "segment", true, detail)
 				}
 			}
 		}

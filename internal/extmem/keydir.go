@@ -33,7 +33,7 @@ import (
 const (
 	keydirFile   = "keydir.idx"
 	keydirMagic  = "XKD1"
-	keydirFormat = 1
+	keydirFormat = 2 // written; format 1 (pre-v2-segments) still decodes
 )
 
 // attrRec is one attribute of a top-level subtree, held in the directory
@@ -49,25 +49,36 @@ type attrRec struct {
 // timeStr is the node's explicit timestamp exactly as carried by its open
 // token ("" = inherited from the root's effective timestamp) — the
 // version interval summary that lets merges and version projections skip
-// the subtree without reading its bytes.
+// the subtree without reading its bytes. time caches the parsed form
+// (nil when timeStr is "" or the directory has not been through a
+// decode); it is shared by every reader of the generation and must not
+// be mutated.
 type childEntry struct {
 	name    string
 	tag     int // dictionary id, resolved in memory
 	key     *tkey
 	timeStr string
-	offset  int64 // within the segment payload
+	time    *intervals.Set // parsed timeStr; shared, read-only
+	offset  int64          // within the (uncompressed) segment payload
 	size    int64
 }
 
 // segmentRecord describes one segment file: a contiguous key range of
 // second-level subtrees (or, for a raw root, a verbatim slice of the
-// root's whole subtree).
+// root's whole subtree). payload/crc always describe the uncompressed
+// token bytes; stored/storedCRC the on-disk payload (equal for v1 and
+// uncompressed v2 segments), so replication can verify a transferred
+// blob without decoding it.
 type segmentRecord struct {
-	file    string // base name within the archive directory
-	dataOff int64  // payload start (after the segment header)
-	payload int64  // payload bytes
-	crc     uint32 // CRC32 (IEEE) of the payload
-	entries []childEntry
+	file      string // base name within the archive directory
+	format    int    // segment header format (segFormat or segFormatV2)
+	dataOff   int64  // payload start (after header incl. any dictionary)
+	payload   int64  // uncompressed payload bytes
+	crc       uint32 // CRC32 (IEEE) of the uncompressed payload
+	stored    int64  // on-disk payload bytes
+	storedCRC uint32 // CRC32 (IEEE) of the on-disk payload bytes
+	dictLen   int64  // dictionary section bytes (0 for format 1)
+	entries   []childEntry
 }
 
 // firstLabel returns the label of the segment's first entry.
@@ -87,7 +98,8 @@ type rootRecord struct {
 	name    string
 	tag     int // dictionary id, resolved in memory
 	key     *tkey
-	timeStr string // "" = inherited from the archive root timestamp
+	timeStr string         // "" = inherited from the archive root timestamp
+	time    *intervals.Set // parsed timeStr; shared, read-only; may be nil
 	attrs   []attrRec
 	raw     bool
 	segs    []*segmentRecord
@@ -208,9 +220,13 @@ func (d *keyDirectory) encode() []byte {
 		w.varint(uint64(len(r.segs)))
 		for _, s := range r.segs {
 			w.str(s.file)
+			w.varint(uint64(s.format))
 			w.varint(uint64(s.dataOff))
 			w.varint(uint64(s.payload))
 			w.varint(uint64(s.crc))
+			w.varint(uint64(s.stored))
+			w.varint(uint64(s.storedCRC))
+			w.varint(uint64(s.dictLen))
 			w.varint(uint64(len(s.entries)))
 			for i := range s.entries {
 				e := &s.entries[i]
@@ -297,8 +313,9 @@ func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
 		return nil, fmt.Errorf("extmem: key directory bad magic")
 	}
 	r := &kdReader{r: bytes.NewReader(body[len(keydirMagic):])}
-	if f := r.varint(); f != keydirFormat {
-		return nil, fmt.Errorf("extmem: key directory format %d not supported", f)
+	format := r.varint()
+	if format != 1 && format != keydirFormat {
+		return nil, fmt.Errorf("extmem: key directory format %d not supported", format)
 	}
 	d := &keyDirectory{}
 	d.versions = int(r.varint())
@@ -322,9 +339,21 @@ func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
 		for j := uint64(0); j < nSegs && r.err == nil; j++ {
 			s := &segmentRecord{}
 			s.file = r.str()
+			if format >= 2 {
+				s.format = int(r.varint())
+			} else {
+				s.format = segFormat
+			}
 			s.dataOff = int64(r.varint())
 			s.payload = int64(r.varint())
 			s.crc = uint32(r.varint())
+			if format >= 2 {
+				s.stored = int64(r.varint())
+				s.storedCRC = uint32(r.varint())
+				s.dictLen = int64(r.varint())
+			} else {
+				s.stored, s.storedCRC = s.payload, s.crc
+			}
 			nEnt := r.varint()
 			for k := uint64(0); k < nEnt && r.err == nil; k++ {
 				e := childEntry{}
@@ -342,8 +371,41 @@ func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
 	if r.err != nil {
 		return nil, fmt.Errorf("extmem: key directory: %w", r.err)
 	}
+	if err := d.parseTimes(); err != nil {
+		return nil, err
+	}
 	d.encodedLen = len(data)
 	return d, nil
+}
+
+// parseTimes caches the parsed interval set of every explicit root and
+// entry timestamp, so query resolution and merge planning over a
+// committed directory never re-parse a timestamp string. The cached
+// sets are shared by every reader of the generation: read-only.
+func (d *keyDirectory) parseTimes() error {
+	for _, rr := range d.roots {
+		if rr.timeStr != "" {
+			ts, err := intervals.Parse(rr.timeStr)
+			if err != nil {
+				return fmt.Errorf("extmem: key directory root timestamp: %w", err)
+			}
+			rr.time = ts
+		}
+		for _, s := range rr.segs {
+			for i := range s.entries {
+				e := &s.entries[i]
+				if e.timeStr == "" {
+					continue
+				}
+				ts, err := intervals.Parse(e.timeStr)
+				if err != nil {
+					return fmt.Errorf("extmem: key directory entry timestamp: %w", err)
+				}
+				e.time = ts
+			}
+		}
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------

@@ -28,11 +28,13 @@ const (
 )
 
 // SegmentMeta pins one committed segment blob: its base name, total
-// file size, and the payload range [DataOff, DataOff+Payload) whose
-// CRC32 (IEEE) the key directory records. Size is always
+// file size, and the stored-payload range [DataOff, DataOff+Payload)
+// whose CRC32 (IEEE) the key directory records. Payload here is the
+// on-disk (for compressed v2 segments: compressed) byte count, and CRC
+// the checksum of those stored bytes, so the transport verifies a
+// transferred blob without decoding any segment format. Size is always
 // DataOff+Payload — a committed segment file ends exactly at its
-// payload — so a transferred blob is fully verified by checking its
-// size and payload checksum against this record.
+// stored payload.
 type SegmentMeta struct {
 	Name    string
 	Size    int64
@@ -75,10 +77,10 @@ func DecodeManifest(keydir []byte) (*Manifest, error) {
 		for _, s := range r.segs {
 			m.Segments = append(m.Segments, SegmentMeta{
 				Name:    s.file,
-				Size:    s.dataOff + s.payload,
+				Size:    s.dataOff + s.stored,
 				DataOff: s.dataOff,
-				Payload: s.payload,
-				CRC:     s.crc,
+				Payload: s.stored,
+				CRC:     s.storedCRC,
 			})
 		}
 	}

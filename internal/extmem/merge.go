@@ -17,7 +17,7 @@ import (
 type streamMerger struct {
 	dict *dictionary
 	spec *keys.Spec
-	out  *tokenWriter
+	out  tokenSink
 	i    int // the new version number
 }
 
@@ -81,7 +81,7 @@ func (sm *streamMerger) mergeEqual(a, d *tokenReader, parentEff *intervals.Set, 
 	at, _ := a.take()
 	dt, _ := d.take()
 
-	eff, timeStr, err := mergedTime(at.data, parentEff, sm.i)
+	eff, timeStr, err := mergedTimeTok(at, parentEff, sm.i)
 	if err != nil {
 		return err
 	}
@@ -184,9 +184,18 @@ func readFrontierBody(r *tokenReader) (*fbody, error) {
 			if depth != 1 || group != nil {
 				return nil, fmt.Errorf("extmem: nested timestamp group")
 			}
-			ts, err := intervals.Parse(t.data)
-			if err != nil {
-				return nil, fmt.Errorf("extmem: bad group timestamp %q: %w", t.data, err)
+			// Group times are mutated downstream (emitMergedFrontier adds
+			// version i), so a dictionary-shared pre-parsed set must be
+			// cloned, never used in place.
+			var ts *intervals.Set
+			if t.time != nil {
+				ts = t.time.Clone()
+			} else {
+				var err error
+				ts, err = intervals.Parse(t.data)
+				if err != nil {
+					return nil, fmt.Errorf("extmem: bad group timestamp %q: %w", t.data, err)
+				}
 			}
 			b.groups = append(b.groups, fgroup{time: ts})
 			group = &b.groups[len(b.groups)-1]

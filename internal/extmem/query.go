@@ -90,8 +90,8 @@ func (q *QueryView) stream(parts []streamPart) *tokenReader {
 	if q.cur != nil {
 		q.cur.Close()
 	}
-	q.cur = &dirStream{fs: q.ar.fs, dir: q.ar.dir, parts: parts, counter: &q.ar.bytesRead}
-	return newTokenReader(q.cur)
+	q.cur = &dirStream{fs: q.ar.fs, dir: q.ar.dir, parts: parts, dicts: q.ar.segDicts, counter: &q.ar.bytesRead}
+	return newDirTokenReader(q.cur)
 }
 
 // reader returns a pooled token reader over the whole archive stream —
@@ -100,10 +100,15 @@ func (q *QueryView) reader() (*tokenReader, error) {
 	return q.stream(archiveParts(q.d)), nil
 }
 
-// rootEff returns a root's effective timestamp.
+// rootEff returns a root's effective timestamp. Decoded directories
+// carry the interval set pre-parsed; freshly-built ones fall back to
+// parsing the string.
 func (q *QueryView) rootEff(r *rootRecord) (*intervals.Set, error) {
 	if r.timeStr == "" {
 		return q.rootTime, nil
+	}
+	if r.time != nil {
+		return r.time, nil
 	}
 	ts, err := intervals.Parse(r.timeStr)
 	if err != nil {
@@ -116,6 +121,9 @@ func (q *QueryView) rootEff(r *rootRecord) (*intervals.Set, error) {
 func entryEff(e *childEntry, rootEff *intervals.Set) (*intervals.Set, error) {
 	if e.timeStr == "" {
 		return rootEff, nil
+	}
+	if e.time != nil {
+		return e.time, nil
 	}
 	ts, err := intervals.Parse(e.timeStr)
 	if err != nil {
@@ -259,7 +267,7 @@ func (q *QueryView) streamVersionScan(v int, sink versionSink) error {
 		}
 		alive := q.rootTime.Contains(v)
 		if t.data != "" {
-			ts, err := intervals.Parse(t.data)
+			ts, err := tokenEff(t)
 			if err != nil {
 				return corruptf("bad timestamp %q", t.data)
 			}
@@ -325,7 +333,7 @@ func (q *QueryView) emitNode(tr *tokenReader, name string, v int, segs []string,
 		case tokOpen:
 			alive := true
 			if t.data != "" {
-				ts, err := intervals.Parse(t.data)
+				ts, err := tokenEff(t)
 				if err != nil {
 					return corruptf("bad timestamp %q", t.data)
 				}
@@ -809,7 +817,7 @@ func (q *QueryView) resolveLevel(tr *tokenReader, steps []core.SelectorStep, par
 		foundLabel = label
 		eff := parentEff
 		if t.data != "" {
-			ts, err := intervals.Parse(t.data)
+			ts, err := tokenEff(t)
 			if err != nil {
 				return nil, corruptf("bad timestamp %q", t.data)
 			}
@@ -1042,7 +1050,7 @@ func countNodeOpen(t token, s *core.Stats) error {
 		s.InheritedTimestamps++
 		return nil
 	}
-	ts, err := intervals.Parse(t.data)
+	ts, err := tokenEff(t)
 	if err != nil {
 		return corruptf("bad timestamp %q", t.data)
 	}

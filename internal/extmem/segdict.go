@@ -1,0 +1,766 @@
+package extmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"xarch/internal/compressutil"
+	"xarch/internal/fsio"
+	"xarch/internal/intervals"
+)
+
+// Segment format v2: the payload token stream no longer carries key
+// annotations, timestamps, or attribute values as inline strings. A
+// per-segment dictionary section between the header and the payload
+// interns them — key-path names, spilled string values (canonical key
+// values and attribute values), a timestamp table, and whole key
+// tuples — and the stream references them by varint id. Ids are
+// assigned in sorted order, so within one segment comparing ids is
+// comparing strings: the merge planner and query scans compare
+// integers (and share one decoded string/interval/key object per
+// distinct value) where v1 re-read and re-allocated strings for every
+// token.
+//
+// Behind the same format byte, a v2 payload may be block-compressed
+// (segFlagCompressed): the uncompressed payload is cut into fixed
+// segBlockLen blocks, each deflated independently, and the header
+// records the stored size of every block. Directory seeks land
+// mid-segment by decompressing only the blocks overlapping the target
+// range. The CRC of the uncompressed payload is retained alongside the
+// stored-byte CRC, so corruption checks are format-independent and
+// replication can verify transferred blobs without decompressing them.
+
+// segBlockLen is the uncompressed block size of compressed v2 payloads.
+const segBlockLen = 64 * 1024
+
+// segDict is the decoded dictionary section of one v2 segment, plus the
+// block geometry from its header. It is immutable once decoded and
+// shared by every reader of the segment. The string tables are
+// substrings of one backing string, so decoding allocates O(1) objects
+// regardless of table sizes; interval sets and key tuples are
+// materialized lazily, on first reference, and memoized per id — a
+// query that touches one subtree pays only for the entries that subtree
+// references. Shared objects are read-only and must never be mutated.
+type segDict struct {
+	paths  []string
+	values []string
+	times  []string
+
+	// Lazily materialized per id by timeSet and key; ids were validated
+	// at decode, so only timestamp parse errors can surface here.
+	sets     []atomic.Pointer[intervals.Set]
+	keys     []atomic.Pointer[tkey]
+	keyStart []uint32 // prefix offsets into keyPairs, len(keys)+1
+	keyPairs []uint32 // alternating (path id, value id)
+
+	blockLen int     // uncompressed block size; 0 = payload stored raw
+	blockOff []int64 // absolute file offset of each block + end sentinel
+	payload  int64   // uncompressed payload bytes
+}
+
+// timeSet returns the parsed interval set of timestamp id, parsing and
+// memoizing it on first use. Concurrent first uses race benignly: the
+// CAS keeps one winner, so every caller shares the same set.
+func (d *segDict) timeSet(id int) (*intervals.Set, error) {
+	if s := d.sets[id].Load(); s != nil {
+		return s, nil
+	}
+	s, err := intervals.Parse(d.times[id])
+	if err != nil {
+		return nil, fmt.Errorf("extmem: segment dictionary timestamp %q: %w", d.times[id], err)
+	}
+	if !d.sets[id].CompareAndSwap(nil, s) {
+		s = d.sets[id].Load()
+	}
+	return s, nil
+}
+
+// key returns the key tuple of key id, building and memoizing it on
+// first use over the interned string tables.
+func (d *segDict) key(id int) *tkey {
+	if k := d.keys[id].Load(); k != nil {
+		return k
+	}
+	start, end := d.keyStart[id], d.keyStart[id+1]
+	k := &tkey{
+		paths: make([]string, 0, (end-start)/2),
+		canon: make([]string, 0, (end-start)/2),
+	}
+	for i := start; i < end; i += 2 {
+		k.paths = append(k.paths, d.paths[d.keyPairs[i]])
+		k.canon = append(k.canon, d.values[d.keyPairs[i+1]])
+	}
+	if !d.keys[id].CompareAndSwap(nil, k) {
+		k = d.keys[id].Load()
+	}
+	return k
+}
+
+// validate forces every lazily-materialized entry, so offline checks
+// (fsck) report a corrupt dictionary even when no token references the
+// broken entry.
+func (d *segDict) validate() error {
+	for i := range d.sets {
+		if _, err := d.timeSet(i); err != nil {
+			return err
+		}
+	}
+	for i := range d.keys {
+		d.key(i)
+	}
+	return nil
+}
+
+// encodeSegDict renders the dictionary section. All tables are sorted,
+// so the ids the encoder assigned are the positions here.
+func encodeSegDict(w *kdWriter, paths, values, times []string, keys []*tkey, pathID, valueID map[string]int) {
+	w.varint(uint64(len(paths)))
+	for _, s := range paths {
+		w.str(s)
+	}
+	w.varint(uint64(len(values)))
+	for _, s := range values {
+		w.str(s)
+	}
+	w.varint(uint64(len(times)))
+	for _, s := range times {
+		w.str(s)
+	}
+	w.varint(uint64(len(keys)))
+	for _, k := range keys {
+		w.varint(uint64(len(k.paths)))
+		for i := range k.paths {
+			w.varint(uint64(pathID[k.paths[i]]))
+			w.varint(uint64(valueID[k.canon[i]]))
+		}
+	}
+}
+
+// dictScanner walks the dictionary bytes as one immutable string, so
+// every table entry is a substring of a single backing allocation.
+type dictScanner struct {
+	s   string
+	pos int
+	err error
+}
+
+func (sc *dictScanner) varint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		if sc.pos >= len(sc.s) {
+			sc.err = io.ErrUnexpectedEOF
+			return 0
+		}
+		b := sc.s[sc.pos]
+		sc.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+		if shift > 63 {
+			sc.err = fmt.Errorf("varint overflow")
+			return 0
+		}
+	}
+}
+
+func (sc *dictScanner) str() string {
+	n := sc.varint()
+	if sc.err != nil {
+		return ""
+	}
+	if n > uint64(len(sc.s)-sc.pos) {
+		sc.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := sc.s[sc.pos : sc.pos+int(n)]
+	sc.pos += int(n)
+	return s
+}
+
+// decodeSegDict parses a dictionary section. Every string is a
+// substring of one backing copy of the section and the key table is
+// kept as validated flat id pairs, so decoding allocates a handful of
+// objects however large the tables are; per-id interval sets and key
+// tuples materialize lazily on first reference.
+func decodeSegDict(data []byte) (*segDict, error) {
+	sc := &dictScanner{s: string(data)}
+	readTable := func(what string) []string {
+		n := sc.varint()
+		if sc.err != nil {
+			return nil
+		}
+		if n > uint64(len(sc.s)-sc.pos) { // every entry takes ≥1 byte
+			sc.err = fmt.Errorf("%s table count %d exceeds section size", what, n)
+			return nil
+		}
+		list := make([]string, 0, n)
+		for i := uint64(0); i < n && sc.err == nil; i++ {
+			list = append(list, sc.str())
+		}
+		return list
+	}
+	d := &segDict{}
+	d.paths = readTable("path")
+	d.values = readTable("value")
+	d.times = readTable("timestamp")
+	if sc.err == nil {
+		d.sets = make([]atomic.Pointer[intervals.Set], len(d.times))
+	}
+	nKeys := sc.varint()
+	if sc.err == nil && nKeys > uint64(len(sc.s)-sc.pos)+1 {
+		sc.err = fmt.Errorf("key table count %d exceeds section size", nKeys)
+	}
+	if sc.err == nil {
+		d.keys = make([]atomic.Pointer[tkey], nKeys)
+		d.keyStart = make([]uint32, 1, nKeys+1)
+		// Most keys are single-pair; sizing for that makes the append
+		// below grow at most once however large the table is.
+		d.keyPairs = make([]uint32, 0, 2*nKeys)
+	}
+	for i := uint64(0); i < nKeys && sc.err == nil; i++ {
+		nPairs := sc.varint()
+		for j := uint64(0); j < nPairs && sc.err == nil; j++ {
+			p, v := sc.varint(), sc.varint()
+			if sc.err != nil {
+				break
+			}
+			if p >= uint64(len(d.paths)) {
+				return nil, fmt.Errorf("extmem: segment dictionary: dangling path id %d (table has %d)", p, len(d.paths))
+			}
+			if v >= uint64(len(d.values)) {
+				return nil, fmt.Errorf("extmem: segment dictionary: dangling value id %d (table has %d)", v, len(d.values))
+			}
+			d.keyPairs = append(d.keyPairs, uint32(p), uint32(v))
+		}
+		d.keyStart = append(d.keyStart, uint32(len(d.keyPairs)))
+	}
+	if sc.err != nil {
+		return nil, fmt.Errorf("extmem: segment dictionary: %w", sc.err)
+	}
+	if sc.pos != len(sc.s) {
+		return nil, fmt.Errorf("extmem: segment dictionary: %d trailing bytes", len(sc.s)-sc.pos)
+	}
+	return d, nil
+}
+
+// dictCache shares decoded segment dictionaries across every reader of
+// a generation. Segments are immutable, so a cached dictionary never
+// goes stale; entries are evicted when the file itself is swept.
+type dictCache struct {
+	fs      fsio.FS
+	dir     string
+	counter *atomic.Int64
+	m       sync.Map // segment file name -> *segDict
+}
+
+// get returns the decoded dictionary of a v2 segment, loading and
+// caching it on first use. The header+dictionary bytes read on a miss
+// are counted into the bytes-read telemetry.
+//
+// The directory record pins the dictionary's exact location
+// (dataOff-dictLen), so a raw-payload segment loads with one positioned
+// read of just the section instead of re-parsing the whole header.
+// Compressed segments still go through readSegmentHeader — the block
+// index lives in the header and the dictionary needs it for seeks.
+func (c *dictCache) get(seg *segmentRecord) (*segDict, error) {
+	if v, ok := c.m.Load(seg.file); ok {
+		return v.(*segDict), nil
+	}
+	f, err := c.fs.Open(filepath.Join(c.dir, seg.file))
+	if err != nil {
+		return nil, fmt.Errorf("extmem: %w", err)
+	}
+	defer f.Close()
+	var d *segDict
+	if seg.stored == seg.payload && seg.dictLen > 0 && seg.dataOff >= seg.dictLen {
+		buf := make([]byte, seg.dictLen)
+		if _, err := f.ReadAt(buf, seg.dataOff-seg.dictLen); err != nil {
+			return nil, fmt.Errorf("extmem: segment dictionary: %w", err)
+		}
+		if d, err = decodeSegDict(buf); err != nil {
+			return nil, err
+		}
+		d.payload = seg.payload
+		if c.counter != nil {
+			c.counter.Add(seg.dictLen)
+		}
+	} else {
+		h, err := readSegmentHeader(f)
+		if err != nil {
+			return nil, err
+		}
+		if h.dict == nil {
+			return nil, fmt.Errorf("extmem: segment %s has no dictionary (format %d)", seg.file, h.format)
+		}
+		d = h.dict
+		if c.counter != nil {
+			c.counter.Add(h.dataOff)
+		}
+	}
+	v, _ := c.m.LoadOrStore(seg.file, d)
+	return v.(*segDict), nil
+}
+
+// evict drops the cached dictionary of a swept segment file.
+func (c *dictCache) evict(name string) { c.m.Delete(name) }
+
+// ---------------------------------------------------------------------------
+// Block decompression
+
+// blockReader serves one uncompressed-payload byte range of a
+// compressed segment, decompressing only the blocks that overlap it.
+// The zero value is ready for reset; buffers are reused across resets.
+type blockReader struct {
+	f       fsio.File
+	d       *segDict
+	counter *atomic.Int64
+	rem     int64 // uncompressed bytes left to serve
+	blk     int   // next block to load
+	skip    int64 // front-of-block bytes to drop after the next load
+	buf     []byte
+	pos, n  int
+	cbuf    []byte
+	err     error
+}
+
+// reset points the reader at the uncompressed range [off, off+n) of the
+// segment whose open file and dictionary are given. The file handle is
+// borrowed, not owned.
+func (br *blockReader) reset(f fsio.File, d *segDict, off, n int64, counter *atomic.Int64) {
+	br.f, br.d, br.counter = f, d, counter
+	br.blk = int(off / int64(d.blockLen))
+	br.skip = off % int64(d.blockLen)
+	br.rem = n
+	br.pos, br.n, br.err = 0, 0, nil
+}
+
+func (br *blockReader) Read(p []byte) (int, error) {
+	if br.err != nil {
+		return 0, br.err
+	}
+	if br.rem <= 0 {
+		return 0, io.EOF
+	}
+	for br.pos >= br.n {
+		if err := br.load(); err != nil {
+			br.err = err
+			return 0, err
+		}
+	}
+	avail := br.n - br.pos
+	if int64(avail) > br.rem {
+		avail = int(br.rem)
+	}
+	if len(p) > avail {
+		p = p[:avail]
+	}
+	copied := copy(p, br.buf[br.pos:br.n])
+	br.pos += copied
+	br.rem -= int64(copied)
+	return copied, nil
+}
+
+// load reads and decompresses the next block. Stored (compressed)
+// bytes, not uncompressed ones, are what the telemetry counts: they are
+// the bytes that actually left the disk.
+func (br *blockReader) load() error {
+	d := br.d
+	if br.blk >= len(d.blockOff)-1 {
+		return io.ErrUnexpectedEOF
+	}
+	start, end := d.blockOff[br.blk], d.blockOff[br.blk+1]
+	unc := d.blockLen
+	if rest := d.payload - int64(br.blk)*int64(d.blockLen); rest < int64(unc) {
+		unc = int(rest)
+	}
+	if cap(br.cbuf) < int(end-start) {
+		br.cbuf = make([]byte, end-start)
+	}
+	br.cbuf = br.cbuf[:end-start]
+	if _, err := br.f.ReadAt(br.cbuf, start); err != nil {
+		return fmt.Errorf("extmem: %w", err)
+	}
+	if br.counter != nil {
+		br.counter.Add(end - start)
+	}
+	if cap(br.buf) < unc {
+		br.buf = make([]byte, unc)
+	}
+	br.buf = br.buf[:unc]
+	if err := compressutil.UnflateBlock(br.buf, br.cbuf); err != nil {
+		return fmt.Errorf("extmem: segment block %d: %w", br.blk, err)
+	}
+	br.blk++
+	br.pos, br.n = 0, unc
+	if br.skip > 0 {
+		br.pos = int(br.skip)
+		br.skip = 0
+	}
+	return nil
+}
+
+// countReader counts bytes read through it into an atomic counter.
+type countReader struct {
+	r io.Reader
+	c *atomic.Int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if cr.c != nil && n > 0 {
+		cr.c.Add(int64(n))
+	}
+	return n, err
+}
+
+// ---------------------------------------------------------------------------
+// v2 segment encoding (write side)
+
+// captureWriter is the tokenSink of the v2 segment writer: tokens are
+// buffered in decoded form (dictionary tables need the whole segment's
+// token population before ids can be assigned in sorted order), and est
+// tracks an approximate encoded size so the roll decision at child
+// boundaries behaves like v1's byte count did.
+type captureWriter struct {
+	toks []token
+	est  int64
+}
+
+func (c *captureWriter) reset() {
+	c.toks = c.toks[:0]
+	c.est = 0
+}
+
+func (c *captureWriter) open(tagID int, key *tkey, time string) {
+	c.toks = append(c.toks, token{op: tokOpen, tag: tagID, key: key, data: time})
+	c.est += 4
+	if key != nil {
+		c.est += 2
+	}
+	if time != "" {
+		c.est += 2
+	}
+}
+
+func (c *captureWriter) text(s string) {
+	c.toks = append(c.toks, token{op: tokText, data: s})
+	c.est += int64(len(s)) + 3
+}
+
+func (c *captureWriter) attr(nameID int, value string) {
+	c.toks = append(c.toks, token{op: tokAttr, tag: nameID, data: value})
+	c.est += 4
+}
+
+func (c *captureWriter) close() {
+	c.toks = append(c.toks, token{op: tokClose})
+	c.est++
+}
+
+func (c *captureWriter) tsOpen(time string) {
+	c.toks = append(c.toks, token{op: tokTSOpen, data: time})
+	c.est += 3
+}
+
+func (c *captureWriter) tsClose() {
+	c.toks = append(c.toks, token{op: tokTSClose})
+	c.est++
+}
+
+func (c *captureWriter) writeToken(t token) {
+	c.toks = append(c.toks, t)
+	switch t.op {
+	case tokOpen:
+		c.est += 4
+		if t.key != nil {
+			c.est += 2
+		}
+		if t.data != "" {
+			c.est += 2
+		}
+	case tokText:
+		c.est += int64(len(t.data)) + 3
+	case tokAttr:
+		c.est += 4
+	case tokTSOpen:
+		c.est += 3
+	default:
+		c.est++
+	}
+}
+
+// entryMark is the token range [start, end) of one directory entry in a
+// captured segment.
+type entryMark struct{ start, end int }
+
+// entrySpan is the byte range of one entry in the encoded payload.
+type entrySpan struct{ off, size int64 }
+
+// encodedSegment is the rendered form of one v2 segment. The byte
+// slices alias the encoder's internal buffers and are valid until the
+// next encode.
+type encodedSegment struct {
+	head       []byte // header including the dictionary section
+	stored     []byte // on-disk payload (compressed when compressed is set)
+	payload    int64
+	crc        uint32 // CRC32 of the uncompressed payload
+	storedCRC  uint32 // CRC32 of the stored payload bytes
+	dictLen    int64
+	compressed bool
+	offs       []entrySpan // per entryMark, in uncompressed payload space
+}
+
+// segEncoder turns a captured token run into a v2 segment: it builds
+// the sorted dictionary tables, encodes the payload with ids, optionally
+// block-compresses it, and renders the full header. All scratch state is
+// reused across segments of one write pass.
+type segEncoder struct {
+	pathID, valueID, timeID map[string]int
+	keyID                   map[*tkey]int
+	pathList, valueList     []string
+	timeList                []string
+	keyPtrs, keyReps        []*tkey
+
+	dict, head kdWriter
+	pay, comp  bytes.Buffer
+	blockSizes []int64
+	offs       []entrySpan
+}
+
+func newSegEncoder() *segEncoder {
+	return &segEncoder{
+		pathID:  map[string]int{},
+		valueID: map[string]int{},
+		timeID:  map[string]int{},
+		keyID:   map[*tkey]int{},
+	}
+}
+
+func (enc *segEncoder) addString(m map[string]int, list []string, s string) []string {
+	if _, ok := m[s]; !ok {
+		m[s] = 0
+		list = append(list, s)
+	}
+	return list
+}
+
+// encode renders one segment from the captured tokens. marks gives the
+// token range of each directory entry (empty for raw segments); the
+// resulting byte spans come back in offs, index-aligned with marks.
+func (enc *segEncoder) encode(raw, compress bool, rootName string, rootKey *tkey, toks []token, marks []entryMark) (*encodedSegment, error) {
+	clear(enc.pathID)
+	clear(enc.valueID)
+	clear(enc.timeID)
+	clear(enc.keyID)
+	enc.pathList = enc.pathList[:0]
+	enc.valueList = enc.valueList[:0]
+	enc.timeList = enc.timeList[:0]
+	enc.keyPtrs = enc.keyPtrs[:0]
+	enc.keyReps = enc.keyReps[:0]
+	enc.dict.b.Reset()
+	enc.head.b.Reset()
+	enc.pay.Reset()
+	enc.comp.Reset()
+	enc.blockSizes = enc.blockSizes[:0]
+	enc.offs = enc.offs[:0]
+
+	// Pass 1: collect the distinct strings and key tuples.
+	for i := range toks {
+		t := &toks[i]
+		switch t.op {
+		case tokOpen:
+			if t.key != nil {
+				if _, ok := enc.keyID[t.key]; !ok {
+					enc.keyID[t.key] = 0
+					enc.keyPtrs = append(enc.keyPtrs, t.key)
+					for j := range t.key.paths {
+						enc.pathList = enc.addString(enc.pathID, enc.pathList, t.key.paths[j])
+						enc.valueList = enc.addString(enc.valueID, enc.valueList, t.key.canon[j])
+					}
+				}
+			}
+			if t.data != "" {
+				enc.timeList = enc.addString(enc.timeID, enc.timeList, t.data)
+			}
+		case tokAttr:
+			enc.valueList = enc.addString(enc.valueID, enc.valueList, t.data)
+		case tokTSOpen:
+			enc.timeList = enc.addString(enc.timeID, enc.timeList, t.data)
+		}
+	}
+
+	// Ids in sorted order, so id comparison is string comparison.
+	sort.Strings(enc.pathList)
+	for i, s := range enc.pathList {
+		enc.pathID[s] = i
+	}
+	sort.Strings(enc.valueList)
+	for i, s := range enc.valueList {
+		enc.valueID[s] = i
+	}
+	sort.Strings(enc.timeList)
+	for i, s := range enc.timeList {
+		enc.timeID[s] = i
+	}
+	// Keys were collected as distinct pointers; distinct pointers may
+	// still carry equal values, which must share one id for id equality
+	// to mean key equality.
+	sort.Slice(enc.keyPtrs, func(i, j int) bool { return compareKeys(enc.keyPtrs[i], enc.keyPtrs[j]) < 0 })
+	for i, k := range enc.keyPtrs {
+		if i > 0 && compareKeys(enc.keyPtrs[i-1], k) == 0 {
+			enc.keyID[k] = len(enc.keyReps) - 1
+			continue
+		}
+		enc.keyID[k] = len(enc.keyReps)
+		enc.keyReps = append(enc.keyReps, k)
+	}
+
+	encodeSegDict(&enc.dict, enc.pathList, enc.valueList, enc.timeList, enc.keyReps, enc.pathID, enc.valueID)
+
+	// Pass 2: encode the payload, recording entry byte spans.
+	mi := 0
+	for i := range toks {
+		if mi < len(enc.offs) && marks[mi].end == i {
+			enc.offs[mi].size = int64(enc.pay.Len()) - enc.offs[mi].off
+			mi++
+		}
+		if mi < len(marks) && marks[mi].start == i {
+			enc.offs = append(enc.offs, entrySpan{off: int64(enc.pay.Len())})
+		}
+		enc.writeTok(&toks[i])
+	}
+	if mi < len(enc.offs) && marks[mi].end == len(toks) {
+		enc.offs[mi].size = int64(enc.pay.Len()) - enc.offs[mi].off
+		mi++
+	}
+	if mi != len(marks) {
+		return nil, fmt.Errorf("extmem: internal: %d of %d entry marks unresolved", len(marks)-mi, len(marks))
+	}
+
+	res := &encodedSegment{
+		payload: int64(enc.pay.Len()),
+		crc:     crc32.ChecksumIEEE(enc.pay.Bytes()),
+		dictLen: int64(enc.dict.b.Len()),
+		offs:    enc.offs,
+	}
+
+	pay := enc.pay.Bytes()
+	if compress && len(pay) > 0 {
+		for off := 0; off < len(pay); off += segBlockLen {
+			end := off + segBlockLen
+			if end > len(pay) {
+				end = len(pay)
+			}
+			n := compressutil.FlateBlock(&enc.comp, pay[off:end])
+			enc.blockSizes = append(enc.blockSizes, int64(n))
+		}
+		// Incompressible payloads are stored raw: never pay decompression
+		// on read for a file that got no smaller.
+		if enc.comp.Len() < len(pay) {
+			res.compressed = true
+		}
+	}
+	if res.compressed {
+		res.stored = enc.comp.Bytes()
+		res.storedCRC = crc32.ChecksumIEEE(res.stored)
+	} else {
+		res.stored = pay
+		res.storedCRC = res.crc
+	}
+
+	renderSegHead(&enc.head, raw, res.compressed, res.payload, res.crc,
+		rootName, rootKey, len(res.stored), res.storedCRC, enc.blockSizes, enc.dict.b.Bytes())
+	res.head = enc.head.b.Bytes()
+	return res, nil
+}
+
+// renderSegHead renders a complete v2 segment header into w: the v1
+// prefix (magic, format, flags, fixed payload/CRC, root label) followed
+// by the v2 extras and the dictionary section.
+func renderSegHead(w *kdWriter, raw, compressed bool, payload int64, crc uint32, rootName string, rootKey *tkey, storedLen int, storedCRC uint32, blockSizes []int64, dict []byte) {
+	w.b.WriteString(segMagic)
+	w.b.WriteByte(segFormatV2)
+	var flags byte
+	if raw {
+		flags |= segFlagRaw
+	}
+	if compressed {
+		flags |= segFlagCompressed
+	}
+	w.b.WriteByte(flags)
+	var fixed [12]byte
+	binary.LittleEndian.PutUint64(fixed[:8], uint64(payload))
+	binary.LittleEndian.PutUint32(fixed[8:], crc)
+	w.b.Write(fixed[:])
+	w.str(rootName)
+	w.key(rootKey)
+	w.varint(uint64(storedLen))
+	var sc [4]byte
+	binary.LittleEndian.PutUint32(sc[:], storedCRC)
+	w.b.Write(sc[:])
+	if compressed {
+		w.varint(segBlockLen)
+		w.varint(uint64(len(blockSizes)))
+		for _, n := range blockSizes {
+			w.varint(uint64(n))
+		}
+	} else {
+		w.varint(0)
+	}
+	w.varint(uint64(len(dict)))
+	w.b.Write(dict)
+}
+
+func (enc *segEncoder) writeTok(t *token) {
+	b := &enc.pay
+	switch t.op {
+	case tokOpen:
+		b.WriteByte(tokOpen)
+		putUvarint(b, uint64(t.tag))
+		var flags byte
+		if t.key != nil {
+			flags |= flagHasKey
+		}
+		if t.data != "" {
+			flags |= flagHasTime
+		}
+		b.WriteByte(flags)
+		if t.key != nil {
+			putUvarint(b, uint64(enc.keyID[t.key]))
+		}
+		if t.data != "" {
+			putUvarint(b, uint64(enc.timeID[t.data]))
+		}
+	case tokText:
+		b.WriteByte(tokText)
+		putUvarint(b, uint64(len(t.data)))
+		b.WriteString(t.data)
+	case tokAttr:
+		b.WriteByte(tokAttr)
+		putUvarint(b, uint64(t.tag))
+		putUvarint(b, uint64(enc.valueID[t.data]))
+	case tokClose:
+		b.WriteByte(tokClose)
+	case tokTSOpen:
+		b.WriteByte(tokTSOpen)
+		putUvarint(b, uint64(enc.timeID[t.data]))
+	case tokTSClose:
+		b.WriteByte(tokTSClose)
+	}
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	b.Write(tmp[:n])
+}

@@ -28,24 +28,44 @@ import (
 // orphan files, which Open garbage-collects.
 
 const (
-	segMagic  = "XSG1"
-	segFormat = 1
+	segMagic    = "XSG1"
+	segFormat   = 1 // legacy inline-string encoding
+	segFormatV2 = 2 // interned dictionary + optional block compression
 )
 
-const segFlagRaw = 0x01
+const (
+	segFlagRaw        = 0x01
+	segFlagCompressed = 0x02 // v2 only: payload stored as deflated blocks
+)
 
-// segmentHeader is the decoded fixed+variable header of one segment file.
+// segmentHeader is the decoded fixed+variable header of one segment
+// file. For format 2 the header continues past the root label with the
+// stored-payload geometry (stored bytes, stored CRC, block index) and
+// the dictionary section; payload/crc always describe the uncompressed
+// token bytes, so verification is format-independent.
 type segmentHeader struct {
-	raw      bool
-	payload  int64
-	crc      uint32
-	rootName string
-	rootKey  *tkey
-	dataOff  int64
+	format     int
+	raw        bool
+	compressed bool
+	payload    int64
+	crc        uint32
+	rootName   string
+	rootKey    *tkey
+	dataOff    int64
+
+	// Format 2 extras. dict carries the decoded dictionary plus the
+	// block geometry; stored/storedCRC describe the on-disk payload
+	// bytes (equal to payload/crc when not compressed).
+	stored    int64
+	storedCRC uint32
+	dictLen   int64
+	dict      *segDict
 }
 
-// encodeSegmentHeader renders the header; the payload length and CRC may
-// be placeholders to be patched by patchSegmentHeader.
+// encodeSegmentHeader renders a format-1 header; the payload length and
+// CRC may be placeholders to be patched by closeCurrent. (Format-2
+// headers are rendered whole by segEncoder.encode — a v2 file is
+// written in one pass, never patched.)
 func encodeSegmentHeader(h *segmentHeader) []byte {
 	var w kdWriter
 	w.b.WriteString(segMagic)
@@ -81,10 +101,19 @@ func readSegmentHeader(f io.ReadSeeker) (*segmentHeader, error) {
 	if string(fixed[:len(segMagic)]) != segMagic {
 		return nil, fmt.Errorf("extmem: not a segment file")
 	}
-	if fixed[len(segMagic)] != segFormat {
-		return nil, fmt.Errorf("extmem: segment format %d not supported", fixed[len(segMagic)])
+	format := int(fixed[len(segMagic)])
+	if format != segFormat && format != segFormatV2 {
+		return nil, fmt.Errorf("extmem: segment format %d not supported", format)
 	}
-	h := &segmentHeader{raw: fixed[len(segMagic)+1]&segFlagRaw != 0}
+	flags := fixed[len(segMagic)+1]
+	h := &segmentHeader{
+		format:     format,
+		raw:        flags&segFlagRaw != 0,
+		compressed: flags&segFlagCompressed != 0,
+	}
+	if h.compressed && format == segFormat {
+		return nil, fmt.Errorf("extmem: format 1 segment with compression flag")
+	}
 	h.payload = int64(binary.LittleEndian.Uint64(fixed[segFixedOff : segFixedOff+8]))
 	h.crc = binary.LittleEndian.Uint32(fixed[segFixedOff+8 : segFixedOff+12])
 	pr := &posReader{br: bufio.NewReaderSize(f, 4096)}
@@ -116,12 +145,89 @@ func readSegmentHeader(f io.ReadSeeker) (*segmentHeader, error) {
 		}
 		h.rootKey = k
 	}
+	if format == segFormat {
+		h.stored, h.storedCRC = h.payload, h.crc
+		h.dataOff = int64(len(fixed)) + pr.pos
+		return h, nil
+	}
+	// Format 2 extras: stored geometry, block index, dictionary.
+	stored, err := pr.varint()
+	if err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	h.stored = int64(stored)
+	var sc [4]byte
+	if err := pr.readFull(sc[:]); err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	h.storedCRC = binary.LittleEndian.Uint32(sc[:])
+	blockLen, err := pr.varint()
+	if err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	if (blockLen > 0) != h.compressed {
+		return nil, fmt.Errorf("extmem: segment header: block size disagrees with compression flag")
+	}
+	var blockSizes []int64
+	if blockLen > 0 {
+		nBlocks, err := pr.varint()
+		if err != nil {
+			return nil, fmt.Errorf("extmem: segment header: %w", err)
+		}
+		want := (uint64(h.payload) + blockLen - 1) / blockLen
+		if nBlocks != want {
+			return nil, fmt.Errorf("extmem: segment header: %d blocks for %d payload bytes (want %d)", nBlocks, h.payload, want)
+		}
+		blockSizes = make([]int64, 0, nBlocks)
+		var sum int64
+		for i := uint64(0); i < nBlocks; i++ {
+			n, err := pr.varint()
+			if err != nil {
+				return nil, fmt.Errorf("extmem: segment header: %w", err)
+			}
+			blockSizes = append(blockSizes, int64(n))
+			sum += int64(n)
+		}
+		if sum != h.stored {
+			return nil, fmt.Errorf("extmem: segment header: block sizes sum to %d, stored is %d", sum, h.stored)
+		}
+	}
+	dictLen, err := pr.varint()
+	if err != nil {
+		return nil, fmt.Errorf("extmem: segment header: %w", err)
+	}
+	h.dictLen = int64(dictLen)
+	dictBytes := make([]byte, dictLen)
+	if err := pr.readFull(dictBytes); err != nil {
+		return nil, fmt.Errorf("extmem: segment dictionary: %w", err)
+	}
+	dict, err := decodeSegDict(dictBytes)
+	if err != nil {
+		return nil, err
+	}
 	h.dataOff = int64(len(fixed)) + pr.pos
+	dict.payload = h.payload
+	if blockLen > 0 {
+		dict.blockLen = int(blockLen)
+		dict.blockOff = make([]int64, 0, len(blockSizes)+1)
+		off := h.dataOff
+		dict.blockOff = append(dict.blockOff, off)
+		for _, n := range blockSizes {
+			off += n
+			dict.blockOff = append(dict.blockOff, off)
+		}
+	}
+	h.dict = dict
 	return h, nil
 }
 
-// verifySegment recomputes the payload CRC of a segment file against its
-// header and the directory record.
+// verifySegment recomputes the payload CRC of a segment file against
+// its header and the directory record. For format-2 segments it goes
+// further: the stored (possibly compressed) bytes are checked against
+// the stored CRC, the decompressed payload against the payload CRC, and
+// the whole token stream is walked against the dictionary, so a
+// dangling interned id is reported as corruption just like a bad
+// checksum.
 func verifySegment(fs fsio.FS, path string, sr *segmentRecord) error {
 	f, err := fs.Open(path)
 	if err != nil {
@@ -132,17 +238,65 @@ func verifySegment(fs fsio.FS, path string, sr *segmentRecord) error {
 	if err != nil {
 		return err
 	}
-	if h.payload != sr.payload || h.crc != sr.crc || h.dataOff != sr.dataOff {
+	if h.format != sr.format || h.payload != sr.payload || h.crc != sr.crc || h.dataOff != sr.dataOff {
+		return fmt.Errorf("extmem: segment %s header disagrees with directory", sr.file)
+	}
+	if h.format == segFormat {
+		crc := crc32.NewIEEE()
+		if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
+			return fmt.Errorf("extmem: %w", err)
+		}
+		if _, err := io.CopyN(crc, f, h.payload); err != nil {
+			return fmt.Errorf("extmem: segment %s truncated: %w", sr.file, err)
+		}
+		if crc.Sum32() != sr.crc {
+			return fmt.Errorf("extmem: segment %s payload checksum mismatch", sr.file)
+		}
+		return nil
+	}
+	if h.stored != sr.stored || h.storedCRC != sr.storedCRC || h.dictLen != sr.dictLen {
 		return fmt.Errorf("extmem: segment %s header disagrees with directory", sr.file)
 	}
 	crc := crc32.NewIEEE()
 	if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
 		return fmt.Errorf("extmem: %w", err)
 	}
-	if _, err := io.CopyN(crc, f, h.payload); err != nil {
+	if _, err := io.CopyN(crc, f, h.stored); err != nil {
 		return fmt.Errorf("extmem: segment %s truncated: %w", sr.file, err)
 	}
-	if crc.Sum32() != sr.crc {
+	if crc.Sum32() != h.storedCRC {
+		return fmt.Errorf("extmem: segment %s stored payload checksum mismatch", sr.file)
+	}
+	// Decompress (when compressed) and walk every token: recompute the
+	// uncompressed CRC and resolve every interned reference.
+	var payload io.Reader
+	var blk blockReader
+	if h.compressed {
+		blk.reset(f, h.dict, 0, h.payload, nil)
+		payload = &blk
+	} else {
+		if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
+			return fmt.Errorf("extmem: %w", err)
+		}
+		payload = io.LimitReader(f, h.payload)
+	}
+	// The dictionary materializes lazily, so force every entry here:
+	// fsck must flag a corrupt entry even when no token references it.
+	if err := h.dict.validate(); err != nil {
+		return fmt.Errorf("extmem: segment %s: %w", sr.file, err)
+	}
+	ucrc := crc32.NewIEEE()
+	tr := newTokenReaderDict(io.TeeReader(payload, ucrc), h.dict)
+	defer tr.release()
+	for {
+		if _, ok := tr.take(); !ok {
+			break
+		}
+	}
+	if tr.err != nil {
+		return fmt.Errorf("extmem: segment %s: %w", sr.file, tr.err)
+	}
+	if ucrc.Sum32() != sr.crc {
 		return fmt.Errorf("extmem: segment %s payload checksum mismatch", sr.file)
 	}
 	return nil
@@ -179,21 +333,37 @@ func (w *segPayloadWriter) Write(p []byte) (int, error) {
 // the bytes still to come would leave a final file smaller than minTail,
 // so repacking can never end in a fresh undersized tail.
 type segmentSetWriter struct {
-	ar     *Archiver
-	root   *rootRecord
-	raw    bool
-	target int64
+	ar       *Archiver
+	root     *rootRecord
+	raw      bool
+	format   int  // segFormat or segFormatV2
+	compress bool // v2 only: block-compress payloads
+	target   int64
 
 	planned int64 // total payload the caller will write; 0 = unknown
 	minTail int64 // smallest acceptable final file under planned
 	written int64 // payload completed in already-closed files
 
+	// out is where the merge pipeline emits tokens: the streaming
+	// inline writer (v1) or the capture buffer (v2).
+	out tokenSink
+
+	// v1 streaming state.
 	tw   *tokenWriter
-	cur  *segmentRecord
 	pw   *segPayloadWriter
 	f    fsio.File
 	head int64 // header length of the current file
 
+	// v2 capture state: the current file's tokens are buffered (the
+	// dictionary needs the whole population before ids exist), encoded
+	// and written in one pass at closeCurrent. No file exists until
+	// then.
+	cap       *captureWriter
+	enc       *segEncoder
+	marks     []entryMark
+	markStart int
+
+	cur      *segmentRecord
 	pending  childEntry
 	emit     func(*segmentRecord)
 	onCreate func(name string)
@@ -206,10 +376,19 @@ type segmentSetWriter struct {
 // disk — before it is complete — so failed merges can remove every file
 // they created, not only the finished ones.
 func newSegmentSetWriter(ar *Archiver, root *rootRecord, raw bool, emit func(*segmentRecord), onCreate func(name string)) *segmentSetWriter {
-	return &segmentSetWriter{
+	sw := &segmentSetWriter{
 		ar: ar, root: root, raw: raw, target: int64(ar.cfg.SegmentTarget),
+		format: ar.cfg.SegmentFormat, compress: ar.cfg.Compression,
 		tw: newTokenWriter(io.Discard), emit: emit, onCreate: onCreate,
 	}
+	if sw.format == segFormatV2 {
+		sw.cap = &captureWriter{}
+		sw.enc = newSegEncoder()
+		sw.out = sw.cap
+	} else {
+		sw.out = sw.tw
+	}
+	return sw
 }
 
 func (sw *segmentSetWriter) fail(err error) {
@@ -218,9 +397,17 @@ func (sw *segmentSetWriter) fail(err error) {
 	}
 }
 
-// open starts a fresh segment file.
+// open starts a fresh segment. For v1 the file is created up front and
+// streamed; for v2 only the capture buffer starts — the file (and its
+// name) appears at closeCurrent, written complete in one pass.
 func (sw *segmentSetWriter) open() {
 	if sw.err != nil {
+		return
+	}
+	if sw.format == segFormatV2 {
+		sw.cap.reset()
+		sw.marks = sw.marks[:0]
+		sw.cur = &segmentRecord{format: segFormatV2}
 		return
 	}
 	name := fmt.Sprintf("seg-%08d.tok", sw.ar.nextSeg)
@@ -242,13 +429,19 @@ func (sw *segmentSetWriter) open() {
 	sw.f = f
 	sw.head = int64(len(head))
 	sw.pw = &segPayloadWriter{f: f, crc: crc32.NewIEEE()}
-	sw.cur = &segmentRecord{file: name, dataOff: sw.head}
+	sw.cur = &segmentRecord{file: name, format: segFormat, dataOff: sw.head}
 	sw.tw.w.Reset(sw.pw)
 }
 
-// closeCurrent finishes the open segment file, patching the header with
-// the payload length and CRC, fsyncing, and emitting its record.
+// closeCurrent finishes the open segment: for v1 the streamed file is
+// patched with the payload length and CRC, fsynced, and emitted; for v2
+// the captured tokens are encoded (dictionary, payload, optional block
+// compression) and written as a complete file in one pass.
 func (sw *segmentSetWriter) closeCurrent() {
+	if sw.format == segFormatV2 {
+		sw.closeV2()
+		return
+	}
 	if sw.cur == nil || sw.err != nil {
 		if sw.cur != nil && sw.err != nil && sw.f != nil {
 			sw.f.Close()
@@ -287,6 +480,81 @@ func (sw *segmentSetWriter) closeCurrent() {
 	sw.f, sw.cur, sw.pw = nil, nil, nil
 }
 
+// closeV2 encodes and writes the captured segment. Until here nothing
+// of this segment exists on disk, so an encode or create failure leaves
+// no file to clean up; fsync/close failures are commit faults exactly
+// as in the v1 path.
+func (sw *segmentSetWriter) closeV2() {
+	if sw.cur == nil || sw.err != nil {
+		sw.cur = nil
+		return
+	}
+	res, err := sw.enc.encode(sw.raw, sw.compress, sw.root.name, sw.root.key, sw.cap.toks, sw.marks)
+	if err != nil {
+		sw.fail(err)
+		sw.cur = nil
+		return
+	}
+	rec := sw.cur
+	for i := range rec.entries {
+		rec.entries[i].offset = res.offs[i].off
+		rec.entries[i].size = res.offs[i].size
+	}
+	rec.dataOff = int64(len(res.head))
+	rec.payload = res.payload
+	rec.crc = res.crc
+	rec.stored = int64(len(res.stored))
+	rec.storedCRC = res.storedCRC
+	rec.dictLen = res.dictLen
+	name := fmt.Sprintf("seg-%08d.tok", sw.ar.nextSeg)
+	sw.ar.nextSeg++
+	rec.file = name
+	f, err := sw.ar.fs.Create(filepath.Join(sw.ar.dir, name))
+	if err != nil {
+		sw.fail(fmt.Errorf("extmem: create segment: %w", err))
+		sw.cur = nil
+		return
+	}
+	if sw.onCreate != nil {
+		sw.onCreate(name)
+	}
+	if _, err := f.Write(res.head); err != nil {
+		f.Close()
+		sw.fail(fmt.Errorf("extmem: %w", err))
+		sw.cur = nil
+		return
+	}
+	if _, err := f.Write(res.stored); err != nil {
+		f.Close()
+		sw.fail(fmt.Errorf("extmem: %w", err))
+		sw.cur = nil
+		return
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		sw.fail(commitFaultf("fsync segment "+name, err))
+		sw.cur = nil
+		return
+	}
+	if err := f.Close(); err != nil {
+		sw.fail(commitFaultf("close segment "+name, err))
+		sw.cur = nil
+		return
+	}
+	sw.written += rec.payload
+	sw.emit(rec)
+	sw.cur = nil
+}
+
+// payloadLen returns the (for v2: estimated) payload bytes of the open
+// segment, the quantity roll decisions are made on.
+func (sw *segmentSetWriter) payloadLen() int64 {
+	if sw.format == segFormatV2 {
+		return sw.cap.est
+	}
+	return sw.pw.n
+}
+
 // beginChild notes the subtree about to be written; its entry is
 // completed by endChild. For raw roots the entry metadata is ignored.
 func (sw *segmentSetWriter) beginChild(name string, tag int, key *tkey, timeStr string) {
@@ -298,6 +566,11 @@ func (sw *segmentSetWriter) beginChild(name string, tag int, key *tkey, timeStr 
 		if sw.err != nil {
 			return
 		}
+	}
+	if sw.format == segFormatV2 {
+		sw.markStart = len(sw.cap.toks)
+		sw.pending = childEntry{name: name, tag: tag, key: key, timeStr: timeStr}
+		return
 	}
 	if err := sw.tw.flush(); err != nil {
 		sw.fail(err)
@@ -313,14 +586,19 @@ func (sw *segmentSetWriter) endChild() {
 	if sw.err != nil || sw.cur == nil {
 		return
 	}
-	if err := sw.tw.flush(); err != nil {
-		sw.fail(err)
-		return
+	if sw.format == segFormatV2 {
+		sw.marks = append(sw.marks, entryMark{start: sw.markStart, end: len(sw.cap.toks)})
+		sw.cur.entries = append(sw.cur.entries, sw.pending)
+	} else {
+		if err := sw.tw.flush(); err != nil {
+			sw.fail(err)
+			return
+		}
+		sw.pending.size = sw.pw.n - sw.pending.offset
+		sw.cur.entries = append(sw.cur.entries, sw.pending)
 	}
-	sw.pending.size = sw.pw.n - sw.pending.offset
-	sw.cur.entries = append(sw.cur.entries, sw.pending)
-	if sw.pw.n >= sw.target {
-		if sw.planned > 0 && sw.planned-(sw.written+sw.pw.n) < sw.minTail {
+	if n := sw.payloadLen(); n >= sw.target {
+		if sw.planned > 0 && sw.planned-(sw.written+n) < sw.minTail {
 			return // absorb the tail instead of rolling a tiny file
 		}
 		sw.closeCurrent()
@@ -338,87 +616,112 @@ func (sw *segmentSetWriter) finish() error {
 // Reading: the concatenated archive stream and per-entry sections
 
 // streamPart is one piece of a dirStream: either literal bytes
-// (synthesized tokens) or a section of a segment file.
+// (synthesized tokens) or a byte range of a segment payload, in
+// uncompressed payload space.
 type streamPart struct {
 	data []byte
-	file string
+	seg  *segmentRecord
 	off  int64
 	n    int64
 }
 
-// dirStream reads the segmented archive as one contiguous token stream —
-// byte-identical to the former monolithic archive.tok — opening at most
-// one segment file at a time. Reads are counted into the archiver's
-// bytes-read telemetry.
+// dirStream serves the segmented archive as a sequence of token-aligned
+// parts — logically the same contiguous stream the monolithic
+// archive.tok held, but handed out part by part so the token reader can
+// switch each part's segment dictionary (and decoding grammar) in. At
+// most one segment file is open at a time; the bytes actually read from
+// disk (compressed bytes for compressed segments) are counted into the
+// archiver's telemetry.
 type dirStream struct {
 	fs      fsio.FS
 	dir     string
 	parts   []streamPart
+	dicts   *dictCache // resolves v2 segment dictionaries; may be nil for pure-v1 streams
 	i       int
 	f       fsio.File
-	rem     int64
-	buf     *bytes.Reader
 	counter *atomic.Int64
+
+	lit bytes.Reader
+	cnt countReader
+	sec partReader
+	blk blockReader
 }
 
-func (s *dirStream) Read(p []byte) (int, error) {
-	for {
-		if s.buf != nil {
-			if s.buf.Len() > 0 {
-				n, _ := s.buf.Read(p)
-				if s.counter != nil {
-					s.counter.Add(int64(n))
-				}
-				return n, nil
-			}
-			s.buf = nil
-		}
-		if s.f != nil {
-			if s.rem > 0 {
-				if int64(len(p)) > s.rem {
-					p = p[:s.rem]
-				}
-				n, err := s.f.Read(p)
-				s.rem -= int64(n)
-				if s.counter != nil && n > 0 {
-					s.counter.Add(int64(n))
-				}
-				if n > 0 {
-					return n, nil
-				}
-				if err != nil {
-					s.f.Close()
-					s.f = nil
-					if err == io.EOF {
-						err = io.ErrUnexpectedEOF
-					}
-					return 0, err
-				}
-				continue
-			}
-			s.f.Close()
-			s.f = nil
-		}
-		if s.i >= len(s.parts) {
-			return 0, io.EOF
-		}
-		part := s.parts[s.i]
-		s.i++
-		if part.data != nil {
-			s.buf = bytes.NewReader(part.data)
-			continue
-		}
-		f, err := s.openPart(filepath.Join(s.dir, part.file))
-		if err != nil {
-			return 0, fmt.Errorf("extmem: %w", err)
-		}
-		if _, err := f.Seek(part.off, io.SeekStart); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("extmem: %w", err)
-		}
-		s.f = f
-		s.rem = part.n
+// partReader serves one uncompressed section of an open segment file,
+// turning a premature end of file into an explicit truncation error.
+type partReader struct {
+	f   fsio.File
+	rem int64
+	c   *atomic.Int64
+}
+
+func (pr *partReader) Read(p []byte) (int, error) {
+	if pr.rem <= 0 {
+		return 0, io.EOF
 	}
+	if int64(len(p)) > pr.rem {
+		p = p[:pr.rem]
+	}
+	n, err := pr.f.Read(p)
+	pr.rem -= int64(n)
+	if pr.c != nil && n > 0 {
+		pr.c.Add(int64(n))
+	}
+	if err == io.EOF && pr.rem > 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// nextPart closes the current part and opens the next, returning its
+// reader and segment dictionary (nil for literal and v1 parts). A nil
+// reader with nil error means the stream is exhausted.
+func (s *dirStream) nextPart() (io.Reader, *segDict, error) {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	if s.i >= len(s.parts) {
+		return nil, nil, nil
+	}
+	part := &s.parts[s.i]
+	s.i++
+	if part.seg == nil {
+		s.lit.Reset(part.data)
+		s.cnt = countReader{r: &s.lit, c: s.counter}
+		return &s.cnt, nil, nil
+	}
+	seg := part.seg
+	f, err := s.openPart(filepath.Join(s.dir, seg.file))
+	if err != nil {
+		return nil, nil, fmt.Errorf("extmem: %w", err)
+	}
+	s.f = f
+	var dict *segDict
+	if seg.format == segFormatV2 {
+		if s.dicts == nil {
+			f.Close()
+			s.f = nil
+			return nil, nil, fmt.Errorf("extmem: no dictionary cache for v2 segment %s", seg.file)
+		}
+		dict, err = s.dicts.get(seg)
+		if err != nil {
+			f.Close()
+			s.f = nil
+			return nil, nil, err
+		}
+		if dict.blockLen > 0 {
+			s.blk.reset(f, dict, part.off, part.n, s.counter)
+			return &s.blk, dict, nil
+		}
+	}
+	if _, err := f.Seek(seg.dataOff+part.off, io.SeekStart); err != nil {
+		f.Close()
+		s.f = nil
+		return nil, nil, fmt.Errorf("extmem: %w", err)
+	}
+	s.sec = partReader{f: f, rem: part.n, c: s.counter}
+	return &s.sec, dict, nil
 }
 
 // openPart opens one segment file through the stream's FS; a stream
@@ -438,7 +741,6 @@ func (s *dirStream) Close() error {
 		s.f = nil
 	}
 	s.i = len(s.parts)
-	s.buf = nil
 	return nil
 }
 
@@ -466,18 +768,20 @@ func archiveParts(d *keyDirectory) []streamPart {
 	return parts
 }
 
-// rootParts lays out one root subtree as stream parts.
+// rootParts lays out one root subtree as stream parts. Offsets are in
+// payload space; the stream resolves them to file offsets (or block
+// coordinates) per segment format.
 func rootParts(r *rootRecord) []streamPart {
 	var parts []streamPart
 	if r.raw {
 		for _, s := range r.segs {
-			parts = append(parts, streamPart{file: s.file, off: s.dataOff, n: s.payload})
+			parts = append(parts, streamPart{seg: s, off: 0, n: s.payload})
 		}
 		return parts
 	}
 	parts = append(parts, streamPart{data: synthRootPrefix(r)})
 	for _, s := range r.segs {
-		parts = append(parts, streamPart{file: s.file, off: s.dataOff, n: s.payload})
+		parts = append(parts, streamPart{seg: s, off: 0, n: s.payload})
 	}
 	parts = append(parts, streamPart{data: []byte{tokClose}})
 	return parts
@@ -485,5 +789,5 @@ func rootParts(r *rootRecord) []streamPart {
 
 // entryParts lays out one second-level subtree as stream parts.
 func entryParts(s *segmentRecord, e *childEntry) []streamPart {
-	return []streamPart{{file: s.file, off: s.dataOff + e.offset, n: e.size}}
+	return []streamPart{{seg: s, off: e.offset, n: e.size}}
 }

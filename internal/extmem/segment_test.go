@@ -2,9 +2,9 @@ package extmem
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -18,17 +18,33 @@ import (
 	"xarch/internal/xmltree"
 )
 
-// archiveStreamBytes reads the whole concatenated archive token stream —
-// the byte-identical replacement of the old monolithic archive.tok.
+// archiveStreamBytes reads the whole concatenated archive token stream in
+// the canonical inline (v1) encoding — the byte-identical replacement of
+// the old monolithic archive.tok, regardless of the on-disk segment
+// format the tokens come from.
 func archiveStreamBytes(t *testing.T, ar *Archiver) []byte {
 	t.Helper()
-	ds := &dirStream{dir: ar.dir, parts: archiveParts(ar.curDir)}
+	ds := &dirStream{fs: ar.fs, dir: ar.dir, parts: archiveParts(ar.curDir), dicts: ar.segDicts, counter: &ar.bytesRead}
 	defer ds.Close()
-	data, err := io.ReadAll(ds)
-	if err != nil {
-		t.Fatalf("read archive stream: %v", err)
+	tr := newDirTokenReader(ds)
+	defer tr.release()
+	var buf bytes.Buffer
+	tw := newTokenWriter(&buf)
+	defer tw.release()
+	for {
+		tok, ok := tr.take()
+		if !ok {
+			break
+		}
+		tw.writeToken(tok)
 	}
-	return data
+	if tr.err != nil {
+		t.Fatalf("read archive stream: %v", tr.err)
+	}
+	if err := tw.flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
 }
 
 func buildOMIMArchive(t *testing.T, dir string, cfg Config, versions int) *Archiver {

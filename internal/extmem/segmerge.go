@@ -94,6 +94,25 @@ func mergedTime(atData string, parentEff *intervals.Set, i int) (*intervals.Set,
 	return t, t.String(), nil
 }
 
+// mergedTimeTok is mergedTime over a decoded archive token: a token from
+// a v2 segment carries its timestamp pre-parsed in the shared segment
+// dictionary, which must be cloned — never mutated — before version i is
+// added.
+func mergedTimeTok(at token, parentEff *intervals.Set, i int) (*intervals.Set, string, error) {
+	if at.data == "" {
+		return parentEff, "", nil
+	}
+	if at.time == nil {
+		return mergedTime(at.data, parentEff, i)
+	}
+	t := at.time.Clone()
+	t.Add(i)
+	if t.Equal(parentEff) {
+		return parentEff, "", nil
+	}
+	return t, t.String(), nil
+}
+
 // mergeIntoSegments merges the sorted version in sortedPath as version i
 // against the base directory — usually the committed ar.curDir, but a
 // group commit (AddVersionBatch) chains the uncommitted directory of the
@@ -201,9 +220,9 @@ func (m *segMerge) terminateRoot(r *rootRecord) (*rootRecord, error) {
 	}
 	// Raw root gaining an explicit timestamp: re-emit the stored subtree
 	// with the new open token.
-	ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+	ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), dicts: m.ar.segDicts, counter: &m.ar.bytesRead}
 	defer ds.Close()
-	a := newTokenReader(ds)
+	a := newDirTokenReader(ds)
 	defer a.release()
 	at, ok := a.take()
 	if !ok || at.op != tokOpen {
@@ -211,8 +230,8 @@ func (m *segMerge) terminateRoot(r *rootRecord) (*rootRecord, error) {
 	}
 	sw := m.newWriter(out, true)
 	sw.open()
-	sw.tw.open(at.tag, at.key, out.timeStr)
-	if err := copyBalancedTo(a, sw.tw, true); err != nil {
+	sw.out.open(at.tag, at.key, out.timeStr)
+	if err := copyBalancedTo(a, sw.out, true); err != nil {
 		sw.finish()
 		return nil, err
 	}
@@ -236,8 +255,8 @@ func (m *segMerge) newRootFromVersion(d *tokenReader, dn string, dt token) (*roo
 	if out.raw {
 		sw := m.newWriter(out, true)
 		sw.open()
-		sw.tw.open(dt.tag, dt.key, out.timeStr)
-		if err := copyBalancedTo(d, sw.tw, true); err != nil {
+		sw.out.open(dt.tag, dt.key, out.timeStr)
+		if err := copyBalancedTo(d, sw.out, true); err != nil {
 			sw.finish()
 			return nil, err
 		}
@@ -282,8 +301,8 @@ func (m *segMerge) copyChildrenVerbatim(sw *segmentSetWriter, tr *tokenReader) e
 			return err
 		}
 		sw.beginChild(name, t.tag, t.key, t.data)
-		sw.tw.open(t.tag, t.key, t.data)
-		if err := copyBalancedTo(tr, sw.tw, true); err != nil {
+		sw.out.open(t.tag, t.key, t.data)
+		if err := copyBalancedTo(tr, sw.out, true); err != nil {
 			return err
 		}
 		sw.endChild()
@@ -305,13 +324,13 @@ func (m *segMerge) mergeRoot(r *rootRecord, d *tokenReader) (*rootRecord, error)
 	if r.raw {
 		// Frontier root: record-sized by the §6 contract — merge the two
 		// bodies with the standard frontier rules into one fresh segment.
-		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), counter: &m.ar.bytesRead}
+		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: rootParts(r), dicts: m.ar.segDicts, counter: &m.ar.bytesRead}
 		defer ds.Close()
-		a := newTokenReader(ds)
+		a := newDirTokenReader(ds)
 		defer a.release()
 		sw := m.newWriter(out, true)
 		sw.open()
-		sm.out = sw.tw
+		sm.out = sw.out
 		if err := sm.mergeEqual(a, d, m.newRoot, []string{r.name}); err != nil {
 			sw.finish()
 			return nil, err
@@ -326,7 +345,7 @@ func (m *segMerge) mergeRoot(r *rootRecord, d *tokenReader) (*rootRecord, error)
 		return nil, fmt.Errorf("extmem: attributes of /%s differ between archive and version %d", r.name, m.i)
 	}
 	sw := m.newWriter(out, false)
-	sm.out = sw.tw
+	sm.out = sw.out
 	if err := m.mergeChildren(sw, sm, r, out, d, eff); err != nil {
 		sw.finish()
 		return nil, err
@@ -392,8 +411,8 @@ func (m *segMerge) mergeChildren(sw *segmentSetWriter, sm *streamMerger, r, out 
 			continue
 		}
 		m.stats.SegmentsRewritten++
-		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: []streamPart{{file: seg.file, off: seg.dataOff, n: seg.payload}}, counter: &m.ar.bytesRead}
-		a := newTokenReader(ds)
+		ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: []streamPart{{seg: seg, off: 0, n: seg.payload}}, dicts: m.ar.segDicts, counter: &m.ar.bytesRead}
+		a := newDirTokenReader(ds)
 		err := m.mergeChildLevel(sw, sm, a, d, inRange, eff, path)
 		a.release()
 		ds.Close()
@@ -444,7 +463,7 @@ func (m *segMerge) mergeChildLevel(sw *segmentSetWriter, sm *streamMerger, a, d 
 		case aOK && dOK:
 			switch cmp := compareLabels(an, at.key, dn, dt.key); {
 			case cmp == 0:
-				_, ts, terr := mergedTime(at.data, eff, m.i)
+				_, ts, terr := mergedTimeTok(at, eff, m.i)
 				if terr != nil {
 					return terr
 				}
@@ -499,7 +518,7 @@ func attrRecsEqual(a []attrRec, b []token) bool {
 
 // copyBalancedTo copies tokens verbatim until the close balancing the
 // already-consumed open; the close is emitted when emitClose is set.
-func copyBalancedTo(r *tokenReader, tw *tokenWriter, emitClose bool) error {
+func copyBalancedTo(r *tokenReader, tw tokenSink, emitClose bool) error {
 	depth := 1
 	for {
 		t, ok := r.take()
@@ -627,6 +646,12 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 	// The scanner hands the comparer many one-byte writes (opcodes);
 	// buffering batches them into chunked ReadAt compares.
 	cmpBuf := bufio.NewWriterSize(cmp, 32*1024)
+	// v2 segments store interned tokens, so their bytes cannot be compared
+	// with the inline version stream directly: the stored entry is
+	// transcoded to the canonical inline encoding once, then the incoming
+	// child's bytes are checked against that buffer.
+	mem := &memComparer{}
+	var entryBuf bytes.Buffer
 	var openBuf bytes.Buffer
 	for {
 		op, ok, err := pr.peekByte()
@@ -699,6 +724,31 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 			}
 			continue
 		}
+		if seg.format == segFormatV2 {
+			if err := m.inlineEntry(seg, e, &entryBuf); err != nil {
+				return err
+			}
+			mem.reset(entryBuf.Bytes())
+			cmpBuf.Reset(mem)
+			if _, err := cmpBuf.Write(openBuf.Bytes()); err != nil {
+				return err
+			}
+			pr.sink = cmpBuf
+			err = pr.skipBalanced(1)
+			pr.sink = nil
+			if err != nil {
+				return err
+			}
+			if err := cmpBuf.Flush(); err != nil {
+				return err
+			}
+			if mem.equal() {
+				plan(seg).cleanMatched++
+			} else {
+				plan(seg).dirty = true
+			}
+			continue
+		}
 		if segF == nil {
 			segF, err = m.ar.fs.Open(filepath.Join(m.ar.dir, seg.file))
 			if err != nil {
@@ -726,6 +776,54 @@ func (m *segMerge) planRoot(pr *posReader, r *rootRecord) error {
 			plan(seg).dirty = true
 		}
 	}
+}
+
+// inlineEntry renders one stored v2 entry subtree in the canonical
+// inline (v1) token encoding — the encoding the sorted version stream
+// uses — so the planning pass can byte-compare across segment formats.
+func (m *segMerge) inlineEntry(seg *segmentRecord, e *childEntry, buf *bytes.Buffer) error {
+	buf.Reset()
+	ds := &dirStream{fs: m.ar.fs, dir: m.ar.dir, parts: entryParts(seg, e), dicts: m.ar.segDicts, counter: &m.ar.bytesRead}
+	defer ds.Close()
+	tr := newDirTokenReader(ds)
+	defer tr.release()
+	tw := newTokenWriter(buf)
+	defer tw.release()
+	for {
+		t, ok := tr.take()
+		if !ok {
+			break
+		}
+		tw.writeToken(t)
+	}
+	if tr.err != nil {
+		return tr.err
+	}
+	return tw.flush()
+}
+
+// memComparer checks a written byte stream against a fixed in-memory
+// section, the v2 counterpart of sectionComparer.
+type memComparer struct {
+	want     []byte
+	mismatch bool
+}
+
+func (c *memComparer) reset(b []byte) { c.want, c.mismatch = b, false }
+
+func (c *memComparer) equal() bool { return !c.mismatch && len(c.want) == 0 }
+
+func (c *memComparer) Write(p []byte) (int, error) {
+	n := len(p)
+	if c.mismatch {
+		return n, nil
+	}
+	if len(p) > len(c.want) || !bytes.Equal(c.want[:len(p)], p) {
+		c.mismatch = true
+		return n, nil
+	}
+	c.want = c.want[len(p):]
+	return n, nil
 }
 
 // sectionComparer is the planning pass's armed compare-tee: the bytes of
@@ -811,8 +909,8 @@ func (ar *Archiver) migrateMonolithic(tokPath string, versions int, rootTime *in
 		if rec.raw {
 			sw := m.newWriter(rec, true)
 			sw.open()
-			sw.tw.open(t.tag, t.key, t.data)
-			if err := copyBalancedTo(tr, sw.tw, true); err != nil {
+			sw.out.open(t.tag, t.key, t.data)
+			if err := copyBalancedTo(tr, sw.out, true); err != nil {
 				sw.finish()
 				return nil, m.newFiles, err
 			}
@@ -848,6 +946,116 @@ func (ar *Archiver) migrateMonolithic(tokPath string, versions int, rootTime *in
 }
 
 // ---------------------------------------------------------------------------
+// One-time migration from format-1 segment files
+
+// migrateSegmentsV2 rewrites every format-1 segment of the committed
+// directory as a format-2 segment (one output file per source segment,
+// token content and entry metadata preserved) and commits the new
+// directory, exactly like the monolithic migration: the key-directory
+// rename is the commit point, and a crash on either side of it leaves a
+// valid all-v1 or all-v2 layout plus orphan files the next Open sweeps.
+func (ar *Archiver) migrateSegmentsV2() error {
+	d := ar.curDir
+	needs := false
+	for _, r := range d.roots {
+		for _, s := range r.segs {
+			if s.format != segFormatV2 {
+				needs = true
+			}
+		}
+	}
+	if !needs {
+		return nil
+	}
+	out := &keyDirectory{versions: d.versions, rootTime: d.rootTime}
+	var newFiles []string
+	onCreate := func(name string) { newFiles = append(newFiles, name) }
+	fail := func(err error) error {
+		for _, f := range newFiles {
+			ar.fs.Remove(filepath.Join(ar.dir, f))
+		}
+		return err
+	}
+	for _, r := range d.roots {
+		nr := &rootRecord{
+			name: r.name, tag: r.tag, key: r.key, timeStr: r.timeStr,
+			attrs: r.attrs, raw: r.raw, time: r.time,
+		}
+		for _, seg := range r.segs {
+			if seg.format == segFormatV2 {
+				nr.segs = append(nr.segs, seg)
+				continue
+			}
+			ns, err := ar.transcodeSegment(nr, r, seg, onCreate)
+			if err != nil {
+				return fail(err)
+			}
+			nr.segs = append(nr.segs, ns)
+		}
+		out.roots = append(out.roots, nr)
+	}
+	if err := ar.commitState(out); err != nil {
+		return fail(err)
+	}
+	ar.curDir = out
+	return nil
+}
+
+// transcodeSegment rewrites one v1 segment as a single v2 segment with
+// identical token content: entries keep their labels, keys, and
+// timestamps; only offsets (and the encoding) change.
+func (ar *Archiver) transcodeSegment(newRoot, r *rootRecord, seg *segmentRecord, onCreate func(string)) (*segmentRecord, error) {
+	var out *segmentRecord
+	sw := newSegmentSetWriter(ar, newRoot, r.raw,
+		func(sr *segmentRecord) { out = sr }, onCreate)
+	sw.target = 1 << 62 // 1:1 segment mapping: never roll mid-source
+	ds := &dirStream{fs: ar.fs, dir: ar.dir, parts: []streamPart{{seg: seg, off: 0, n: seg.payload}}, dicts: ar.segDicts, counter: &ar.bytesRead}
+	defer ds.Close()
+	tr := newDirTokenReader(ds)
+	defer tr.release()
+	if r.raw {
+		sw.open()
+		for {
+			t, ok := tr.take()
+			if !ok {
+				break
+			}
+			sw.out.writeToken(t)
+		}
+		if tr.err != nil {
+			sw.finish()
+			return nil, tr.err
+		}
+	} else {
+		for ei := range seg.entries {
+			e := &seg.entries[ei]
+			t, ok := tr.take()
+			if !ok || t.op != tokOpen {
+				sw.finish()
+				return nil, corruptf("segment %s: entry %d has no open token", seg.file, ei)
+			}
+			sw.beginChild(e.name, e.tag, e.key, e.timeStr)
+			sw.out.open(t.tag, t.key, t.data)
+			if err := copyBalancedTo(tr, sw.out, true); err != nil {
+				sw.finish()
+				return nil, err
+			}
+			sw.endChild()
+			if sw.err != nil {
+				break
+			}
+		}
+	}
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, corruptf("segment %s: transcode produced no output", seg.file)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
 // Directory rebuild from segment files (corrupt keydir.idx fallback)
 
 // rebuildDirectory reconstructs the segment and entry tables by reading
@@ -878,7 +1086,9 @@ func (ar *Archiver) rebuildDirectory(meta *keyDirectory) (*keyDirectory, error) 
 
 // scanSegment reads one segment file end to end: header, payload CRC,
 // and the entry table re-derived from the payload tokens. It returns the
-// record plus the root label from the header.
+// record plus the root label from the header. Format-2 payloads are
+// decompressed (when compressed) and scanned against the segment
+// dictionary; entry offsets are always in uncompressed payload space.
 func scanSegment(fs fsio.FS, path string, dict *dictionary) (*segInfoResult, string, *tkey, error) {
 	f, err := fs.Open(path)
 	if err != nil {
@@ -889,19 +1099,31 @@ func scanSegment(fs fsio.FS, path string, dict *dictionary) (*segInfoResult, str
 	if err != nil {
 		return nil, "", nil, err
 	}
-	if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
-		return nil, "", nil, err
+	rec := &segmentRecord{
+		file: filepath.Base(path), format: h.format, dataOff: h.dataOff,
+		payload: h.payload, crc: h.crc,
+		stored: h.stored, storedCRC: h.storedCRC, dictLen: h.dictLen,
+	}
+	var payload io.Reader
+	var blk blockReader
+	if h.compressed {
+		blk.reset(f, h.dict, 0, h.payload, nil)
+		payload = &blk
+	} else {
+		if _, err := f.Seek(h.dataOff, io.SeekStart); err != nil {
+			return nil, "", nil, err
+		}
+		payload = io.LimitReader(f, h.payload)
 	}
 	crc := crc32.NewIEEE()
-	rec := &segmentRecord{file: filepath.Base(path), dataOff: h.dataOff, payload: h.payload, crc: h.crc}
-	body := io.TeeReader(io.LimitReader(f, h.payload), crc)
+	body := io.TeeReader(payload, crc)
 	res := &segInfoResult{rec: rec, raw: h.raw}
 	if h.raw {
 		if _, err := io.Copy(io.Discard, body); err != nil {
 			return nil, "", nil, err
 		}
 	} else {
-		entries, err := scanEntries(body)
+		entries, err := scanEntries(body, h.dict)
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -930,9 +1152,10 @@ type segInfoResult = struct {
 
 // scanEntries walks a non-raw segment payload, recording each top-level
 // subtree's label, timestamp, offset and size (names resolved by the
-// caller through the dictionary).
-func scanEntries(r io.Reader) ([]childEntry, error) {
-	pr := &posReader{br: bufio.NewReaderSize(r, tokenBufSize)}
+// caller through the dictionary). A non-nil segment dictionary switches
+// the scanner to the v2 interned grammar.
+func scanEntries(r io.Reader, dict *segDict) ([]childEntry, error) {
+	pr := &posReader{br: bufio.NewReaderSize(r, tokenBufSize), dict: dict}
 	var entries []childEntry
 	depth := 0
 	for {
@@ -969,15 +1192,16 @@ func scanEntries(r io.Reader) ([]childEntry, error) {
 			if depth == 0 {
 				entries[len(entries)-1].size = pr.pos - entries[len(entries)-1].offset
 			}
-		case tokText, tokTSOpen:
+		case tokText:
 			if err := pr.skipStr(); err != nil {
+				return nil, err
+			}
+		case tokTSOpen:
+			if err := pr.tsPayload(); err != nil {
 				return nil, err
 			}
 		case tokAttr:
-			if _, err := pr.varint(); err != nil {
-				return nil, err
-			}
-			if err := pr.skipStr(); err != nil {
+			if err := pr.attrPayload(); err != nil {
 				return nil, err
 			}
 		case tokTSClose:
@@ -992,11 +1216,14 @@ func scanEntries(r io.Reader) ([]childEntry, error) {
 // offsets matter and the pooled lookahead reader cannot provide them.
 // When sink is set, every consumed byte is forwarded to it — the
 // planning pass arms it with a sectionComparer so scanning a subtree
-// and comparing its bytes is one pass.
+// and comparing its bytes is one pass. A non-nil dict switches the
+// scanner to the v2 interned grammar (keys, timestamps, and attribute
+// values are varint ids), validating every id against the dictionary.
 type posReader struct {
 	br   *bufio.Reader
 	pos  int64
 	sink io.Writer
+	dict *segDict
 	one  [1]byte
 }
 
@@ -1043,21 +1270,57 @@ func (p *posReader) skipBalanced(depth int) error {
 			depth++
 		case tokClose:
 			depth--
-		case tokText, tokTSOpen:
+		case tokText:
 			if err := p.skipStr(); err != nil {
+				return err
+			}
+		case tokTSOpen:
+			if err := p.tsPayload(); err != nil {
 				return err
 			}
 		case tokAttr:
-			if _, err := p.varint(); err != nil {
-				return err
-			}
-			if err := p.skipStr(); err != nil {
+			if err := p.attrPayload(); err != nil {
 				return err
 			}
 		case tokTSClose:
 		default:
 			return fmt.Errorf("extmem: unknown opcode %#x", op)
 		}
+	}
+	return nil
+}
+
+// tsPayload consumes a tokTSOpen payload: an interned timestamp id under
+// the v2 grammar, an inline string otherwise.
+func (p *posReader) tsPayload() error {
+	if p.dict == nil {
+		return p.skipStr()
+	}
+	id, err := p.varint()
+	if err != nil {
+		return err
+	}
+	if id >= uint64(len(p.dict.times)) {
+		return fmt.Errorf("dangling timestamp id %d (dictionary has %d)", id, len(p.dict.times))
+	}
+	return nil
+}
+
+// attrPayload consumes a tokAttr payload: name id plus interned value id
+// (v2) or inline value string (v1).
+func (p *posReader) attrPayload() error {
+	if _, err := p.varint(); err != nil {
+		return err
+	}
+	if p.dict == nil {
+		return p.skipStr()
+	}
+	id, err := p.varint()
+	if err != nil {
+		return err
+	}
+	if id >= uint64(len(p.dict.values)) {
+		return fmt.Errorf("dangling value id %d (dictionary has %d)", id, len(p.dict.values))
 	}
 	return nil
 }
@@ -1112,8 +1375,25 @@ func (p *posReader) skipStr() error {
 	return nil
 }
 
+// readFull reads exactly len(buf) bytes, tracking position and feeding
+// the sink like every other consuming read.
+func (p *posReader) readFull(buf []byte) error {
+	if _, err := io.ReadFull(p.br, buf); err != nil {
+		return err
+	}
+	p.pos += int64(len(buf))
+	if p.sink != nil {
+		if _, err := p.sink.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // openPayload consumes the payload of an open token (after its opcode).
-// With capture, the key and timestamp are materialized.
+// With capture, the key and timestamp are materialized — for the v2
+// grammar they resolve to the dictionary's shared key tuple and interned
+// timestamp string.
 func (p *posReader) openPayload(capture bool) (tag int, key *tkey, timeStr string, err error) {
 	t, err := p.varint()
 	if err != nil {
@@ -1122,6 +1402,33 @@ func (p *posReader) openPayload(capture bool) (tag int, key *tkey, timeStr strin
 	flags, err := p.byte()
 	if err != nil {
 		return 0, nil, "", err
+	}
+	if p.dict != nil {
+		if flags&flagHasKey != 0 {
+			id, err := p.varint()
+			if err != nil {
+				return 0, nil, "", err
+			}
+			if id >= uint64(len(p.dict.keys)) {
+				return 0, nil, "", fmt.Errorf("dangling key id %d (dictionary has %d)", id, len(p.dict.keys))
+			}
+			if capture {
+				key = p.dict.key(int(id))
+			}
+		}
+		if flags&flagHasTime != 0 {
+			id, err := p.varint()
+			if err != nil {
+				return 0, nil, "", err
+			}
+			if id >= uint64(len(p.dict.times)) {
+				return 0, nil, "", fmt.Errorf("dangling timestamp id %d (dictionary has %d)", id, len(p.dict.times))
+			}
+			if capture {
+				timeStr = p.dict.times[id]
+			}
+		}
+		return int(t), key, timeStr, nil
 	}
 	if flags&flagHasKey != 0 {
 		n, err := p.varint()

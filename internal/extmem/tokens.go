@@ -23,6 +23,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"xarch/internal/intervals"
 )
 
 // tokenBufSize is the buffer size of every token-file reader and writer;
@@ -52,12 +54,27 @@ const (
 	flagHasTime = 0x02
 )
 
-// token is one decoded token.
+// token is one decoded token. Tokens decoded from a v2 segment carry
+// interned data: key points into the segment dictionary's shared key
+// table and time is the dictionary's pre-parsed interval set of the
+// timestamp in data. Shared objects are read-only — a consumer that
+// needs to mutate the set must clone it first.
 type token struct {
 	op   byte
-	tag  int    // tokOpen: dictionary id; tokAttr: name id
-	data string // tokText: text; tokAttr: value; tokTSOpen/tokOpen: time
-	key  *tkey  // tokOpen with flagHasKey
+	tag  int            // tokOpen: dictionary id; tokAttr: name id
+	data string         // tokText: text; tokAttr: value; tokTSOpen/tokOpen: time
+	key  *tkey          // tokOpen with flagHasKey
+	time *intervals.Set // pre-parsed data for tokOpen/tokTSOpen (v2 only)
+}
+
+// tokenEff returns the parsed interval set of an open/tsOpen token's
+// timestamp, reusing the segment dictionary's shared pre-parsed set
+// when the token carries one. The returned set MUST NOT be mutated.
+func tokenEff(t token) (*intervals.Set, error) {
+	if t.time != nil {
+		return t.time, nil
+	}
+	return intervals.Parse(t.data)
 }
 
 // tkey is the key annotation carried inline by annotated token streams:
@@ -100,6 +117,19 @@ func compareKeys(a, b *tkey) int {
 	return 0
 }
 
+// tokenSink is the write side shared by the inline v1 encoder
+// (tokenWriter) and the v2 segment capture (captureWriter), so the
+// merge pipeline emits tokens without knowing the output format.
+type tokenSink interface {
+	open(tagID int, key *tkey, time string)
+	text(s string)
+	attr(nameID int, value string)
+	close()
+	tsOpen(time string)
+	tsClose()
+	writeToken(t token)
+}
+
 // tokenWriter writes a token stream.
 type tokenWriter struct {
 	w *bufio.Writer
@@ -122,10 +152,15 @@ func (tw *tokenWriter) release() {
 	tw.w = nil
 }
 
+// varint encodes byte-at-a-time: a stack buffer passed to Write would
+// be forced to the heap (bufio may hand large writes to the underlying
+// io.Writer interface), and this runs once per token on the ingest path.
 func (tw *tokenWriter) varint(v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	tw.w.Write(buf[:n])
+	for v >= 0x80 {
+		tw.w.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	tw.w.WriteByte(byte(v))
 }
 
 func (tw *tokenWriter) str(s string) {
@@ -197,8 +232,16 @@ func (tw *tokenWriter) writeToken(t token) {
 }
 
 // tokenReader reads a token stream with one token of lookahead.
+//
+// A reader over a v2 segment carries the segment's dictionary: open and
+// attr tokens reference interned strings, key tuples, and pre-parsed
+// interval sets instead of allocating them per token. A reader fed by a
+// dirStream advances across stream parts at token boundaries, switching
+// dictionaries (or back to inline v1 decoding, dict == nil) per part.
 type tokenReader struct {
 	r    *bufio.Reader
+	dict *segDict   // current part's dictionary; nil = inline v1 grammar
+	src  *dirStream // nil = single fixed reader
 	cur  token
 	err  error
 	done bool
@@ -212,6 +255,26 @@ func newTokenReader(r io.Reader) *tokenReader {
 	return tr
 }
 
+// newTokenReaderDict reads a single stream encoded against a fixed v2
+// segment dictionary.
+func newTokenReaderDict(r io.Reader, dict *segDict) *tokenReader {
+	br := tokenReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	tr := &tokenReader{r: br, dict: dict}
+	tr.next()
+	return tr
+}
+
+// newDirTokenReader reads the concatenation of a dirStream's parts as
+// one token stream, switching per-part dictionaries as it goes.
+func newDirTokenReader(s *dirStream) *tokenReader {
+	br := tokenReaderPool.Get().(*bufio.Reader)
+	br.Reset(strings.NewReader(""))
+	tr := &tokenReader{r: br, src: s}
+	tr.next()
+	return tr
+}
+
 // release returns the reader's buffer to the pool; the tokenReader must
 // not be used afterwards.
 func (tr *tokenReader) release() {
@@ -221,6 +284,8 @@ func (tr *tokenReader) release() {
 	tr.r.Reset(strings.NewReader(""))
 	tokenReaderPool.Put(tr.r)
 	tr.r = nil
+	tr.src = nil
+	tr.dict = nil
 	tr.done = true
 }
 
@@ -257,17 +322,119 @@ func (tr *tokenReader) fail(err error) {
 	tr.done = true
 }
 
+// readOp reads the next opcode byte. Parts of a dirStream are always
+// token-aligned, so EOF here (and only here) may mean "current part
+// exhausted": advance to the next part — switching its dictionary in —
+// and keep going.
+func (tr *tokenReader) readOp() (byte, error) {
+	for {
+		op, err := tr.r.ReadByte()
+		if err == nil {
+			return op, nil
+		}
+		if err != io.EOF || tr.src == nil {
+			return 0, err
+		}
+		r, dict, aerr := tr.src.nextPart()
+		if aerr != nil {
+			return 0, aerr
+		}
+		if r == nil {
+			return 0, io.EOF
+		}
+		tr.r.Reset(r)
+		tr.dict = dict
+	}
+}
+
+// dictKey resolves a key id against the current segment dictionary.
+func (tr *tokenReader) dictKey() *tkey {
+	id := tr.varint()
+	if tr.err != nil || tr.done {
+		return nil
+	}
+	if id >= uint64(len(tr.dict.keys)) {
+		tr.fail(fmt.Errorf("extmem: dangling key id %d (dictionary has %d)", id, len(tr.dict.keys)))
+		return nil
+	}
+	return tr.dict.key(int(id))
+}
+
+// dictTime resolves a timestamp id to its interned string and shared
+// pre-parsed interval set.
+func (tr *tokenReader) dictTime() (string, *intervals.Set) {
+	id := tr.varint()
+	if tr.err != nil || tr.done {
+		return "", nil
+	}
+	if id >= uint64(len(tr.dict.times)) {
+		tr.fail(fmt.Errorf("extmem: dangling timestamp id %d (dictionary has %d)", id, len(tr.dict.times)))
+		return "", nil
+	}
+	set, err := tr.dict.timeSet(int(id))
+	if err != nil {
+		tr.fail(err)
+		return "", nil
+	}
+	return tr.dict.times[id], set
+}
+
+// dictValue resolves a spilled-value id (attribute values).
+func (tr *tokenReader) dictValue() string {
+	id := tr.varint()
+	if tr.err != nil || tr.done {
+		return ""
+	}
+	if id >= uint64(len(tr.dict.values)) {
+		tr.fail(fmt.Errorf("extmem: dangling value id %d (dictionary has %d)", id, len(tr.dict.values)))
+		return ""
+	}
+	return tr.dict.values[id]
+}
+
 // next advances to the next token; peek() then returns it.
 func (tr *tokenReader) next() {
 	if tr.done {
 		return
 	}
-	op, err := tr.r.ReadByte()
+	op, err := tr.readOp()
 	if err != nil {
 		tr.fail(err)
 		return
 	}
 	t := token{op: op}
+	if tr.dict != nil {
+		switch op {
+		case tokOpen:
+			t.tag = int(tr.varint())
+			flags, err := tr.r.ReadByte()
+			if err != nil {
+				tr.fail(err)
+				return
+			}
+			if flags&flagHasKey != 0 {
+				t.key = tr.dictKey()
+			}
+			if flags&flagHasTime != 0 {
+				t.data, t.time = tr.dictTime()
+			}
+		case tokText:
+			t.data = tr.str()
+		case tokAttr:
+			t.tag = int(tr.varint())
+			t.data = tr.dictValue()
+		case tokClose, tokTSClose:
+		case tokTSOpen:
+			t.data, t.time = tr.dictTime()
+		default:
+			tr.fail(fmt.Errorf("extmem: unknown opcode %#x", op))
+			return
+		}
+		if tr.err == nil && !tr.done {
+			tr.cur = t
+		}
+		return
+	}
 	switch op {
 	case tokOpen:
 		t.tag = int(tr.varint())
@@ -335,10 +502,43 @@ func (tr *tokenReader) discardSubtree() error {
 		depth--
 	}
 	for depth > 0 && !tr.done {
-		op, err := tr.r.ReadByte()
+		op, err := tr.readOp()
 		if err != nil {
 			tr.fail(err)
 			break
+		}
+		if tr.dict != nil {
+			// v2 grammar: key, timestamp, and attribute-value payloads
+			// are single varint ids.
+			switch op {
+			case tokOpen:
+				depth++
+				tr.varint() // tag id
+				flags, err := tr.r.ReadByte()
+				if err != nil {
+					tr.fail(err)
+					break
+				}
+				if flags&flagHasKey != 0 {
+					tr.varint()
+				}
+				if flags&flagHasTime != 0 {
+					tr.varint()
+				}
+			case tokText:
+				tr.skipStr()
+			case tokTSOpen:
+				tr.varint()
+			case tokAttr:
+				tr.varint()
+				tr.varint()
+			case tokClose:
+				depth--
+			case tokTSClose:
+			default:
+				tr.fail(fmt.Errorf("extmem: unknown opcode %#x", op))
+			}
+			continue
 		}
 		switch op {
 		case tokOpen:

@@ -80,6 +80,7 @@ func (f *fakeStore) WriteVersion(n int, w io.Writer) error     { return nil }
 func (f *fakeStore) History(string) (*xarch.VersionSet, error) { return nil, xarch.ErrNoSuchElement }
 func (f *fakeStore) ContentHistory(string) ([]int, error)      { return nil, nil }
 func (f *fakeStore) Stats() (xarch.Stats, error)               { return xarch.Stats{}, nil }
+func (f *fakeStore) CompressedSize() (int, error)              { return 0, nil }
 func (f *fakeStore) Snapshot(w io.Writer) error                { return nil }
 func (f *fakeStore) Close() error                              { f.closed.Store(true); return nil }
 

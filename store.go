@@ -72,6 +72,12 @@ type Store interface {
 	// Stats summarizes the archive's structure (timestamp inheritance,
 	// interval fragmentation, XML size).
 	Stats() (Stats, error)
+	// CompressedSize returns the archive's compressed size in bytes (§5.4,
+	// the paper's headline space metric). The in-memory engine reports the
+	// XMill-compressed size of the archive XML; the external engine
+	// reports its actual on-disk token bytes — stored segment payloads
+	// plus per-segment dictionaries.
+	CompressedSize() (int, error)
 	// Snapshot streams the archive itself, in the paper's XML form, to w.
 	// The snapshot can be reloaded with LoadStore.
 	Snapshot(w io.Writer) error
@@ -107,6 +113,9 @@ type config struct {
 	noSeek      bool    // external engine: disable key-directory seeks
 	compTarget  int     // external engine: undersized-segment threshold, in bytes
 	compBudget  int     // external engine: opportunistic compaction budget per Add, in bytes
+	segFormat   int     // external engine segment format (0 = current default)
+	noMigrate   bool    // external engine: keep legacy-format segments as they are
+	segCompress bool    // external engine: block-compress segment payloads
 	fs          fsio.FS // external engine filesystem (nil = the real one)
 }
 
@@ -218,6 +227,31 @@ func WithDirectorySeek(on bool) Option {
 // default) uses the real filesystem directly. External engine only.
 func WithFS(fs fsio.FS) Option {
 	return func(c *config) { c.fs = fs }
+}
+
+// WithSegmentCompression toggles block compression of the external
+// engine's segment payloads: each segment's token stream is deflated in
+// 64 KiB blocks with a per-block index in the segment header, so
+// directory seeks still land mid-segment and decompress only the blocks
+// they touch. Off by default — the dictionary-interned segment format
+// already shrinks the archive, and raw payloads keep full scans
+// cheapest; turn it on where disk bytes dominate. External engine only.
+func WithSegmentCompression(on bool) Option {
+	return func(c *config) { c.segCompress = on }
+}
+
+// withSegmentFormat pins the external engine's segment format (1 =
+// legacy inline strings, 2 = interned). Test-only: mixed-version and
+// migration tests build legacy archives with it.
+func withSegmentFormat(v int) Option {
+	return func(c *config) { c.segFormat = v }
+}
+
+// withNoMigrate suppresses the external engine's open-time rewrite of
+// legacy-format segments. Test-only: mixed-version tests read archives
+// holding both formats at once.
+func withNoMigrate(on bool) Option {
+	return func(c *config) { c.noMigrate = on }
 }
 
 // WithMaterializedView makes the external engine answer queries from an

@@ -149,6 +149,131 @@ func TestEngineParity(t *testing.T) {
 	}
 }
 
+// TestEngineParityFormats pins byte-identical query output across three
+// stores of the same versions: the in-memory engine, a legacy format-1
+// external archive opened as a pre-migration fixture, and that same
+// archive after the transparent upgrade to format-2 segments.
+func TestEngineParityFormats(t *testing.T) {
+	mem := NewStore(mustSpec(t))
+	defer mem.Close()
+	dir := t.TempDir()
+	ext, err := OpenStore(dir, mustSpec(t), WithMemoryBudget(64), withSegmentFormat(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 4; n++ {
+		addString(t, mem, deptVersion(n))
+		addString(t, ext, deptVersion(n))
+	}
+	if err := ext.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sameAsMem := func(t *testing.T, s Store) {
+		t.Helper()
+		if mem.Versions() != s.Versions() {
+			t.Fatalf("versions: mem %d, got %d", mem.Versions(), s.Versions())
+		}
+		for n := 1; n <= 4; n++ {
+			var mw, sw strings.Builder
+			if err := mem.WriteVersion(n, &mw); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.WriteVersion(n, &sw); err != nil {
+				t.Fatal(err)
+			}
+			if mw.String() != sw.String() {
+				t.Errorf("WriteVersion(%d) bytes differ from mem engine", n)
+			}
+		}
+		for _, sel := range []string{"/db/dept[name=d1]", "/db/dept[name=d2]/emp[fn=F2,ln=L2]"} {
+			mh, err := mem.History(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := s.History(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !mh.Equal(sh) {
+				t.Errorf("history %s: mem %q, got %q", sel, mh, sh)
+			}
+			mc, err := mem.ContentHistory(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := s.ContentHistory(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(mc) != fmt.Sprint(sc) {
+				t.Errorf("ContentHistory(%s): mem %v, got %v", sel, mc, sc)
+			}
+		}
+		ms, err := mem.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := s.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms != ss {
+			t.Errorf("stats differ:\nmem %+v\ngot %+v", ms, ss)
+		}
+		var msnap, ssnap strings.Builder
+		if err := mem.Snapshot(&msnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Snapshot(&ssnap); err != nil {
+			t.Fatal(err)
+		}
+		if msnap.String() != ssnap.String() {
+			t.Errorf("snapshots differ (%d vs %d bytes)", msnap.Len(), ssnap.Len())
+		}
+	}
+
+	// Pre-migration fixture: migration disabled, so the archive still
+	// holds exactly the format-1 segments the first open wrote.
+	v1, err := OpenStore(dir, mustSpec(t), WithMemoryBudget(64), withNoMigrate(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := v1.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range segs {
+		if sg.Format != 1 {
+			t.Fatalf("fixture segment %s has format %d, want 1", sg.File, sg.Format)
+		}
+	}
+	sameAsMem(t, v1)
+	if err := v1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Default open upgrades in place; answers must not move a byte.
+	v2, err := OpenStore(dir, mustSpec(t), WithMemoryBudget(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	segs, err = v2.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sg := range segs {
+		if sg.Format != 2 {
+			t.Fatalf("post-migration segment %s has format %d, want 2", sg.File, sg.Format)
+		}
+	}
+	sameAsMem(t, v2)
+	if n, err := v2.CompressedSize(); err != nil || n <= 0 {
+		t.Errorf("CompressedSize on migrated store: %d, %v", n, err)
+	}
+}
+
 // TestStreamingQueryAfterAdd pins the ingest/query interleaving contract
 // on the streaming path: a query issued immediately after every Add sees
 // the new version, byte-identical to the in-memory engine, with no view
