@@ -6,6 +6,7 @@
 //	xarch add      [-engine mem|ext] -spec keys.txt -archive PATH [-compact] [-budget N] [-novalidate] [-segtarget N] [-compactbudget N] version.xml
 //	xarch get      [-engine mem|ext] -spec keys.txt -archive PATH -version N
 //	xarch history  [-engine mem|ext] -spec keys.txt -archive PATH -selector /db/dept[name=finance] [-changes]
+//	xarch query    [-engine mem|ext] -spec keys.txt -archive PATH [-json] 'EXPR'
 //	xarch stats    [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch snapshot [-engine mem|ext] -spec keys.txt -archive PATH
 //	xarch inspect  -spec keys.txt -archive DIR [-verify]
@@ -25,6 +26,17 @@
 // bounded-memory pipeline without ever parsing it into a tree, so
 // documents larger than RAM can be archived. Selectors
 // name elements by key, e.g. /db/dept[name=finance]/emp[fn=John,ln=Doe].
+//
+// "query" evaluates a boolean expression over the archive's records and
+// prints each matching record's path with the versions at which the
+// expression holds, e.g.
+//
+//	xarch query -spec keys.txt -archive DIR '/db/dept[name=finance] AND @grade=g2 AND changed 3..'
+//
+// Predicates are path selectors, @name[=value] attribute tests, version
+// constraints (in LO..HI, at N) and changed [LO..HI], combined with
+// AND/OR/NOT and parentheses. An empty result is still exit 0; a
+// malformed expression is a usage error (exit 2).
 //
 // "serve" keeps one external archive open as an HTTP/JSON service
 // (POST /v1/add, GET /v1/version/{n}, /v1/history, /v1/snapshot,
@@ -49,6 +61,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -70,6 +83,8 @@ func main() {
 		err = cmdGet(args)
 	case "history":
 		err = cmdHistory(args)
+	case "query":
+		err = cmdQuery(args)
 	case "validate":
 		err = cmdValidate(args)
 	case "stats":
@@ -109,12 +124,14 @@ func exitCode(err error) int {
 		return 3
 	case errors.Is(err, xarch.ErrNoSuchVersion), errors.Is(err, xarch.ErrNoSuchElement):
 		return 4
+	case errors.Is(err, xarch.ErrBadQuery):
+		return 2
 	}
 	return 1
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|validate|stats|snapshot|inspect|compact|fsck|serve|push|pull} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: xarch {add|get|history|query|validate|stats|snapshot|inspect|compact|fsck|serve|push|pull} [flags]")
 	os.Exit(2)
 }
 
@@ -308,6 +325,45 @@ func cmdHistory(args []string) error {
 			return err
 		}
 		fmt.Printf("content changed at: %v\n", ch)
+	}
+	return nil
+}
+
+// cmdQuery evaluates a boolean Select expression and prints one line per
+// matching record: its display path and the interval set of versions at
+// which the expression holds. No matches is still success.
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	sf := addStoreFlags(fs)
+	asJSON := fs.Bool("json", false, "print the matches as a JSON array")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("query needs -spec, -archive and one expression: %w", xarch.ErrBadQuery)
+	}
+	expr := fs.Arg(0)
+	// Parse before opening the store so a malformed expression reports
+	// without touching the archive.
+	if _, err := xarch.ParseQuery(expr); err != nil {
+		return err
+	}
+	store, _, err := openStore(sf, false)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	results, err := store.Select(expr)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if results == nil {
+			results = []xarch.SelectResult{}
+		}
+		return enc.Encode(results)
+	}
+	for _, r := range results {
+		fmt.Printf("%s\t%s\n", r.Path, r.Versions)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"xarch/internal/core"
 	"xarch/internal/extmem"
 	"xarch/internal/keys"
+	"xarch/internal/qlang"
 )
 
 // Sentinel errors. Every error returned by a Store wraps one of these (or
@@ -22,6 +23,8 @@ var (
 	ErrAmbiguousSelector = core.ErrAmbiguousSelector
 	// ErrBadSelector reports a selector that does not parse.
 	ErrBadSelector = core.ErrBadSelector
+	// ErrBadQuery reports a Select expression that does not parse.
+	ErrBadQuery = qlang.ErrBadQuery
 	// ErrCorruptArchive reports structural corruption discovered while
 	// reading an archive.
 	ErrCorruptArchive = core.ErrCorruptArchive

@@ -6,6 +6,7 @@ import (
 
 	"xarch/internal/core"
 	"xarch/internal/extmem"
+	"xarch/internal/qlang"
 	"xarch/internal/xmltree"
 )
 
@@ -56,6 +57,7 @@ func OpenStore(dir string, spec *KeySpec, opts ...Option) (*ExtStore, error) {
 		SegmentFormat:    cfg.segFormat,
 		NoMigrate:        cfg.noMigrate,
 		Compression:      cfg.segCompress,
+		NoAttrIndex:      cfg.noQueryIdx,
 		FS:               cfg.fs,
 	})
 	if err != nil {
@@ -300,6 +302,32 @@ func (s *ExtStore) ContentHistory(selector string) ([]int, error) {
 	}
 	defer q.Close()
 	return q.ContentHistory(selector)
+}
+
+// Select evaluates a boolean query expression against the archive's
+// records; see Store.Select. With the attribute-index sidecar present
+// (the default) selective predicates answer from the index and read only
+// the matched subtrees' bytes; without it (WithQueryIndex(false), a
+// stale sidecar, or a v1 archive that never rebuilt one) the same
+// expression streams the records and answers identically.
+func (s *ExtStore) Select(expr string) ([]SelectResult, error) {
+	e, err := qlang.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.matview {
+		v, err := s.acquireView()
+		if err != nil {
+			return nil, err
+		}
+		return evalRecords(e, memRecords(v.Root(), v.Versions()))
+	}
+	q, err := s.query()
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+	return q.Select(e)
 }
 
 // Stats summarizes the archive's structure with streaming scans.

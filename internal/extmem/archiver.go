@@ -76,6 +76,17 @@ type Archiver struct {
 	// committed layout untouched — but the store surfaces the condition
 	// here rather than silently dropping it.
 	CompactErr error
+	// IdxErr holds the error of the last attribute-index sidecar rebuild,
+	// if any. The sidecar is advisory (see attridx.go): a failed rebuild
+	// only costs query speed, never correctness, so the commit that
+	// triggered it still succeeds.
+	IdxErr error
+
+	// aidx is the attribute index bound to curDir, nil when absent or
+	// disabled; pendingIdx parks per-file facts captured during segment
+	// writes until the post-commit sidecar rebuild consumes them.
+	aidx       *attrIndex
+	pendingIdx map[string]*capFile
 }
 
 // genState tracks one committed directory generation: how many open
@@ -132,6 +143,15 @@ type Config struct {
 	// O(1) in the segment count again, at the price of the first query
 	// into each segment paying its dictionary decode.
 	NoDictPreload bool
+	// NoAttrIndex disables the attr.idx secondary-index sidecar: segment
+	// writes skip fact capture, commits skip the sidecar rebuild, and
+	// Select queries always run the exact streaming scan (diagnostic
+	// knob; the indexed and scan paths answer identically).
+	NoAttrIndex bool
+	// RebuildAttrIndex forces a sidecar rebuild at Open even when no
+	// version is added — fsck -repair uses it to restore a deleted or
+	// stale attr.idx.
+	RebuildAttrIndex bool
 	// FS is the filesystem all archive I/O goes through. Nil means the
 	// real filesystem (fsio.OS); the crash-consistency harness injects a
 	// fsio.FaultFS here.
@@ -338,6 +358,10 @@ func (ar *Archiver) finishOpen() {
 	ar.fs.Remove(filepath.Join(ar.dir, archiveFile))
 	ar.sweepTmp()
 	ar.preloadDicts()
+	ar.loadAttrIndex()
+	if ar.aidx == nil && ar.cfg.RebuildAttrIndex {
+		ar.updateAttrIndex()
+	}
 }
 
 // preloadDicts warms the dictionary cache for every committed v2
@@ -766,6 +790,9 @@ func (ar *Archiver) addBatch(readers []io.Reader) ([]BatchItem, error) {
 			ar.fs.Remove(filepath.Join(ar.dir, f))
 		}
 	}
+	// The batch is durable; refresh the advisory attribute-index sidecar
+	// for the new directory (best-effort, see attridx.go).
+	ar.updateAttrIndex()
 	// Opportunistic maintenance: coalesce undersized neighbor segments
 	// under the configured byte budget. The batch is already durable; a
 	// compaction failure leaves the committed layout intact and is

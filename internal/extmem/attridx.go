@@ -1,0 +1,787 @@
+package extmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"xarch/internal/intervals"
+	"xarch/internal/keys"
+	"xarch/internal/qlang"
+)
+
+// The attr.idx sidecar is the external engine's persistent secondary
+// index for boolean Select queries: per archive record (a level-2 child
+// entry, or a raw frontier root) it stores the attribute facts (name,
+// value, effective lifespan), the content-change facts, and — for
+// non-frontier entries written with token capture — a mini-index of the
+// record's direct children with their byte spans inside the entry, so
+// depth-3+ selector steps seek straight to the matched child subtree
+// instead of streaming the whole record.
+//
+// The sidecar is ADVISORY, never authoritative. It is bound to one exact
+// key directory by the keydir.idx file checksum: any commit produces a
+// new checksum, so a sidecar that missed its commit (crash, write error)
+// is simply stale and gets bypassed — queries fall back to the exact
+// streaming scan and answer identically, just slower. Writable opens
+// delete a stale or corrupt sidecar; the next commit rebuilds it,
+// reusing postings of every segment file whose name and CRC are
+// unchanged. Sidecar write failures never degrade the writer.
+const (
+	attrIdxFile   = "attr.idx"
+	attrIdxMagic  = "XAI1"
+	attrIdxFormat = 1
+)
+
+// idxChange is one content-change fact: an explicit group's first
+// version, or an inherit marker resolving to the record lifespan's
+// minimum at evaluation time.
+type idxChange struct {
+	explicit bool
+	v        int
+}
+
+// idxAttr is one attribute occurrence inside a record subtree. timeStr
+// is the owning element's effective timestamp relative to the record;
+// "" inherits the record lifespan.
+type idxAttr struct {
+	name    string
+	value   string
+	timeStr string
+}
+
+// idxKid is one direct child of a non-frontier record: its identity and
+// the byte span of its subtree relative to the record's entry span (in
+// uncompressed payload space), so it survives byte-level coalescing.
+type idxKid struct {
+	name    string
+	key     *tkey
+	timeStr string // "" inherits the record's effective timestamp
+	off     int64
+	size    int64
+}
+
+// idxEntry is the indexed form of one record.
+type idxEntry struct {
+	hasGroups bool
+	hasKids   bool // kid spans recorded (capture-built, non-frontier)
+	changes   []idxChange
+	attrs     []idxAttr
+	kids      []idxKid
+}
+
+// fileIdx is the per-segment-file posting list: one idxEntry per
+// directory entry, index-aligned with segmentRecord.entries.
+type fileIdx struct {
+	crc     uint32
+	entries []*idxEntry
+}
+
+// rawIdx is the posting of one raw (depth-1 frontier) root, keyed by
+// root label. sig binds it to the exact segment files holding the root.
+type rawIdx struct {
+	sig string
+	e   *idxEntry
+}
+
+// attrIndex is the in-memory sidecar: bound to one key directory by
+// keydirCRC. Immutable after construction; the lazily-built inverted
+// map is guarded by invOnce.
+type attrIndex struct {
+	keydirCRC uint32
+	versions  int
+	files     map[string]*fileIdx
+	raws      map[string]*rawIdx
+
+	invOnce sync.Once
+	inv     map[string][]int // attr posting key -> record ordinals
+	invN    int              // record count the ordinals index into
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+
+func encodeIdxEntry(w *kdWriter, e *idxEntry) {
+	var flags byte
+	if e.hasGroups {
+		flags |= 1
+	}
+	if e.hasKids {
+		flags |= 2
+	}
+	w.b.WriteByte(flags)
+	w.varint(uint64(len(e.changes)))
+	for _, c := range e.changes {
+		if c.explicit {
+			w.b.WriteByte(1)
+			w.varint(uint64(c.v))
+		} else {
+			w.b.WriteByte(0)
+		}
+	}
+	w.varint(uint64(len(e.attrs)))
+	for _, a := range e.attrs {
+		w.str(a.name)
+		w.str(a.value)
+		w.str(a.timeStr)
+	}
+	w.varint(uint64(len(e.kids)))
+	for _, k := range e.kids {
+		w.str(k.name)
+		w.key(k.key)
+		w.str(k.timeStr)
+		w.varint(uint64(k.off))
+		w.varint(uint64(k.size))
+	}
+}
+
+func decodeIdxEntry(r *kdReader) *idxEntry {
+	e := &idxEntry{}
+	flags := r.byte()
+	e.hasGroups = flags&1 != 0
+	e.hasKids = flags&2 != 0
+	nc := int(r.varint())
+	for i := 0; i < nc && r.err == nil; i++ {
+		c := idxChange{explicit: r.byte() == 1}
+		if c.explicit {
+			c.v = int(r.varint())
+		}
+		e.changes = append(e.changes, c)
+	}
+	na := int(r.varint())
+	for i := 0; i < na && r.err == nil; i++ {
+		e.attrs = append(e.attrs, idxAttr{name: r.str(), value: r.str(), timeStr: r.str()})
+	}
+	nk := int(r.varint())
+	for i := 0; i < nk && r.err == nil; i++ {
+		e.kids = append(e.kids, idxKid{
+			name: r.str(), key: r.key(), timeStr: r.str(),
+			off: int64(r.varint()), size: int64(r.varint()),
+		})
+	}
+	return e
+}
+
+// encode renders the sidecar with the same whole-file CRC32 trailer as
+// keydir.idx.
+func (x *attrIndex) encode(d *keyDirectory) []byte {
+	var w kdWriter
+	w.b.WriteString(attrIdxMagic)
+	w.varint(attrIdxFormat)
+	w.varint(uint64(x.keydirCRC))
+	w.varint(uint64(x.versions))
+	// Emit in directory order so the encoding is deterministic.
+	nFiles := 0
+	for _, r := range d.roots {
+		if !r.raw {
+			nFiles += len(r.segs)
+		}
+	}
+	w.varint(uint64(nFiles))
+	for _, r := range d.roots {
+		if r.raw {
+			continue
+		}
+		for _, s := range r.segs {
+			f := x.files[s.file]
+			w.str(s.file)
+			w.varint(uint64(f.crc))
+			w.varint(uint64(len(f.entries)))
+			for _, e := range f.entries {
+				encodeIdxEntry(&w, e)
+			}
+		}
+	}
+	nRaws := 0
+	for _, r := range d.roots {
+		if r.raw {
+			nRaws++
+		}
+	}
+	w.varint(uint64(nRaws))
+	for _, r := range d.roots {
+		if !r.raw {
+			continue
+		}
+		label := keyLabel(r.name, r.key)
+		ri := x.raws[label]
+		w.str(label)
+		w.str(ri.sig)
+		encodeIdxEntry(&w, ri.e)
+	}
+	body := w.b.Bytes()
+	sum := crc32.ChecksumIEEE(body)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], sum)
+	return append(body, tail[:]...)
+}
+
+func decodeAttrIndex(data []byte) (*attrIndex, error) {
+	if len(data) < len(attrIdxMagic)+4 {
+		return nil, fmt.Errorf("extmem: attr index truncated")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("extmem: attr index checksum mismatch")
+	}
+	if string(body[:len(attrIdxMagic)]) != attrIdxMagic {
+		return nil, fmt.Errorf("extmem: attr index bad magic")
+	}
+	r := &kdReader{r: bytes.NewReader(body[len(attrIdxMagic):])}
+	if format := r.varint(); format != attrIdxFormat {
+		return nil, fmt.Errorf("extmem: attr index format %d not supported", format)
+	}
+	x := &attrIndex{
+		keydirCRC: uint32(r.varint()),
+		files:     map[string]*fileIdx{},
+		raws:      map[string]*rawIdx{},
+	}
+	x.versions = int(r.varint())
+	nFiles := int(r.varint())
+	for i := 0; i < nFiles && r.err == nil; i++ {
+		name := r.str()
+		f := &fileIdx{crc: uint32(r.varint())}
+		ne := int(r.varint())
+		for j := 0; j < ne && r.err == nil; j++ {
+			f.entries = append(f.entries, decodeIdxEntry(r))
+		}
+		x.files[name] = f
+	}
+	nRaws := int(r.varint())
+	for i := 0; i < nRaws && r.err == nil; i++ {
+		label := r.str()
+		ri := &rawIdx{sig: r.str()}
+		ri.e = decodeIdxEntry(r)
+		x.raws[label] = ri
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("extmem: attr index: %w", r.err)
+	}
+	return x, nil
+}
+
+// ---------------------------------------------------------------------------
+// Write-time capture (v2 segments)
+
+// capAttr/capKid/capEntry are the pending, dictionary-id form of an
+// entry's facts, derived from the captured token run at segment close
+// and resolved to strings when the sidecar is rebuilt after commit.
+type capAttr struct {
+	tag     int
+	value   string
+	timeStr string
+}
+
+type capKid struct {
+	tag     int
+	key     *tkey
+	timeStr string
+	off     int64
+	size    int64
+}
+
+type capEntry struct {
+	hasGroups bool
+	changes   []idxChange
+	attrs     []capAttr
+	kids      []capKid
+	hasKids   bool
+}
+
+type capFile struct {
+	crc     uint32
+	entries []*capEntry
+}
+
+// captureEntryFacts walks one entry's captured tokens and derives its
+// facts. m is the entry's token range (open token through balancing
+// close); tokOffs, when non-nil, holds the byte offset of every token in
+// uncompressed payload space plus a final total, enabling kid spans.
+// Effective timestamps follow the same replacement rule as
+// core.ResolveFrom; group content inherits the group time.
+//
+// Change facts mirror qlang.FactsOf over the materialized subtree: every
+// explicit group (at any depth, outside other groups) changed at its
+// time's minimum; an element holding both groups and plain content has a
+// shared nil-time group, which changed at the element's effective
+// minimum — an inherit marker when that is the record lifespan.
+func captureEntryFacts(toks []token, m entryMark, tokOffs []int64) *capEntry {
+	e := &capEntry{hasKids: tokOffs != nil}
+	eff := []string{""}
+	depth := 0
+	groupDepth := 0
+	// Per open element (the entry itself at depth 1): whether it holds
+	// group and plain content directly, for shared-group change facts.
+	var sawTS, sawPlain []bool
+	var entryOff int64
+	if tokOffs != nil {
+		entryOff = tokOffs[m.start]
+	}
+	markPlain := func() {
+		if groupDepth == 0 && len(sawPlain) > 0 {
+			sawPlain[len(sawPlain)-1] = true
+		}
+	}
+	for i := m.start; i < m.end; i++ {
+		t := &toks[i]
+		switch t.op {
+		case tokOpen:
+			markPlain()
+			depth++
+			ne := eff[len(eff)-1]
+			if depth == 1 {
+				ne = "" // the entry's own time lives in the directory
+			} else {
+				if t.data != "" {
+					ne = t.data
+				}
+				if depth == 2 && groupDepth == 0 && tokOffs != nil {
+					e.kids = append(e.kids, capKid{
+						tag: t.tag, key: t.key, timeStr: t.data,
+						off: tokOffs[i] - entryOff,
+					})
+				}
+			}
+			eff = append(eff, ne)
+			sawTS = append(sawTS, false)
+			sawPlain = append(sawPlain, false)
+		case tokClose:
+			if depth == 2 && groupDepth == 0 && tokOffs != nil && len(e.kids) > 0 {
+				kk := &e.kids[len(e.kids)-1]
+				kk.size = tokOffs[i+1] - entryOff - kk.off
+			}
+			if sawTS[len(sawTS)-1] && sawPlain[len(sawPlain)-1] {
+				// The closing element mixes groups and shared content:
+				// the shared part is a nil-time group that changed at the
+				// element's effective minimum.
+				if es := eff[len(eff)-1]; es == "" {
+					e.changes = append(e.changes, idxChange{})
+				} else if ts, err := intervals.Parse(es); err == nil && !ts.Empty() {
+					e.changes = append(e.changes, idxChange{explicit: true, v: ts.Min()})
+				} else {
+					e.changes = append(e.changes, idxChange{})
+				}
+			}
+			sawTS = sawTS[:len(sawTS)-1]
+			sawPlain = sawPlain[:len(sawPlain)-1]
+			eff = eff[:len(eff)-1]
+			depth--
+		case tokTSOpen:
+			if groupDepth == 0 {
+				e.hasGroups = true
+				if len(sawTS) > 0 {
+					sawTS[len(sawTS)-1] = true
+				}
+				if ts, err := intervals.Parse(t.data); err == nil && !ts.Empty() {
+					e.changes = append(e.changes, idxChange{explicit: true, v: ts.Min()})
+				}
+			}
+			groupDepth++
+			eff = append(eff, t.data)
+		case tokTSClose:
+			groupDepth--
+			eff = eff[:len(eff)-1]
+		case tokAttr:
+			if depth >= 1 {
+				e.attrs = append(e.attrs, capAttr{tag: t.tag, value: t.data, timeStr: eff[len(eff)-1]})
+			}
+			markPlain()
+		case tokText:
+			markPlain()
+		}
+	}
+	e.changes = normalizeIdxChanges(e.changes)
+	return e
+}
+
+// normalizeIdxChanges mirrors qlang's canonical change order: at most one
+// inherit marker first, then distinct explicit versions ascending.
+func normalizeIdxChanges(cs []idxChange) []idxChange {
+	if len(cs) == 0 {
+		return cs
+	}
+	inherit := false
+	seen := map[int]bool{}
+	var vs []int
+	for _, c := range cs {
+		if !c.explicit {
+			inherit = true
+		} else if !seen[c.v] {
+			seen[c.v] = true
+			vs = append(vs, c.v)
+		}
+	}
+	sort.Ints(vs)
+	out := cs[:0]
+	if inherit {
+		out = append(out, idxChange{})
+	}
+	for _, v := range vs {
+		out = append(out, idxChange{explicit: true, v: v})
+	}
+	return out
+}
+
+// captureIdx derives the per-entry facts of a freshly written v2
+// segment and parks them on the archiver, keyed by file name, for the
+// post-commit sidecar rebuild. Raw segments carry no entry marks and
+// are always scan-indexed.
+func (sw *segmentSetWriter) captureIdx(rec *segmentRecord, res *encodedSegment) {
+	if sw.ar.cfg.NoAttrIndex || sw.raw || len(sw.marks) == 0 {
+		return
+	}
+	cf := &capFile{crc: rec.crc}
+	for _, m := range sw.marks {
+		cf.entries = append(cf.entries, captureEntryFacts(sw.cap.toks, m, res.tokOffs))
+	}
+	if sw.ar.pendingIdx == nil {
+		sw.ar.pendingIdx = map[string]*capFile{}
+	}
+	sw.ar.pendingIdx[rec.file] = cf
+}
+
+// ---------------------------------------------------------------------------
+// Build and maintenance
+
+// rawSig identifies the exact bytes of a raw root: its segment files and
+// their payload CRCs.
+func rawSig(r *rootRecord) string {
+	sig := ""
+	for _, s := range r.segs {
+		sig += fmt.Sprintf("%s:%08x;", s.file, s.crc)
+	}
+	return sig
+}
+
+// factsToIdx converts scan-derived record facts to the stored form.
+func factsToIdx(f *qlang.RecordFacts) *idxEntry {
+	e := &idxEntry{hasGroups: f.HasGroups}
+	for _, c := range f.Changes {
+		e.changes = append(e.changes, idxChange{explicit: c.Explicit, v: c.V})
+	}
+	for _, a := range f.Attrs {
+		ts := ""
+		if a.Time != nil {
+			ts = a.Time.String()
+		}
+		e.attrs = append(e.attrs, idxAttr{name: a.Name, value: a.Value, timeStr: ts})
+	}
+	return e
+}
+
+// idxToFacts converts a stored entry back to record facts for the
+// shared qlang evaluators.
+func idxToFacts(e *idxEntry) (*qlang.RecordFacts, error) {
+	f := &qlang.RecordFacts{HasGroups: e.hasGroups}
+	for _, c := range e.changes {
+		f.Changes = append(f.Changes, qlang.ChangeItem{Explicit: c.explicit, V: c.v})
+	}
+	for _, a := range e.attrs {
+		var ts *intervals.Set
+		if a.timeStr != "" {
+			var err error
+			ts, err = intervals.Parse(a.timeStr)
+			if err != nil {
+				return nil, corruptf("attr index timestamp %q", a.timeStr)
+			}
+		}
+		f.Attrs = append(f.Attrs, qlang.AttrFact{Name: a.name, Value: a.value, Time: ts})
+	}
+	return f, nil
+}
+
+// resolveCapEntry converts a pending capture entry to the stored form,
+// resolving dictionary ids and dropping kid spans for frontier entries
+// (their content is group-structured, not seekable by child).
+func (ar *Archiver) resolveCapEntry(ce *capEntry, frontier bool) (*idxEntry, error) {
+	e := &idxEntry{hasGroups: ce.hasGroups}
+	e.changes = append(e.changes, ce.changes...)
+	names := ar.dict.snapshot()
+	name := func(id int) (string, error) {
+		if id < 0 || id >= len(names) {
+			return "", fmt.Errorf("extmem: tag id %d outside dictionary", id)
+		}
+		return names[id], nil
+	}
+	for _, a := range ce.attrs {
+		n, err := name(a.tag)
+		if err != nil {
+			return nil, err
+		}
+		e.attrs = append(e.attrs, idxAttr{name: n, value: a.value, timeStr: a.timeStr})
+	}
+	if !frontier && ce.hasKids {
+		e.hasKids = true
+		for _, k := range ce.kids {
+			n, err := name(k.tag)
+			if err != nil {
+				return nil, err
+			}
+			e.kids = append(e.kids, idxKid{name: n, key: k.key, timeStr: k.timeStr, off: k.off, size: k.size})
+		}
+	}
+	return e, nil
+}
+
+// updateAttrIndex rebuilds the sidecar for the current committed
+// directory, reusing old postings for unchanged segment files, consuming
+// the write pass's captured facts for fresh ones, and scanning the rest.
+// It is strictly best-effort: any failure leaves the archive without a
+// (fresh) sidecar — queries fall back to scans — and never poisons the
+// writer. The batch that triggered it has already committed.
+func (ar *Archiver) updateAttrIndex() {
+	if ar.cfg.NoAttrIndex {
+		return
+	}
+	d := ar.curDir
+	idx, err := ar.buildAttrIndex(d, ar.aidx)
+	ar.pendingIdx = nil
+	if err != nil {
+		ar.aidx = nil
+		ar.IdxErr = err
+		return
+	}
+	data := idx.encode(d)
+	if err := writeFileAtomic(ar.fs, filepath.Join(ar.dir, attrIdxFile), data); err != nil {
+		// The in-memory index is still exact for this directory; only
+		// the next open loses it. Never a commit fault for the caller.
+		ar.IdxErr = err
+	} else {
+		ar.IdxErr = nil
+	}
+	ar.aidx = idx
+}
+
+func (ar *Archiver) buildAttrIndex(d *keyDirectory, old *attrIndex) (*attrIndex, error) {
+	idx := &attrIndex{
+		keydirCRC: d.crc,
+		versions:  d.versions,
+		files:     map[string]*fileIdx{},
+		raws:      map[string]*rawIdx{},
+	}
+	var q *QueryView
+	defer func() {
+		if q != nil {
+			q.Close()
+		}
+	}()
+	scanView := func() (*QueryView, error) {
+		if q == nil {
+			var err error
+			q, err = ar.OpenQuery()
+			if err != nil {
+				return nil, err
+			}
+			q.aidx = nil // the sidecar under (re)construction must not serve
+		}
+		return q, nil
+	}
+	for _, r := range d.roots {
+		if r.raw {
+			label := keyLabel(r.name, r.key)
+			sig := rawSig(r)
+			if old != nil {
+				if ri := old.raws[label]; ri != nil && ri.sig == sig {
+					idx.raws[label] = ri
+					continue
+				}
+			}
+			qv, err := scanView()
+			if err != nil {
+				return nil, err
+			}
+			node, err := qv.rawNode(r)
+			if err != nil {
+				return nil, err
+			}
+			idx.raws[label] = &rawIdx{sig: sig, e: factsToIdx(qlang.FactsOf(node))}
+			continue
+		}
+		frontierEntry := func(e *childEntry) bool {
+			return ar.spec.IsFrontier(keys.Path([]string{r.name, e.name}))
+		}
+		for _, s := range r.segs {
+			if old != nil {
+				if of := old.files[s.file]; of != nil && of.crc == s.crc && len(of.entries) == len(s.entries) {
+					idx.files[s.file] = of
+					continue
+				}
+			}
+			if cf := ar.pendingIdx[s.file]; cf != nil && cf.crc == s.crc && len(cf.entries) == len(s.entries) {
+				f := &fileIdx{crc: s.crc}
+				ok := true
+				for i, ce := range cf.entries {
+					e, err := ar.resolveCapEntry(ce, frontierEntry(&s.entries[i]))
+					if err != nil {
+						ok = false
+						break
+					}
+					f.entries = append(f.entries, e)
+				}
+				if ok {
+					idx.files[s.file] = f
+					continue
+				}
+			}
+			// Scan fallback: v1 segments, migrated files, byte-coalesced
+			// compaction outputs. Exact facts, no kid spans.
+			qv, err := scanView()
+			if err != nil {
+				return nil, err
+			}
+			f := &fileIdx{crc: s.crc}
+			for i := range s.entries {
+				node, err := qv.entryNode(r, s, &s.entries[i])
+				if err != nil {
+					return nil, err
+				}
+				f.entries = append(f.entries, factsToIdx(qlang.FactsOf(node)))
+			}
+			idx.files[s.file] = f
+		}
+	}
+	return idx, nil
+}
+
+// loadAttrIndex loads and validates the sidecar at open time. A missing
+// sidecar is normal; a corrupt or stale one is deleted (this is the
+// writable open path) so fsck after recovery sees a clean directory.
+func (ar *Archiver) loadAttrIndex() {
+	if ar.cfg.NoAttrIndex {
+		return
+	}
+	path := filepath.Join(ar.dir, attrIdxFile)
+	data, err := ar.fs.ReadFile(path)
+	if errors.Is(err, iofs.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		return
+	}
+	x, derr := decodeAttrIndex(data)
+	if derr != nil || x.keydirCRC != ar.curDir.crc || !ar.attrIndexMatches(x) {
+		ar.fs.Remove(path)
+		return
+	}
+	ar.aidx = x
+}
+
+// attrIndexMatches cross-checks a decoded sidecar against the current
+// directory: every live segment file and raw root must be covered with
+// matching CRCs and entry counts.
+func (ar *Archiver) attrIndexMatches(x *attrIndex) bool {
+	d := ar.curDir
+	for _, r := range d.roots {
+		if r.raw {
+			ri := x.raws[keyLabel(r.name, r.key)]
+			if ri == nil || ri.sig != rawSig(r) {
+				return false
+			}
+			continue
+		}
+		for _, s := range r.segs {
+			f := x.files[s.file]
+			if f == nil || f.crc != s.crc || len(f.entries) != len(s.entries) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Inverted candidate map
+
+func invNameKey(name string) string        { return "n\x00" + name }
+func invPairKey(name, value string) string { return "v\x00" + name + "\x00" + value }
+func invAdd(m map[string][]int, k string, ord int) {
+	l := m[k]
+	if len(l) > 0 && l[len(l)-1] == ord {
+		return
+	}
+	m[k] = append(l, ord)
+}
+
+// buildInv builds the inverted attribute map over the directory's record
+// enumeration order (raws and entries interleaved exactly as
+// QueryView.records enumerates them).
+func (x *attrIndex) buildInv(d *keyDirectory) {
+	x.invOnce.Do(func() {
+		m := map[string][]int{}
+		ord := 0
+		add := func(e *idxEntry) {
+			for i := range e.attrs {
+				a := &e.attrs[i]
+				invAdd(m, invNameKey(a.name), ord)
+				invAdd(m, invPairKey(a.name, a.value), ord)
+			}
+			ord++
+		}
+		for _, r := range d.roots {
+			if r.raw {
+				if ri := x.raws[keyLabel(r.name, r.key)]; ri != nil {
+					add(ri.e)
+				}
+				continue
+			}
+			for _, s := range r.segs {
+				if f := x.files[s.file]; f != nil {
+					for _, e := range f.entries {
+						add(e)
+					}
+				}
+			}
+		}
+		x.inv = m
+		x.invN = ord
+	})
+}
+
+// candidates returns the sorted record ordinals that contain every
+// required attribute predicate — a sound superset of the matching
+// records, since a record lacking a required attribute evaluates that
+// conjunct to the empty set.
+func (x *attrIndex) candidates(d *keyDirectory, preds []*qlang.AttrPred) []int {
+	x.buildInv(d)
+	var acc []int
+	for i, p := range preds {
+		k := invNameKey(p.Name)
+		if p.HasValue {
+			k = invPairKey(p.Name, p.Value)
+		}
+		l := x.inv[k]
+		if i == 0 {
+			acc = append([]int{}, l...)
+		} else {
+			acc = intersectSorted(acc, l)
+		}
+		if len(acc) == 0 {
+			return []int{}
+		}
+	}
+	return acc
+}
+
+func intersectSorted(a, b []int) []int {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -219,6 +219,7 @@ func (ar *Archiver) compact(budget int64) (CompactStats, error) {
 		return fail(err)
 	}
 	ar.installDir(out)
+	ar.updateAttrIndex()
 	ar.LastCompact = st
 	return st, nil
 }

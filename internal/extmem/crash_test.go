@@ -88,8 +88,21 @@ func assertRecovered(t *testing.T, dir string, cfg Config, label string,
 			t.Errorf("%s: orphan segment %s survived reopen", label, filepath.Base(p))
 		}
 	}
+	dirCRC := ar.curDir.crc
 	if err := ar.Close(); err != nil {
 		t.Fatalf("%s: close recovered archive: %v", label, err)
+	}
+	// The advisory attr.idx sidecar must never survive a crash in a
+	// state a reader could misuse: after the writable reopen it is
+	// either absent (dropped, to be rebuilt by the next commit) or
+	// decodes cleanly and is bound to the recovered key directory.
+	if data, err := os.ReadFile(filepath.Join(dir, attrIdxFile)); err == nil {
+		x, derr := decodeAttrIndex(data)
+		if derr != nil {
+			t.Errorf("%s: attr.idx corrupt after recovery: %v", label, derr)
+		} else if x.keydirCRC != dirCRC {
+			t.Errorf("%s: stale attr.idx survived the writable reopen", label)
+		}
 	}
 	report, err := CheckArchive(nil, dir)
 	if err != nil {

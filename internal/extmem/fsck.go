@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"xarch/internal/fsio"
+	"xarch/internal/intervals"
 	"xarch/internal/keys"
 )
 
@@ -172,6 +173,13 @@ func CheckArchive(fs fsio.FS, dir string) (*CheckReport, error) {
 		}
 	}
 
+	// Attribute-index sidecar: advisory, so a missing file is not a
+	// finding at all and a stale one (left by a crash between a commit
+	// and its sidecar refresh) only warrants a note — queries bypass it
+	// and a writable open deletes it. A fresh sidecar, though, must agree
+	// with the key directory in every particular it indexes.
+	checkAttrIndex(fs, dir, d, r)
+
 	// Crash leftovers on disk: orphan segments no committed state
 	// references, transient scratch/rename files, a superseded legacy
 	// token file, and the degraded marker. All are removed by repair.
@@ -202,6 +210,112 @@ func CheckArchive(fs fsio.FS, dir string) (*CheckReport, error) {
 	return r, nil
 }
 
+// checkAttrIndex verifies the attr.idx sidecar against the decoded key
+// directory: whole-file checksum, binding CRC, coverage of every live
+// segment file and raw root, timestamp parseability and containment in
+// each record's lifespan, change versions within 1..versions, and kid
+// spans within their entry's payload span.
+func checkAttrIndex(fs fsio.FS, dir string, d *keyDirectory, r *CheckReport) {
+	data, err := fs.ReadFile(filepath.Join(dir, attrIdxFile))
+	if errors.Is(err, iofs.ErrNotExist) {
+		return
+	}
+	if err != nil {
+		r.add(attrIdxFile, "attridx", false, fmt.Sprintf("unreadable: %v", err))
+		return
+	}
+	x, derr := decodeAttrIndex(data)
+	if derr != nil {
+		r.add(attrIdxFile, "attridx", false, fmt.Sprintf("%v (deleted and rebuilt on open)", derr))
+		return
+	}
+	if d == nil {
+		r.add(attrIdxFile, "attridx", true, "decodes; keydir.idx unavailable for cross-check")
+		return
+	}
+	if x.keydirCRC != d.crc {
+		r.add(attrIdxFile, "attridx", true, "stale (advisory: bypassed by queries, deleted on writable open)")
+		return
+	}
+	checkEntry := func(e *idxEntry, eff *intervals.Set, where string) string {
+		for _, c := range e.changes {
+			if c.explicit && (c.v < 1 || c.v > x.versions) {
+				return fmt.Sprintf("%s: change version %d outside 1..%d", where, c.v, x.versions)
+			}
+		}
+		for _, a := range e.attrs {
+			if a.timeStr == "" {
+				continue
+			}
+			ts, err := intervals.Parse(a.timeStr)
+			if err != nil {
+				return fmt.Sprintf("%s: bad attr timestamp %q", where, a.timeStr)
+			}
+			if !ts.Minus(eff).Empty() {
+				return fmt.Sprintf("%s: attr %s lifespan %s outside record lifespan %s", where, a.name, a.timeStr, eff)
+			}
+		}
+		return ""
+	}
+	if x.versions != d.versions {
+		r.add(attrIdxFile, "attridx", false, fmt.Sprintf("version count %d disagrees with key directory %d", x.versions, d.versions))
+		return
+	}
+	for _, rr := range d.roots {
+		rootEff := d.rootTime
+		if rr.time != nil {
+			rootEff = rr.time
+		}
+		if rr.raw {
+			label := keyLabel(rr.name, rr.key)
+			ri := x.raws[label]
+			if ri == nil {
+				r.add(attrIdxFile, "attridx", false, fmt.Sprintf("raw root %s not indexed", label))
+				return
+			}
+			if ri.sig != rawSig(rr) {
+				r.add(attrIdxFile, "attridx", false, fmt.Sprintf("raw root %s indexed against different segment bytes", label))
+				return
+			}
+			if msg := checkEntry(ri.e, rootEff, "raw root "+label); msg != "" {
+				r.add(attrIdxFile, "attridx", false, msg)
+				return
+			}
+			continue
+		}
+		for _, s := range rr.segs {
+			f := x.files[s.file]
+			if f == nil {
+				r.add(attrIdxFile, "attridx", false, fmt.Sprintf("segment %s not indexed", s.file))
+				return
+			}
+			if f.crc != s.crc || len(f.entries) != len(s.entries) {
+				r.add(attrIdxFile, "attridx", false, fmt.Sprintf("segment %s postings disagree with directory record", s.file))
+				return
+			}
+			for i, e := range f.entries {
+				de := &s.entries[i]
+				eff := rootEff
+				if de.time != nil {
+					eff = de.time
+				}
+				where := fmt.Sprintf("%s entry %s", s.file, keyLabel(de.name, de.key))
+				if msg := checkEntry(e, eff, where); msg != "" {
+					r.add(attrIdxFile, "attridx", false, msg)
+					return
+				}
+				for _, k := range e.kids {
+					if k.off < 0 || k.size < 0 || de.offset+k.off+k.size > s.payload {
+						r.add(attrIdxFile, "attridx", false, fmt.Sprintf("%s: kid %s span outside segment payload", where, k.name))
+						return
+					}
+				}
+			}
+		}
+	}
+	r.add(attrIdxFile, "attridx", true, "checksum valid, agrees with key directory")
+}
+
 // RepairArchive restores an archive directory to a clean state: opening
 // it runs the recovery machinery (key directory rebuild from the meta
 // backup, meta self-heal, sweep of orphan segments and transient
@@ -213,6 +327,11 @@ func RepairArchive(fs fsio.FS, dir string, spec *keys.Spec, cfg Config) (*CheckR
 		fs = fsio.OS
 	}
 	cfg.FS = fs
+	// Repair also restores the advisory attr.idx sidecar: the open below
+	// deletes a stale or corrupt one, and this flag rebuilds it.
+	if !cfg.NoAttrIndex {
+		cfg.RebuildAttrIndex = true
+	}
 	ar, err := Open(dir, spec, cfg)
 	if err != nil {
 		return nil, err

@@ -114,7 +114,8 @@ type keyDirectory struct {
 	versions   int
 	rootTime   *intervals.Set
 	roots      []*rootRecord
-	encodedLen int // size of the persisted form; set at encode/decode
+	encodedLen int    // size of the persisted form; set at encode/decode
+	crc        uint32 // whole-file CRC of the persisted form; set at encode/decode
 }
 
 // files returns the set of segment files the directory references.
@@ -244,6 +245,7 @@ func (d *keyDirectory) encode() []byte {
 	binary.LittleEndian.PutUint32(tail[:], sum)
 	out := append(body, tail[:]...)
 	d.encodedLen = len(out)
+	d.crc = sum
 	return out
 }
 
@@ -375,6 +377,7 @@ func decodeKeyDirectory(data []byte) (*keyDirectory, error) {
 		return nil, err
 	}
 	d.encodedLen = len(data)
+	d.crc = binary.LittleEndian.Uint32(tail)
 	return d, nil
 }
 

@@ -39,6 +39,7 @@ type QueryView struct {
 	rootTime *intervals.Set
 	versions int
 	seek     bool
+	aidx     *attrIndex // attribute index bound to d, nil when absent
 	cur      *dirStream // the live stream of the current query, if any
 }
 
@@ -47,7 +48,7 @@ type QueryView struct {
 // layer serializes them); the returned view, however, may be used freely
 // while later Adds proceed.
 func (ar *Archiver) OpenQuery() (*QueryView, error) {
-	return &QueryView{
+	q := &QueryView{
 		ar:       ar,
 		d:        ar.curDir,
 		gen:      ar.acquireGen(),
@@ -56,7 +57,11 @@ func (ar *Archiver) OpenQuery() (*QueryView, error) {
 		rootTime: ar.curDir.rootTime.Clone(),
 		versions: ar.curDir.versions,
 		seek:     !ar.cfg.NoDirectorySeek,
-	}, nil
+	}
+	if ar.aidx != nil && ar.aidx.keydirCRC == ar.curDir.crc {
+		q.aidx = ar.aidx
+	}
+	return q, nil
 }
 
 // Close releases the view: any open segment stream is closed and the
@@ -737,6 +742,15 @@ func (q *QueryView) resolveEntry(r *rootRecord, s *segmentRecord, e *childEntry,
 		// reports their first version.
 		return &resolved{eff: eff, node: &anode.Node{Kind: xmltree.Element, Name: e.name}}, nil
 	}
+	if !frontier {
+		// With a fresh attribute index the entry's direct children carry
+		// byte spans: resolve the next step against that mini-index and
+		// seek straight to the one matched child subtree, instead of
+		// streaming every sibling of the entry.
+		if res, ok, err := q.resolveViaKids(r, s, e, eff, steps, stepPath, wantBody); ok || err != nil {
+			return res, err
+		}
+	}
 	tr := q.stream(entryParts(s, e))
 	defer tr.release()
 	if t, ok := tr.take(); !ok || t.op != tokOpen {
@@ -769,6 +783,69 @@ func (q *QueryView) resolveEntry(r *rootRecord, s *segmentRecord, e *childEntry,
 		return nil, corruptf("missing close at %s", stepPath)
 	}
 	return sub, nil
+}
+
+// resolveViaKids resolves steps[1] against the attribute index's kid
+// mini-index of the entry, seeking to the single matched child subtree.
+// ok=false means no usable index (absent sidecar, scan-built postings
+// without spans) and the caller falls back to streaming the entry. Match
+// order, ambiguity handling and error texts mirror resolveLevel exactly.
+func (q *QueryView) resolveViaKids(r *rootRecord, s *segmentRecord, e *childEntry, eff *intervals.Set, steps []core.SelectorStep, stepPath string, wantBody bool) (*resolved, bool, error) {
+	if q.aidx == nil {
+		return nil, false, nil
+	}
+	fi := q.aidx.files[s.file]
+	if fi == nil {
+		return nil, false, nil
+	}
+	var ent *idxEntry
+	for i := range s.entries {
+		if &s.entries[i] == e {
+			if i < len(fi.entries) {
+				ent = fi.entries[i]
+			}
+			break
+		}
+	}
+	if ent == nil || !ent.hasKids {
+		return nil, false, nil
+	}
+	step := &steps[1]
+	kidPath := stepPath + "/" + step.Tag
+	var first *idxKid
+	var foundLabel string
+	for ki := range ent.kids {
+		k := &ent.kids[ki]
+		if k.name != step.Tag || !entryMatches(step, k.key) {
+			continue
+		}
+		if first != nil {
+			return &resolved{err: core.AmbiguousSelectorError(kidPath, foundLabel, keyLabel(k.name, k.key))}, true, nil
+		}
+		first = k
+		foundLabel = keyLabel(k.name, k.key)
+	}
+	if first == nil {
+		return &resolved{err: core.NoSuchElementError(kidPath)}, true, nil
+	}
+	keff := eff
+	if first.timeStr != "" {
+		ts, err := intervals.Parse(first.timeStr)
+		if err != nil {
+			return nil, false, corruptf("attr index timestamp %q", first.timeStr)
+		}
+		keff = ts
+	}
+	tr := q.stream([]streamPart{{seg: s, off: e.offset + first.off, n: first.size}})
+	defer tr.release()
+	if t, ok := tr.take(); !ok || t.op != tokOpen {
+		return nil, false, corruptf("kid %s has no open token", first.name)
+	}
+	res, err := q.resolveInto(tr, first.name, keff, steps[1:], kidPath, []string{r.name, e.name, first.name}, wantBody)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
 }
 
 // resolveLevel scans the sibling sequence at the cursor (stopping at the

@@ -518,6 +518,7 @@ type encodedSegment struct {
 	dictLen    int64
 	compressed bool
 	offs       []entrySpan // per entryMark, in uncompressed payload space
+	tokOffs    []int64     // optional: byte offset of every token plus a final total
 }
 
 // segEncoder turns a captured token run into a v2 segment: it builds
@@ -535,6 +536,11 @@ type segEncoder struct {
 	pay, comp  bytes.Buffer
 	blockSizes []int64
 	offs       []entrySpan
+
+	// wantOffs asks encode to record the payload byte offset of every
+	// token (plus a final total), for the attribute index's child spans.
+	wantOffs bool
+	tokOffs  []int64
 }
 
 func newSegEncoder() *segEncoder {
@@ -573,6 +579,7 @@ func (enc *segEncoder) encode(raw, compress bool, rootName string, rootKey *tkey
 	enc.comp.Reset()
 	enc.blockSizes = enc.blockSizes[:0]
 	enc.offs = enc.offs[:0]
+	enc.tokOffs = enc.tokOffs[:0]
 
 	// Pass 1: collect the distinct strings and key tuples.
 	for i := range toks {
@@ -637,6 +644,9 @@ func (enc *segEncoder) encode(raw, compress bool, rootName string, rootKey *tkey
 		if mi < len(marks) && marks[mi].start == i {
 			enc.offs = append(enc.offs, entrySpan{off: int64(enc.pay.Len())})
 		}
+		if enc.wantOffs {
+			enc.tokOffs = append(enc.tokOffs, int64(enc.pay.Len()))
+		}
 		enc.writeTok(&toks[i])
 	}
 	if mi < len(enc.offs) && marks[mi].end == len(toks) {
@@ -652,6 +662,10 @@ func (enc *segEncoder) encode(raw, compress bool, rootName string, rootKey *tkey
 		crc:     crc32.ChecksumIEEE(enc.pay.Bytes()),
 		dictLen: int64(enc.dict.b.Len()),
 		offs:    enc.offs,
+	}
+	if enc.wantOffs {
+		enc.tokOffs = append(enc.tokOffs, int64(enc.pay.Len()))
+		res.tokOffs = enc.tokOffs
 	}
 
 	pay := enc.pay.Bytes()

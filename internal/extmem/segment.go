@@ -384,6 +384,7 @@ func newSegmentSetWriter(ar *Archiver, root *rootRecord, raw bool, emit func(*se
 	if sw.format == segFormatV2 {
 		sw.cap = &captureWriter{}
 		sw.enc = newSegEncoder()
+		sw.enc.wantOffs = !raw && !ar.cfg.NoAttrIndex
 		sw.out = sw.cap
 	} else {
 		sw.out = sw.tw
@@ -542,6 +543,7 @@ func (sw *segmentSetWriter) closeV2() {
 		return
 	}
 	sw.written += rec.payload
+	sw.captureIdx(rec, res)
 	sw.emit(rec)
 	sw.cur = nil
 }

@@ -1,0 +1,217 @@
+// Package qlang implements the boolean archive query language: AND/OR/NOT
+// over path selectors, attribute predicates, and version constraints.
+//
+// Grammar (keywords case-insensitive, canonical form upper/lower as shown):
+//
+//	expr    := or
+//	or      := and ( "OR" and )*
+//	and     := not ( "AND" not )*
+//	not     := "NOT" not | primary
+//	primary := "(" expr ")" | pred
+//	pred    := PATH                      -- /root/child[k=v]/... selector
+//	         | "@" NAME ( "=" VALUE )?   -- attribute presence / equality
+//	         | "in" SPAN                 -- lifespan restricted to a range
+//	         | "at" NUM                  -- alive at one version
+//	         | "changed" SPAN?           -- content-change versions
+//	SPAN    := NUM ".." NUM | NUM ".." | ".." NUM
+//
+// Each predicate evaluates, per archive record, to a set of versions; AND is
+// intersection, OR is union, and NOT is complement relative to the record's
+// lifespan. A record matches when the final set is non-empty.
+package qlang
+
+import (
+	"strconv"
+	"strings"
+
+	"xarch/internal/core"
+)
+
+// Expr is a parsed query expression. String renders the canonical textual
+// form, which reparses to an identical AST (Parse(e.String()) == e).
+type Expr interface {
+	String() string
+	// prec returns the binding precedence: Or=1, And=2, Not=3, atoms=4.
+	prec() int
+	write(b *strings.Builder)
+}
+
+// Pred is implemented by the leaf predicates.
+type Pred interface {
+	Expr
+	predNode()
+}
+
+// And matches versions present on both sides.
+type And struct{ L, R Expr }
+
+// Or matches versions present on either side.
+type Or struct{ L, R Expr }
+
+// Not matches versions of the record's lifespan absent from X.
+type Not struct{ X Expr }
+
+// PathPred is a selector predicate. Raw is the exact source text; Steps is
+// the parsed form (see core.ParseSelector).
+type PathPred struct {
+	Raw   string
+	Steps []core.SelectorStep
+}
+
+// AttrPred matches records containing an XML attribute Name (optionally with
+// value Value), yielding the versions at which the attribute's element exists.
+type AttrPred struct {
+	Name     string
+	HasValue bool
+	Value    string
+}
+
+// Span is a half-open-ended inclusive version range. At least one bound is
+// always set.
+type Span struct {
+	HasLo bool
+	Lo    int
+	HasHi bool
+	Hi    int
+}
+
+// RangePred restricts the record lifespan to a version range ("in 3..9").
+type RangePred struct{ Span Span }
+
+// AtPred restricts the record lifespan to a single version ("at 7").
+type AtPred struct{ V int }
+
+// ChangedPred yields the versions at which the record's content changed,
+// optionally restricted to a range ("changed", "changed 40..").
+type ChangedPred struct {
+	HasRange bool
+	Span     Span
+}
+
+func (*And) prec() int         { return 2 }
+func (*Or) prec() int          { return 1 }
+func (*Not) prec() int         { return 3 }
+func (*PathPred) prec() int    { return 4 }
+func (*AttrPred) prec() int    { return 4 }
+func (*RangePred) prec() int   { return 4 }
+func (*AtPred) prec() int      { return 4 }
+func (*ChangedPred) prec() int { return 4 }
+
+func (*PathPred) predNode()    {}
+func (*AttrPred) predNode()    {}
+func (*RangePred) predNode()   {}
+func (*AtPred) predNode()      {}
+func (*ChangedPred) predNode() {}
+
+// writeChild renders e inside a parent context that requires binding
+// precedence of at least min, adding parentheses when e binds looser.
+func writeChild(b *strings.Builder, e Expr, min int) {
+	if e.prec() < min {
+		b.WriteByte('(')
+		e.write(b)
+		b.WriteByte(')')
+		return
+	}
+	e.write(b)
+}
+
+func (e *And) write(b *strings.Builder) {
+	writeChild(b, e.L, 2)
+	b.WriteString(" AND ")
+	writeChild(b, e.R, 3)
+}
+
+func (e *Or) write(b *strings.Builder) {
+	writeChild(b, e.L, 1)
+	b.WriteString(" OR ")
+	writeChild(b, e.R, 2)
+}
+
+func (e *Not) write(b *strings.Builder) {
+	b.WriteString("NOT ")
+	writeChild(b, e.X, 3)
+}
+
+func (e *PathPred) write(b *strings.Builder) { b.WriteString(e.Raw) }
+
+// bareOK reports whether s can appear unquoted as an attribute name or value.
+func bareOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isBare(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// quoteWord renders s bare when possible, else double-quoted with \" and \\
+// escapes.
+func quoteWord(b *strings.Builder, s string) {
+	if bareOK(s) {
+		b.WriteString(s)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+}
+
+func (e *AttrPred) write(b *strings.Builder) {
+	b.WriteByte('@')
+	quoteWord(b, e.Name)
+	if e.HasValue {
+		b.WriteByte('=')
+		quoteWord(b, e.Value)
+	}
+}
+
+func (s Span) write(b *strings.Builder) {
+	if s.HasLo {
+		b.WriteString(strconv.Itoa(s.Lo))
+	}
+	b.WriteString("..")
+	if s.HasHi {
+		b.WriteString(strconv.Itoa(s.Hi))
+	}
+}
+
+func (e *RangePred) write(b *strings.Builder) {
+	b.WriteString("in ")
+	e.Span.write(b)
+}
+
+func (e *AtPred) write(b *strings.Builder) {
+	b.WriteString("at ")
+	b.WriteString(strconv.Itoa(e.V))
+}
+
+func (e *ChangedPred) write(b *strings.Builder) {
+	b.WriteString("changed")
+	if e.HasRange {
+		b.WriteByte(' ')
+		e.Span.write(b)
+	}
+}
+
+func render(e Expr) string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *And) String() string         { return render(e) }
+func (e *Or) String() string          { return render(e) }
+func (e *Not) String() string         { return render(e) }
+func (e *PathPred) String() string    { return render(e) }
+func (e *AttrPred) String() string    { return render(e) }
+func (e *RangePred) String() string   { return render(e) }
+func (e *AtPred) String() string      { return render(e) }
+func (e *ChangedPred) String() string { return render(e) }

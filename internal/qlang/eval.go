@@ -1,0 +1,427 @@
+package qlang
+
+import (
+	"sort"
+
+	"xarch/internal/anode"
+	"xarch/internal/core"
+	"xarch/internal/intervals"
+	"xarch/internal/xmltree"
+)
+
+// Result is one matching record of a Select evaluation.
+type Result struct {
+	Path     string `json:"path"`     // "/root{...}" or "/root{...}/record{...}"
+	Versions string `json:"versions"` // interval-set string of matching versions
+}
+
+// KeyInfo is the predicate-relevant part of a node key: key-path names and
+// display values, parallel slices. A nil *KeyInfo means the node is unkeyed.
+type KeyInfo struct {
+	Paths []string
+	Disp  []string
+}
+
+// matchesStep mirrors core's selector-step matching: an unkeyed node matches
+// only a predicate-free step; a keyed node matches via MatchesKey.
+func matchesStep(step *core.SelectorStep, name string, k *KeyInfo) bool {
+	if name != step.Tag {
+		return false
+	}
+	if k == nil || len(k.Paths) == 0 {
+		return len(step.Preds) == 0
+	}
+	return step.MatchesKey(k.Paths, k.Disp)
+}
+
+// AttrFact is one XML attribute occurrence inside a record subtree. Time is
+// the effective lifespan of the attribute's element; nil means it inherits
+// the record lifespan.
+type AttrFact struct {
+	Name  string
+	Value string
+	Time  *intervals.Set
+}
+
+// ChangeItem is one content-change fact of a record: a content group
+// anywhere in the record subtree began at some version. Explicit items
+// carry that version; the inherit item (Explicit false) resolves to the
+// record lifespan's minimum at evaluation time. Lists are canonical:
+// at most one inherit item first, then distinct versions ascending.
+type ChangeItem struct {
+	Explicit bool
+	V        int
+}
+
+// RecordFacts are the attribute and change facts of one record, sufficient to
+// evaluate @name[=value] and changed predicates. They are derivable either
+// from a materialized annotated subtree (FactsOf) or from an index sidecar.
+type RecordFacts struct {
+	HasGroups bool
+	Changes   []ChangeItem
+	Attrs     []AttrFact
+}
+
+// FactsOf extracts RecordFacts from a record's annotated subtree. Effective
+// times follow core.ResolveFrom semantics: an explicit node time replaces the
+// inherited one; group content inherits the group time. Content groups at
+// every depth contribute change facts: an explicit group changed at its
+// time's minimum, a shared (nil-time) group at its owning element's
+// effective minimum — the record lifespan's, when fully inherited.
+func FactsOf(n *anode.Node) *RecordFacts {
+	f := &RecordFacts{}
+	f.collect(n, nil)
+	f.normalizeChanges()
+	return f
+}
+
+// normalizeChanges puts Changes in canonical form: at most one inherit
+// item first, then distinct explicit versions ascending. Collection order
+// is walk-dependent, so the canonical form is what gets stored and
+// compared.
+func (f *RecordFacts) normalizeChanges() {
+	if len(f.Changes) == 0 {
+		return
+	}
+	inherit := false
+	seen := map[int]bool{}
+	var vs []int
+	for _, c := range f.Changes {
+		if !c.Explicit {
+			inherit = true
+		} else if !seen[c.V] {
+			seen[c.V] = true
+			vs = append(vs, c.V)
+		}
+	}
+	sort.Ints(vs)
+	out := f.Changes[:0]
+	if inherit {
+		out = append(out, ChangeItem{})
+	}
+	for _, v := range vs {
+		out = append(out, ChangeItem{Explicit: true, V: v})
+	}
+	f.Changes = out
+}
+
+// collect gathers attribute facts below n, where t is n's effective time
+// relative to the record lifespan (nil = inherit).
+func (f *RecordFacts) collect(n *anode.Node, t *intervals.Set) {
+	for _, a := range n.Attrs {
+		at := t
+		if a.Time != nil {
+			at = a.Time
+		}
+		f.Attrs = append(f.Attrs, AttrFact{Name: a.Name, Value: a.Data, Time: at})
+	}
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		ct := t
+		if c.Time != nil {
+			ct = c.Time
+		}
+		f.collect(c, ct)
+	}
+	if n.Groups != nil {
+		f.HasGroups = true
+	}
+	for _, g := range n.Groups {
+		gt := t
+		if g.Time != nil {
+			gt = g.Time
+			if !g.Time.Empty() {
+				f.Changes = append(f.Changes, ChangeItem{Explicit: true, V: g.Time.Min()})
+			}
+		} else if t != nil && !t.Empty() {
+			f.Changes = append(f.Changes, ChangeItem{Explicit: true, V: t.Min()})
+		} else {
+			f.Changes = append(f.Changes, ChangeItem{})
+		}
+		for _, it := range g.Content {
+			switch it.Kind {
+			case xmltree.Attr:
+				at := gt
+				if it.Time != nil {
+					at = it.Time
+				}
+				f.Attrs = append(f.Attrs, AttrFact{Name: it.Name, Value: it.Data, Time: at})
+			case xmltree.Element:
+				ct := gt
+				if it.Time != nil {
+					ct = it.Time
+				}
+				f.collect(it, ct)
+			}
+		}
+	}
+}
+
+// EvalAttr evaluates an attribute predicate against facts: the union of the
+// effective lifespans of every element bearing a matching attribute,
+// intersected with the record lifespan.
+func EvalAttr(f *RecordFacts, p *AttrPred, life *intervals.Set) *intervals.Set {
+	acc := intervals.New()
+	for i := range f.Attrs {
+		a := &f.Attrs[i]
+		if a.Name != p.Name {
+			continue
+		}
+		if p.HasValue && a.Value != p.Value {
+			continue
+		}
+		t := a.Time
+		if t == nil {
+			t = life
+		}
+		acc = acc.Union(t)
+	}
+	return acc.Intersect(life)
+}
+
+// ChangeSet evaluates the changed-versions point set of facts: the start
+// version of every content group in the record subtree, or the record's
+// first version when its content is entirely group-free.
+func ChangeSet(f *RecordFacts, life *intervals.Set) *intervals.Set {
+	out := intervals.New()
+	if !f.HasGroups {
+		if !life.Empty() {
+			out.Add(life.Min())
+		}
+		return out
+	}
+	for _, c := range f.Changes {
+		if c.Explicit {
+			out.Add(c.V)
+		} else if !life.Empty() {
+			out.Add(life.Min())
+		}
+	}
+	return out
+}
+
+// EvalPath walks steps below n (effective time eff), returning the union of
+// the effective lifespans of all matching descendants. Matching follows
+// core.ResolveFrom — Children only, explicit times replace inherited ones —
+// but takes every match instead of erroring on ambiguity.
+func EvalPath(n *anode.Node, eff *intervals.Set, steps []core.SelectorStep) *intervals.Set {
+	if len(steps) == 0 {
+		return intervals.New().Union(eff)
+	}
+	step := &steps[0]
+	acc := intervals.New()
+	for _, c := range n.Children {
+		if c.Kind != xmltree.Element {
+			continue
+		}
+		var k *KeyInfo
+		if c.Key != nil {
+			k = &KeyInfo{Paths: c.Key.Paths, Disp: c.Key.Disp}
+		}
+		if !matchesStep(step, c.Name, k) {
+			continue
+		}
+		ceff := eff
+		if c.Time != nil {
+			ceff = c.Time
+		}
+		acc = acc.Union(EvalPath(c, ceff, steps[1:]))
+	}
+	return acc
+}
+
+// Record is one evaluable archive record: a level-2 entry of a keyed root, or
+// a raw (frontier-at-depth-1) root itself.
+type Record struct {
+	RootName  string
+	RootKey   *KeyInfo
+	RootLabel string // display label of the root, e.g. `gene{name=BRCA2}`
+	Name      string // record element name; empty for raw roots
+	Key       *KeyInfo
+	Label     string // display label of the record element
+	Raw       bool   // record is the root itself (no level-2 step)
+	Life      *intervals.Set
+	Versions  int // total archive versions (range default upper bound)
+
+	// Node materializes the record's annotated subtree (for scan evaluation
+	// of path/attr/changed predicates). May be left nil when Facts covers
+	// all predicates in the query.
+	Node func() (*anode.Node, error)
+	// Facts returns index-derived facts, or nil to derive them from Node.
+	Facts func() (*RecordFacts, error)
+	// PathSet optionally evaluates a path predicate without materializing
+	// the whole record (index-assisted). Return ok=false to fall back to
+	// Node + EvalPath.
+	PathSet func(p *PathPred) (s *intervals.Set, ok bool, err error)
+}
+
+// Path returns the record's display path.
+func (r *Record) Path() string {
+	if r.Raw {
+		return "/" + r.RootLabel
+	}
+	return "/" + r.RootLabel + "/" + r.Label
+}
+
+func (r *Record) facts() (*RecordFacts, error) {
+	if r.Facts != nil {
+		return r.Facts()
+	}
+	n, err := r.Node()
+	if err != nil {
+		return nil, err
+	}
+	return FactsOf(n), nil
+}
+
+func (r *Record) spanSet(sp Span) *intervals.Set {
+	lo := 1
+	if sp.HasLo {
+		lo = sp.Lo
+	}
+	hi := r.Versions
+	if sp.HasHi {
+		hi = sp.Hi
+	}
+	if hi < lo {
+		return intervals.New()
+	}
+	return intervals.FromRange(lo, hi)
+}
+
+// evalPathPred evaluates a path predicate against the record. steps[0] must
+// match the root; for non-raw records steps[1] must match the record element;
+// remaining steps walk the materialized subtree.
+func (r *Record) evalPathPred(p *PathPred) (*intervals.Set, error) {
+	steps := p.Steps
+	if len(steps) == 0 || !matchesStep(&steps[0], r.RootName, r.RootKey) {
+		return intervals.New(), nil
+	}
+	steps = steps[1:]
+	if !r.Raw {
+		if len(steps) == 0 {
+			return r.Life.Clone(), nil
+		}
+		if !matchesStep(&steps[0], r.Name, r.Key) {
+			return intervals.New(), nil
+		}
+		steps = steps[1:]
+	}
+	if len(steps) == 0 {
+		return r.Life.Clone(), nil
+	}
+	if r.PathSet != nil {
+		if s, ok, err := r.PathSet(&PathPred{Steps: steps}); err != nil {
+			return nil, err
+		} else if ok {
+			return s.Intersect(r.Life), nil
+		}
+	}
+	n, err := r.Node()
+	if err != nil {
+		return nil, err
+	}
+	return EvalPath(n, r.Life, steps).Intersect(r.Life), nil
+}
+
+func (r *Record) leaf(p Pred) (*intervals.Set, error) {
+	switch p := p.(type) {
+	case *PathPred:
+		return r.evalPathPred(p)
+	case *AttrPred:
+		f, err := r.facts()
+		if err != nil {
+			return nil, err
+		}
+		return EvalAttr(f, p, r.Life), nil
+	case *RangePred:
+		return r.spanSet(p.Span).Intersect(r.Life), nil
+	case *AtPred:
+		return intervals.New(p.V).Intersect(r.Life), nil
+	case *ChangedPred:
+		f, err := r.facts()
+		if err != nil {
+			return nil, err
+		}
+		cs := ChangeSet(f, r.Life)
+		if p.HasRange {
+			cs = cs.Intersect(r.spanSet(p.Span))
+		}
+		return cs, nil
+	}
+	return intervals.New(), nil
+}
+
+// EvalRecord evaluates e against one record, returning the set of versions
+// at which the record matches (possibly empty).
+func EvalRecord(e Expr, r *Record) (*intervals.Set, error) {
+	switch e := e.(type) {
+	case *And:
+		l, err := EvalRecord(e.L, r)
+		if err != nil {
+			return nil, err
+		}
+		if l.Empty() {
+			return l, nil
+		}
+		rr, err := EvalRecord(e.R, r)
+		if err != nil {
+			return nil, err
+		}
+		return l.Intersect(rr), nil
+	case *Or:
+		l, err := EvalRecord(e.L, r)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := EvalRecord(e.R, r)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(rr), nil
+	case *Not:
+		x, err := EvalRecord(e.X, r)
+		if err != nil {
+			return nil, err
+		}
+		return r.Life.Minus(x), nil
+	case Pred:
+		return r.leaf(e)
+	}
+	return intervals.New(), nil
+}
+
+// EvalAll evaluates e against every record and collects the non-empty
+// matches, sorted by display path. Both engines funnel their Select through
+// this, so result shape and ordering are defined once.
+func EvalAll(e Expr, recs []*Record) ([]Result, error) {
+	var out []Result
+	for _, r := range recs {
+		s, err := EvalRecord(e, r)
+		if err != nil {
+			return nil, err
+		}
+		if s.Empty() {
+			continue
+		}
+		out = append(out, Result{Path: r.Path(), Versions: s.String()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// RequiredAttrs returns attribute predicates that every matching record must
+// satisfy with a non-empty set (the conjunctive spine of e). Used by planners
+// to narrow candidates through an inverted index; the result is only ever a
+// superset filter — evaluation stays exact.
+func RequiredAttrs(e Expr) []*AttrPred {
+	switch e := e.(type) {
+	case *And:
+		return append(RequiredAttrs(e.L), RequiredAttrs(e.R)...)
+	case *AttrPred:
+		return []*AttrPred{e}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package qlang
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzQueryParse asserts the two contracts of the parser on arbitrary input:
+// it never panics, and every accepted expression round-trips —
+// Parse(String(ast)) yields an identical AST and the same canonical text.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		`/gene[name=BRCA2] AND @chromosome=7 AND changed 40..`,
+		`@a OR (@b AND NOT @c)`,
+		`/db/dept[name=finance]/emp[fn=John,ln=Doe]`,
+		`in 3..9 at 7 changed`,
+		`@"quoted name"="quoted \"value\""`,
+		`NOT NOT NOT @x`,
+		`((((@a))))`,
+		`in ..`,
+		`at 00042`,
+		`/a/b/c/d/e`,
+		`/a[k="v w"] and @b or not @c`,
+		"",
+		`)(`,
+		"@\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		s := e.String()
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) failed to reparse: %v", s, src, err)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round-trip mismatch: %q -> %q -> different AST", src, s)
+		}
+		if s2 := e2.String(); s2 != s {
+			t.Fatalf("String not a fixed point: %q -> %q", s, s2)
+		}
+	})
+}

@@ -1,0 +1,366 @@
+package qlang
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xarch/internal/core"
+)
+
+// ErrBadQuery is wrapped by every parse error.
+var ErrBadQuery = errors.New("bad query")
+
+func badQuery(format string, args ...any) error {
+	return fmt.Errorf("qlang: "+format+": %w", append(args, ErrBadQuery)...)
+}
+
+// maxDepth bounds expression nesting (parentheses and NOT chains) so
+// adversarial input cannot overflow the stack.
+const maxDepth = 200
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tLParen
+	tRParen
+	tAnd
+	tOr
+	tNot
+	tIn
+	tAt
+	tChanged
+	tDotDot
+	tNum
+	tPath
+	tAttr
+)
+
+type token struct {
+	kind tokKind
+	pos  int
+	num  int
+	path string // tPath: raw selector text
+	name string // tAttr: attribute name
+	hasV bool   // tAttr: value present
+	val  string // tAttr: attribute value
+}
+
+func isBare(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '.' || c == ':' || c == '-' || c == '+' || c == '%'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func (lx *lexer) run() error {
+	for {
+		for lx.pos < len(lx.src) && (lx.src[lx.pos] == ' ' || lx.src[lx.pos] == '\t' ||
+			lx.src[lx.pos] == '\n' || lx.src[lx.pos] == '\r') {
+			lx.pos++
+		}
+		if lx.pos >= len(lx.src) {
+			lx.toks = append(lx.toks, token{kind: tEOF, pos: lx.pos})
+			return nil
+		}
+		start := lx.pos
+		c := lx.src[lx.pos]
+		switch {
+		case c == '(':
+			lx.pos++
+			lx.toks = append(lx.toks, token{kind: tLParen, pos: start})
+		case c == ')':
+			lx.pos++
+			lx.toks = append(lx.toks, token{kind: tRParen, pos: start})
+		case c == '/':
+			raw, err := lx.lexPath()
+			if err != nil {
+				return err
+			}
+			lx.toks = append(lx.toks, token{kind: tPath, pos: start, path: raw})
+		case c == '@':
+			t, err := lx.lexAttr()
+			if err != nil {
+				return err
+			}
+			t.pos = start
+			lx.toks = append(lx.toks, t)
+		case c == '.':
+			if lx.pos+1 >= len(lx.src) || lx.src[lx.pos+1] != '.' {
+				return badQuery("unexpected %q at offset %d", string(c), start)
+			}
+			lx.pos += 2
+			lx.toks = append(lx.toks, token{kind: tDotDot, pos: start})
+		case isDigit(c):
+			for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			n, err := strconv.Atoi(lx.src[start:lx.pos])
+			if err != nil {
+				return badQuery("bad number %q", lx.src[start:lx.pos])
+			}
+			lx.toks = append(lx.toks, token{kind: tNum, pos: start, num: n})
+		case isBare(c):
+			for lx.pos < len(lx.src) && isBare(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			word := lx.src[start:lx.pos]
+			kind, ok := keyword(word)
+			if !ok {
+				return badQuery("unexpected word %q at offset %d", word, start)
+			}
+			lx.toks = append(lx.toks, token{kind: kind, pos: start})
+		default:
+			return badQuery("unexpected %q at offset %d", string(c), start)
+		}
+	}
+}
+
+func keyword(w string) (tokKind, bool) {
+	switch strings.ToLower(w) {
+	case "and":
+		return tAnd, true
+	case "or":
+		return tOr, true
+	case "not":
+		return tNot, true
+	case "in":
+		return tIn, true
+	case "at":
+		return tAt, true
+	case "changed":
+		return tChanged, true
+	}
+	return tEOF, false
+}
+
+// lexPath consumes a selector starting at '/'. The selector extends to the
+// first whitespace or parenthesis outside double quotes; quoted spans follow
+// core selector rules (no escapes, quote runs to the next quote).
+func (lx *lexer) lexPath() (string, error) {
+	start := lx.pos
+	quoted := false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '"' {
+			quoted = !quoted
+			lx.pos++
+			continue
+		}
+		if !quoted && (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == ')') {
+			break
+		}
+		lx.pos++
+	}
+	if quoted {
+		return "", badQuery("unterminated quote in selector at offset %d", start)
+	}
+	return lx.src[start:lx.pos], nil
+}
+
+// lexWord consumes a bare word or a double-quoted string (with \" and \\
+// escapes; a backslash before any other byte yields that byte).
+func (lx *lexer) lexWord(what string) (string, error) {
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '"' {
+		lx.pos++
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.src[lx.pos]
+			if c == '"' {
+				lx.pos++
+				return b.String(), nil
+			}
+			if c == '\\' && lx.pos+1 < len(lx.src) {
+				lx.pos++
+				c = lx.src[lx.pos]
+			}
+			b.WriteByte(c)
+			lx.pos++
+		}
+		return "", badQuery("unterminated quoted %s", what)
+	}
+	start := lx.pos
+	for lx.pos < len(lx.src) && isBare(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos == start {
+		return "", badQuery("empty %s at offset %d", what, start)
+	}
+	return lx.src[start:lx.pos], nil
+}
+
+func (lx *lexer) lexAttr() (token, error) {
+	lx.pos++ // '@'
+	name, err := lx.lexWord("attribute name")
+	if err != nil {
+		return token{}, err
+	}
+	t := token{kind: tAttr, name: name}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '=' {
+		lx.pos++
+		val, err := lx.lexWord("attribute value")
+		if err != nil {
+			return token{}, err
+		}
+		t.hasV = true
+		t.val = val
+	}
+	return t, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+// Parse parses a query expression. Errors wrap ErrBadQuery (and, for selector
+// predicates, core.ErrBadSelector).
+func Parse(src string) (Expr, error) {
+	lx := &lexer{src: src}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	p := &parser{toks: lx.toks}
+	e, err := p.parseOr(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, badQuery("trailing input at offset %d", t.pos)
+	}
+	return e, nil
+}
+
+func (p *parser) parseOr(depth int) (Expr, error) {
+	l, err := p.parseAnd(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tOr {
+		p.next()
+		r, err := p.parseAnd(depth)
+		if err != nil {
+			return nil, err
+		}
+		l = &Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd(depth int) (Expr, error) {
+	l, err := p.parseNot(depth)
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tAnd {
+		p.next()
+		r, err := p.parseNot(depth)
+		if err != nil {
+			return nil, err
+		}
+		l = &And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot(depth int) (Expr, error) {
+	if depth >= maxDepth {
+		return nil, badQuery("expression nested too deeply")
+	}
+	if p.peek().kind == tNot {
+		p.next()
+		x, err := p.parseNot(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	}
+	return p.parsePrimary(depth)
+}
+
+func (p *parser) parsePrimary(depth int) (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tLParen:
+		e, err := p.parseOr(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if c := p.next(); c.kind != tRParen {
+			return nil, badQuery("missing ')' at offset %d", c.pos)
+		}
+		return e, nil
+	case tPath:
+		steps, err := core.ParseSelector(t.path)
+		if err != nil {
+			return nil, fmt.Errorf("qlang: %w: %w", err, ErrBadQuery)
+		}
+		return &PathPred{Raw: t.path, Steps: steps}, nil
+	case tAttr:
+		return &AttrPred{Name: t.name, HasValue: t.hasV, Value: t.val}, nil
+	case tIn:
+		sp, err := p.parseSpan()
+		if err != nil {
+			return nil, err
+		}
+		return &RangePred{Span: sp}, nil
+	case tAt:
+		n := p.next()
+		if n.kind != tNum {
+			return nil, badQuery("'at' needs a version number at offset %d", n.pos)
+		}
+		return &AtPred{V: n.num}, nil
+	case tChanged:
+		if k := p.peek().kind; k == tNum || k == tDotDot {
+			sp, err := p.parseSpan()
+			if err != nil {
+				return nil, err
+			}
+			return &ChangedPred{HasRange: true, Span: sp}, nil
+		}
+		return &ChangedPred{}, nil
+	case tEOF:
+		return nil, badQuery("unexpected end of query")
+	default:
+		return nil, badQuery("unexpected token at offset %d", t.pos)
+	}
+}
+
+// parseSpan parses NUM ".." NUM with either bound optional but at least one
+// present.
+func (p *parser) parseSpan() (Span, error) {
+	var sp Span
+	if p.peek().kind == tNum {
+		sp.HasLo = true
+		sp.Lo = p.next().num
+	}
+	if t := p.next(); t.kind != tDotDot {
+		return Span{}, badQuery("range needs '..' at offset %d", t.pos)
+	}
+	if p.peek().kind == tNum {
+		sp.HasHi = true
+		sp.Hi = p.next().num
+	}
+	if !sp.HasLo && !sp.HasHi {
+		return Span{}, badQuery("range needs at least one bound")
+	}
+	return sp, nil
+}

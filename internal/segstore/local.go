@@ -245,7 +245,15 @@ func (l *Local) Keydir(ctx context.Context) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("segstore: state bundle incomplete: %w", err)
 	}
-	return &Bundle{Keydir: kd, Dict: dict, Meta: meta}, nil
+	b := &Bundle{Keydir: kd, Dict: dict, Meta: meta}
+	// The advisory attr.idx sidecar rides along when present; a store
+	// without one is complete, not corrupt.
+	if aidx, err := l.fs.ReadFile(filepath.Join(l.dir, extmem.AttrIdxFileName)); err == nil {
+		b.AttrIdx = aidx
+	} else if !errors.Is(err, iofs.ErrNotExist) {
+		return nil, fmt.Errorf("segstore: %w", err)
+	}
+	return b, nil
 }
 
 // CommitKeydir installs the state bundle: dict and meta first, then the
@@ -265,6 +273,17 @@ func (l *Local) CommitKeydir(ctx context.Context, b *Bundle) error {
 	}
 	if err := l.writeAtomic(extmem.MetaFileName, b.Meta); err != nil {
 		return err
+	}
+	// The sidecar lands (or a stale predecessor is removed) before the
+	// keydir rename: it is bound to the incoming generation, and a crash
+	// in between leaves the old keydir with at worst a missing sidecar,
+	// which queries bypass and the next writable open rebuilds.
+	if len(b.AttrIdx) > 0 {
+		if err := l.writeAtomic(extmem.AttrIdxFileName, b.AttrIdx); err != nil {
+			return err
+		}
+	} else if err := l.fs.Remove(filepath.Join(l.dir, extmem.AttrIdxFileName)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+		return fmt.Errorf("segstore: %w", err)
 	}
 	return l.writeAtomic(extmem.KeydirFileName, b.Keydir)
 }

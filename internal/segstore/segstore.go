@@ -53,11 +53,14 @@ type Check struct {
 }
 
 // Bundle is the replica's commit unit: the exact bytes of the three
-// archive state files of one committed generation.
+// archive state files of one committed generation, plus the optional
+// attr.idx secondary-index sidecar (nil when the source generation has
+// none — the sidecar is advisory and replicas rebuild on demand).
 type Bundle struct {
-	Keydir []byte
-	Dict   []byte
-	Meta   []byte
+	Keydir  []byte
+	Dict    []byte
+	Meta    []byte
+	AttrIdx []byte
 }
 
 // Store is named immutable blob storage with a keydir commit step —
@@ -104,7 +107,7 @@ func ValidBlobName(name string) bool {
 		return false
 	}
 	switch name {
-	case extmem.KeydirFileName, extmem.DictFileName, extmem.MetaFileName:
+	case extmem.KeydirFileName, extmem.DictFileName, extmem.MetaFileName, extmem.AttrIdxFileName:
 		return false
 	}
 	return true
@@ -113,7 +116,7 @@ func ValidBlobName(name string) bool {
 // isStateFile reports whether name is one of the bundle's state files.
 func isStateFile(name string) bool {
 	switch name {
-	case extmem.KeydirFileName, extmem.DictFileName, extmem.MetaFileName:
+	case extmem.KeydirFileName, extmem.DictFileName, extmem.MetaFileName, extmem.AttrIdxFileName:
 		return true
 	}
 	return false

@@ -162,6 +162,7 @@ func New(store xarch.Store, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/add", s.handleAdd)
 	s.mux.HandleFunc("GET /v1/version/{n}", s.handleVersion)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -365,6 +366,33 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleQuery evaluates a boolean Select expression (?q=) and returns
+// the matching records with the versions at which the expression holds.
+// An empty result is a 200 with an empty array; a malformed expression
+// is the caller's fault (400).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.queries.Add(1)
+	expr := r.URL.Query().Get("q")
+	if expr == "" {
+		jsonError(w, http.StatusBadRequest, "missing ?q=")
+		return
+	}
+	results, err := s.store.Select(expr)
+	if err != nil {
+		switch {
+		case errors.Is(err, xarch.ErrBadQuery):
+			jsonError(w, http.StatusBadRequest, "bad query: %v", err)
+		default:
+			jsonError(w, http.StatusInternalServerError, "query: %v", err)
+		}
+		return
+	}
+	if results == nil {
+		results = []xarch.SelectResult{}
+	}
+	writeJSON(w, map[string]any{"query": expr, "results": results})
+}
+
 // handleSnapshot streams the archive itself in the paper's XML form.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
@@ -449,7 +477,7 @@ func (s *Server) handleReplKeydir(w http.ResponseWriter, r *http.Request) {
 	man := v.Manifest()
 	writeJSON(w, segstore.WireBundle{
 		Generation: man.Generation, Versions: man.Versions,
-		Keydir: kd, Dict: dict, Meta: meta,
+		Keydir: kd, Dict: dict, Meta: meta, AttrIdx: v.AttrIdx(),
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,9 +81,12 @@ func (f *fakeStore) WriteVersion(n int, w io.Writer) error     { return nil }
 func (f *fakeStore) History(string) (*xarch.VersionSet, error) { return nil, xarch.ErrNoSuchElement }
 func (f *fakeStore) ContentHistory(string) ([]int, error)      { return nil, nil }
 func (f *fakeStore) Stats() (xarch.Stats, error)               { return xarch.Stats{}, nil }
-func (f *fakeStore) CompressedSize() (int, error)              { return 0, nil }
-func (f *fakeStore) Snapshot(w io.Writer) error                { return nil }
-func (f *fakeStore) Close() error                              { f.closed.Store(true); return nil }
+func (f *fakeStore) Select(string) ([]xarch.SelectResult, error) {
+	return nil, nil
+}
+func (f *fakeStore) CompressedSize() (int, error) { return 0, nil }
+func (f *fakeStore) Snapshot(w io.Writer) error   { return nil }
+func (f *fakeStore) Close() error                 { f.closed.Store(true); return nil }
 
 func (f *fakeStore) Degraded() error {
 	if p := f.degraded.Load(); p != nil {
@@ -389,6 +393,28 @@ func TestEndpoints(t *testing.T) {
 	}
 	if status, _ := get("/v1/history"); status != http.StatusBadRequest {
 		t.Fatalf("history without selector: want 400")
+	}
+	if status, body := get("/v1/query?q=" + url.QueryEscape("/db/rec[id=a] AND changed")); status != http.StatusOK {
+		t.Fatalf("query: status %d body %q", status, body)
+	} else {
+		var q struct {
+			Results []xarch.SelectResult `json:"results"`
+		}
+		if err := json.Unmarshal([]byte(body), &q); err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Results) != 1 || q.Results[0].Path != "/db/rec{id=a}" || q.Results[0].Versions != "1-2" {
+			t.Fatalf("query results = %+v, want one /db/rec{id=a} at 1-2", q.Results)
+		}
+	}
+	if status, body := get("/v1/query?q=" + url.QueryEscape("@nosuch")); status != http.StatusOK || !strings.Contains(body, `"results":[]`) {
+		t.Fatalf("empty query: status %d body %q, want 200 with empty results", status, body)
+	}
+	if status, _ := get("/v1/query?q=" + url.QueryEscape("((")); status != http.StatusBadRequest {
+		t.Fatalf("malformed query: want 400")
+	}
+	if status, _ := get("/v1/query"); status != http.StatusBadRequest {
+		t.Fatalf("query without expression: want 400")
 	}
 	if status, body := get("/v1/snapshot"); status != http.StatusOK || !strings.Contains(body, "<db") {
 		t.Fatalf("snapshot: status %d body %q", status, body)

@@ -3,6 +3,8 @@ package xarch
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -70,8 +72,18 @@ func TestSoakRandomFaults(t *testing.T) {
 		committed = v
 	}
 
+	// The nightly workflow stretches the default 8-second run via
+	// XARCH_SOAK_SECS; per-push CI leaves it unset.
+	secs := 8
+	if env := os.Getenv("XARCH_SOAK_SECS"); env != "" {
+		n, err := strconv.Atoi(env)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad XARCH_SOAK_SECS=%q", env)
+		}
+		secs = n
+	}
 	s, ffs := openFresh()
-	deadline := time.Now().Add(8 * time.Second)
+	deadline := time.Now().Add(time.Duration(secs) * time.Second)
 	adds, crashes, faults := 0, 0, 0
 	for time.Now().Before(deadline) {
 		switch mode := rng.Intn(10); {

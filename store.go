@@ -69,6 +69,18 @@ type Store interface {
 	// ContentHistory returns, for a frontier element, the versions at
 	// which its content changed.
 	ContentHistory(selector string) ([]int, error)
+	// Select evaluates a boolean query expression (see internal/qlang:
+	// AND/OR/NOT over path selectors, @attribute predicates and version
+	// ranges) against every archive record — a level-2 entry of a keyed
+	// root, or a depth-1 frontier root itself — and returns the matching
+	// records with the version sets at which they match, sorted by path.
+	// A record with an empty result set is omitted; an expression that
+	// matches nothing returns an empty slice and no error. Parse errors
+	// wrap ErrBadQuery. The external engine answers through its attr.idx
+	// sidecar and key directory when they are fresh, and by exact
+	// streaming scan otherwise; both routes, and the in-memory engine,
+	// return identical results.
+	Select(expr string) ([]SelectResult, error)
 	// Stats summarizes the archive's structure (timestamp inheritance,
 	// interval fragmentation, XML size).
 	Stats() (Stats, error)
@@ -116,6 +128,7 @@ type config struct {
 	segFormat   int     // external engine segment format (0 = current default)
 	noMigrate   bool    // external engine: keep legacy-format segments as they are
 	segCompress bool    // external engine: block-compress segment payloads
+	noQueryIdx  bool    // external engine: disable the attr.idx query sidecar
 	fs          fsio.FS // external engine filesystem (nil = the real one)
 }
 
@@ -218,6 +231,17 @@ func WithIngestShards(n int) Option {
 // External engine only.
 func WithDirectorySeek(on bool) Option {
 	return func(c *config) { c.noSeek = !on }
+}
+
+// WithQueryIndex toggles the external engine's query-index sidecar
+// (attr.idx): on (the default), commits maintain an inverted
+// attribute/change/subtree index next to the key directory and Select
+// plans index seeks through it; off, the sidecar is neither written nor
+// read and every Select evaluates by exact streaming scan. The two paths
+// answer identically — the sidecar is advisory, never authoritative.
+// External engine only.
+func WithQueryIndex(on bool) Option {
+	return func(c *config) { c.noQueryIdx = !on }
 }
 
 // WithFS routes every filesystem operation of the external engine
